@@ -1,0 +1,224 @@
+//! Per-vantage-point TTL-behaviour classification.
+//!
+//! §3.2 of the paper eyeballs the .uy CDF and attributes regions of it
+//! to resolver behaviours: child-centric (at/below the child's TTL),
+//! parent-centric (decremented parent values), full-TTL mirrors
+//! (RFC 7706), and TTL cappers (§3.3's 21 599 s Google band). This
+//! module automates that attribution for a series of TTL observations
+//! from one vantage point, given the two published TTLs.
+//!
+//! The classifier assumes the common crawl configuration where the
+//! parent's TTL exceeds the child's (`.uy`, `.nl`, `.cl`); for the
+//! inverted google.co case (parent 900 s < child 345 600 s) swap the
+//! arguments — "child" here means "the smaller published TTL".
+
+/// The behaviour a TTL series exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtlBehavior {
+    /// Every observation at or below the child's TTL.
+    ChildCentric,
+    /// Every observation in the parent's range, aging normally.
+    ParentCentric,
+    /// Every observation exactly the parent's full TTL: a zone mirror
+    /// (RFC 7706 / LocalRoot) that never lets the value age.
+    PinnedFullTtl,
+    /// Observations plateau at a repeated value strictly between the
+    /// two published TTLs: a cap (e.g. 21 599 s).
+    Capped {
+        /// The detected cap value, seconds.
+        cap: u64,
+    },
+    /// Both regimes appear: fragmented caches behind one slot, or a
+    /// resolver that changed behaviour mid-measurement.
+    Mixed,
+    /// No valid observations.
+    Unknown,
+}
+
+/// Classifies one vantage point's observed TTLs.
+///
+/// `child_ttl` and `parent_ttl` are the two published values, child
+/// smaller (see module docs).
+///
+/// ```
+/// use dnsttl_analysis::{classify_ttl_series, TtlBehavior};
+/// // .uy: child 300 s, parent 172 800 s.
+/// assert_eq!(
+///     classify_ttl_series(&[300, 290, 300], 300, 172_800),
+///     TtlBehavior::ChildCentric
+/// );
+/// assert_eq!(
+///     classify_ttl_series(&[172_800, 172_800], 300, 172_800),
+///     TtlBehavior::PinnedFullTtl
+/// );
+/// ```
+pub fn classify_ttl_series(observed: &[u64], child_ttl: u64, parent_ttl: u64) -> TtlBehavior {
+    debug_assert!(child_ttl <= parent_ttl, "see module docs: child is the smaller TTL");
+    if observed.is_empty() {
+        return TtlBehavior::Unknown;
+    }
+    let child_like = observed.iter().filter(|&&t| t <= child_ttl).count();
+    let parent_like = observed.len() - child_like;
+
+    if parent_like == 0 {
+        return TtlBehavior::ChildCentric;
+    }
+    if child_like > 0 {
+        return TtlBehavior::Mixed;
+    }
+    // All observations above the child's TTL.
+    if observed.iter().all(|&t| t == parent_ttl) {
+        return TtlBehavior::PinnedFullTtl;
+    }
+    // Cap detection: the largest observation recurs (entries re-enter
+    // the cache at the cap) and sits strictly below the parent's TTL.
+    let max = *observed.iter().max().expect("non-empty");
+    let at_max = observed.iter().filter(|&&t| t == max).count();
+    if max < parent_ttl && at_max >= 2 {
+        return TtlBehavior::Capped { cap: max };
+    }
+    TtlBehavior::ParentCentric
+}
+
+/// Aggregated behaviour counts over many vantage points.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BehaviorCensus {
+    /// Child-centric VPs.
+    pub child_centric: usize,
+    /// Parent-centric VPs.
+    pub parent_centric: usize,
+    /// Full-TTL mirrors.
+    pub pinned: usize,
+    /// TTL cappers, with their detected cap values.
+    pub capped: Vec<u64>,
+    /// Mixed-behaviour VPs.
+    pub mixed: usize,
+    /// VPs with no usable observations.
+    pub unknown: usize,
+}
+
+impl BehaviorCensus {
+    /// Classifies a collection of per-VP series.
+    pub fn take<'a>(
+        series: impl IntoIterator<Item = &'a [u64]>,
+        child_ttl: u64,
+        parent_ttl: u64,
+    ) -> BehaviorCensus {
+        let mut census = BehaviorCensus::default();
+        for s in series {
+            match classify_ttl_series(s, child_ttl, parent_ttl) {
+                TtlBehavior::ChildCentric => census.child_centric += 1,
+                TtlBehavior::ParentCentric => census.parent_centric += 1,
+                TtlBehavior::PinnedFullTtl => census.pinned += 1,
+                TtlBehavior::Capped { cap } => census.capped.push(cap),
+                TtlBehavior::Mixed => census.mixed += 1,
+                TtlBehavior::Unknown => census.unknown += 1,
+            }
+        }
+        census
+    }
+
+    /// Total classified VPs.
+    pub fn total(&self) -> usize {
+        self.child_centric
+            + self.parent_centric
+            + self.pinned
+            + self.capped.len()
+            + self.mixed
+            + self.unknown
+    }
+
+    /// Fraction of classifiable VPs that are child-centric.
+    pub fn child_fraction(&self) -> f64 {
+        let classified = self.total() - self.unknown;
+        if classified == 0 {
+            return 0.0;
+        }
+        self.child_centric as f64 / classified as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHILD: u64 = 300;
+    const PARENT: u64 = 172_800;
+
+    #[test]
+    fn child_centric_series() {
+        assert_eq!(
+            classify_ttl_series(&[300, 295, 10, 300], CHILD, PARENT),
+            TtlBehavior::ChildCentric
+        );
+    }
+
+    #[test]
+    fn parent_centric_series_ages() {
+        assert_eq!(
+            classify_ttl_series(&[172_800, 172_200, 171_600], CHILD, PARENT),
+            TtlBehavior::ParentCentric
+        );
+    }
+
+    #[test]
+    fn pinned_mirror() {
+        assert_eq!(
+            classify_ttl_series(&[PARENT, PARENT, PARENT], CHILD, PARENT),
+            TtlBehavior::PinnedFullTtl
+        );
+    }
+
+    #[test]
+    fn capped_plateau_detected() {
+        // A 21 599 s capper refreshed twice during the window.
+        assert_eq!(
+            classify_ttl_series(&[21_599, 20_999, 21_599, 21_000], CHILD, PARENT),
+            TtlBehavior::Capped { cap: 21_599 }
+        );
+    }
+
+    #[test]
+    fn single_peak_is_not_a_cap() {
+        // One high observation then aging: indistinguishable from a
+        // parent fetch mid-decrement.
+        assert_eq!(
+            classify_ttl_series(&[21_599, 20_999, 20_399], CHILD, PARENT),
+            TtlBehavior::ParentCentric
+        );
+    }
+
+    #[test]
+    fn mixed_regimes() {
+        assert_eq!(
+            classify_ttl_series(&[300, 172_800], CHILD, PARENT),
+            TtlBehavior::Mixed
+        );
+    }
+
+    #[test]
+    fn empty_is_unknown() {
+        assert_eq!(classify_ttl_series(&[], CHILD, PARENT), TtlBehavior::Unknown);
+    }
+
+    #[test]
+    fn census_aggregates() {
+        let series: Vec<Vec<u64>> = vec![
+            vec![300, 290],
+            vec![300],
+            vec![PARENT, PARENT],
+            vec![21_599, 21_599],
+            vec![300, 172_000],
+            vec![],
+        ];
+        let census =
+            BehaviorCensus::take(series.iter().map(|v| v.as_slice()), CHILD, PARENT);
+        assert_eq!(census.child_centric, 2);
+        assert_eq!(census.pinned, 1);
+        assert_eq!(census.capped, vec![21_599]);
+        assert_eq!(census.mixed, 1);
+        assert_eq!(census.unknown, 1);
+        assert_eq!(census.total(), 6);
+        assert!((census.child_fraction() - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal CSV export.
+//!
+//! Experiments write their raw series under `target/experiments/` so
+//! that external tooling can reproduce the paper's figures graphically.
+//! Quoting follows RFC 4180 for the small subset we emit.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes rows to a CSV file, creating parent directories.
+pub struct CsvWriter {
+    path: PathBuf,
+    buf: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Starts a CSV file with a header row.
+    pub fn new(path: impl Into<PathBuf>, headers: &[&str]) -> CsvWriter {
+        let mut w = CsvWriter {
+            path: path.into(),
+            buf: String::new(),
+            columns: headers.len(),
+        };
+        w.push_row_raw(headers.iter().map(|s| s.to_string()));
+        w
+    }
+
+    fn quote(field: &str) -> String {
+        if field.contains([',', '"', '\n']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_owned()
+        }
+    }
+
+    fn push_row_raw(&mut self, cells: impl Iterator<Item = String>) {
+        let row: Vec<String> = cells.map(|c| Self::quote(&c)).collect();
+        self.buf.push_str(&row.join(","));
+        self.buf.push('\n');
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count — a
+    /// malformed dataset is a bug in the experiment, not a runtime
+    /// condition.
+    pub fn row(&mut self, cells: &[String]) -> &mut CsvWriter {
+        assert_eq!(cells.len(), self.columns, "CSV row width mismatch");
+        self.push_row_raw(cells.iter().cloned());
+        self
+    }
+
+    /// Convenience: a row of displayable values.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut CsvWriter {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Writes the file to disk.
+    pub fn finish(self) -> io::Result<PathBuf> {
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(&self.path)?;
+        f.write_all(self.buf.as_bytes())?;
+        Ok(self.path)
+    }
+
+    /// The target path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dnsttl-csv-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_header_and_rows() {
+        let path = tmp("basic");
+        let mut w = CsvWriter::new(&path, &["a", "b"]);
+        w.row_display(&[1, 2]);
+        w.row(&["x".into(), "y".into()]);
+        let written = w.finish().unwrap();
+        let content = std::fs::read_to_string(&written).unwrap();
+        assert_eq!(content, "a,b\n1,2\nx,y\n");
+        std::fs::remove_file(written).unwrap();
+    }
+
+    #[test]
+    fn quotes_fields_with_commas_and_quotes() {
+        let path = tmp("quote");
+        let mut w = CsvWriter::new(&path, &["v"]);
+        w.row(&["hello, \"world\"".into()]);
+        let written = w.finish().unwrap();
+        let content = std::fs::read_to_string(&written).unwrap();
+        assert_eq!(content, "v\n\"hello, \"\"world\"\"\"\n");
+        std::fs::remove_file(written).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut w = CsvWriter::new(tmp("width"), &["a", "b"]);
+        w.row(&["only-one".into()]);
+    }
+}

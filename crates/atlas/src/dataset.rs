@@ -1,0 +1,224 @@
+//! Measurement result datasets.
+
+use dnsttl_netsim::{Region, SimTime};
+use dnsttl_wire::{Name, Rcode};
+
+/// One query's outcome as the measurement platform records it.
+#[derive(Debug, Clone)]
+pub struct MeasurementResult {
+    /// When the VP fired.
+    pub at: SimTime,
+    /// Atlas-style probe identifier.
+    pub probe_id: u32,
+    /// Index of the probe in the population.
+    pub probe_idx: usize,
+    /// Which of the probe's resolver slots fired (identifies the VP
+    /// together with `probe_idx`).
+    pub vp_slot: usize,
+    /// Index of the concrete resolver backend that served the query
+    /// (public services spread queries over several backends).
+    pub resolver_idx: usize,
+    /// Probe region (self-reported geolocation in the paper).
+    pub region: Region,
+    /// The name queried.
+    pub qname: Name,
+    /// Response code seen by the probe.
+    pub rcode: Rcode,
+    /// TTL of the first answer record, if any — the quantity behind
+    /// Figures 1, 2 and 9.
+    pub ttl: Option<u64>,
+    /// Stringified answer data (addresses), used to tell the original
+    /// from the renumbered server in Figures 6–8.
+    pub answers: Vec<String>,
+    /// Client-observed round-trip in ms (probe→resolver link plus the
+    /// resolver's upstream work) — the quantity behind Figures 10–11.
+    pub rtt_ms: u64,
+    /// True when the resolver answered fully from cache.
+    pub cache_hit: bool,
+    /// False for hijacked probes or non-NOERROR/empty responses; the
+    /// paper's "discarded" rows.
+    pub valid: bool,
+    /// True when the resolver gave up (SERVFAIL after timeouts).
+    pub timed_out: bool,
+}
+
+/// An append-only collection of measurement results with the
+/// valid/discard accounting the paper reports per experiment.
+#[derive(Debug, Default)]
+pub struct Dataset {
+    results: Vec<MeasurementResult>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Appends one result.
+    pub fn push(&mut self, r: MeasurementResult) {
+        self.results.push(r);
+    }
+
+    /// All results in arrival order.
+    pub fn results(&self) -> &[MeasurementResult] {
+        &self.results
+    }
+
+    /// Total queries issued.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when no queries were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Valid responses only (the denominators in the paper's CDFs).
+    pub fn valid(&self) -> impl Iterator<Item = &MeasurementResult> {
+        self.results.iter().filter(|r| r.valid)
+    }
+
+    /// Count of valid responses.
+    pub fn valid_count(&self) -> usize {
+        self.valid().count()
+    }
+
+    /// Count of discarded (invalid) responses.
+    pub fn discarded_count(&self) -> usize {
+        self.len() - self.valid_count()
+    }
+
+    /// Count of timeouts (SERVFAIL outcomes).
+    pub fn timeout_count(&self) -> usize {
+        self.results.iter().filter(|r| r.timed_out).count()
+    }
+
+    /// Observed TTLs of valid responses.
+    pub fn ttls(&self) -> Vec<u64> {
+        self.valid().filter_map(|r| r.ttl).collect()
+    }
+
+    /// Observed RTTs (ms) of valid responses.
+    pub fn rtts_ms(&self) -> Vec<u64> {
+        self.valid().map(|r| r.rtt_ms).collect()
+    }
+
+    /// Observed RTTs (ms) of valid responses from one region.
+    pub fn rtts_ms_in(&self, region: Region) -> Vec<u64> {
+        self.valid()
+            .filter(|r| r.region == region)
+            .map(|r| r.rtt_ms)
+            .collect()
+    }
+
+    /// Distinct probes that produced at least one result.
+    pub fn distinct_probes(&self) -> usize {
+        let mut ids: Vec<u32> = self.results.iter().map(|r| r.probe_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Distinct probes whose results were all valid.
+    pub fn distinct_valid_probes(&self) -> usize {
+        use std::collections::HashMap;
+        let mut by_probe: HashMap<u32, bool> = HashMap::new();
+        for r in &self.results {
+            *by_probe.entry(r.probe_id).or_insert(true) &= r.valid;
+        }
+        by_probe.values().filter(|&&v| v).count()
+    }
+
+    /// Distinct vantage points (probe × resolver slot) seen.
+    pub fn distinct_vps(&self) -> usize {
+        let mut vps: Vec<(usize, usize)> = self
+            .results
+            .iter()
+            .map(|r| (r.probe_idx, r.vp_slot))
+            .collect();
+        vps.sort_unstable();
+        vps.dedup();
+        vps.len()
+    }
+
+    /// Distinct resolvers seen.
+    pub fn distinct_resolvers(&self) -> usize {
+        let mut ids: Vec<usize> = self.results.iter().map(|r| r.resolver_idx).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Per-VP iterator over result indices, for behavioural
+    /// classification (sticky detection in Table 4). The key is
+    /// (probe index, resolver slot).
+    pub fn by_vp(&self) -> std::collections::HashMap<(usize, usize), Vec<&MeasurementResult>> {
+        let mut map: std::collections::HashMap<(usize, usize), Vec<&MeasurementResult>> =
+            std::collections::HashMap::new();
+        for r in &self.results {
+            map.entry((r.probe_idx, r.vp_slot)).or_default().push(r);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(probe: u32, valid: bool, ttl: Option<u64>, rtt: u64) -> MeasurementResult {
+        MeasurementResult {
+            at: SimTime::ZERO,
+            probe_id: probe,
+            probe_idx: probe as usize,
+            vp_slot: 0,
+            resolver_idx: 0,
+            region: Region::Eu,
+            qname: Name::parse("uy").unwrap(),
+            rcode: Rcode::NoError,
+            ttl,
+            answers: vec![],
+            rtt_ms: rtt,
+            cache_hit: false,
+            valid,
+            timed_out: false,
+        }
+    }
+
+    #[test]
+    fn accounting_splits_valid_and_discarded() {
+        let mut ds = Dataset::new();
+        ds.push(result(1, true, Some(300), 20));
+        ds.push(result(1, true, Some(290), 5));
+        ds.push(result(2, false, None, 0));
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.valid_count(), 2);
+        assert_eq!(ds.discarded_count(), 1);
+        assert_eq!(ds.ttls(), vec![300, 290]);
+        assert_eq!(ds.rtts_ms(), vec![20, 5]);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let mut ds = Dataset::new();
+        ds.push(result(1, true, Some(1), 1));
+        ds.push(result(1, true, Some(1), 1));
+        ds.push(result(2, false, None, 1));
+        assert_eq!(ds.distinct_probes(), 2);
+        assert_eq!(ds.distinct_valid_probes(), 1);
+        assert_eq!(ds.distinct_vps(), 2);
+    }
+
+    #[test]
+    fn by_vp_groups_results() {
+        let mut ds = Dataset::new();
+        ds.push(result(1, true, Some(1), 1));
+        ds.push(result(1, true, Some(2), 1));
+        ds.push(result(2, true, Some(3), 1));
+        let groups = ds.by_vp();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&(1, 0)].len(), 2);
+    }
+}

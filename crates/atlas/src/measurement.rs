@@ -1,0 +1,322 @@
+//! Measurement scheduling.
+//!
+//! One measurement = one query repeated from every vantage point at a
+//! fixed frequency for a fixed duration (the paper queries every 600 s
+//! for 1–4 hours, Table 2 / Table 3). VPs start phase-shifted within
+//! the first interval, as Atlas spreads its probes, which is what makes
+//! shared caches observable: a VP that queries just after a cache fill
+//! sees a decremented TTL.
+
+use crate::dataset::{Dataset, MeasurementResult};
+use crate::population::Population;
+use dnsttl_netsim::{EventQueue, Network, SimDuration, SimRng, SimTime};
+use dnsttl_wire::{Name, RData, Rcode, RecordType};
+
+/// How query names are formed.
+#[derive(Debug, Clone)]
+pub enum QueryName {
+    /// Every VP queries the same name (`NS .uy` style).
+    Fixed(Name),
+    /// Every probe queries `<probeid>.<suffix>` — the paper's
+    /// cache-busting `PROBEID.sub.cachetest.net` pattern.
+    PerProbe {
+        /// The shared suffix under which probe IDs are prepended.
+        suffix: Name,
+    },
+}
+
+impl QueryName {
+    /// The concrete name a probe queries.
+    pub fn for_probe(&self, probe_id: u32) -> Name {
+        match self {
+            QueryName::Fixed(n) => n.clone(),
+            QueryName::PerProbe { suffix } => suffix
+                .child(&format!("p{probe_id}"))
+                .expect("probe label is short and valid"),
+        }
+    }
+}
+
+/// One measurement campaign.
+#[derive(Debug, Clone)]
+pub struct MeasurementSpec {
+    /// Name(s) to query.
+    pub query: QueryName,
+    /// Record type to query.
+    pub qtype: RecordType,
+    /// Inter-query interval per VP (the paper uses 600 s).
+    pub frequency: SimDuration,
+    /// Total campaign duration.
+    pub duration: SimDuration,
+    /// Campaign start time.
+    pub start: SimTime,
+}
+
+impl MeasurementSpec {
+    /// The paper's default cadence: every 600 s.
+    pub fn every_600s(query: QueryName, qtype: RecordType, hours: u64) -> MeasurementSpec {
+        MeasurementSpec {
+            query,
+            qtype,
+            frequency: SimDuration::from_secs(600),
+            duration: SimDuration::from_hours(hours),
+            start: SimTime::ZERO,
+        }
+    }
+}
+
+/// A scheduled VP query event.
+struct Tick {
+    vp_index: usize,
+}
+
+/// A mid-campaign intervention: at `at`, `action` runs against the
+/// network (and whatever world handles it captured). The §4
+/// renumbering experiments fire one of these nine minutes in.
+pub struct Hook {
+    /// When to fire.
+    pub at: SimTime,
+    /// What to do.
+    pub action: Box<dyn FnOnce(&mut Network)>,
+}
+
+/// Runs a measurement campaign over the population and network.
+///
+/// Every VP fires once per `frequency`, phase-shifted uniformly within
+/// the first interval. Results land in a [`Dataset`] with the observed
+/// TTL (first answer record), rcode, answer strings, and the
+/// client-observed RTT = probe→resolver link + resolver work.
+pub fn run_measurement(
+    spec: &MeasurementSpec,
+    population: &mut Population,
+    net: &mut Network,
+    rng: &mut SimRng,
+) -> Dataset {
+    run_measurement_with_hooks(spec, population, net, rng, Vec::new())
+}
+
+/// [`run_measurement`] with scheduled interventions.
+pub fn run_measurement_with_hooks(
+    spec: &MeasurementSpec,
+    population: &mut Population,
+    net: &mut Network,
+    rng: &mut SimRng,
+    hooks: Vec<Hook>,
+) -> Dataset {
+    let mut hooks = hooks;
+    hooks.sort_by_key(|h| h.at);
+    let mut hooks = hooks.into_iter().peekable();
+    let vps = population.vantage_points();
+    let mut queue: EventQueue<Tick> = EventQueue::new();
+    for (vp_index, _) in vps.iter().enumerate() {
+        let phase = SimDuration::from_millis(rng.below(spec.frequency.as_millis().max(1)));
+        queue.schedule(spec.start + phase, Tick { vp_index });
+    }
+    let end = spec.start + spec.duration;
+    let mut dataset = Dataset::new();
+
+    while let Some((now, tick)) = queue.pop() {
+        while hooks.peek().map(|h| h.at <= now).unwrap_or(false) {
+            let hook = hooks.next().expect("peeked");
+            (hook.action)(net);
+        }
+        if now >= end {
+            continue;
+        }
+        let vp = vps[tick.vp_index];
+        let probe = &population.probes[vp.probe_idx];
+        let qname = spec.query.for_probe(probe.id);
+        let probe_region = probe.region;
+        let probe_id = probe.id;
+        let hijacked = probe.hijacked;
+        let slot_ref = probe.resolvers[vp.slot];
+
+        let backend = population.pick_backend(slot_ref, rng);
+        let resolver = &mut population.resolvers[backend];
+        let outcome = resolver.resolve(&qname, spec.qtype, now, net);
+
+        let rtt_ms = vp.link_rtt_ms + outcome.elapsed.as_millis();
+        let first_answer = outcome
+            .answer
+            .answers
+            .iter()
+            .find(|r| r.record_type() == spec.qtype || r.record_type() == RecordType::CNAME);
+        let ttl = first_answer.map(|r| r.ttl.as_secs() as u64);
+        let answer_strings: Vec<String> = outcome
+            .answer
+            .answers
+            .iter()
+            .map(|r| match &r.rdata {
+                RData::A(a) => a.to_string(),
+                RData::Aaaa(a) => a.to_string(),
+                other => other.to_string(),
+            })
+            .collect();
+
+        // A hijacked probe's answers are overwritten by a middlebox;
+        // analysis marks them invalid, as the paper discards them.
+        let valid = !hijacked
+            && outcome.answer.header.rcode == Rcode::NoError
+            && !outcome.answer.answers.is_empty();
+
+        dataset.push(MeasurementResult {
+            at: now,
+            probe_id,
+            probe_idx: vp.probe_idx,
+            vp_slot: vp.slot,
+            resolver_idx: backend,
+            region: probe_region,
+            qname: qname.clone(),
+            rcode: outcome.answer.header.rcode,
+            ttl,
+            answers: answer_strings,
+            rtt_ms,
+            cache_hit: outcome.cache_hit,
+            valid,
+            timed_out: outcome.answer.header.rcode == Rcode::ServFail,
+        });
+
+        queue.schedule(now + spec.frequency, tick);
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};
+    use dnsttl_netsim::{LatencyModel, Region};
+    use dnsttl_resolver::RootHint;
+    use dnsttl_wire::Ttl;
+    use std::cell::RefCell;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::rc::Rc;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(198, 51, 100, last))
+    }
+
+    fn world() -> (Network, Vec<RootHint>) {
+        let mut net = Network::new(LatencyModel::constant(20.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("uy", "a.nic.uy", Ttl::TWO_DAYS)
+                .a("a.nic.uy", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let child = AuthoritativeServer::new("a.nic.uy").with_zone(
+            ZoneBuilder::new("uy")
+                .ns("uy", "a.nic.uy", Ttl::from_secs(300))
+                .a("a.nic.uy", "198.51.100.2", Ttl::from_secs(120))
+                .build(),
+        );
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(ip(2), Region::Sa, Rc::new(RefCell::new(child)));
+        (
+            net,
+            vec![RootHint {
+                ns_name: Name::parse("root").unwrap(),
+                addr: ip(1),
+            }],
+        )
+    }
+
+    #[test]
+    fn campaign_produces_expected_query_volume() {
+        let (mut net, roots) = world();
+        let mut rng = SimRng::seed_from(1);
+        let mut pop = Population::build(&PopulationConfig::small(100), &roots, &mut rng);
+        let spec = MeasurementSpec::every_600s(
+            QueryName::Fixed(Name::parse("uy").unwrap()),
+            RecordType::NS,
+            1,
+        );
+        let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+        // Each VP queries 6 times in an hour (phases keep all 6 in
+        // range).
+        let vps = pop.vp_count();
+        assert_eq!(ds.len(), vps * 6);
+    }
+
+    #[test]
+    fn ttls_reflect_centricity_mixture() {
+        let (mut net, roots) = world();
+        let mut rng = SimRng::seed_from(2);
+        let mut pop = Population::build(&PopulationConfig::small(300), &roots, &mut rng);
+        let spec = MeasurementSpec::every_600s(
+            QueryName::Fixed(Name::parse("uy").unwrap()),
+            RecordType::NS,
+            2,
+        );
+        let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+        let ttls: Vec<u64> = ds.valid().filter_map(|r| r.ttl).collect();
+        assert!(!ttls.is_empty());
+        let child_side = ttls.iter().filter(|&&t| t <= 300).count() as f64 / ttls.len() as f64;
+        // The default policy mix is ~90% child-centric.
+        assert!(child_side > 0.80, "child-side fraction {child_side}");
+        // And some parent-centric answers exist with day+-scale TTLs.
+        assert!(ttls.iter().any(|&t| t > 86_400));
+    }
+
+    #[test]
+    fn per_probe_names_bust_shared_caches() {
+        let (mut net, roots) = world();
+        let mut rng = SimRng::seed_from(3);
+        let mut pop = Population::build(&PopulationConfig::small(50), &roots, &mut rng);
+        let spec = MeasurementSpec {
+            query: QueryName::PerProbe {
+                suffix: Name::parse("uy").unwrap(),
+            },
+            qtype: RecordType::A,
+            frequency: SimDuration::from_secs(600),
+            duration: SimDuration::from_hours(1),
+            start: SimTime::ZERO,
+        };
+        let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+        // Distinct probes produce distinct qnames.
+        let mut qnames: Vec<String> = ds.results().iter().map(|r| r.qname.to_string()).collect();
+        qnames.sort();
+        qnames.dedup();
+        assert_eq!(qnames.len(), pop.probe_count());
+    }
+
+    #[test]
+    fn rtt_includes_link_and_resolver_time() {
+        let (mut net, roots) = world();
+        let mut rng = SimRng::seed_from(4);
+        let mut pop = Population::build(&PopulationConfig::small(40), &roots, &mut rng);
+        let spec = MeasurementSpec::every_600s(
+            QueryName::Fixed(Name::parse("uy").unwrap()),
+            RecordType::NS,
+            1,
+        );
+        let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+        // Cache misses must be slower than hits on average: misses pay
+        // 20 ms per upstream exchange.
+        let miss: Vec<u64> = ds.valid().filter(|r| !r.cache_hit).map(|r| r.rtt_ms).collect();
+        let hit: Vec<u64> = ds.valid().filter(|r| r.cache_hit).map(|r| r.rtt_ms).collect();
+        assert!(!miss.is_empty() && !hit.is_empty());
+        let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(avg(&miss) > avg(&hit) + 10.0);
+    }
+
+    #[test]
+    fn hijacked_probes_marked_invalid() {
+        let (mut net, roots) = world();
+        let mut rng = SimRng::seed_from(5);
+        let config = PopulationConfig {
+            hijacked_fraction: 0.5,
+            ..PopulationConfig::small(100)
+        };
+        let mut pop = Population::build(&config, &roots, &mut rng);
+        let spec = MeasurementSpec::every_600s(
+            QueryName::Fixed(Name::parse("uy").unwrap()),
+            RecordType::NS,
+            1,
+        );
+        let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+        let invalid = ds.results().iter().filter(|r| !r.valid).count();
+        assert!(invalid > ds.len() / 3, "invalid {invalid} of {}", ds.len());
+    }
+}

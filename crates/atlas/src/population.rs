@@ -1,0 +1,343 @@
+//! Probe and resolver populations.
+//!
+//! §3.2 of the paper describes the measurement substrate: ~10k Atlas
+//! probes across 3.3k ASes, about a third hosting multiple vantage
+//! points; many probes have several recursive resolvers, some local and
+//! some public (OpenDNS and Google appear by name). Public resolvers
+//! are *not* single caches: the paper repeatedly leans on prior work
+//! ([36, 48]) showing query-level load balancing over fragmented
+//! backend caches. The population builder reproduces all of that:
+//! local resolvers are dedicated caches; public resolvers are groups of
+//! backends and every query lands on a random member.
+
+use dnsttl_core::PolicyMix;
+use dnsttl_netsim::{Region, SimRng};
+use dnsttl_resolver::{RecursiveResolver, RootHint};
+
+/// What a probe's resolver slot points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolverRef {
+    /// A dedicated local resolver: one cache, index into
+    /// [`Population::resolvers`].
+    Local(usize),
+    /// A public resolver service: index into
+    /// [`Population::public_groups`]; each query hits a random backend.
+    Public(usize),
+}
+
+/// One Atlas-like probe.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Probe identifier (used in per-probe query names).
+    pub id: u32,
+    /// Continent the probe sits in.
+    pub region: Region,
+    /// The probe's resolver slots — each pairing is a vantage point.
+    pub resolvers: Vec<ResolverRef>,
+    /// Probe→resolver RTT in ms per slot.
+    pub link_rtt_ms: Vec<u64>,
+    /// True for probes whose DNS path is broken or hijacked; their
+    /// responses are discarded in analysis, as the paper discards
+    /// probes "with hijacked DNS traffic" (§3.2).
+    pub hijacked: bool,
+}
+
+/// A vantage point: one (probe, resolver-slot) pairing — the unit the
+/// paper draws its CDFs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VantagePoint {
+    /// Index into [`Population::probes`].
+    pub probe_idx: usize,
+    /// Which of the probe's resolver slots.
+    pub slot: usize,
+    /// Probe→resolver link RTT in ms.
+    pub link_rtt_ms: u64,
+}
+
+/// Knobs for population construction.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of probes (the paper uses ~9k).
+    pub probes: usize,
+    /// Weights for a probe having 1, 2, or 3 resolvers. The paper sees
+    /// ~15k VPs from ~9k probes, i.e. ≈1.7 resolvers per probe.
+    pub resolvers_per_probe: [f64; 3],
+    /// Number of public resolver services (Google/OpenDNS/… style).
+    pub public_services: usize,
+    /// Backend caches per public service (cache fragmentation; queries
+    /// balance across them).
+    pub backends_per_service: usize,
+    /// Probability that a probe's resolver slot points at a public
+    /// service rather than a dedicated local resolver.
+    pub public_fraction: f64,
+    /// Policy mixture for local resolvers (public services draw from
+    /// the capping/parent-centric end of the space).
+    pub policy_mix: PolicyMix,
+    /// Fraction of probes with hijacked/broken DNS (discarded).
+    pub hijacked_fraction: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> PopulationConfig {
+        PopulationConfig {
+            probes: 9_000,
+            resolvers_per_probe: [0.55, 0.25, 0.20],
+            public_services: 12,
+            backends_per_service: 4,
+            public_fraction: 0.18,
+            policy_mix: PolicyMix::paper_population(),
+            hijacked_fraction: 0.011,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A small population for tests and quick runs.
+    pub fn small(probes: usize) -> PopulationConfig {
+        PopulationConfig {
+            probes,
+            public_services: (probes / 200).max(2),
+            ..PopulationConfig::default()
+        }
+    }
+}
+
+/// The built population: probes plus the resolvers they use.
+pub struct Population {
+    /// All probes.
+    pub probes: Vec<Probe>,
+    /// All resolver caches (public backends first, then locals).
+    pub resolvers: Vec<RecursiveResolver>,
+    /// Public service → indices of its backend caches in `resolvers`.
+    pub public_groups: Vec<Vec<usize>>,
+}
+
+impl Population {
+    /// Builds a population.
+    ///
+    /// Public services alternate Google-like (TTL-capping) and
+    /// OpenDNS-like (parent-centric, root-mirroring) policies, each
+    /// with `backends_per_service` independent caches; local resolvers
+    /// draw from `policy_mix`. Probe regions follow the Atlas skew
+    /// ([`Region::atlas_weights`]).
+    pub fn build(config: &PopulationConfig, roots: &[RootHint], rng: &mut SimRng) -> Population {
+        let mut resolvers = Vec::new();
+        let mut public_groups = Vec::new();
+        let region_weights = Region::atlas_weights();
+
+        for s in 0..config.public_services {
+            let policy = if s % 2 == 0 {
+                dnsttl_core::ResolverPolicy::google_like()
+            } else {
+                dnsttl_core::ResolverPolicy::opendns_like()
+            };
+            let mut group = Vec::new();
+            for b in 0..config.backends_per_service.max(1) {
+                let region = [Region::Eu, Region::Na, Region::As][(s + b) % 3];
+                let idx = resolvers.len();
+                resolvers.push(RecursiveResolver::new(
+                    format!("public-{s}-{b}"),
+                    policy.clone(),
+                    region,
+                    idx as u64,
+                    roots.to_vec(),
+                    rng.fork(1_000_000 + idx as u64),
+                ));
+                group.push(idx);
+            }
+            public_groups.push(group);
+        }
+
+        let weights = config.policy_mix.weights();
+        let mut probes = Vec::with_capacity(config.probes);
+        for pid in 0..config.probes {
+            let region = Region::ALL[rng.weighted_index(&region_weights)];
+            let n_resolvers = 1 + rng.weighted_index(&config.resolvers_per_probe);
+            let mut slots = Vec::with_capacity(n_resolvers);
+            let mut link_rtt_ms = Vec::with_capacity(n_resolvers);
+            for _ in 0..n_resolvers {
+                if rng.chance(config.public_fraction) && !public_groups.is_empty() {
+                    let service = rng.below(public_groups.len() as u64) as usize;
+                    if !slots.contains(&ResolverRef::Public(service)) {
+                        slots.push(ResolverRef::Public(service));
+                        // Public resolver: anycast frontend, but still a
+                        // WAN hop: 8–60 ms.
+                        link_rtt_ms.push(8 + rng.below(53));
+                        continue;
+                    }
+                }
+                // Dedicated local resolver in the probe's region.
+                let policy = config.policy_mix.policy(rng.weighted_index(&weights)).clone();
+                let idx = resolvers.len();
+                resolvers.push(RecursiveResolver::new(
+                    format!("local-{idx}"),
+                    policy,
+                    region,
+                    idx as u64,
+                    roots.to_vec(),
+                    rng.fork(idx as u64),
+                ));
+                slots.push(ResolverRef::Local(idx));
+                // LAN/ISP resolver: 1–8 ms.
+                link_rtt_ms.push(1 + rng.below(8));
+            }
+            probes.push(Probe {
+                id: 10_000 + pid as u32,
+                region,
+                resolvers: slots,
+                link_rtt_ms,
+                hijacked: rng.chance(config.hijacked_fraction),
+            });
+        }
+
+        Population {
+            probes,
+            resolvers,
+            public_groups,
+        }
+    }
+
+    /// Resolves a slot reference to a concrete backend cache index for
+    /// one query (public services pick a random backend — the cache
+    /// fragmentation of \[48\]).
+    pub fn pick_backend(&self, slot: ResolverRef, rng: &mut SimRng) -> usize {
+        match slot {
+            ResolverRef::Local(idx) => idx,
+            ResolverRef::Public(service) => {
+                let group = &self.public_groups[service];
+                group[rng.below(group.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// Enumerates all vantage points.
+    pub fn vantage_points(&self) -> Vec<VantagePoint> {
+        let mut vps = Vec::new();
+        for (probe_idx, probe) in self.probes.iter().enumerate() {
+            for slot in 0..probe.resolvers.len() {
+                vps.push(VantagePoint {
+                    probe_idx,
+                    slot,
+                    link_rtt_ms: probe.link_rtt_ms[slot],
+                });
+            }
+        }
+        vps
+    }
+
+    /// Number of probes.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Number of VPs (probe × resolver-slot pairs).
+    pub fn vp_count(&self) -> usize {
+        self.probes.iter().map(|p| p.resolvers.len()).sum()
+    }
+
+    /// Clears every resolver cache (between experiment phases).
+    pub fn clear_caches(&mut self) {
+        for r in &mut self.resolvers {
+            r.clear_cache();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(probes: usize, seed: u64) -> Population {
+        let mut rng = SimRng::seed_from(seed);
+        Population::build(&PopulationConfig::small(probes), &[], &mut rng)
+    }
+
+    #[test]
+    fn vp_count_exceeds_probe_count() {
+        let pop = build(500, 1);
+        assert_eq!(pop.probe_count(), 500);
+        let vps = pop.vp_count();
+        // ~1.65 resolvers per probe on average.
+        assert!(vps > 600 && vps < 1_200, "vps = {vps}");
+        assert_eq!(pop.vantage_points().len(), vps);
+    }
+
+    #[test]
+    fn regions_skew_european() {
+        let pop = build(2_000, 2);
+        let eu = pop
+            .probes
+            .iter()
+            .filter(|p| p.region == Region::Eu)
+            .count() as f64
+            / 2_000.0;
+        assert!((0.48..0.62).contains(&eu), "EU fraction {eu}");
+    }
+
+    #[test]
+    fn public_services_have_fragmented_backends() {
+        let pop = build(1_000, 3);
+        assert!(!pop.public_groups.is_empty());
+        for group in &pop.public_groups {
+            assert_eq!(group.len(), 4);
+        }
+        // Random backend picks within one service spread across members.
+        let mut rng = SimRng::seed_from(9);
+        let service = ResolverRef::Public(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(pop.pick_backend(service, &mut rng));
+        }
+        assert_eq!(seen.len(), 4, "all backends eventually hit");
+    }
+
+    #[test]
+    fn public_services_are_shared_across_probes() {
+        let pop = build(1_000, 3);
+        let mut usage = vec![0usize; pop.public_groups.len()];
+        for p in &pop.probes {
+            for slot in &p.resolvers {
+                if let ResolverRef::Public(s) = slot {
+                    usage[*s] += 1;
+                }
+            }
+        }
+        assert!(usage.iter().any(|&u| u >= 3), "usage {usage:?}");
+    }
+
+    #[test]
+    fn hijacked_fraction_is_small_but_present() {
+        let pop = build(3_000, 4);
+        let hijacked = pop.probes.iter().filter(|p| p.hijacked).count();
+        assert!(hijacked > 0);
+        assert!((hijacked as f64) < 0.03 * 3_000.0, "hijacked {hijacked}");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = build(200, 7);
+        let b = build(200, 7);
+        assert_eq!(a.vp_count(), b.vp_count());
+        for (pa, pb) in a.probes.iter().zip(&b.probes) {
+            assert_eq!(pa.region, pb.region);
+            assert_eq!(pa.resolvers, pb.resolvers);
+        }
+    }
+
+    #[test]
+    fn local_links_faster_than_public() {
+        let pop = build(1_000, 5);
+        let mut local = Vec::new();
+        let mut public = Vec::new();
+        for p in &pop.probes {
+            for (slot_idx, slot) in p.resolvers.iter().enumerate() {
+                match slot {
+                    ResolverRef::Public(_) => public.push(p.link_rtt_ms[slot_idx]),
+                    ResolverRef::Local(_) => local.push(p.link_rtt_ms[slot_idx]),
+                }
+            }
+        }
+        let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+        assert!(avg(&local) < avg(&public));
+    }
+}

@@ -1,0 +1,580 @@
+//! Master-file (zone file) parsing, RFC 1035 §5.
+//!
+//! Enough of the master format to express every zone in this workspace
+//! and any realistic operator zone: `$ORIGIN`, `$TTL`, relative and
+//! absolute owner names, `@`, owner inheritance (blank owner = previous
+//! owner), per-record TTLs, comments, and the record types the crate
+//! models. Class is optional and must be `IN` when present.
+//!
+//! ```text
+//! $ORIGIN uy.
+//! $TTL 300
+//! @          IN NS  a.nic.uy.
+//!            IN NS  b.nic.uy.
+//! a.nic.uy.  120 IN A 200.40.241.1
+//! b.nic.uy.  120    A 200.40.241.2
+//! www.gub    3600   A 200.40.30.1      ; relative to $ORIGIN
+//! ```
+
+use crate::zone::Zone;
+use dnsttl_wire::{Name, RData, Record, RecordType, SoaData, Ttl, WireError};
+use std::fmt;
+
+/// Errors from master-file parsing, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterError {
+    /// Line the error occurred on (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: MasterErrorKind,
+}
+
+/// The kinds of master-file errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterErrorKind {
+    /// A directive was malformed (`$TTL x`, `$ORIGIN name`).
+    BadDirective(String),
+    /// A record line had too few fields.
+    TooFewFields,
+    /// The record type is not supported.
+    UnknownType(String),
+    /// The record data did not parse.
+    BadRdata(String),
+    /// A name failed validation.
+    BadName(WireError),
+    /// A TTL failed validation.
+    BadTtl(String),
+    /// No `$ORIGIN` and no absolute owner to anchor relative names.
+    NoOrigin,
+    /// A record with no owner appeared before any owner was set.
+    NoPreviousOwner,
+}
+
+impl fmt::Display for MasterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            MasterErrorKind::BadDirective(d) => write!(f, "malformed directive {d:?}"),
+            MasterErrorKind::TooFewFields => write!(f, "record line has too few fields"),
+            MasterErrorKind::UnknownType(t) => write!(f, "unsupported record type {t:?}"),
+            MasterErrorKind::BadRdata(r) => write!(f, "malformed record data: {r}"),
+            MasterErrorKind::BadName(e) => write!(f, "bad name: {e}"),
+            MasterErrorKind::BadTtl(t) => write!(f, "bad TTL {t:?}"),
+            MasterErrorKind::NoOrigin => write!(f, "relative name used before $ORIGIN"),
+            MasterErrorKind::NoPreviousOwner => write!(f, "blank owner with no previous owner"),
+        }
+    }
+}
+
+impl std::error::Error for MasterError {}
+
+fn err(line: usize, kind: MasterErrorKind) -> MasterError {
+    MasterError { line, kind }
+}
+
+/// Strips a trailing `;`-comment, ignoring semicolons inside quoted
+/// strings (TXT rdata may legitimately contain them).
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ';' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Resolves a possibly-relative name against the origin.
+fn resolve_name(token: &str, origin: Option<&Name>, line: usize) -> Result<Name, MasterError> {
+    if token == "@" {
+        return origin
+            .cloned()
+            .ok_or_else(|| err(line, MasterErrorKind::NoOrigin));
+    }
+    if token.ends_with('.') {
+        return Name::parse(token).map_err(|e| err(line, MasterErrorKind::BadName(e)));
+    }
+    let origin = origin.ok_or_else(|| err(line, MasterErrorKind::NoOrigin))?;
+    let absolute = if origin.is_root() {
+        format!("{token}.")
+    } else {
+        format!("{token}.{origin}")
+    };
+    Name::parse(&absolute).map_err(|e| err(line, MasterErrorKind::BadName(e)))
+}
+
+fn parse_ttl(token: &str, line: usize) -> Result<Ttl, MasterError> {
+    // Plain seconds or BIND-style unit suffixes (1h30m etc.).
+    let mut total: u64 = 0;
+    let mut digits = String::new();
+    for c in token.chars() {
+        if c.is_ascii_digit() {
+            digits.push(c);
+        } else {
+            let mult = match c.to_ascii_lowercase() {
+                's' => 1,
+                'm' => 60,
+                'h' => 3_600,
+                'd' => 86_400,
+                'w' => 604_800,
+                _ => return Err(err(line, MasterErrorKind::BadTtl(token.into()))),
+            };
+            let value: u64 = digits
+                .parse()
+                .map_err(|_| err(line, MasterErrorKind::BadTtl(token.into())))?;
+            total += value * mult;
+            digits.clear();
+        }
+    }
+    if !digits.is_empty() {
+        total += digits
+            .parse::<u64>()
+            .map_err(|_| err(line, MasterErrorKind::BadTtl(token.into())))?;
+    }
+    Ttl::try_from_secs(total as i64).map_err(|_| err(line, MasterErrorKind::BadTtl(token.into())))
+}
+
+fn is_ttl_token(token: &str) -> bool {
+    token
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(false)
+        && token
+            .chars()
+            .all(|c| c.is_ascii_digit() || "smhdwSMHDW".contains(c))
+}
+
+/// Parses master-file text into records.
+///
+/// `default_origin` anchors relative names until a `$ORIGIN` directive
+/// overrides it.
+pub fn parse_records(
+    text: &str,
+    default_origin: Option<&Name>,
+) -> Result<Vec<Record>, MasterError> {
+    let mut origin: Option<Name> = default_origin.cloned();
+    let mut default_ttl: Option<Ttl> = None;
+    let mut previous_owner: Option<Name> = None;
+    let mut records = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let starts_blank = line.starts_with(' ') || line.starts_with('\t');
+        // Tokens with byte offsets, so TXT rdata can recover the raw
+        // remainder of the line (quoted strings keep their spaces).
+        let mut tokens: Vec<(usize, &str)> = Vec::new();
+        {
+            let bytes = line.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                    i += 1;
+                }
+                let start = i;
+                while i < bytes.len() && !(bytes[i] as char).is_whitespace() {
+                    i += 1;
+                }
+                if i > start {
+                    tokens.push((start, &line[start..i]));
+                }
+            }
+        }
+        let mut fields: Vec<&str> = tokens.iter().map(|(_, t)| *t).collect();
+
+        // Directives.
+        if fields[0].starts_with('$') {
+            match fields[0].to_ascii_uppercase().as_str() {
+                "$ORIGIN" if fields.len() == 2 => {
+                    origin = Some(
+                        Name::parse(fields[1])
+                            .map_err(|e| err(line_no, MasterErrorKind::BadName(e)))?,
+                    );
+                }
+                "$TTL" if fields.len() == 2 => {
+                    default_ttl = Some(parse_ttl(fields[1], line_no)?);
+                }
+                other => {
+                    return Err(err(line_no, MasterErrorKind::BadDirective(other.into())));
+                }
+            }
+            continue;
+        }
+
+        // Owner: first field unless the line starts with whitespace.
+        let owner = if starts_blank {
+            previous_owner
+                .clone()
+                .ok_or_else(|| err(line_no, MasterErrorKind::NoPreviousOwner))?
+        } else {
+            let token = fields.remove(0);
+            resolve_name(token, origin.as_ref(), line_no)?
+        };
+        previous_owner = Some(owner.clone());
+
+        // Optional TTL and/or class, in either order.
+        let mut ttl: Option<Ttl> = None;
+        loop {
+            let Some(&next) = fields.first() else {
+                return Err(err(line_no, MasterErrorKind::TooFewFields));
+            };
+            if next.eq_ignore_ascii_case("IN") {
+                fields.remove(0);
+            } else if ttl.is_none() && is_ttl_token(next) {
+                ttl = Some(parse_ttl(next, line_no)?);
+                fields.remove(0);
+            } else {
+                break;
+            }
+        }
+        let ttl = ttl
+            .or(default_ttl)
+            .ok_or_else(|| err(line_no, MasterErrorKind::BadTtl("missing".into())))?;
+
+        if fields.is_empty() {
+            return Err(err(line_no, MasterErrorKind::TooFewFields));
+        }
+        let rtype_token = fields.remove(0);
+        // Raw rdata text: everything after the rtype token on the line.
+        let consumed = tokens.len() - fields.len();
+        let raw_rdata = tokens
+            .get(consumed - 1)
+            .map(|(off, tok)| line[off + tok.len()..].trim())
+            .unwrap_or("");
+        let rdata = parse_rdata(rtype_token, &fields, raw_rdata, origin.as_ref(), line_no)?;
+        records.push(Record::new(owner, ttl, rdata));
+    }
+    Ok(records)
+}
+
+fn parse_rdata(
+    rtype: &str,
+    fields: &[&str],
+    raw_rdata: &str,
+    origin: Option<&Name>,
+    line: usize,
+) -> Result<RData, MasterError> {
+    let need = |n: usize| -> Result<(), MasterError> {
+        if fields.len() < n {
+            Err(err(line, MasterErrorKind::TooFewFields))
+        } else {
+            Ok(())
+        }
+    };
+    match rtype.to_ascii_uppercase().as_str() {
+        "A" => {
+            need(1)?;
+            fields[0]
+                .parse()
+                .map(RData::A)
+                .map_err(|_| err(line, MasterErrorKind::BadRdata(fields[0].into())))
+        }
+        "AAAA" => {
+            need(1)?;
+            fields[0]
+                .parse()
+                .map(RData::Aaaa)
+                .map_err(|_| err(line, MasterErrorKind::BadRdata(fields[0].into())))
+        }
+        "NS" => {
+            need(1)?;
+            Ok(RData::Ns(resolve_name(fields[0], origin, line)?))
+        }
+        "CNAME" => {
+            need(1)?;
+            Ok(RData::Cname(resolve_name(fields[0], origin, line)?))
+        }
+        "MX" => {
+            need(2)?;
+            let preference = fields[0]
+                .parse()
+                .map_err(|_| err(line, MasterErrorKind::BadRdata(fields[0].into())))?;
+            Ok(RData::Mx {
+                preference,
+                exchange: resolve_name(fields[1], origin, line)?,
+            })
+        }
+        "TXT" => {
+            // Quoted strings keep interior whitespace exactly; bare
+            // text is taken as-is.
+            let content = raw_rdata.trim();
+            let content = if content.len() >= 2
+                && content.starts_with('"')
+                && content.ends_with('"')
+            {
+                &content[1..content.len() - 1]
+            } else {
+                content
+            };
+            Ok(RData::Txt(content.to_owned()))
+        }
+        "SOA" => {
+            need(7)?;
+            let num = |i: usize| -> Result<u32, MasterError> {
+                fields[i]
+                    .parse()
+                    .map_err(|_| err(line, MasterErrorKind::BadRdata(fields[i].into())))
+            };
+            Ok(RData::Soa(SoaData {
+                mname: resolve_name(fields[0], origin, line)?,
+                rname: resolve_name(fields[1], origin, line)?,
+                serial: num(2)?,
+                refresh: num(3)?,
+                retry: num(4)?,
+                expire: num(5)?,
+                minimum: num(6)?,
+            }))
+        }
+        "DNSKEY" => {
+            need(4)?;
+            let flags = fields[0]
+                .parse()
+                .map_err(|_| err(line, MasterErrorKind::BadRdata(fields[0].into())))?;
+            let protocol = fields[1]
+                .parse()
+                .map_err(|_| err(line, MasterErrorKind::BadRdata(fields[1].into())))?;
+            let algorithm = fields[2]
+                .parse()
+                .map_err(|_| err(line, MasterErrorKind::BadRdata(fields[2].into())))?;
+            Ok(RData::Dnskey {
+                flags,
+                protocol,
+                algorithm,
+                key: fields[3].as_bytes().to_vec(),
+            })
+        }
+        other => {
+            let known = RecordType::concrete()
+                .iter()
+                .any(|t| t.to_string().eq_ignore_ascii_case(other));
+            if known {
+                Err(err(line, MasterErrorKind::BadRdata(other.into())))
+            } else {
+                Err(err(line, MasterErrorKind::UnknownType(other.into())))
+            }
+        }
+    }
+}
+
+/// Renders records as master-file text (absolute names, explicit
+/// per-record TTLs, `IN` class). RRSIG and OPT records are emitted as
+/// comments — they are synthesised, not configured, and the parser
+/// deliberately rejects them as input.
+///
+/// `parse_records(render_records(rs), None)` round-trips every
+/// renderable record; a property test in this module holds the parser
+/// and renderer to that.
+pub fn render_records(records: &[Record]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in records {
+        let ttl = r.ttl.as_secs();
+        let name = &r.name;
+        match &r.rdata {
+            RData::A(a) => {
+                let _ = writeln!(out, "{name} {ttl} IN A {a}");
+            }
+            RData::Aaaa(a) => {
+                let _ = writeln!(out, "{name} {ttl} IN AAAA {a}");
+            }
+            RData::Ns(t) => {
+                let _ = writeln!(out, "{name} {ttl} IN NS {t}");
+            }
+            RData::Cname(t) => {
+                let _ = writeln!(out, "{name} {ttl} IN CNAME {t}");
+            }
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                let _ = writeln!(out, "{name} {ttl} IN MX {preference} {exchange}");
+            }
+            RData::Txt(t) => {
+                let _ = writeln!(out, "{name} {ttl} IN TXT \"{t}\"");
+            }
+            RData::Soa(soa) => {
+                let _ = writeln!(
+                    out,
+                    "{name} {ttl} IN SOA {} {} {} {} {} {} {}",
+                    soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire,
+                    soa.minimum
+                );
+            }
+            RData::Dnskey {
+                flags,
+                protocol,
+                algorithm,
+                key,
+            } => match std::str::from_utf8(key) {
+                Ok(key_str) if !key_str.is_empty() && !key_str.contains(char::is_whitespace) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} {ttl} IN DNSKEY {flags} {protocol} {algorithm} {key_str}"
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "; {name} {ttl} IN DNSKEY (binary key omitted)");
+                }
+            },
+            RData::Rrsig { .. } | RData::Opt(_) => {
+                let _ = writeln!(out, "; {name} {ttl} IN {} (synthesised, not rendered)", r.record_type());
+            }
+        }
+    }
+    out
+}
+
+/// Renders a whole zone, SOA first, as master-file text.
+pub fn render_zone(zone: &Zone) -> String {
+    let mut records: Vec<Record> = vec![zone.soa_record()];
+    records.extend(zone.iter().cloned());
+    format!("$ORIGIN {}\n{}", zone.origin(), render_records(&records))
+}
+
+/// Parses a whole zone: origin plus master-file text. Records outside
+/// the origin are rejected by [`Zone::add`]'s invariant, surfaced here
+/// as an error instead of a panic.
+pub fn parse_zone(origin: &str, text: &str) -> Result<Zone, MasterError> {
+    let origin_name =
+        Name::parse(origin).map_err(|e| err(0, MasterErrorKind::BadName(e)))?;
+    let records = parse_records(text, Some(&origin_name))?;
+    let mut zone = Zone::new(origin_name.clone());
+    for (i, record) in records.into_iter().enumerate() {
+        if !record.name.is_subdomain_of(&origin_name) {
+            return Err(err(
+                i + 1,
+                MasterErrorKind::BadName(WireError::NameTooLong(0)),
+            ));
+        }
+        if let RData::Soa(soa) = &record.rdata {
+            zone.set_negative_ttl(Ttl::from_secs(soa.minimum));
+        }
+        zone.add(record);
+    }
+    Ok(zone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneLookup;
+
+    const UY_ZONE: &str = r#"
+; the .uy zone as of 2019-02-14
+$ORIGIN uy.
+$TTL 300
+@           IN NS   a.nic.uy.
+            IN NS   b.nic.uy.
+a.nic.uy.   120 IN A 200.40.241.1
+b.nic.uy.   120    A 200.40.241.2
+www.gub     3600   A 200.40.30.1
+"#;
+
+    #[test]
+    fn parses_the_uy_zone() {
+        let zone = parse_zone("uy", UY_ZONE).unwrap();
+        let apex = Name::parse("uy").unwrap();
+        let ns = zone.get(&apex, RecordType::NS);
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns[0].ttl.as_secs(), 300, "default TTL applies");
+        let a = zone.get(&Name::parse("a.nic.uy").unwrap(), RecordType::A);
+        assert_eq!(a[0].ttl.as_secs(), 120, "explicit TTL wins");
+        // Relative name resolved against $ORIGIN.
+        let www = zone.get(&Name::parse("www.gub.uy").unwrap(), RecordType::A);
+        assert_eq!(www.len(), 1);
+    }
+
+    #[test]
+    fn blank_owner_inherits_previous() {
+        let records = parse_records(
+            "$ORIGIN example.\n$TTL 60\nhost A 192.0.2.1\n     A 192.0.2.2\n",
+            None,
+        )
+        .unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, records[1].name);
+    }
+
+    #[test]
+    fn ttl_unit_suffixes() {
+        let records =
+            parse_records("$ORIGIN e.\nx 1h30m A 192.0.2.1\ny 2d A 192.0.2.2\n", None).unwrap();
+        assert_eq!(records[0].ttl.as_secs(), 5_400);
+        assert_eq!(records[1].ttl.as_secs(), 172_800);
+    }
+
+    #[test]
+    fn soa_and_mx_and_txt_parse() {
+        let text = r#"
+$ORIGIN example.
+$TTL 3600
+@ SOA ns1 hostmaster 2019030501 7200 3600 1209600 300
+@ MX 10 mail
+@ TXT "v=spf1 -all"
+"#;
+        let records = parse_records(text, None).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(records[0].rdata, RData::Soa(_)));
+        assert!(matches!(records[1].rdata, RData::Mx { preference: 10, .. }));
+        assert_eq!(records[2].rdata, RData::Txt("v=spf1 -all".into()));
+    }
+
+    #[test]
+    fn soa_minimum_becomes_negative_ttl() {
+        let zone = parse_zone(
+            "example",
+            "@ 3600 SOA ns1.example. host.example. 1 2 3 4 42\n",
+        )
+        .unwrap();
+        assert_eq!(zone.soa().minimum, 42);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_records("$ORIGIN e.\nx BOGUS 192.0.2.1\n", None).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, MasterErrorKind::BadTtl(_) | MasterErrorKind::UnknownType(_)));
+
+        let e = parse_records("x A 192.0.2.1\n", None).unwrap_err();
+        assert!(matches!(e.kind, MasterErrorKind::NoOrigin));
+
+        let e = parse_records("$ORIGIN e.\n$TTL 60\nx A\n", None).unwrap_err();
+        assert_eq!(e.kind, MasterErrorKind::TooFewFields);
+
+        let e = parse_records("$BOGUS foo\n", None).unwrap_err();
+        assert!(matches!(e.kind, MasterErrorKind::BadDirective(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let records = parse_records(
+            "; top comment\n\n$ORIGIN e.\n$TTL 60\nx A 192.0.2.1 ; trailing\n",
+            None,
+        )
+        .unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn parsed_zone_answers_queries() {
+        let zone = parse_zone("uy", UY_ZONE).unwrap();
+        match zone.lookup(&Name::parse("a.nic.uy").unwrap(), RecordType::A) {
+            ZoneLookup::Answer { records, .. } => {
+                assert_eq!(records[0].ttl.as_secs(), 120);
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_default_ttl() {
+        let e = parse_records("$ORIGIN e.\nx A 192.0.2.1\n", None).unwrap_err();
+        assert!(matches!(e.kind, MasterErrorKind::BadTtl(_)));
+    }
+}

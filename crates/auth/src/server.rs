@@ -1,0 +1,377 @@
+//! The authoritative server: zones behind a query interface.
+
+use crate::zone::{Zone, ZoneLookup};
+use dnsttl_netsim::{ClientId, DnsService, SimTime};
+use dnsttl_wire::{Message, Name, Rcode, RecordType};
+
+/// One logged query, as a passive capture (ENTRADA-style) would record
+/// it: who asked what, when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedQuery {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Querying client (resolver) identity.
+    pub client: ClientId,
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// An append-only log of queries received by one server.
+///
+/// The paper's §3.4 classifies `.nl` resolvers as parent- or
+/// child-centric from exactly this data: per-(resolver, qname) query
+/// counts and interarrival times.
+#[derive(Debug, Default, Clone)]
+pub struct QueryLog {
+    entries: Vec<LoggedQuery>,
+    enabled: bool,
+}
+
+impl QueryLog {
+    /// All logged queries in arrival order.
+    pub fn entries(&self) -> &[LoggedQuery] {
+        &self.entries
+    }
+
+    /// Number of logged queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no queries are logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards all entries (keeps logging enabled/disabled state).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// An authoritative DNS server holding one or more zones.
+///
+/// Implements [`DnsService`], so it can be registered with the network
+/// fabric under one or more addresses (the paper's `.nl` has four NS
+/// hosts; experiments register the same server state under each).
+pub struct AuthoritativeServer {
+    /// Human-readable identity, e.g. `"ns1.dns.nl"`.
+    pub name: String,
+    zones: Vec<Zone>,
+    log: QueryLog,
+    queries_answered: u64,
+    /// Round-robin answer rotation (DNS-based load balancing, §6.1 of
+    /// the paper: "each arriving DNS request provides an opportunity
+    /// to adjust load"). Each response rotates multi-record answer
+    /// sets by one position.
+    rotate_answers: bool,
+}
+
+impl AuthoritativeServer {
+    /// A server with no zones (add them with [`Self::add_zone`]).
+    pub fn new(name: impl Into<String>) -> AuthoritativeServer {
+        AuthoritativeServer {
+            name: name.into(),
+            zones: Vec::new(),
+            log: QueryLog::default(),
+            queries_answered: 0,
+            rotate_answers: false,
+        }
+    }
+
+    /// Enables round-robin rotation of multi-record answers — the
+    /// server side of DNS-based load balancing.
+    pub fn enable_rotation(&mut self) {
+        self.rotate_answers = true;
+    }
+
+    /// Adds a zone this server is authoritative for.
+    pub fn add_zone(&mut self, zone: Zone) -> &mut Self {
+        self.zones.push(zone);
+        self
+    }
+
+    /// Builder-style variant of [`Self::add_zone`].
+    pub fn with_zone(mut self, zone: Zone) -> AuthoritativeServer {
+        self.zones.push(zone);
+        self
+    }
+
+    /// Enables passive query logging (off by default: most experiments
+    /// only need it on specific servers, and logs grow with traffic).
+    pub fn enable_logging(&mut self) {
+        self.log.enabled = true;
+    }
+
+    /// The query log.
+    pub fn log(&self) -> &QueryLog {
+        &self.log
+    }
+
+    /// Mutable access to the query log (e.g. to clear between phases).
+    pub fn log_mut(&mut self) -> &mut QueryLog {
+        &mut self.log
+    }
+
+    /// Total queries handled.
+    pub fn queries_answered(&self) -> u64 {
+        self.queries_answered
+    }
+
+    /// Mutable access to a zone by origin, for renumbering mid-run.
+    pub fn zone_mut(&mut self, origin: &Name) -> Option<&mut Zone> {
+        self.zones.iter_mut().find(|z| z.origin() == origin)
+    }
+
+    /// Shared access to a zone by origin.
+    pub fn zone(&self, origin: &Name) -> Option<&Zone> {
+        self.zones.iter().find(|z| z.origin() == origin)
+    }
+
+    /// Picks the zone with the longest origin matching `qname`.
+    ///
+    /// A server authoritative for both a parent and its child (the root
+    /// *and* `.cl`, say) must answer from the deepest applicable zone.
+    fn best_zone(&self, qname: &Name) -> Option<&Zone> {
+        self.zones
+            .iter()
+            .filter(|z| qname.is_subdomain_of(z.origin()))
+            .max_by_key(|z| z.origin().label_count())
+    }
+}
+
+impl DnsService for AuthoritativeServer {
+    fn handle_query(&mut self, query: &Message, client: ClientId, now: SimTime) -> Message {
+        self.queries_answered += 1;
+        let mut response = Message::response_to(query);
+        let Some(question) = query.question() else {
+            response.header.rcode = Rcode::FormErr;
+            return response;
+        };
+        if self.log.enabled {
+            self.log.entries.push(LoggedQuery {
+                at: now,
+                client,
+                qname: question.qname.clone(),
+                qtype: question.qtype,
+            });
+        }
+        let Some(zone) = self.best_zone(&question.qname) else {
+            response.header.rcode = Rcode::Refused;
+            return response;
+        };
+        match zone.lookup(&question.qname, question.qtype) {
+            ZoneLookup::Answer {
+                records,
+                additionals,
+            } => {
+                response.header.authoritative = true;
+                // DNSSEC: attach the RRSIG covering the answered RRset
+                // (signed zones only; RFC 4035 §3.1.1). Validating
+                // resolvers need it; others ignore it.
+                let mut signatures = Vec::new();
+                for sig in zone.get(&question.qname, RecordType::RRSIG) {
+                    if let dnsttl_wire::RData::Rrsig { type_covered, .. } = &sig.rdata {
+                        if records.iter().any(|r| r.record_type() == *type_covered) {
+                            signatures.push(sig.clone());
+                        }
+                    }
+                }
+                response.answers = records;
+                if self.rotate_answers && response.answers.len() > 1 {
+                    let k = (self.queries_answered % response.answers.len() as u64) as usize;
+                    response.answers.rotate_left(k);
+                }
+                response.answers.extend(signatures);
+                response.additionals = additionals;
+            }
+            ZoneLookup::Referral {
+                ns_records, glue, ..
+            } => {
+                // Referrals are NOT authoritative answers: the records
+                // land in authority/additional, and resolvers assign
+                // them lower credibility (RFC 2181 §5.4.1).
+                response.header.authoritative = false;
+                response.authorities = ns_records;
+                response.additionals = glue;
+            }
+            ZoneLookup::NoData { soa } => {
+                response.header.authoritative = true;
+                response.authorities.push(soa);
+            }
+            ZoneLookup::NxDomain { soa } => {
+                response.header.authoritative = true;
+                response.header.rcode = Rcode::NxDomain;
+                response.authorities.push(soa);
+            }
+            ZoneLookup::NotInZone => {
+                response.header.rcode = Rcode::Refused;
+            }
+        }
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneBuilder;
+    use dnsttl_netsim::Region;
+    use dnsttl_wire::Ttl;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn client(tag: u64) -> ClientId {
+        ClientId {
+            region: Region::Eu,
+            tag,
+        }
+    }
+
+    fn root_and_cl_server() -> AuthoritativeServer {
+        AuthoritativeServer::new("k.root-servers.net")
+            .with_zone(
+                ZoneBuilder::new(".")
+                    .ns("cl", "a.nic.cl", Ttl::TWO_DAYS)
+                    .a("a.nic.cl", "190.124.27.10", Ttl::TWO_DAYS)
+                    .build(),
+            )
+    }
+
+    #[test]
+    fn referral_response_shape() {
+        let mut srv = root_and_cl_server();
+        let q = Message::iterative_query(1, n("www.example.cl"), RecordType::A);
+        let r = srv.handle_query(&q, client(1), SimTime::ZERO);
+        assert!(!r.header.authoritative);
+        assert!(r.is_referral());
+        assert_eq!(r.authorities.len(), 1);
+        assert_eq!(r.additionals.len(), 1);
+        assert_eq!(r.header.id, 1);
+    }
+
+    #[test]
+    fn authoritative_answer_sets_aa() {
+        let mut srv = AuthoritativeServer::new("a.nic.cl").with_zone(
+            ZoneBuilder::new("cl")
+                .ns("cl", "a.nic.cl", Ttl::HOUR)
+                .a("a.nic.cl", "190.124.27.10", Ttl::from_secs(43_200))
+                .build(),
+        );
+        let q = Message::iterative_query(2, n("a.nic.cl"), RecordType::A);
+        let r = srv.handle_query(&q, client(1), SimTime::ZERO);
+        assert!(r.header.authoritative);
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0].ttl.as_secs(), 43_200);
+    }
+
+    #[test]
+    fn refuses_out_of_zone_queries() {
+        let mut srv = AuthoritativeServer::new("a.nic.cl").with_zone(
+            ZoneBuilder::new("cl").ns("cl", "a.nic.cl", Ttl::HOUR).build(),
+        );
+        let q = Message::iterative_query(3, n("example.org"), RecordType::A);
+        let r = srv.handle_query(&q, client(1), SimTime::ZERO);
+        assert_eq!(r.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn nxdomain_with_soa() {
+        let mut srv = AuthoritativeServer::new("a.nic.cl").with_zone(
+            ZoneBuilder::new("cl").ns("cl", "a.nic.cl", Ttl::HOUR).build(),
+        );
+        let q = Message::iterative_query(4, n("missing.cl"), RecordType::A);
+        let r = srv.handle_query(&q, client(1), SimTime::ZERO);
+        assert_eq!(r.header.rcode, Rcode::NxDomain);
+        assert_eq!(r.authorities.len(), 1);
+        assert_eq!(r.authorities[0].record_type(), RecordType::SOA);
+    }
+
+    #[test]
+    fn picks_deepest_zone_when_serving_parent_and_child() {
+        let mut srv = root_and_cl_server();
+        srv.add_zone(
+            ZoneBuilder::new("cl")
+                .ns("cl", "a.nic.cl", Ttl::HOUR)
+                .a("a.nic.cl", "190.124.27.10", Ttl::from_secs(43_200))
+                .build(),
+        );
+        let q = Message::iterative_query(5, n("a.nic.cl"), RecordType::A);
+        let r = srv.handle_query(&q, client(1), SimTime::ZERO);
+        // Must come from the child zone (AA, child TTL), not root glue.
+        assert!(r.header.authoritative);
+        assert_eq!(r.answers[0].ttl.as_secs(), 43_200);
+    }
+
+    #[test]
+    fn logging_records_client_and_time() {
+        let mut srv = root_and_cl_server();
+        srv.enable_logging();
+        let q = Message::iterative_query(6, n("cl"), RecordType::NS);
+        srv.handle_query(&q, client(77), SimTime::from_secs(5));
+        srv.handle_query(&q, client(78), SimTime::from_secs(9));
+        let log = srv.log().entries();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].client.tag, 77);
+        assert_eq!(log[1].at, SimTime::from_secs(9));
+        assert_eq!(srv.queries_answered(), 2);
+    }
+
+    #[test]
+    fn logging_disabled_by_default() {
+        let mut srv = root_and_cl_server();
+        let q = Message::iterative_query(7, n("cl"), RecordType::NS);
+        srv.handle_query(&q, client(1), SimTime::ZERO);
+        assert!(srv.log().is_empty());
+        assert_eq!(srv.queries_answered(), 1);
+    }
+
+    #[test]
+    fn rotation_round_robins_multi_record_answers() {
+        let mut srv = AuthoritativeServer::new("lb").with_zone(
+            ZoneBuilder::new("example")
+                .ns("example", "ns.example", Ttl::HOUR)
+                .a("www.example", "203.0.113.1", Ttl::MINUTE)
+                .a("www.example", "203.0.113.2", Ttl::MINUTE)
+                .a("www.example", "203.0.113.3", Ttl::MINUTE)
+                .build(),
+        );
+        srv.enable_rotation();
+        let q = Message::iterative_query(1, n("www.example"), RecordType::A);
+        let firsts: Vec<String> = (0..6)
+            .map(|_| {
+                let r = srv.handle_query(&q, client(1), SimTime::ZERO);
+                r.answers[0].rdata.to_string()
+            })
+            .collect();
+        // All three backends appear in first position across a cycle.
+        let mut distinct = firsts.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "firsts: {firsts:?}");
+        // Without rotation the first answer is stable.
+        let mut plain = AuthoritativeServer::new("plain").with_zone(
+            ZoneBuilder::new("example")
+                .ns("example", "ns.example", Ttl::HOUR)
+                .a("www.example", "203.0.113.1", Ttl::MINUTE)
+                .a("www.example", "203.0.113.2", Ttl::MINUTE)
+                .build(),
+        );
+        let a1 = plain.handle_query(&q, client(1), SimTime::ZERO).answers[0].rdata.to_string();
+        let a2 = plain.handle_query(&q, client(1), SimTime::ZERO).answers[0].rdata.to_string();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn missing_question_is_formerr() {
+        let mut srv = root_and_cl_server();
+        let mut q = Message::iterative_query(8, n("cl"), RecordType::NS);
+        q.questions.clear();
+        let r = srv.handle_query(&q, client(1), SimTime::ZERO);
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+    }
+}

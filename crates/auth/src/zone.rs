@@ -1,0 +1,670 @@
+//! Zones: the unit of authority.
+//!
+//! A [`Zone`] owns every record between its origin and its delegation
+//! cuts. Names *at or below* a cut (other than the cut's NS records and
+//! glue) belong to the child zone; queries for them produce referrals.
+
+use dnsttl_wire::{Name, RData, Record, RecordType, SoaData, Ttl};
+use std::collections::BTreeMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Result of looking a name up in one zone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneLookup {
+    /// The zone is authoritative for the name and has matching records.
+    Answer {
+        /// Matching records (possibly preceded by a CNAME chain).
+        records: Vec<Record>,
+        /// Additional-section addresses for NS/MX targets in this zone.
+        additionals: Vec<Record>,
+    },
+    /// The name is at or below a delegation cut: here are the NS records
+    /// (parent-side TTL!) and whatever glue this zone holds.
+    Referral {
+        /// The delegated zone's apex.
+        cut: Name,
+        /// NS records at the cut, with this (parent) zone's TTLs.
+        ns_records: Vec<Record>,
+        /// Glue A/AAAA records for in-bailiwick server names.
+        glue: Vec<Record>,
+    },
+    /// The name exists but has no records of the requested type.
+    NoData {
+        /// Zone SOA for negative caching.
+        soa: Record,
+    },
+    /// The name does not exist in this zone.
+    NxDomain {
+        /// Zone SOA for negative caching.
+        soa: Record,
+    },
+    /// The name is not within this zone at all.
+    NotInZone,
+}
+
+/// One zone of the namespace, with its records and delegations.
+///
+/// Records are stored per owner name and type. NS RRsets at names other
+/// than the origin mark delegation cuts; A/AAAA records stored at or
+/// below a cut are *glue*, served only in referrals' additional section.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: Name,
+    soa: SoaData,
+    soa_ttl: Ttl,
+    records: BTreeMap<Name, BTreeMap<RecordType, Vec<Record>>>,
+}
+
+impl Zone {
+    /// Creates an empty zone with a default SOA.
+    pub fn new(origin: Name) -> Zone {
+        let soa = SoaData {
+            mname: origin.clone(),
+            rname: Name::parse("hostmaster.invalid").expect("static name"),
+            serial: 1,
+            refresh: 7_200,
+            retry: 3_600,
+            expire: 1_209_600,
+            minimum: 300,
+        };
+        Zone {
+            origin,
+            soa,
+            soa_ttl: Ttl::HOUR,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The zone apex.
+    pub fn origin(&self) -> &Name {
+        &self.origin
+    }
+
+    /// The SOA data (negative-caching TTL lives in `minimum`).
+    pub fn soa(&self) -> &SoaData {
+        &self.soa
+    }
+
+    /// Sets the negative-caching TTL (SOA `minimum`).
+    pub fn set_negative_ttl(&mut self, ttl: Ttl) {
+        self.soa.minimum = ttl.as_secs();
+    }
+
+    /// The SOA as a servable record at the apex.
+    pub fn soa_record(&self) -> Record {
+        Record::new(
+            self.origin.clone(),
+            self.soa_ttl,
+            RData::Soa(self.soa.clone()),
+        )
+    }
+
+    /// Adds a record. The owner must be at or below the origin.
+    ///
+    /// # Panics
+    /// Panics if the owner is outside the zone — zone files with records
+    /// out of zone are configuration errors, caught at build time.
+    pub fn add(&mut self, record: Record) {
+        assert!(
+            record.name.is_subdomain_of(&self.origin),
+            "record {} outside zone {}",
+            record.name,
+            self.origin
+        );
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .entry(record.record_type())
+            .or_default()
+            .push(record);
+    }
+
+    /// Removes all records of `rtype` at `name`, returning how many were
+    /// removed.
+    pub fn remove(&mut self, name: &Name, rtype: RecordType) -> usize {
+        if let Some(types) = self.records.get_mut(name) {
+            if let Some(v) = types.remove(&rtype) {
+                if types.is_empty() {
+                    self.records.remove(name);
+                }
+                return v.len();
+            }
+        }
+        0
+    }
+
+    /// Replaces the A record(s) at `name` with a single new address,
+    /// preserving the TTL of the previous RRset (or using `fallback_ttl`
+    /// if none existed), and bumps the SOA serial.
+    ///
+    /// This is the paper's §4 *renumbering* operation: the name server
+    /// keeps its name but moves to a new VM.
+    pub fn replace_address(&mut self, name: &Name, new_addr: Ipv4Addr, fallback_ttl: Ttl) {
+        let ttl = self
+            .records
+            .get(name)
+            .and_then(|t| t.get(&RecordType::A))
+            .and_then(|v| v.first())
+            .map(|r| r.ttl)
+            .unwrap_or(fallback_ttl);
+        self.remove(name, RecordType::A);
+        self.add(Record::new(name.clone(), ttl, RData::A(new_addr)));
+        self.soa.serial += 1;
+    }
+
+    /// IPv6 variant of [`Zone::replace_address`].
+    pub fn replace_address_v6(&mut self, name: &Name, new_addr: Ipv6Addr, fallback_ttl: Ttl) {
+        let ttl = self
+            .records
+            .get(name)
+            .and_then(|t| t.get(&RecordType::AAAA))
+            .and_then(|v| v.first())
+            .map(|r| r.ttl)
+            .unwrap_or(fallback_ttl);
+        self.remove(name, RecordType::AAAA);
+        self.add(Record::new(name.clone(), ttl, RData::Aaaa(new_addr)));
+        self.soa.serial += 1;
+    }
+
+    /// Records of `rtype` at exactly `name`, as stored.
+    pub fn get(&self, name: &Name, rtype: RecordType) -> &[Record] {
+        self.records
+            .get(name)
+            .and_then(|t| t.get(&rtype))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over all records in the zone.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records
+            .values()
+            .flat_map(|types| types.values().flatten())
+    }
+
+    /// Owner names present in the zone (including glue owners).
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.records.keys()
+    }
+
+    /// Finds the closest delegation cut strictly between the origin and
+    /// `qname` (inclusive of `qname` itself).
+    fn delegation_cut(&self, qname: &Name) -> Option<&Name> {
+        // Walk the ancestry from just below the origin down to qname;
+        // the *highest* cut wins (a zone cannot see past its first cut).
+        for ancestor in qname.ancestry() {
+            if ancestor.label_count() <= self.origin.label_count() {
+                continue;
+            }
+            if !ancestor.is_subdomain_of(&self.origin) {
+                return None;
+            }
+            if ancestor == self.origin {
+                continue;
+            }
+            if self
+                .records
+                .get(&ancestor)
+                .map(|t| t.contains_key(&RecordType::NS))
+                .unwrap_or(false)
+            {
+                // A cut at the ancestor name. `ancestry()` yields the
+                // root first, so this is the highest cut.
+                return self.records.get_key_value(&ancestor).map(|(k, _)| k);
+            }
+        }
+        None
+    }
+
+    /// True if `name` exists in the zone, either with records or as an
+    /// empty non-terminal (an ancestor of an existing name).
+    fn name_exists(&self, name: &Name) -> bool {
+        if self.records.contains_key(name) {
+            return true;
+        }
+        self.records.keys().any(|k| k.is_strict_subdomain_of(name))
+    }
+
+    /// Addresses (A/AAAA) this zone holds for `target`, used to populate
+    /// glue and additional sections.
+    fn addresses_for(&self, target: &Name) -> Vec<Record> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.get(target, RecordType::A));
+        out.extend_from_slice(self.get(target, RecordType::AAAA));
+        out
+    }
+
+    /// Looks up `qname`/`qtype` following RFC 1034 §4.3.2.
+    pub fn lookup(&self, qname: &Name, qtype: RecordType) -> ZoneLookup {
+        if !qname.is_subdomain_of(&self.origin) {
+            return ZoneLookup::NotInZone;
+        }
+
+        // Step: delegation cut above or at the qname → referral, unless
+        // the question is for the cut's NS records from the parent side
+        // (still a referral per RFC 1034: the parent is not
+        // authoritative below the cut).
+        if let Some(cut) = self.delegation_cut(qname) {
+            let cut = cut.clone();
+            let ns_records = self.get(&cut, RecordType::NS).to_vec();
+            let mut glue = Vec::new();
+            for ns in &ns_records {
+                if let RData::Ns(target) = &ns.rdata {
+                    // Glue is served for targets inside this zone's
+                    // namespace (typically in-bailiwick of the cut).
+                    if target.is_subdomain_of(&self.origin) {
+                        glue.extend(self.addresses_for(target));
+                    }
+                }
+            }
+            return ZoneLookup::Referral {
+                cut,
+                ns_records,
+                glue,
+            };
+        }
+
+        // Exact-name processing.
+        let direct = self.get(qname, qtype);
+        if !direct.is_empty() {
+            let mut additionals = Vec::new();
+            for r in direct {
+                if let Some(target) = r.rdata.target_name() {
+                    if r.record_type() != RecordType::CNAME {
+                        additionals.extend(self.addresses_for(target));
+                    }
+                }
+            }
+            return ZoneLookup::Answer {
+                records: direct.to_vec(),
+                additionals,
+            };
+        }
+
+        // CNAME at the name (and the query was not for CNAME itself)?
+        // Chase the chain iteratively with a hop bound: zones can
+        // contain CNAME loops (misconfiguration), and a server must
+        // answer with the partial chain rather than recurse forever.
+        if qtype != RecordType::CNAME {
+            if let Some(first) = self.get(qname, RecordType::CNAME).first() {
+                let mut records = vec![first.clone()];
+                let mut seen: Vec<Name> = vec![qname.clone()];
+                let mut cursor = first.clone();
+                for _ in 0..8 {
+                    let RData::Cname(target) = &cursor.rdata else { break };
+                    if seen.contains(target) {
+                        break; // loop: stop chasing, serve what we have
+                    }
+                    seen.push(target.clone());
+                    let direct = self.get(target, qtype);
+                    if !direct.is_empty() {
+                        records.extend_from_slice(direct);
+                        break;
+                    }
+                    match self.get(target, RecordType::CNAME).first() {
+                        Some(next) => {
+                            records.push(next.clone());
+                            cursor = next.clone();
+                        }
+                        None => break,
+                    }
+                }
+                return ZoneLookup::Answer {
+                    records,
+                    additionals: Vec::new(),
+                };
+            }
+        }
+
+        if self.name_exists(qname) {
+            ZoneLookup::NoData {
+                soa: self.soa_record(),
+            }
+        } else {
+            ZoneLookup::NxDomain {
+                soa: self.soa_record(),
+            }
+        }
+    }
+}
+
+/// Fluent zone construction for experiments and tests.
+///
+/// ```
+/// use dnsttl_auth::ZoneBuilder;
+/// use dnsttl_wire::Ttl;
+/// let zone = ZoneBuilder::new("uy")
+///     .ns("uy", "a.nic.uy", Ttl::from_secs(300))
+///     .a("a.nic.uy", "200.40.241.1", Ttl::from_secs(120))
+///     .build();
+/// assert_eq!(zone.origin().to_string(), "uy.");
+/// ```
+pub struct ZoneBuilder {
+    zone: Zone,
+}
+
+impl ZoneBuilder {
+    /// Starts a zone at `origin` (presentation format).
+    ///
+    /// # Panics
+    /// Panics on a malformed origin — builder misuse is a programming
+    /// error in experiment setup.
+    pub fn new(origin: &str) -> ZoneBuilder {
+        ZoneBuilder {
+            zone: Zone::new(Name::parse(origin).expect("valid origin")),
+        }
+    }
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).expect("valid name in zone builder")
+    }
+
+    /// Adds an NS record: `owner NS target`.
+    pub fn ns(mut self, owner: &str, target: &str, ttl: Ttl) -> ZoneBuilder {
+        self.zone.add(Record::new(
+            Self::name(owner),
+            ttl,
+            RData::Ns(Self::name(target)),
+        ));
+        self
+    }
+
+    /// Adds an A record.
+    pub fn a(mut self, owner: &str, addr: &str, ttl: Ttl) -> ZoneBuilder {
+        self.zone.add(Record::new(
+            Self::name(owner),
+            ttl,
+            RData::A(addr.parse().expect("valid IPv4")),
+        ));
+        self
+    }
+
+    /// Adds an AAAA record.
+    pub fn aaaa(mut self, owner: &str, addr: &str, ttl: Ttl) -> ZoneBuilder {
+        self.zone.add(Record::new(
+            Self::name(owner),
+            ttl,
+            RData::Aaaa(addr.parse().expect("valid IPv6")),
+        ));
+        self
+    }
+
+    /// Adds an MX record.
+    pub fn mx(mut self, owner: &str, preference: u16, exchange: &str, ttl: Ttl) -> ZoneBuilder {
+        self.zone.add(Record::new(
+            Self::name(owner),
+            ttl,
+            RData::Mx {
+                preference,
+                exchange: Self::name(exchange),
+            },
+        ));
+        self
+    }
+
+    /// Adds a CNAME record.
+    pub fn cname(mut self, owner: &str, target: &str, ttl: Ttl) -> ZoneBuilder {
+        self.zone.add(Record::new(
+            Self::name(owner),
+            ttl,
+            RData::Cname(Self::name(target)),
+        ));
+        self
+    }
+
+    /// Adds a TXT record.
+    pub fn txt(mut self, owner: &str, text: &str, ttl: Ttl) -> ZoneBuilder {
+        self.zone
+            .add(Record::new(Self::name(owner), ttl, RData::Txt(text.into())));
+        self
+    }
+
+    /// Adds a DNSKEY record with a synthetic key.
+    pub fn dnskey(mut self, owner: &str, ttl: Ttl) -> ZoneBuilder {
+        self.zone.add(Record::new(
+            Self::name(owner),
+            ttl,
+            RData::Dnskey {
+                flags: 257,
+                protocol: 3,
+                algorithm: 13,
+                key: vec![0xAB; 32],
+            },
+        ));
+        self
+    }
+
+    /// Sets the negative-caching TTL.
+    pub fn negative_ttl(mut self, ttl: Ttl) -> ZoneBuilder {
+        self.zone.set_negative_ttl(ttl);
+        self
+    }
+
+    /// Adds an arbitrary record.
+    pub fn record(mut self, record: Record) -> ZoneBuilder {
+        self.zone.add(record);
+        self
+    }
+
+    /// Finishes the zone.
+    pub fn build(self) -> Zone {
+        self.zone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    /// The root zone from the paper's Table 1: delegates .cl with
+    /// two-day NS and glue TTLs.
+    fn root_zone() -> Zone {
+        ZoneBuilder::new(".")
+            .ns("cl", "a.nic.cl", Ttl::TWO_DAYS)
+            .a("a.nic.cl", "190.124.27.10", Ttl::TWO_DAYS)
+            .aaaa("a.nic.cl", "2001:1398:1::300", Ttl::TWO_DAYS)
+            .build()
+    }
+
+    /// The .cl child zone: same records, its own (shorter) TTLs.
+    fn cl_zone() -> Zone {
+        ZoneBuilder::new("cl")
+            .ns("cl", "a.nic.cl", Ttl::HOUR)
+            .a("a.nic.cl", "190.124.27.10", Ttl::from_secs(43_200))
+            .a("www.example.cl", "203.0.113.80", Ttl::HOUR)
+            .ns("example.cl", "ns.example.cl", Ttl::from_secs(7_200))
+            .a("ns.example.cl", "203.0.113.53", Ttl::from_secs(7_200))
+            .build()
+    }
+
+    #[test]
+    fn referral_at_delegation_carries_parent_ttl_and_glue() {
+        let root = root_zone();
+        match root.lookup(&n("www.example.cl"), RecordType::A) {
+            ZoneLookup::Referral {
+                cut,
+                ns_records,
+                glue,
+            } => {
+                assert_eq!(cut, n("cl"));
+                assert_eq!(ns_records.len(), 1);
+                assert_eq!(ns_records[0].ttl, Ttl::TWO_DAYS);
+                // Glue: both A and AAAA of a.nic.cl.
+                assert_eq!(glue.len(), 2);
+                assert!(glue.iter().all(|g| g.name == n("a.nic.cl")));
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ns_query_at_cut_is_also_a_referral_from_parent() {
+        // The parent is not authoritative for the cut's NS set; it
+        // serves it as a referral (no AA) — which is why parent-side
+        // TTLs reach resolvers at all.
+        let root = root_zone();
+        assert!(matches!(
+            root.lookup(&n("cl"), RecordType::NS),
+            ZoneLookup::Referral { .. }
+        ));
+    }
+
+    #[test]
+    fn child_answers_its_apex_ns_authoritatively() {
+        let cl = cl_zone();
+        match cl.lookup(&n("cl"), RecordType::NS) {
+            ZoneLookup::Answer {
+                records,
+                additionals,
+            } => {
+                assert_eq!(records[0].ttl, Ttl::HOUR); // child's own TTL
+                // Additional carries the in-zone address of the NS host
+                // with the child's A TTL (43200 s, Table 1 row 2).
+                assert_eq!(additionals.len(), 1);
+                assert_eq!(additionals[0].ttl.as_secs(), 43_200);
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn direct_a_query_gets_child_ttl() {
+        let cl = cl_zone();
+        match cl.lookup(&n("a.nic.cl"), RecordType::A) {
+            ZoneLookup::Answer { records, .. } => {
+                assert_eq!(records[0].ttl.as_secs(), 43_200);
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delegation_below_child_origin_refers() {
+        let cl = cl_zone();
+        match cl.lookup(&n("www.example.cl"), RecordType::A) {
+            ZoneLookup::Referral { cut, glue, .. } => {
+                assert_eq!(cut, n("example.cl"));
+                assert_eq!(glue.len(), 1);
+                assert_eq!(glue[0].name, n("ns.example.cl"));
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_and_nodata_carry_soa() {
+        let cl = cl_zone();
+        match cl.lookup(&n("nonexistent.cl"), RecordType::A) {
+            ZoneLookup::NxDomain { soa } => {
+                assert_eq!(soa.record_type(), RecordType::SOA);
+            }
+            other => panic!("expected NXDOMAIN, got {other:?}"),
+        }
+        // a.nic.cl exists but has no MX.
+        assert!(matches!(
+            cl.lookup(&n("a.nic.cl"), RecordType::MX),
+            ZoneLookup::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_non_terminal_is_nodata_not_nxdomain() {
+        let cl = cl_zone();
+        // "example.cl" exists (it has NS), and "www.example.cl" exists
+        // below the cut; but "nic.cl" exists only as an empty
+        // non-terminal above a.nic.cl.
+        assert!(matches!(
+            cl.lookup(&n("nic.cl"), RecordType::A),
+            ZoneLookup::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_zone_query_is_rejected() {
+        let cl = cl_zone();
+        assert_eq!(cl.lookup(&n("example.org"), RecordType::A), ZoneLookup::NotInZone);
+    }
+
+    #[test]
+    fn cname_is_chased_within_zone() {
+        let zone = ZoneBuilder::new("example.cl")
+            .cname("www.example.cl", "web.example.cl", Ttl::HOUR)
+            .a("web.example.cl", "203.0.113.80", Ttl::HOUR)
+            .build();
+        match zone.lookup(&n("www.example.cl"), RecordType::A) {
+            ZoneLookup::Answer { records, .. } => {
+                assert_eq!(records.len(), 2);
+                assert_eq!(records[0].record_type(), RecordType::CNAME);
+                assert_eq!(records[1].record_type(), RecordType::A);
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_loop_in_zone_terminates() {
+        let zone = ZoneBuilder::new("example.cl")
+            .cname("a.example.cl", "b.example.cl", Ttl::HOUR)
+            .cname("b.example.cl", "a.example.cl", Ttl::HOUR)
+            .build();
+        // Must not recurse forever; serves the partial chain.
+        match zone.lookup(&n("a.example.cl"), RecordType::A) {
+            ZoneLookup::Answer { records, .. } => {
+                assert!(records.len() >= 1);
+                assert!(records.iter().all(|r| r.record_type() == RecordType::CNAME));
+            }
+            other => panic!("expected partial CNAME answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn long_cname_chain_is_followed_to_the_address() {
+        let zone = ZoneBuilder::new("example.cl")
+            .cname("a.example.cl", "b.example.cl", Ttl::HOUR)
+            .cname("b.example.cl", "c.example.cl", Ttl::HOUR)
+            .cname("c.example.cl", "d.example.cl", Ttl::HOUR)
+            .a("d.example.cl", "203.0.113.4", Ttl::HOUR)
+            .build();
+        match zone.lookup(&n("a.example.cl"), RecordType::A) {
+            ZoneLookup::Answer { records, .. } => {
+                assert_eq!(records.len(), 4, "3 CNAMEs + final A");
+                assert_eq!(records.last().unwrap().record_type(), RecordType::A);
+            }
+            other => panic!("expected chain answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renumber_preserves_ttl_and_bumps_serial() {
+        let mut zone = cl_zone();
+        let before_serial = zone.soa().serial;
+        zone.replace_address(&n("a.nic.cl"), "198.51.100.99".parse().unwrap(), Ttl::HOUR);
+        let recs = zone.get(&n("a.nic.cl"), RecordType::A);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ttl.as_secs(), 43_200, "TTL preserved");
+        assert_eq!(recs[0].rdata, RData::A("198.51.100.99".parse().unwrap()));
+        assert_eq!(zone.soa().serial, before_serial + 1);
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_names() {
+        let mut zone = cl_zone();
+        assert_eq!(zone.remove(&n("www.example.cl"), RecordType::A), 1);
+        assert_eq!(zone.remove(&n("www.example.cl"), RecordType::A), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside zone")]
+    fn adding_out_of_zone_record_panics() {
+        let mut zone = Zone::new(n("example.cl"));
+        zone.add(Record::new(
+            n("example.org"),
+            Ttl::HOUR,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ));
+    }
+}

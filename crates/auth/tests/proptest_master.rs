@@ -1,0 +1,78 @@
+//! Property tests: master-file render ⇄ parse round-trips, and parsed
+//! zones behave identically to builder-built ones.
+
+use dnsttl_auth::{parse_records, parse_zone, render_records, render_zone, ZoneBuilder};
+use dnsttl_wire::{Name, RData, Record, SoaData, Ttl};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..4)
+        .prop_map(|labels| Name::from_labels(labels).expect("small labels"))
+}
+
+fn arb_ttl() -> impl Strategy<Value = Ttl> {
+    (1u32..=172_800).prop_map(Ttl::from_secs)
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    let rdata = prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        (1u16..100, arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        "[a-zA-Z0-9 =:;.-]{0,40}".prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>()).prop_map(|(mname, rname, serial)| {
+            RData::Soa(SoaData {
+                mname,
+                rname,
+                serial,
+                refresh: 7_200,
+                retry: 3_600,
+                expire: 1_209_600,
+                minimum: 300,
+            })
+        }),
+    ];
+    (arb_name(), arb_ttl(), rdata).prop_map(|(n, t, rd)| Record::new(n, t, rd))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_parse_round_trips(records in proptest::collection::vec(arb_record(), 0..12)) {
+        let text = render_records(&records);
+        let parsed = parse_records(&text, None).expect("rendered output must parse");
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parser_never_panics(text in "[ -~\n\t]{0,400}") {
+        let _ = parse_records(&text, None);
+    }
+
+    #[test]
+    fn zone_render_parse_preserves_lookups(
+        host in "[a-z]{1,8}",
+        addr in any::<[u8; 4]>(),
+        ttl in 1u32..86_400,
+    ) {
+        let origin = "example";
+        let owner = format!("{host}.example");
+        let zone = ZoneBuilder::new(origin)
+            .ns("example", "ns.example", Ttl::HOUR)
+            .a("ns.example", "192.0.2.53", Ttl::HOUR)
+            .a(&owner, &std::net::Ipv4Addr::from(addr).to_string(), Ttl::from_secs(ttl))
+            .build();
+        let text = render_zone(&zone);
+        let reparsed = parse_zone(origin, &text).expect("rendered zone parses");
+        let name = Name::parse(&owner).unwrap();
+        let original = zone.get(&name, dnsttl_wire::RecordType::A);
+        let round = reparsed.get(&name, dnsttl_wire::RecordType::A);
+        prop_assert_eq!(original, round);
+    }
+}

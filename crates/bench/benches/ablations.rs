@@ -1,0 +1,196 @@
+//! Ablations of the design choices DESIGN.md calls out, measured
+//! head-to-head: each group benchmarks the same workload under policy
+//! variants, so the relative cost (and, via the assertions inside the
+//! fixtures, the behavioural difference) of each mechanism is visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dnsttl_bench::bench_world;
+use dnsttl_core::ResolverPolicy;
+use dnsttl_wire::Ttl;
+use std::hint::black_box;
+
+/// Glue linking on/off: the §4.2 mechanism. Workload: resolve, age
+/// past the NS TTL, resolve again (forces the re-walk where linking
+/// matters).
+fn ablate_glue_linking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/glue_linking");
+    for (label, link) in [("linked", true), ("unlinked", false)] {
+        let policy = ResolverPolicy {
+            link_inbailiwick_glue: link,
+            ..ResolverPolicy::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter_batched(
+                || bench_world(Ttl::from_secs(7_200), policy.clone()),
+                |mut w| {
+                    w.resolve_at(0);
+                    w.resolve_at(3_700); // past the 3600 s NS TTL
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Centricity: parent-centric resolvers answer from referrals (fewer
+/// exchanges), child-centric ones re-query the child.
+fn ablate_centricity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/centricity");
+    for (label, policy) in [
+        ("child_centric", ResolverPolicy::default()),
+        ("parent_centric", ResolverPolicy::parent_centric()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter_batched(
+                || bench_world(Ttl::HOUR, policy.clone()),
+                |mut w| w.resolve_at(0),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// TTL caps: how much extra upstream traffic a 21599 s Google-style
+/// cap (vs a week-long BIND-style cap) costs on a long-TTL record
+/// queried across a day.
+fn ablate_ttl_caps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/ttl_cap");
+    for (label, cap) in [
+        ("bind_1w", 604_800u32),
+        ("google_21599", 21_599),
+        ("aggressive_60", 60),
+    ] {
+        let policy = ResolverPolicy {
+            ttl_cap: Some(Ttl::from_secs(cap)),
+            ..ResolverPolicy::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter_batched(
+                || bench_world(Ttl::TWO_DAYS, policy.clone()),
+                |mut w| {
+                    // Six queries spread over a day: the tighter the
+                    // cap, the more of these go upstream.
+                    let mut upstream = 0;
+                    for hour in [0u64, 4, 8, 12, 16, 20] {
+                        upstream += w.resolve_at(hour * 3_600);
+                    }
+                    black_box(upstream)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Cache sharing: the same query load against one shared cache vs
+/// per-client caches — the unique-vs-shared contrast of Table 10.
+fn ablate_cache_sharing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/cache_sharing");
+    g.bench_function("shared_cache_10_clients", |b| {
+        b.iter_batched(
+            || bench_world(Ttl::HOUR, ResolverPolicy::default()),
+            |mut w| {
+                for i in 0..10u64 {
+                    w.resolve_at(i * 10);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("private_caches_10_clients", |b| {
+        b.iter_batched(
+            || (0..10).map(|_| bench_world(Ttl::HOUR, ResolverPolicy::default())).collect::<Vec<_>>(),
+            |mut worlds| {
+                for (i, w) in worlds.iter_mut().enumerate() {
+                    w.resolve_at(i as u64 * 10);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Prefetch on/off: refresh-ahead trades upstream queries for miss
+/// latency; the workload queries around the TTL boundary where the
+/// policies diverge.
+fn ablate_prefetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/prefetch");
+    for (label, prefetch) in [("off", false), ("on", true)] {
+        let policy = ResolverPolicy {
+            prefetch,
+            ..ResolverPolicy::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter_batched(
+                || bench_world(Ttl::from_secs(600), policy.clone()),
+                |mut w| {
+                    for i in 0..8u64 {
+                        w.resolve_at(i * 550);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Cache capacity pressure: the same workload against an unbounded vs
+/// a tiny cache — evictions turn hits back into full resolutions.
+fn ablate_cache_pressure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/cache_pressure");
+    for (label, capacity) in [("unbounded", None), ("tiny_4_entries", Some(4usize))] {
+        let policy = ResolverPolicy {
+            cache_capacity: capacity,
+            ..ResolverPolicy::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter_batched(
+                || bench_world(Ttl::HOUR, policy.clone()),
+                |mut w| {
+                    for i in 0..12u64 {
+                        w.resolve_at(i * 10);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// QNAME minimisation on/off: the privacy mode costs extra exchanges
+/// on cold lookups of deep names.
+fn ablate_qname_minimization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/qname_minimization");
+    for (label, min) in [("off", false), ("on", true)] {
+        let policy = ResolverPolicy {
+            qname_minimization: min,
+            ..ResolverPolicy::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter_batched(
+                || bench_world(Ttl::HOUR, policy.clone()),
+                |mut w| w.resolve_at(0),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_glue_linking,
+    ablate_centricity,
+    ablate_ttl_caps,
+    ablate_cache_sharing,
+    ablate_prefetch,
+    ablate_cache_pressure,
+    ablate_qname_minimization
+);
+criterion_main!(benches);

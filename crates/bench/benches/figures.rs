@@ -1,0 +1,92 @@
+//! One benchmark per paper figure (figure groups share the experiment
+//! that generates them, exactly as in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnsttl_experiments::{bailiwick_exp, centricity, controlled, crawl_exp, passive_nl, uy_latency, ExpConfig};
+use std::hint::black_box;
+
+fn cfg() -> ExpConfig {
+    // Leaner than ExpConfig::quick(): a bench iteration should take
+    // ~a second so Criterion's sampling finishes in minutes. The
+    // experiment's *correctness* at this scale is covered by the test
+    // suite; here we only measure regeneration cost.
+    ExpConfig {
+        probes: 200,
+        crawl_scale: 0.002,
+        nl_resolvers: 400,
+        nl_hours: 12,
+        out_dir: None,
+        ..ExpConfig::quick()
+    }
+}
+
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+}
+
+fn bench_fig1_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_2");
+    tune(&mut g);
+    g.bench_function("centricity_ttl_cdfs", |b| {
+        b.iter(|| black_box(centricity::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig3_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_4");
+    tune(&mut g);
+    g.bench_function("passive_nl_interarrivals", |b| {
+        b.iter(|| black_box(passive_nl::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig5_to_8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_to_8");
+    tune(&mut g);
+    g.bench_function("bailiwick_renumbering", |b| {
+        b.iter(|| black_box(bailiwick_exp::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    tune(&mut g);
+    g.bench_function("crawl_ttl_cdfs", |b| {
+        b.iter(|| black_box(crawl_exp::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    tune(&mut g);
+    g.bench_function("uy_before_after_latency", |b| {
+        b.iter(|| black_box(uy_latency::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    tune(&mut g);
+    g.bench_function("controlled_latency_cdfs", |b| {
+        b.iter(|| black_box(controlled::run(&cfg())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_2,
+    bench_fig3_4,
+    bench_fig5_to_8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! One benchmark per paper table: the cost of regenerating each
+//! artifact at quick scale. Running these also *produces* the tables
+//! (the experiments assert their own shape metrics via the test
+//! suite; here they run under the timer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnsttl_experiments::{bailiwick_exp, centricity, controlled, crawl_exp, table1, ExpConfig};
+use std::hint::black_box;
+
+fn cfg() -> ExpConfig {
+    // Leaner than ExpConfig::quick(): a bench iteration should take
+    // ~a second so Criterion's sampling finishes in minutes. The
+    // experiment's *correctness* at this scale is covered by the test
+    // suite; here we only measure regeneration cost.
+    ExpConfig {
+        probes: 200,
+        crawl_scale: 0.002,
+        nl_resolvers: 400,
+        nl_hours: 12,
+        out_dir: None,
+        ..ExpConfig::quick()
+    }
+}
+
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/a.nic.cl_ttls", |b| {
+        b.iter(|| black_box(table1::run(&cfg())))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    tune(&mut g);
+    g.bench_function("centricity_accounting", |b| {
+        b.iter(|| black_box(centricity::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_tables3_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_4");
+    tune(&mut g);
+    g.bench_function("bailiwick_accounting_and_sticky", |b| {
+        b.iter(|| black_box(bailiwick_exp::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_tables5_to_9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_to_9");
+    tune(&mut g);
+    g.bench_function("crawl_summaries", |b| {
+        b.iter(|| black_box(crawl_exp::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_table10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table10");
+    tune(&mut g);
+    g.bench_function("controlled_ttl_campaigns", |b| {
+        b.iter(|| black_box(controlled::run(&cfg())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_tables3_4,
+    bench_tables5_to_9,
+    bench_table10
+);
+criterion_main!(benches);

@@ -1,0 +1,362 @@
+//! Zone linting: the paper's operational guidance as checks.
+//!
+//! §5.2 of the paper found that most operators running very short NS
+//! TTLs "had not considered the implications"; three raised them to a
+//! day after one email. This module is that email as a program: it
+//! inspects a zone's records (plus whatever is known about the
+//! parent's copy) and reports every TTL configuration the paper warns
+//! about, each finding citing its section.
+
+use dnsttl_wire::{Name, RData, Record, RecordType, Ttl};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: worth knowing, nothing to fix.
+    Info,
+    /// Warning: latency/resilience is being left on the table.
+    Warning,
+    /// Error: caching is broken or misleading.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintFinding {
+    /// Severity.
+    pub severity: Severity,
+    /// Stable machine-readable code (`ttl-zero`, `ns-ttl-short`, …).
+    pub code: &'static str,
+    /// The record owner the finding is about.
+    pub name: String,
+    /// Human-readable explanation with the paper citation.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}: {}",
+            self.severity, self.code, self.name, self.message
+        )
+    }
+}
+
+/// What is known about the parent zone's copy of the delegation.
+#[derive(Debug, Clone, Default)]
+pub struct ParentInfo {
+    /// The parent's NS TTL for this delegation, if known.
+    pub ns_ttl: Option<Ttl>,
+    /// The parent's glue A/AAAA TTL, if known.
+    pub glue_ttl: Option<Ttl>,
+}
+
+/// Operational context that changes what "too short" means.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintContext {
+    /// The zone intentionally runs short TTLs for load balancing or
+    /// DDoS redirection (§6.1); suppresses the long-TTL advice.
+    pub agility_required: bool,
+}
+
+/// Lints a zone's records. `origin` is the zone apex; `parent`
+/// describes the delegation as published by the parent (if known).
+pub fn lint_zone(
+    origin: &Name,
+    records: &[Record],
+    parent: &ParentInfo,
+    ctx: LintContext,
+) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+
+    // Group into RRsets for TTL-coherence and type-level checks.
+    let mut groups: BTreeMap<(Name, RecordType), Vec<&Record>> = BTreeMap::new();
+    for r in records {
+        groups
+            .entry((r.name.clone(), r.record_type()))
+            .or_default()
+            .push(r);
+    }
+
+    // RFC 2181 §5.2: all members of an RRset must share one TTL.
+    for ((name, rtype), members) in &groups {
+        let ttls: Vec<u32> = members.iter().map(|r| r.ttl.as_secs()).collect();
+        if ttls.windows(2).any(|w| w[0] != w[1]) {
+            findings.push(LintFinding {
+                severity: Severity::Error,
+                code: "rrset-ttl-mismatch",
+                name: name.to_string(),
+                message: format!(
+                    "{rtype} RRset members carry different TTLs {ttls:?}; resolvers will \
+                     clamp to the minimum (RFC 2181 §5.2)"
+                ),
+            });
+        }
+    }
+
+    // §5.1.2: TTL 0 undermines caching.
+    for ((name, rtype), members) in &groups {
+        if members.iter().any(|r| r.ttl.is_zero()) {
+            findings.push(LintFinding {
+                severity: Severity::Error,
+                code: "ttl-zero",
+                name: name.to_string(),
+                message: format!(
+                    "{rtype} record with TTL 0 disables caching entirely: higher latency \
+                     for every client and no DDoS buffering (paper §5.1.2)"
+                ),
+            });
+        }
+    }
+
+    // NS-TTL advice (§5.2, §6.3).
+    let apex_ns: Vec<&&Record> = groups
+        .get(&(origin.clone(), RecordType::NS))
+        .map(|v| v.iter().collect())
+        .unwrap_or_default();
+    if apex_ns.is_empty() {
+        findings.push(LintFinding {
+            severity: Severity::Error,
+            code: "no-apex-ns",
+            name: origin.to_string(),
+            message: "zone has no NS RRset at its apex".to_owned(),
+        });
+    }
+    if let Some(ns) = apex_ns.first() {
+        let t = ns.ttl.as_secs();
+        if !ctx.agility_required {
+            if t < 1_800 {
+                findings.push(LintFinding {
+                    severity: Severity::Warning,
+                    code: "ns-ttl-short",
+                    name: origin.to_string(),
+                    message: format!(
+                        "NS TTL is {t}s; unless you need DNS-based load balancing or DDoS \
+                         redirection, the paper recommends at least one hour and ideally \
+                         4–24h (§6.3). Operators running <30min TTLs mostly had not \
+                         considered the implications (§5.2)"
+                    ),
+                });
+            } else if t < 3_600 {
+                findings.push(LintFinding {
+                    severity: Severity::Info,
+                    code: "ns-ttl-below-hour",
+                    name: origin.to_string(),
+                    message: format!(
+                        "NS TTL is {t}s, below the paper's one-hour baseline (§6.3)"
+                    ),
+                });
+            }
+        }
+
+        // §4.2: in-bailiwick server addresses cannot outlive the NS set.
+        for ns_rec in &apex_ns {
+            let RData::Ns(target) = &ns_rec.rdata else { continue };
+            if !target.is_subdomain_of(origin) {
+                continue;
+            }
+            for addr_type in [RecordType::A, RecordType::AAAA] {
+                if let Some(addrs) = groups.get(&(target.clone(), addr_type)) {
+                    for a in addrs {
+                        if a.ttl > ns_rec.ttl {
+                            findings.push(LintFinding {
+                                severity: Severity::Warning,
+                                code: "inbailiwick-addr-outlives-ns",
+                                name: target.to_string(),
+                                message: format!(
+                                    "in-bailiwick server address TTL {}s exceeds the NS TTL \
+                                     {}s; most resolvers evict the address when the NS RRset \
+                                     expires, so the extra lifetime is illusory (§4.2, §6.3)",
+                                    a.ttl.as_secs(),
+                                    ns_rec.ttl.as_secs()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // §3: the parent's copy matters to the parent-centric minority.
+        if let Some(parent_ns) = parent.ns_ttl {
+            if parent_ns != ns.ttl {
+                findings.push(LintFinding {
+                    severity: Severity::Warning,
+                    code: "parent-child-ttl-mismatch",
+                    name: origin.to_string(),
+                    message: format!(
+                        "child NS TTL {}s differs from the parent's {}s; 10–48% of observed \
+                         queries honour the parent's copy, so clients see a mix (§3). \
+                         Configure both identically (§6.3)",
+                        ns.ttl.as_secs(),
+                        parent_ns.as_secs()
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.name.cmp(&b.name)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn rec(owner: &str, ttl: u32, rdata: RData) -> Record {
+        Record::new(n(owner), Ttl::from_secs(ttl), rdata)
+    }
+
+    fn codes(findings: &[LintFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn healthy_zone_is_clean() {
+        let records = vec![
+            rec("example", 14_400, RData::Ns(n("ns1.example"))),
+            rec("example", 14_400, RData::Ns(n("ns2.example"))),
+            rec("ns1.example", 14_400, RData::A("192.0.2.1".parse().unwrap())),
+            rec("ns2.example", 14_400, RData::A("192.0.2.2".parse().unwrap())),
+        ];
+        let findings = lint_zone(
+            &n("example"),
+            &records,
+            &ParentInfo {
+                ns_ttl: Some(Ttl::from_secs(14_400)),
+                glue_ttl: None,
+            },
+            LintContext::default(),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn uy_before_the_paper_triggers_the_short_ttl_warning() {
+        let records = vec![
+            rec("uy", 300, RData::Ns(n("a.nic.uy"))),
+            rec("a.nic.uy", 120, RData::A("200.40.241.1".parse().unwrap())),
+        ];
+        let findings = lint_zone(
+            &n("uy"),
+            &records,
+            &ParentInfo {
+                ns_ttl: Some(Ttl::TWO_DAYS),
+                glue_ttl: Some(Ttl::TWO_DAYS),
+            },
+            LintContext::default(),
+        );
+        let codes = codes(&findings);
+        assert!(codes.contains(&"ns-ttl-short"));
+        assert!(codes.contains(&"parent-child-ttl-mismatch"));
+    }
+
+    #[test]
+    fn agility_context_suppresses_short_ttl_advice() {
+        let records = vec![rec("cdn.example", 300, RData::Ns(n("ns1.cdn.example")))];
+        let findings = lint_zone(
+            &n("cdn.example"),
+            &records,
+            &ParentInfo::default(),
+            LintContext {
+                agility_required: true,
+            },
+        );
+        assert!(!codes(&findings).contains(&"ns-ttl-short"));
+    }
+
+    #[test]
+    fn ttl_zero_is_an_error() {
+        let records = vec![
+            rec("example", 3_600, RData::Ns(n("ns1.example"))),
+            rec("www.example", 0, RData::A("192.0.2.1".parse().unwrap())),
+        ];
+        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        let f = findings.iter().find(|f| f.code == "ttl-zero").unwrap();
+        assert_eq!(f.severity, Severity::Error);
+    }
+
+    #[test]
+    fn inbailiwick_address_outliving_ns_is_flagged() {
+        // The §4.1 cachetest.net setup: NS 3600 s, glue A 7200 s.
+        let records = vec![
+            rec("sub.cachetest.net", 3_600, RData::Ns(n("ns1.sub.cachetest.net"))),
+            rec(
+                "ns1.sub.cachetest.net",
+                7_200,
+                RData::A("18.184.0.20".parse().unwrap()),
+            ),
+        ];
+        let findings = lint_zone(
+            &n("sub.cachetest.net"),
+            &records,
+            &ParentInfo::default(),
+            LintContext::default(),
+        );
+        assert!(codes(&findings).contains(&"inbailiwick-addr-outlives-ns"));
+    }
+
+    #[test]
+    fn out_of_bailiwick_address_ttls_are_free() {
+        let records = vec![
+            rec("example.org", 3_600, RData::Ns(n("ns1.hoster.net"))),
+            // The hoster's own records are not in this zone; an A for
+            // some unrelated in-zone host with a longer TTL is fine.
+            rec("www.example.org", 86_400, RData::A("192.0.2.1".parse().unwrap())),
+        ];
+        let findings = lint_zone(
+            &n("example.org"),
+            &records,
+            &ParentInfo::default(),
+            LintContext::default(),
+        );
+        assert!(!codes(&findings).contains(&"inbailiwick-addr-outlives-ns"));
+    }
+
+    #[test]
+    fn rrset_ttl_mismatch_is_an_error() {
+        let records = vec![
+            rec("example", 3_600, RData::Ns(n("ns1.example"))),
+            rec("example", 7_200, RData::Ns(n("ns2.example"))),
+        ];
+        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        assert!(codes(&findings).contains(&"rrset-ttl-mismatch"));
+    }
+
+    #[test]
+    fn missing_apex_ns_is_an_error() {
+        let records = vec![rec("www.example", 3_600, RData::A("192.0.2.1".parse().unwrap()))];
+        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        assert!(codes(&findings).contains(&"no-apex-ns"));
+    }
+
+    #[test]
+    fn findings_sorted_by_severity() {
+        let records = vec![
+            rec("example", 1_900, RData::Ns(n("ns1.example"))), // info (below hour)
+            rec("www.example", 0, RData::A("192.0.2.1".parse().unwrap())), // error
+        ];
+        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        assert!(findings.len() >= 2);
+        assert_eq!(findings[0].severity, Severity::Error);
+    }
+}

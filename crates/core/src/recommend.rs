@@ -1,0 +1,220 @@
+//! The §6 recommendation engine.
+//!
+//! The paper closes with operational guidance: longer TTLs for most
+//! zones (hours, not minutes), short TTLs only where DNS-based load
+//! balancing or DDoS redirection demands agility, equal parent/child
+//! TTLs, and address TTLs no longer than NS TTLs for in-bailiwick
+//! servers. [`recommend`] encodes that guidance as a function of a
+//! zone's operational profile.
+
+use crate::effective::Bailiwick;
+use dnsttl_wire::Ttl;
+use serde::{Deserialize, Serialize};
+
+/// Operational characteristics of a zone, as its owner knows them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ZoneProfile {
+    /// The zone participates in DNS-based load balancing (CDN-style
+    /// request routing, §6.1 "shorter caching helps DNS-based load
+    /// balancing").
+    pub uses_dns_load_balancing: bool,
+    /// The zone relies on DNS redirection into a DDoS scrubber, which
+    /// must be able to take effect quickly (§6.1).
+    pub uses_ddos_redirection: bool,
+    /// The operator can schedule infrastructure changes in advance
+    /// (lowering TTLs "just-before" a migration, §6.1).
+    pub changes_planned_in_advance: bool,
+    /// The zone is a TLD or other public registry whose delegations are
+    /// copied into a parent zone (§6.3 "TLD and other registry
+    /// operators").
+    pub is_registry: bool,
+    /// Where the zone's name servers are named, relative to the zone.
+    pub ns_bailiwick: Option<Bailiwick>,
+    /// DNS service is billed per query (§6.1 "lower cost if DNS is
+    /// metered").
+    pub metered_dns: bool,
+}
+
+/// A TTL recommendation with its reasoning.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtlRecommendation {
+    /// Recommended NS-record TTL.
+    pub ns_ttl: Ttl,
+    /// Recommended address-record (A/AAAA) TTL.
+    pub addr_ttl: Ttl,
+    /// Whether parent and child copies must be kept identical.
+    pub set_parent_and_child_identically: bool,
+    /// Human-readable rationale, one line per consideration.
+    pub rationale: Vec<String>,
+}
+
+/// Produces the paper's §6.3 recommendation for a zone profile.
+///
+/// * Agility-constrained zones (load balancing / DDoS redirection):
+///   5-minute TTLs, 15 minutes when that is agile enough.
+/// * Registries: at least one hour, preferably a day, in **both**
+///   parent and child.
+/// * Everyone else: hours — 4 h baseline, a day when changes are
+///   planned in advance.
+/// * In-bailiwick servers: address TTL ≤ NS TTL, because resolvers
+///   will enforce that coupling anyway (§4.2).
+///
+/// ```
+/// use dnsttl_core::{recommend, ZoneProfile};
+/// let plain = recommend(&ZoneProfile::default());
+/// assert!(plain.ns_ttl.as_secs() >= 3_600); // hours, not minutes
+/// ```
+pub fn recommend(profile: &ZoneProfile) -> TtlRecommendation {
+    let mut rationale = Vec::new();
+
+    let agile = profile.uses_dns_load_balancing || profile.uses_ddos_redirection;
+    let (ns_ttl, mut addr_ttl) = if agile {
+        if profile.uses_ddos_redirection {
+            rationale.push(
+                "DDoS redirection requires permanently low TTLs (attacks arrive unannounced); \
+                 5 minutes balances agility against cache benefit"
+                    .to_owned(),
+            );
+            (Ttl::from_secs(300), Ttl::from_secs(300))
+        } else {
+            rationale.push(
+                "DNS-based load balancing wants short TTLs; 15 minutes provides sufficient \
+                 agility for most operators (§6.3)"
+                    .to_owned(),
+            );
+            (Ttl::from_secs(900), Ttl::from_secs(900))
+        }
+    } else if profile.is_registry {
+        rationale.push(
+            "registry delegations are duplicated in the parent; long TTLs (one day) maximise \
+             caching for the whole subtree (§6.3)"
+                .to_owned(),
+        );
+        (Ttl::DAY, Ttl::DAY)
+    } else if profile.changes_planned_in_advance {
+        rationale.push(
+            "changes are planned in advance, so TTLs can be lowered just-before a migration; \
+             a day-long TTL has little cost (§6.1)"
+                .to_owned(),
+        );
+        (Ttl::DAY, Ttl::DAY)
+    } else {
+        rationale.push(
+            "general zones benefit from hours-long TTLs: lower latency, less traffic, \
+             more DDoS resilience (§6.3 recommends 4, 8 or 24 hours)"
+                .to_owned(),
+        );
+        (Ttl::from_secs(4 * 3_600), Ttl::from_secs(4 * 3_600))
+    };
+
+    if profile.ns_bailiwick == Some(Bailiwick::In) && addr_ttl > ns_ttl {
+        addr_ttl = ns_ttl;
+        rationale.push(
+            "in-bailiwick server addresses are evicted when the NS RRset expires, so an \
+             address TTL above the NS TTL is illusory (§4.2)"
+                .to_owned(),
+        );
+    }
+    if profile.ns_bailiwick == Some(Bailiwick::Out) {
+        rationale.push(
+            "out-of-bailiwick server addresses are cached independently; their TTL may \
+             differ from the NS TTL if desired (§4.3)"
+                .to_owned(),
+        );
+    }
+    if profile.metered_dns {
+        rationale.push(
+            "DNS service is metered per query; every point of cache hit rate is money (§6.1)"
+                .to_owned(),
+        );
+    }
+
+    // §3's headline: enough resolvers are parent-centric that the parent
+    // copy always matters.
+    let set_both = true;
+    rationale.push(
+        "10–48% of observed queries honour the parent's TTL, so parent and child copies \
+         must be configured identically (§3)"
+            .to_owned(),
+    );
+
+    TtlRecommendation {
+        ns_ttl,
+        addr_ttl,
+        set_parent_and_child_identically: set_both,
+        rationale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_zone_gets_hours() {
+        let rec = recommend(&ZoneProfile::default());
+        assert!(rec.ns_ttl.as_secs() >= 4 * 3_600);
+        assert!(rec.set_parent_and_child_identically);
+    }
+
+    #[test]
+    fn ddos_redirection_gets_five_minutes() {
+        let rec = recommend(&ZoneProfile {
+            uses_ddos_redirection: true,
+            ..ZoneProfile::default()
+        });
+        assert_eq!(rec.ns_ttl.as_secs(), 300);
+    }
+
+    #[test]
+    fn load_balancing_gets_fifteen_minutes() {
+        let rec = recommend(&ZoneProfile {
+            uses_dns_load_balancing: true,
+            ..ZoneProfile::default()
+        });
+        assert_eq!(rec.ns_ttl.as_secs(), 900);
+    }
+
+    #[test]
+    fn ddos_trumps_load_balancing() {
+        let rec = recommend(&ZoneProfile {
+            uses_dns_load_balancing: true,
+            uses_ddos_redirection: true,
+            ..ZoneProfile::default()
+        });
+        assert_eq!(rec.ns_ttl.as_secs(), 300);
+    }
+
+    #[test]
+    fn registry_gets_a_day() {
+        let rec = recommend(&ZoneProfile {
+            is_registry: true,
+            ..ZoneProfile::default()
+        });
+        assert_eq!(rec.ns_ttl, Ttl::DAY);
+    }
+
+    #[test]
+    fn planned_changes_allow_long_ttls() {
+        let rec = recommend(&ZoneProfile {
+            changes_planned_in_advance: true,
+            ..ZoneProfile::default()
+        });
+        assert_eq!(rec.ns_ttl, Ttl::DAY);
+    }
+
+    #[test]
+    fn in_bailiwick_caps_addr_at_ns() {
+        let rec = recommend(&ZoneProfile {
+            ns_bailiwick: Some(Bailiwick::In),
+            ..ZoneProfile::default()
+        });
+        assert!(rec.addr_ttl <= rec.ns_ttl);
+    }
+
+    #[test]
+    fn rationale_always_mentions_parent_centric_minority() {
+        let rec = recommend(&ZoneProfile::default());
+        assert!(rec.rationale.iter().any(|r| r.contains("parent")));
+    }
+}

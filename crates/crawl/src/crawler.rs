@@ -1,0 +1,240 @@
+//! Crawl summarisation: the numbers behind Tables 5, 8, 9 and Figure 9.
+
+use crate::bailiwick::BailiwickClass;
+use crate::lists::{CrawledDomain, ListKind};
+use dnsttl_analysis::Ecdf;
+use dnsttl_wire::RecordType;
+use std::collections::HashSet;
+
+/// Per-record-type totals for one list (the NS/A/AAAA/… blocks of
+/// Table 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordTypeSummary {
+    /// Record type summarised.
+    pub rtype: RecordType,
+    /// Total records of this type observed.
+    pub total: usize,
+    /// Distinct record values (Table 5 "unique").
+    pub unique: usize,
+    /// Domains with at least one TTL-0 record of this type (Table 8).
+    pub ttl_zero_domains: usize,
+}
+
+impl RecordTypeSummary {
+    /// Table 5's "ratio" row: total / unique (sharing level).
+    pub fn ratio(&self) -> f64 {
+        if self.unique == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.unique as f64
+        }
+    }
+}
+
+/// A full crawl summary for one list.
+#[derive(Debug, Clone)]
+pub struct CrawlSummary {
+    /// Which list.
+    pub kind: ListKind,
+    /// Total domains attempted.
+    pub domains: usize,
+    /// Domains that answered at least one query.
+    pub responsive: usize,
+    /// Per-type record totals.
+    pub per_type: Vec<RecordTypeSummary>,
+    /// Table 9: domains answering NS with CNAME.
+    pub cname_on_ns: usize,
+    /// Table 9: domains answering NS with SOA.
+    pub soa_on_ns: usize,
+    /// Table 9: domains with usable NS answers.
+    pub responds_ns: usize,
+    /// Table 9: bailiwick split (out-only, in-only, mixed).
+    pub out_only: usize,
+    /// In-bailiwick-only NS sets.
+    pub in_only: usize,
+    /// Mixed NS sets.
+    pub mixed: usize,
+}
+
+/// The record types Table 5 reports.
+pub const CRAWLED_TYPES: [RecordType; 6] = [
+    RecordType::NS,
+    RecordType::A,
+    RecordType::AAAA,
+    RecordType::MX,
+    RecordType::DNSKEY,
+    RecordType::CNAME,
+];
+
+/// Summarises a crawled population.
+pub fn summarize(kind: ListKind, domains: &[CrawledDomain]) -> CrawlSummary {
+    let mut per_type = Vec::new();
+    for rtype in CRAWLED_TYPES {
+        let mut total = 0usize;
+        let mut unique: HashSet<&str> = HashSet::new();
+        let mut ttl_zero_domains = 0usize;
+        for d in domains {
+            let mut any_zero = false;
+            for r in d.records_of(rtype) {
+                total += 1;
+                unique.insert(r.value.as_str());
+                any_zero |= r.ttl == 0;
+            }
+            ttl_zero_domains += any_zero as usize;
+        }
+        per_type.push(RecordTypeSummary {
+            rtype,
+            total,
+            unique: unique.len(),
+            ttl_zero_domains,
+        });
+    }
+
+    let responsive = domains.iter().filter(|d| d.responsive).count();
+    let cname_on_ns = domains.iter().filter(|d| d.cname_on_ns).count();
+    let soa_on_ns = domains.iter().filter(|d| d.soa_on_ns).count();
+    let mut out_only = 0;
+    let mut in_only = 0;
+    let mut mixed = 0;
+    for d in domains {
+        match d.bailiwick {
+            Some(BailiwickClass::OutOnly) => out_only += 1,
+            Some(BailiwickClass::InOnly) => in_only += 1,
+            Some(BailiwickClass::Mixed) => mixed += 1,
+            None => {}
+        }
+    }
+
+    CrawlSummary {
+        kind,
+        domains: domains.len(),
+        responsive,
+        per_type,
+        cname_on_ns,
+        soa_on_ns,
+        responds_ns: out_only + in_only + mixed,
+        out_only,
+        in_only,
+        mixed,
+    }
+}
+
+/// TTL ECDF of one record type over a population (Figure 9 series).
+pub fn ttl_ecdf(domains: &[CrawledDomain], rtype: RecordType) -> Ecdf {
+    Ecdf::from_u64(
+        domains
+            .iter()
+            .flat_map(|d| d.records_of(rtype))
+            .map(|r| r.ttl as u64),
+    )
+}
+
+/// Median TTL (hours) of one record type within a content category —
+/// Table 7's cells.
+pub fn median_ttl_hours(
+    domains: &[CrawledDomain],
+    rtype: RecordType,
+    category: crate::content::ContentCategory,
+) -> Option<f64> {
+    let e = Ecdf::from_u64(
+        domains
+            .iter()
+            .filter(|d| d.category == Some(category))
+            .flat_map(|d| d.records_of(rtype))
+            .map(|r| r.ttl as u64),
+    );
+    if e.is_empty() {
+        None
+    } else {
+        Some(e.median() / 3_600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lists::ListSpec;
+    use dnsttl_netsim::SimRng;
+
+    fn crawl(kind: ListKind, size: usize) -> (Vec<CrawledDomain>, CrawlSummary) {
+        let mut rng = SimRng::seed_from(7);
+        let domains = ListSpec { kind, size }.generate(&mut rng);
+        let summary = summarize(kind, &domains);
+        (domains, summary)
+    }
+
+    #[test]
+    fn summary_accounting_is_consistent() {
+        let (domains, s) = crawl(ListKind::Alexa, 8_000);
+        assert_eq!(s.domains, 8_000);
+        assert_eq!(
+            s.responsive,
+            domains.iter().filter(|d| d.responsive).count()
+        );
+        assert_eq!(s.responds_ns, s.out_only + s.in_only + s.mixed);
+        assert!(s.responds_ns <= s.responsive);
+    }
+
+    #[test]
+    fn ns_sharing_ratio_is_high() {
+        let (_, s) = crawl(ListKind::Nl, 30_000);
+        let ns = s.per_type.iter().find(|t| t.rtype == RecordType::NS).unwrap();
+        // Paper: 190 at full scale; scaled-down pools preserve heavy
+        // sharing (ratio well above A records').
+        let a = s.per_type.iter().find(|t| t.rtype == RecordType::A).unwrap();
+        assert!(ns.ratio() > a.ratio(), "ns {} vs a {}", ns.ratio(), a.ratio());
+        assert!(ns.ratio() > 3.0);
+    }
+
+    #[test]
+    fn ttl_zero_exists_but_rare() {
+        let (_, s) = crawl(ListKind::Alexa, 30_000);
+        let ns = s.per_type.iter().find(|t| t.rtype == RecordType::NS).unwrap();
+        assert!(ns.ttl_zero_domains > 0, "Table 8 expects some TTL-0 NS");
+        assert!((ns.ttl_zero_domains as f64) < 0.02 * 30_000.0);
+    }
+
+    #[test]
+    fn figure9_shapes_hold() {
+        let (alexa, _) = crawl(ListKind::Alexa, 20_000);
+        let (root, _) = crawl(ListKind::Root, 1_562);
+        let (umbrella, _) = crawl(ListKind::Umbrella, 20_000);
+
+        // Root NS: ~80% at 1–2 days.
+        let root_ns = ttl_ecdf(&root, RecordType::NS);
+        let long = 1.0 - root_ns.fraction_leq(86_399.0);
+        assert!((0.7..0.95).contains(&long), "root long NS fraction {long}");
+
+        // Umbrella NS: ~25% under a minute.
+        let umb_ns = ttl_ecdf(&umbrella, RecordType::NS);
+        let sub_min = umb_ns.fraction_leq(60.0);
+        assert!((0.18..0.35).contains(&sub_min), "umbrella sub-minute {sub_min}");
+
+        // A records are shorter than NS records (medians).
+        let alexa_ns = ttl_ecdf(&alexa, RecordType::NS);
+        let alexa_a = ttl_ecdf(&alexa, RecordType::A);
+        assert!(alexa_a.median() <= alexa_ns.median());
+    }
+
+    #[test]
+    fn table7_parking_has_day_long_ns() {
+        use crate::content::ContentCategory;
+        let (nl, _) = crawl(ListKind::Nl, 30_000);
+        let parking = median_ttl_hours(&nl, RecordType::NS, ContentCategory::Parking).unwrap();
+        let ecommerce = median_ttl_hours(&nl, RecordType::NS, ContentCategory::Ecommerce).unwrap();
+        assert!(parking >= 24.0, "parking median {parking}h");
+        assert!((1.0..=8.0).contains(&ecommerce), "ecommerce median {ecommerce}h");
+    }
+
+    #[test]
+    fn cname_counts_flow_to_summary() {
+        let (_, s) = crawl(ListKind::Umbrella, 10_000);
+        assert!(s.cname_on_ns > 3_000, "cname_on_ns {}", s.cname_on_ns);
+        let cname = s
+            .per_type
+            .iter()
+            .find(|t| t.rtype == RecordType::CNAME)
+            .unwrap();
+        assert_eq!(cname.total, s.cname_on_ns);
+    }
+}

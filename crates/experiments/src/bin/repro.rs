@@ -1,0 +1,149 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                  # everything, paper order
+//! repro fig1 fig2 table2     # a subset
+//! repro --paper-scale all    # full population sizes (slow)
+//! repro --quick fig6         # tiny populations (CI smoke)
+//! repro --seed 7 fig10       # different random world
+//! repro --list               # show available artifact ids
+//! ```
+
+use dnsttl_experiments::{
+    bailiwick_exp, centricity, controlled, crawl_exp, extensions, passive_nl, table1, uy_latency,
+    ExpConfig, Report,
+};
+
+const ARTIFACTS: &[(&str, &str)] = &[
+    ("table1", "a.nic.cl TTLs in parent and child (§3.1)"),
+    ("fig1", "TTL CDFs for .uy-NS / a.nic.uy-A (§3.2)"),
+    ("fig2", "TTL CDF for google.co-NS (§3.3)"),
+    ("table2", "centricity experiment accounting (§3.2–3.3)"),
+    ("fig3", "queries per resolver/qname, .nl passive (§3.4)"),
+    ("fig4", "min interarrival per resolver/qname (§3.4)"),
+    ("fig5", "bailiwick experiment setup (§4.1)"),
+    ("fig6", "in-bailiwick renumbering timeseries (§4.2)"),
+    ("fig7", "out-of-bailiwick renumbering timeseries (§4.3)"),
+    ("fig8", "matched sticky-VP behaviour (§4.5)"),
+    ("table3", "bailiwick experiment accounting (§4)"),
+    ("table4", "sticky resolver classification (§4.4)"),
+    ("table5", "crawl datasets and RR counts (§5.1)"),
+    ("fig9", "TTL CDFs per record type per list (§5.1)"),
+    ("table6", ".nl DMap content categories (§5.1.1)"),
+    ("table7", "median TTL by content category (§5.1.1)"),
+    ("table8", "TTL=0 domains (§5.1.2)"),
+    ("table9", "bailiwick in the wild (§5.1.3)"),
+    ("fig10", ".uy latency before/after TTL change (§5.3)"),
+    ("table10", "controlled TTL experiments (§6.2)"),
+    ("fig11", "latency CDFs, controlled + anycast (§6.2)"),
+    ("ext-offline", "child authoritatives offline (§4.4, extension)"),
+    ("ext-dnssec", "DNSSEC validation vs centricity (§2, extension)"),
+    ("ext-ddos", "TTL vs DDoS survival (§6.1, extension)"),
+    ("ext-hitrate", "analytic cache model validation (extension)"),
+    ("ext-loadbalance", "DNS load-balancing agility vs TTL (§6.1, extension)"),
+    ("ext-negttl", "negative-caching TTL vs typo load (RFC 2308, extension)"),
+    ("ext-secondary", "renumbering propagation via secondaries (extension)"),
+];
+
+/// Which experiment module regenerates an artifact. Artifacts sharing
+/// a module are produced by one run.
+fn module_of(id: &str) -> &'static str {
+    match id {
+        "table1" => "table1",
+        "fig1" | "fig2" | "table2" => "centricity",
+        "fig3" | "fig4" => "passive_nl",
+        "fig5" | "fig6" | "fig7" | "fig8" | "table3" | "table4" => "bailiwick",
+        "table5" | "fig9" | "table6" | "table7" | "table8" | "table9" => "crawl",
+        "fig10" | "fig10a" | "fig10b" => "uy_latency",
+        "table10" | "fig11" | "fig11a" | "fig11b" => "controlled",
+        "ext-offline" | "ext-dnssec" | "ext-ddos" | "ext-hitrate" | "ext-loadbalance"
+        | "ext-negttl" | "ext-secondary" => "extensions",
+        other => {
+            eprintln!("unknown artifact {other:?}; try --list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn produce(module: &str, cfg: &ExpConfig) -> Vec<Report> {
+    match module {
+        "table1" => vec![table1::run(cfg)],
+        "centricity" => centricity::run(cfg),
+        "passive_nl" => passive_nl::run(cfg),
+        "bailiwick" => bailiwick_exp::run(cfg),
+        "crawl" => crawl_exp::run(cfg),
+        "uy_latency" => uy_latency::run(cfg),
+        "controlled" => controlled::run(cfg),
+        "extensions" => extensions::run(cfg),
+        _ => unreachable!("module_of only returns known modules"),
+    }
+}
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                println!("available artifacts:");
+                for (id, desc) in ARTIFACTS {
+                    println!("  {id:<8} {desc}");
+                }
+                return;
+            }
+            "--paper-scale" => cfg = ExpConfig::paper_scale(),
+            "--quick" => cfg = ExpConfig::quick(),
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--seed needs a value");
+                    std::process::exit(2);
+                });
+                cfg.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--probes" => {
+                let v = args.next().unwrap_or_default();
+                cfg.probes = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--probes needs an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--no-csv" => cfg.out_dir = None,
+            "all" => wanted.extend(ARTIFACTS.iter().map(|(id, _)| id.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: repro [--paper-scale|--quick] [--seed N] [--probes N] [--no-csv] <artifact…|all>");
+        eprintln!("       repro --list");
+        std::process::exit(2);
+    }
+
+    // Deduplicate module runs: several artifacts share one experiment.
+    let mut done_modules: Vec<&'static str> = Vec::new();
+    for id in &wanted {
+        let module = module_of(id);
+        if done_modules.contains(&module) {
+            continue;
+        }
+        done_modules.push(module);
+        for report in produce(module, &cfg) {
+            // Only print what was asked for (a module may produce
+            // siblings the user did not request).
+            let asked = wanted.iter().any(|w| report.id.starts_with(w.as_str()));
+            if asked {
+                println!("{}", report.render());
+            }
+        }
+    }
+    if let Some(dir) = &cfg.out_dir {
+        eprintln!("(CSV series written under {})", dir.display());
+    }
+}

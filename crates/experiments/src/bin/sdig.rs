@@ -1,0 +1,181 @@
+//! `sdig` — dig, against the simulated worlds.
+//!
+//! ```text
+//! sdig uy NS                      # resolve via a fresh recursive
+//! sdig a.nic.uy A --parent-centric
+//! sdig --world google-co google.co NS
+//! sdig --world cachetest p1.sub.cachetest.net AAAA --at 4000
+//! sdig uy NS --repeat 3 --every 600   # watch the cache age
+//! ```
+//!
+//! Worlds: `uy` (default; .uy with 300 s/120 s child TTLs),
+//! `uy-after` (both 86400 s), `google-co`, `cachetest`,
+//! `cachetest-out`, `nl`.
+
+use dnsttl_core::ResolverPolicy;
+use dnsttl_experiments::worlds;
+use dnsttl_netsim::{Network, Region, SimRng, SimTime};
+use dnsttl_resolver::{RecursiveResolver, RootHint};
+use dnsttl_wire::{Name, RecordType, Ttl};
+
+struct Options {
+    world: String,
+    qname: Option<Name>,
+    qtype: RecordType,
+    policy: ResolverPolicy,
+    at: u64,
+    repeat: u32,
+    every: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdig [--world uy|uy-after|google-co|cachetest|cachetest-out|nl]\n\
+         \x20           [--parent-centric|--google|--opendns|--validating|--serve-stale]\n\
+         \x20           [--at SECONDS] [--repeat N] [--every SECONDS] <name> [type]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        world: "uy".into(),
+        qname: None,
+        qtype: RecordType::A,
+        policy: ResolverPolicy::default(),
+        at: 0,
+        repeat: 1,
+        every: 600,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut saw_type = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--world" => opts.world = args.next().unwrap_or_else(|| usage()),
+            "--parent-centric" => opts.policy = ResolverPolicy::parent_centric(),
+            "--google" => opts.policy = ResolverPolicy::google_like(),
+            "--opendns" => opts.policy = ResolverPolicy::opendns_like(),
+            "--validating" => opts.policy = ResolverPolicy::validating(),
+            "--serve-stale" => opts.policy = ResolverPolicy::serve_stale_like(),
+            "--at" => {
+                opts.at = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--repeat" => {
+                opts.repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--every" => {
+                opts.every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => {
+                if opts.qname.is_none() {
+                    match Name::parse(other) {
+                        Ok(name) => opts.qname = Some(name),
+                        Err(e) => {
+                            eprintln!("bad name {other:?}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                } else if !saw_type {
+                    saw_type = true;
+                    opts.qtype = match other.to_ascii_uppercase().as_str() {
+                        "A" => RecordType::A,
+                        "AAAA" => RecordType::AAAA,
+                        "NS" => RecordType::NS,
+                        "MX" => RecordType::MX,
+                        "CNAME" => RecordType::CNAME,
+                        "SOA" => RecordType::SOA,
+                        "TXT" => RecordType::TXT,
+                        "DNSKEY" => RecordType::DNSKEY,
+                        t => {
+                            eprintln!("unsupported query type {t:?}");
+                            std::process::exit(2);
+                        }
+                    };
+                } else {
+                    usage();
+                }
+            }
+        }
+    }
+    if opts.qname.is_none() {
+        usage();
+    }
+    opts
+}
+
+fn build_world(name: &str) -> (Network, Vec<RootHint>) {
+    match name {
+        "uy" => worlds::uy_world(Ttl::from_secs(300), Ttl::from_secs(120)),
+        "uy-after" => worlds::uy_world(Ttl::DAY, Ttl::DAY),
+        "google-co" => worlds::google_co_world(),
+        "cachetest" => {
+            let w = worlds::cachetest_world(false);
+            (w.net, w.roots)
+        }
+        "cachetest-out" => {
+            let w = worlds::cachetest_world(true);
+            (w.net, w.roots)
+        }
+        "nl" => {
+            let w = worlds::nl_world();
+            (w.net, w.roots)
+        }
+        other => {
+            eprintln!("unknown world {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let (mut net, roots) = build_world(&opts.world);
+    let qname = opts.qname.expect("validated above");
+
+    let mut resolver = RecursiveResolver::new(
+        "sdig",
+        opts.policy,
+        Region::Eu,
+        4_242,
+        roots,
+        SimRng::seed_from(1),
+    );
+
+    for i in 0..opts.repeat {
+        let at = SimTime::from_secs(opts.at + i as u64 * opts.every);
+        let out = resolver.resolve(&qname, opts.qtype, at, &mut net);
+        println!(
+            ";; world={} t={} policy answered in {} ({} upstream quer{}, {})",
+            opts.world,
+            at,
+            out.elapsed,
+            out.upstream_queries,
+            if out.upstream_queries == 1 { "y" } else { "ies" },
+            if out.cache_hit {
+                "cache hit"
+            } else if out.served_stale {
+                "served stale"
+            } else {
+                "cache miss"
+            },
+        );
+        print!("{}", out.answer);
+        println!();
+    }
+    let s = resolver.stats();
+    println!(
+        ";; session: {} queries, {} hits, {} upstream, {} timeouts, {} servfails",
+        s.client_queries, s.cache_hits, s.upstream_queries, s.timeouts, s.servfails
+    );
+}

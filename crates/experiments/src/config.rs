@@ -1,0 +1,98 @@
+//! Experiment configuration.
+
+use std::path::PathBuf;
+
+/// Shared knobs for all experiments.
+///
+/// Defaults run every experiment in seconds-to-a-minute each at
+/// reduced-but-faithful scale; [`ExpConfig::paper_scale`] matches the
+/// paper's populations (minutes per experiment); [`ExpConfig::quick`]
+/// is for unit/integration tests.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Master seed; every experiment forks its own stream from it.
+    pub seed: u64,
+    /// Atlas-style probe population (paper: ~9 000).
+    pub probes: usize,
+    /// Fraction of the full list sizes used by the §5 crawls.
+    pub crawl_scale: f64,
+    /// Resolver population for the passive `.nl` study (paper: 205k
+    /// resolver IPs).
+    pub nl_resolvers: usize,
+    /// Observation window for the passive `.nl` study, hours
+    /// (paper: 48).
+    pub nl_hours: u64,
+    /// Where to write CSV series; `None` disables file output.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExpConfig {
+    fn default() -> ExpConfig {
+        ExpConfig {
+            seed: 42,
+            probes: 3_000,
+            crawl_scale: 0.02,
+            nl_resolvers: 6_000,
+            nl_hours: 48,
+            out_dir: Some(PathBuf::from("target/experiments")),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Paper-scale populations (slow; use `--release`).
+    pub fn paper_scale() -> ExpConfig {
+        ExpConfig {
+            probes: 9_000,
+            crawl_scale: 1.0,
+            nl_resolvers: 205_000,
+            ..ExpConfig::default()
+        }
+    }
+
+    /// Tiny populations for tests.
+    pub fn quick() -> ExpConfig {
+        ExpConfig {
+            probes: 400,
+            crawl_scale: 0.005,
+            nl_resolvers: 800,
+            nl_hours: 24,
+            out_dir: None,
+            ..ExpConfig::default()
+        }
+    }
+
+    /// The seed for a named sub-experiment, derived deterministically.
+    pub fn seed_for(&self, tag: &str) -> u64 {
+        let mut h: u64 = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for b in tag.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_tag_but_are_stable() {
+        let cfg = ExpConfig::default();
+        assert_ne!(cfg.seed_for("fig1"), cfg.seed_for("fig2"));
+        assert_eq!(cfg.seed_for("fig1"), cfg.seed_for("fig1"));
+        let other = ExpConfig {
+            seed: 43,
+            ..ExpConfig::default()
+        };
+        assert_ne!(cfg.seed_for("fig1"), other.seed_for("fig1"));
+    }
+
+    #[test]
+    fn quick_is_smaller_than_default() {
+        let q = ExpConfig::quick();
+        let d = ExpConfig::default();
+        assert!(q.probes < d.probes);
+        assert!(q.out_dir.is_none());
+    }
+}

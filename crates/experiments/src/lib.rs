@@ -1,0 +1,53 @@
+//! # dnsttl-experiments — the paper's evaluation, regenerated
+//!
+//! One module per artifact of *Cache Me If You Can* (IMC 2019):
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`table1`] | Table 1 — `a.nic.cl` TTLs at parent and child |
+//! | [`centricity`] | Figures 1–2 and Table 2 — resolver centricity from Atlas VPs |
+//! | [`passive_nl`] | Figures 3–4 — passive `.nl` resolver classification |
+//! | [`bailiwick_exp`] | Figure 5–8, Tables 3–4 — in/out-of-bailiwick renumbering |
+//! | [`crawl_exp`] | Table 5, Figure 9, Tables 6–9 — TTLs in the wild |
+//! | [`uy_latency`] | Figure 10 — `.uy` before/after the TTL change |
+//! | [`controlled`] | Table 10, Figure 11 — controlled TTL & anycast latency |
+//! | [`extensions`] | beyond the figures: §4.4 offline-child, §2 DNSSEC centricity, §6.1 DDoS survival, analytic-model validation |
+//!
+//! Each `run(&ExpConfig)` returns a [`Report`]: printable text (tables
+//! and ASCII CDFs), a machine-readable metric map used by the test
+//! suite to assert the paper's qualitative findings, and optional CSV
+//! dumps under `target/experiments/`.
+//!
+//! The `repro` binary runs any subset: `repro fig1 table10`, or
+//! `repro all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bailiwick_exp;
+pub mod centricity;
+pub mod extensions;
+pub mod config;
+pub mod controlled;
+pub mod crawl_exp;
+pub mod passive_nl;
+pub mod report;
+pub mod table1;
+pub mod uy_latency;
+pub mod worlds;
+
+pub use config::ExpConfig;
+pub use report::Report;
+
+/// Runs every experiment, in paper order.
+pub fn run_all(cfg: &ExpConfig) -> Vec<Report> {
+    let mut reports = vec![table1::run(cfg)];
+    reports.extend(centricity::run(cfg));
+    reports.extend(passive_nl::run(cfg));
+    reports.extend(bailiwick_exp::run(cfg));
+    reports.extend(crawl_exp::run(cfg));
+    reports.extend(uy_latency::run(cfg));
+    reports.extend(controlled::run(cfg));
+    reports.extend(extensions::run(cfg));
+    reports
+}

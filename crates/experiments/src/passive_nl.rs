@@ -1,0 +1,228 @@
+//! Figures 3–4: passive classification of `.nl` resolvers.
+//!
+//! The paper gathers two days of queries at two of `.nl`'s four
+//! authoritative servers and groups them by (resolver, query-name),
+//! where the query names are the NS hosts' A records — published with
+//! 172 800 s glue at the root but only 3 600 s in the child zone.
+//! Child-centric resolvers re-fetch hourly (many queries per group,
+//! minimum interarrivals bunched at multiples of 3 600 s); resolvers
+//! that honour the glue, rotate to unobserved servers, or simply have
+//! no demand show up once.
+//!
+//! Here a resolver population with heavy-tailed client demand drives
+//! the same query stream through the simulated `.nl`, and the same
+//! grouping is applied to the logs of the two observed servers.
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use crate::worlds;
+use dnsttl_analysis::{ascii_cdf_multi, group_by, min_interarrival, CsvWriter, Ecdf};
+use dnsttl_core::PolicyMix;
+use dnsttl_netsim::{EventQueue, SimDuration, SimRng, SimTime};
+use dnsttl_resolver::RecursiveResolver;
+use dnsttl_wire::RecordType;
+
+/// Runs the passive `.nl` study; returns fig3 and fig4.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let mut world = worlds::nl_world();
+    let mut rng = SimRng::seed_from(cfg.seed_for("passive-nl"));
+
+    // Build the resolver population with the paper's policy mixture.
+    // A slice of "resolvers" are actually farms: several independent
+    // caches NATed behind one source address ([48]'s complex recursive
+    // infrastructure). Their interleaved caches are what produces the
+    // sub-hour minimum interarrivals of Figure 4.
+    let mix = PolicyMix::paper_population();
+    let weights = mix.weights();
+    let mut resolvers: Vec<RecursiveResolver> = Vec::with_capacity(cfg.nl_resolvers);
+    let mut source_tag: u64 = 0;
+    for i in 0..cfg.nl_resolvers {
+        // 12% of caches join the previous source's farm.
+        if i == 0 || !rng.chance(0.12) {
+            source_tag = i as u64;
+        }
+        resolvers.push(RecursiveResolver::new(
+            format!("nl-res-{i}"),
+            mix.policy(rng.weighted_index(&weights)).clone(),
+            dnsttl_netsim::Region::ALL
+                [rng.weighted_index(&dnsttl_netsim::Region::atlas_weights())],
+            source_tag,
+            world.roots.clone(),
+            rng.fork(i as u64),
+        ));
+    }
+
+    // Heavy-tailed demand: most resolvers need `.nl` rarely, some
+    // constantly (the paper's 205k resolver IPs range from stub-like
+    // forwarders to ISP caches; §3.4 finds ~48% of groups with a
+    // single query in two days). Per-resolver mean interarrival is
+    // log-normal with a wide sigma: the median resolver shows up a
+    // handful of times, the busy head hourly.
+    let duration = SimDuration::from_hours(cfg.nl_hours);
+    struct Demand {
+        resolver: usize,
+        qname_idx: usize,
+    }
+    let mut queue: EventQueue<Demand> = EventQueue::new();
+    let mut mean_gap_ms: Vec<u64> = Vec::with_capacity(resolvers.len());
+    for i in 0..resolvers.len() {
+        let mean = rng.log_normal(10.1, 2.4); // seconds; median ~6.7 h
+        let gap = (mean * 1_000.0).clamp(30_000.0, 2.0e8) as u64;
+        mean_gap_ms.push(gap);
+        let first = rng.below(gap.max(1));
+        queue.schedule(
+            SimTime::from_millis(first),
+            Demand {
+                resolver: i,
+                qname_idx: rng.below(world.ns_host_names.len() as u64) as usize,
+            },
+        );
+    }
+
+    // Exponential interarrivals around each resolver's mean.
+    let exp_gap = |rng: &mut SimRng, mean_ms: u64| -> u64 {
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        ((-u.ln()) * mean_ms as f64).clamp(1_000.0, 4.0e8) as u64
+    };
+
+    let end = SimTime::ZERO + duration;
+    let mut total_demand = 0u64;
+    while let Some((now, d)) = queue.pop() {
+        if now >= end {
+            continue;
+        }
+        total_demand += 1;
+        let qname = world.ns_host_names[d.qname_idx].clone();
+        let r = &mut resolvers[d.resolver];
+        let _ = r.resolve(&qname, RecordType::A, now, &mut world.net);
+        let gap = exp_gap(&mut rng, mean_gap_ms[d.resolver]);
+        queue.schedule(
+            now + SimDuration::from_millis(gap),
+            Demand {
+                resolver: d.resolver,
+                qname_idx: rng.below(world.ns_host_names.len() as u64) as usize,
+            },
+        );
+    }
+
+    // Collect the two observed servers' logs and group by
+    // (resolver tag, qname) — the paper's 368k groups.
+    let mut events: Vec<((u64, String), u64)> = Vec::new();
+    for server in &world.logged {
+        for entry in server.borrow().log().entries() {
+            events.push((
+                (entry.client.tag, entry.qname.to_string()),
+                entry.at.as_secs(),
+            ));
+        }
+    }
+    let groups = group_by(events);
+
+    let counts: Vec<u64> = groups.values().map(|v| v.len() as u64).collect();
+    let single = counts.iter().filter(|&&c| c == 1).count() as f64 / counts.len().max(1) as f64;
+
+    // Figure 3: CDF of queries per group, all vs retransmission-filtered
+    // (the paper's 2 s filter changes nothing; we include it anyway).
+    let filtered_counts: Vec<u64> = groups
+        .values()
+        .map(|times| {
+            let mut kept = 1u64;
+            for w in times.windows(2) {
+                if w[1] - w[0] >= 2 {
+                    kept += 1;
+                }
+            }
+            kept
+        })
+        .collect();
+
+    let mut fig3 = Report::new("fig3", "CDF of A queries per resolver/query-name (.nl, 2 days)");
+    let all = Ecdf::from_u64(counts.iter().copied());
+    let filt = Ecdf::from_u64(filtered_counts.iter().copied());
+    fig3.push(ascii_cdf_multi(&[("all", &all), ("filtered >2s", &filt)], 64, 12));
+    fig3.push(format!("groups: {}   demand events: {total_demand}", groups.len()));
+    fig3.push(format!(
+        "single-query groups: {:.1}% (paper: ~48%)   multi-query (child-centric evidence): {:.1}%",
+        single * 100.0,
+        (1.0 - single) * 100.0
+    ));
+    fig3.metric("groups", groups.len() as f64);
+    fig3.metric("frac_single_query", single);
+    fig3.metric("median_queries_per_group", all.median());
+    if let Some(dir) = &cfg.out_dir {
+        let mut w = CsvWriter::new(dir.join("fig3_queries_per_group_cdf.csv"), &["queries", "cdf"]);
+        for (x, y) in all.points() {
+            w.row_display(&[x, y]);
+        }
+        let _ = w.finish();
+    }
+
+    // Figure 4: CDF of minimum interarrival per multi-query group;
+    // bumps at multiples of the child's 3600 s TTL.
+    let mins: Vec<u64> = groups
+        .values()
+        .filter_map(|times| min_interarrival(times, 2))
+        .collect();
+    let mut fig4 = Report::new(
+        "fig4",
+        "CDF of minimum interarrival time of A queries per resolver/query-name",
+    );
+    let min_ecdf = Ecdf::from_u64(mins.iter().copied());
+    if !min_ecdf.is_empty() {
+        fig4.push(ascii_cdf_multi(&[("min interarrival", &min_ecdf)], 64, 12));
+        fig4.push(format!("min-interarrival summary (s): {}", min_ecdf.summary()));
+    }
+    // The 1-hour bump: mass within ±10% of 3600 s.
+    let hour_bump = mins
+        .iter()
+        .filter(|&&m| (3_240..=3_960).contains(&m))
+        .count() as f64
+        / mins.len().max(1) as f64;
+    let sub_hour = min_ecdf
+        .samples()
+        .iter()
+        .filter(|&&m| m < 3_240.0)
+        .count() as f64
+        / mins.len().max(1) as f64;
+    fig4.push(format!(
+        "mass at ~1h (child TTL): {:.1}%   below 1h: {:.1}%",
+        hour_bump * 100.0,
+        sub_hour * 100.0
+    ));
+    fig4.metric("hour_bump_fraction", hour_bump);
+    fig4.metric("groups_with_multi", mins.len() as f64);
+    if let Some(dir) = &cfg.out_dir {
+        let mut w = CsvWriter::new(dir.join("fig4_min_interarrival_cdf.csv"), &["seconds", "cdf"]);
+        for (x, y) in min_ecdf.points() {
+            w.row_display(&[x, y]);
+        }
+        let _ = w.finish();
+    }
+
+    vec![fig3, fig4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nl_classification_shapes() {
+        let cfg = ExpConfig::quick();
+        let reports = run(&cfg);
+        let fig3 = &reports[0];
+        assert!(fig3.get("groups") > 100.0, "groups {}", fig3.get("groups"));
+        // A substantial single-query mass AND a substantial multi-query
+        // (child-centric) mass, as in the paper's ~48/52 split.
+        let single = fig3.get("frac_single_query");
+        assert!((0.05..0.90).contains(&single), "single {single}");
+
+        let fig4 = &reports[1];
+        // Figure 4's signature: a bump at the child's one-hour TTL.
+        assert!(
+            fig4.get("hour_bump_fraction") > 0.15,
+            "hour bump {}",
+            fig4.get("hour_bump_fraction")
+        );
+    }
+}

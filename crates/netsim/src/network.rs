@@ -1,0 +1,542 @@
+//! The message fabric: servers, addresses, anycast, and exchanges.
+//!
+//! A [`Network`] owns every DNS server in an experiment, keyed by IP
+//! address. Resolvers perform *exchanges*: one query/response round trip
+//! whose RTT is sampled from the [`LatencyModel`], with optional loss and
+//! per-address online/offline state (the paper's `zurrundedu-offline`
+//! experiment takes child authoritatives down while leaving the parent
+//! up). Anycast addresses map to several sites in different regions, and
+//! clients reach the site with the lowest median RTT — the BGP-like
+//! behaviour behind the paper's Route53 comparison (Figure 11b).
+//!
+//! Queries and responses pass through the real wire codec on every
+//! exchange, so anything a server emits must be a legal DNS packet.
+
+use crate::latency::{LatencyModel, Region};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use dnsttl_wire::{decode_message, encode_message, Message};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::rc::Rc;
+
+/// The address a DNS service listens on. Plain `IpAddr`, re-exported
+/// under a protocol-flavoured alias for readability at call sites.
+pub type ServiceAddr = IpAddr;
+
+/// Identity of a querying client as a server perceives it: the region it
+/// queries from and an opaque tag (one per simulated source address).
+/// Passive-measurement experiments group query logs by this, exactly as
+/// the paper groups `.nl` traffic by resolver source IP (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId {
+    /// Region the query arrived from.
+    pub region: Region,
+    /// Opaque per-source tag (the simulation's stand-in for a source IP).
+    pub tag: u64,
+}
+
+/// A DNS server attached to the network.
+///
+/// Implemented by authoritative servers in `dnsttl-auth` (and by test
+/// doubles). Servers are synchronous: one query in, one response out.
+pub trait DnsService {
+    /// Handles one query from `client`, producing a response.
+    fn handle_query(&mut self, query: &Message, client: ClientId, now: SimTime) -> Message;
+}
+
+/// A shared handle to a service; the simulation is single-threaded, so
+/// `Rc<RefCell<…>>` is the right tool (no locks, no atomics).
+pub type ServiceHandle = Rc<RefCell<dyn DnsService>>;
+
+/// Transport for one exchange.
+///
+/// Classic DNS over UDP truncates responses above 512 octets
+/// (RFC 1035 §4.2.1), setting the TC bit; clients then retry over TCP,
+/// paying an extra round trip for the handshake. The simulation models
+/// exactly that: [`Transport::Udp`] enforces the limit,
+/// [`Transport::Tcp`] carries any size at double the RTT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Datagram transport with the classic 512-octet payload limit.
+    Udp,
+    /// Stream transport: unlimited payload, one extra RTT of handshake.
+    Tcp,
+}
+
+/// The classic UDP payload limit (RFC 1035 §4.2.1).
+pub const UDP_PAYLOAD_LIMIT: usize = 512;
+
+struct Site {
+    region: Region,
+    service: ServiceHandle,
+}
+
+struct Endpoint {
+    sites: Vec<Site>,
+    online: bool,
+    queries_received: u64,
+    /// Distinct sources are approximated by the count of distinct
+    /// `(client_region, client_tag)` pairs observed.
+    sources: std::collections::HashSet<(Region, u64)>,
+}
+
+/// Result of one query/response exchange.
+#[derive(Debug, Clone)]
+pub enum ExchangeOutcome {
+    /// The server answered.
+    Response {
+        /// The decoded response message.
+        message: Message,
+        /// Sampled round-trip time for this exchange.
+        rtt: SimDuration,
+    },
+    /// No answer: packet loss, an offline server, or an unknown address.
+    /// The caller observes `elapsed` (its retransmission timeout).
+    Timeout {
+        /// How long the caller waited before giving up on this exchange.
+        elapsed: SimDuration,
+    },
+}
+
+impl ExchangeOutcome {
+    /// The response message, if any.
+    pub fn response(&self) -> Option<&Message> {
+        match self {
+            ExchangeOutcome::Response { message, .. } => Some(message),
+            ExchangeOutcome::Timeout { .. } => None,
+        }
+    }
+
+    /// Time the exchange consumed, whether it succeeded or not.
+    pub fn elapsed(&self) -> SimDuration {
+        match self {
+            ExchangeOutcome::Response { rtt, .. } => *rtt,
+            ExchangeOutcome::Timeout { elapsed } => *elapsed,
+        }
+    }
+}
+
+/// The network fabric for one experiment.
+pub struct Network {
+    endpoints: HashMap<ServiceAddr, Endpoint>,
+    latency: LatencyModel,
+    /// How long a client waits for a lost packet before retrying.
+    pub query_timeout: SimDuration,
+}
+
+impl Network {
+    /// A network with the given latency model and a 2 s query timeout
+    /// (a common resolver default).
+    pub fn new(latency: LatencyModel) -> Network {
+        Network {
+            endpoints: HashMap::new(),
+            latency,
+            query_timeout: SimDuration::from_secs(2),
+        }
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Registers a unicast server at `addr` in `region`.
+    pub fn register(&mut self, addr: ServiceAddr, region: Region, service: ServiceHandle) {
+        self.endpoints.insert(
+            addr,
+            Endpoint {
+                sites: vec![Site { region, service }],
+                online: true,
+                queries_received: 0,
+                sources: Default::default(),
+            },
+        );
+    }
+
+    /// Registers an anycast address backed by one site per region given.
+    /// All sites share the same service state (like a replicated zone).
+    pub fn register_anycast(
+        &mut self,
+        addr: ServiceAddr,
+        regions: &[Region],
+        service: ServiceHandle,
+    ) {
+        self.endpoints.insert(
+            addr,
+            Endpoint {
+                sites: regions
+                    .iter()
+                    .map(|&region| Site {
+                        region,
+                        service: service.clone(),
+                    })
+                    .collect(),
+                online: true,
+                queries_received: 0,
+                sources: Default::default(),
+            },
+        );
+    }
+
+    /// Marks a server reachable or unreachable without unregistering it.
+    pub fn set_online(&mut self, addr: ServiceAddr, online: bool) {
+        if let Some(ep) = self.endpoints.get_mut(&addr) {
+            ep.online = online;
+        }
+    }
+
+    /// True if the address is registered and currently online.
+    pub fn is_online(&self, addr: ServiceAddr) -> bool {
+        self.endpoints.get(&addr).map(|e| e.online).unwrap_or(false)
+    }
+
+    /// Queries received by `addr` so far (for Table 10's authoritative-
+    /// side accounting).
+    pub fn queries_received(&self, addr: ServiceAddr) -> u64 {
+        self.endpoints
+            .get(&addr)
+            .map(|e| e.queries_received)
+            .unwrap_or(0)
+    }
+
+    /// Distinct querying sources seen by `addr` (Table 10's
+    /// "Querying IPs" row).
+    pub fn distinct_sources(&self, addr: ServiceAddr) -> usize {
+        self.endpoints.get(&addr).map(|e| e.sources.len()).unwrap_or(0)
+    }
+
+    /// The anycast catchment of an address: for each client region,
+    /// the site region BGP-like routing selects (lowest median RTT).
+    /// Unicast addresses map every client to their single site;
+    /// unknown addresses yield `None`.
+    pub fn catchment(&self, addr: ServiceAddr) -> Vec<(Region, Option<Region>)> {
+        Region::ALL
+            .iter()
+            .map(|&client| {
+                let site = self.endpoints.get(&addr).and_then(|ep| {
+                    ep.sites
+                        .iter()
+                        .min_by(|a, b| {
+                            self.latency
+                                .median_ms(client, a.region)
+                                .total_cmp(&self.latency.median_ms(client, b.region))
+                        })
+                        .map(|s| s.region)
+                });
+                (client, site)
+            })
+            .collect()
+    }
+
+    /// Performs one query/response exchange from a client in
+    /// `client_region` (identified for source accounting by
+    /// `client_tag`) to the server at `server`.
+    ///
+    /// The query is wire-encoded and decoded on both legs; a server that
+    /// produced an un-encodable message would surface here as a bug, not
+    /// be papered over.
+    pub fn exchange(
+        &mut self,
+        client_region: Region,
+        client_tag: u64,
+        server: ServiceAddr,
+        query: &Message,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ExchangeOutcome {
+        self.exchange_with(
+            client_region,
+            client_tag,
+            server,
+            query,
+            now,
+            rng,
+            Transport::Udp,
+        )
+    }
+
+    /// [`Network::exchange`] with an explicit transport. Over UDP,
+    /// responses larger than [`UDP_PAYLOAD_LIMIT`] are truncated (TC
+    /// bit set, record sections emptied); over TCP the handshake costs
+    /// an extra sampled round trip.
+    #[allow(clippy::too_many_arguments)]
+    pub fn exchange_with(
+        &mut self,
+        client_region: Region,
+        client_tag: u64,
+        server: ServiceAddr,
+        query: &Message,
+        now: SimTime,
+        rng: &mut SimRng,
+        transport: Transport,
+    ) -> ExchangeOutcome {
+        let timeout = self.query_timeout;
+        let Some(ep) = self.endpoints.get_mut(&server) else {
+            return ExchangeOutcome::Timeout { elapsed: timeout };
+        };
+        if !ep.online {
+            return ExchangeOutcome::Timeout { elapsed: timeout };
+        }
+        if self.latency.sample_loss(rng) {
+            return ExchangeOutcome::Timeout { elapsed: timeout };
+        }
+        // Anycast: BGP-like stable routing to the site with the lowest
+        // median RTT from the client's region.
+        let site = ep
+            .sites
+            .iter()
+            .min_by(|a, b| {
+                self.latency
+                    .median_ms(client_region, a.region)
+                    .total_cmp(&self.latency.median_ms(client_region, b.region))
+            })
+            .expect("endpoint has at least one site");
+        ep.queries_received += 1;
+        ep.sources.insert((client_region, client_tag));
+
+        let wire = encode_message(query).expect("query must encode");
+        let query = decode_message(&wire).expect("encoded query must decode");
+        let client = ClientId {
+            region: client_region,
+            tag: client_tag,
+        };
+        let response = site.service.borrow_mut().handle_query(&query, client, now);
+        let wire = encode_message(&response).expect("response must encode");
+        let mut response = decode_message(&wire).expect("encoded response must decode");
+
+        if transport == Transport::Udp && wire.len() > UDP_PAYLOAD_LIMIT {
+            // RFC 1035 §4.2.1: truncate and set TC; the client retries
+            // over TCP.
+            response.header.truncated = true;
+            response.answers.clear();
+            response.authorities.clear();
+            response.additionals.clear();
+        }
+
+        let mut rtt = self.latency.sample_rtt(client_region, site.region, rng);
+        if transport == Transport::Tcp {
+            // Handshake before the query round trip.
+            rtt = rtt + self.latency.sample_rtt(client_region, site.region, rng);
+        }
+        ExchangeOutcome::Response {
+            message: response,
+            rtt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnsttl_wire::{Name, RData, Rcode, Record, RecordType, Ttl};
+    use std::net::Ipv4Addr;
+
+    /// Echo server: answers every query with a fixed A record.
+    struct Fixed {
+        answer: Ipv4Addr,
+    }
+
+    impl DnsService for Fixed {
+        fn handle_query(&mut self, query: &Message, _client: ClientId, _now: SimTime) -> Message {
+            let mut r = Message::response_to(query);
+            r.header.authoritative = true;
+            r.header.rcode = Rcode::NoError;
+            if let Some(q) = query.question() {
+                r.answers.push(Record::new(
+                    q.qname.clone(),
+                    Ttl::MINUTE,
+                    RData::A(self.answer),
+                ));
+            }
+            r
+        }
+    }
+
+    fn addr(last: u8) -> ServiceAddr {
+        IpAddr::V4(Ipv4Addr::new(192, 0, 2, last))
+    }
+
+    fn query() -> Message {
+        Message::iterative_query(1, Name::parse("x.example").unwrap(), RecordType::A)
+    }
+
+    #[test]
+    fn unicast_exchange_round_trips() {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::new(203, 0, 113, 7),
+        }));
+        net.register(addr(1), Region::Eu, svc);
+        let mut rng = SimRng::seed_from(1);
+        let out = net.exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng);
+        let msg = out.response().expect("response");
+        assert_eq!(msg.answers.len(), 1);
+        assert_eq!(out.elapsed(), SimDuration::from_millis(10));
+        assert_eq!(net.queries_received(addr(1)), 1);
+        assert_eq!(net.distinct_sources(addr(1)), 1);
+    }
+
+    #[test]
+    fn unknown_address_times_out() {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let mut rng = SimRng::seed_from(1);
+        let out = net.exchange(Region::Eu, 0, addr(9), &query(), SimTime::ZERO, &mut rng);
+        assert!(out.response().is_none());
+        assert_eq!(out.elapsed(), net.query_timeout);
+    }
+
+    #[test]
+    fn offline_server_times_out_and_recovers() {
+        let mut net = Network::new(LatencyModel::constant(5.0));
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register(addr(1), Region::Eu, svc);
+        net.set_online(addr(1), false);
+        let mut rng = SimRng::seed_from(2);
+        assert!(net
+            .exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng)
+            .response()
+            .is_none());
+        net.set_online(addr(1), true);
+        assert!(net
+            .exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng)
+            .response()
+            .is_some());
+    }
+
+    #[test]
+    fn anycast_routes_to_nearest_site() {
+        let mut net = Network::new(LatencyModel::internet().with_loss(0.0).with_sigma(0.0));
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register_anycast(addr(1), &[Region::Eu, Region::Na, Region::As], svc);
+        let mut rng = SimRng::seed_from(3);
+        // A NA client should reach the NA site: ~18 ms intra-region
+        // median, far below EU (95) or AS (170).
+        let out = net.exchange(Region::Na, 0, addr(1), &query(), SimTime::ZERO, &mut rng);
+        let ms = out.elapsed().as_millis();
+        assert!((15..=25).contains(&ms), "rtt {ms}ms should be intra-NA");
+    }
+
+    #[test]
+    fn catchment_maps_clients_to_nearest_sites() {
+        let mut net = Network::new(LatencyModel::internet());
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register_anycast(addr(1), &[Region::Eu, Region::Na], svc.clone());
+        let catchment = net.catchment(addr(1));
+        let site_of = |r: Region| {
+            catchment
+                .iter()
+                .find(|(c, _)| *c == r)
+                .and_then(|(_, s)| *s)
+                .unwrap()
+        };
+        assert_eq!(site_of(Region::Eu), Region::Eu);
+        assert_eq!(site_of(Region::Na), Region::Na);
+        assert_eq!(site_of(Region::Af), Region::Eu, "AF→EU is the shorter path");
+        assert_eq!(site_of(Region::Sa), Region::Na, "SA→NA is the shorter path");
+        // Unicast: everyone lands on the single site.
+        net.register(addr(2), Region::Oc, svc);
+        assert!(net.catchment(addr(2)).iter().all(|(_, s)| *s == Some(Region::Oc)));
+        // Unknown address: no site.
+        assert!(net.catchment(addr(9)).iter().all(|(_, s)| s.is_none()));
+    }
+
+    #[test]
+    fn loss_produces_timeouts_at_expected_rate() {
+        let mut net = Network::new(LatencyModel::constant(5.0).with_loss(0.25));
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register(addr(1), Region::Eu, svc);
+        let mut rng = SimRng::seed_from(4);
+        let n = 10_000;
+        let timeouts = (0..n)
+            .filter(|_| {
+                net.exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng)
+                    .response()
+                    .is_none()
+            })
+            .count();
+        let rate = timeouts as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    /// A server whose answers exceed the UDP limit.
+    struct Chunky;
+
+    impl DnsService for Chunky {
+        fn handle_query(&mut self, query: &Message, _client: ClientId, _now: SimTime) -> Message {
+            let mut r = Message::response_to(query);
+            r.header.authoritative = true;
+            if let Some(q) = query.question() {
+                for i in 0..40u8 {
+                    r.answers.push(Record::new(
+                        q.qname.clone(),
+                        Ttl::MINUTE,
+                        RData::A(Ipv4Addr::new(203, 0, 113, i)),
+                    ));
+                }
+            }
+            r
+        }
+    }
+
+    #[test]
+    fn oversize_udp_responses_truncate_and_tcp_carries_them() {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        net.register(addr(1), Region::Eu, Rc::new(RefCell::new(Chunky)));
+        let mut rng = SimRng::seed_from(6);
+        let udp = net.exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng);
+        let msg = udp.response().unwrap();
+        assert!(msg.header.truncated, "40 A records exceed 512 octets");
+        assert!(msg.answers.is_empty());
+        let tcp = net.exchange_with(
+            Region::Eu,
+            0,
+            addr(1),
+            &query(),
+            SimTime::ZERO,
+            &mut rng,
+            Transport::Tcp,
+        );
+        let msg = tcp.response().unwrap();
+        assert!(!msg.header.truncated);
+        assert_eq!(msg.answers.len(), 40);
+        // TCP pays the handshake: exactly two constant RTTs.
+        assert_eq!(tcp.elapsed(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn small_responses_pass_udp_untouched() {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register(addr(1), Region::Eu, svc);
+        let mut rng = SimRng::seed_from(7);
+        let out = net.exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng);
+        assert!(!out.response().unwrap().header.truncated);
+    }
+
+    #[test]
+    fn distinct_sources_deduplicates_tags() {
+        let mut net = Network::new(LatencyModel::constant(5.0));
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register(addr(1), Region::Eu, svc);
+        let mut rng = SimRng::seed_from(5);
+        for tag in [1u64, 2, 2, 3, 3, 3] {
+            net.exchange(Region::Eu, tag, addr(1), &query(), SimTime::ZERO, &mut rng);
+        }
+        assert_eq!(net.distinct_sources(addr(1)), 3);
+        assert_eq!(net.queries_received(addr(1)), 6);
+    }
+}

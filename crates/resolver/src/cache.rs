@@ -1,0 +1,589 @@
+//! The resolver cache: credibility-ranked, TTL-expiring, stale-capable.
+//!
+//! RFC 2181 §5.4.1 ranks DNS data by where it arrived: the answer
+//! section of an authoritative response is worth more than the authority
+//! section of a referral, which is worth more than glue from the
+//! additional section. A cache must never let lower-ranked data replace
+//! fresh higher-ranked data. The paper's parent-vs-child question is a
+//! question about this ranking: *child-centric* resolvers apply it as
+//! written; *parent-centric* resolvers in effect pin referral data above
+//! the child's authoritative answers.
+
+use dnsttl_core::{Centricity, ResolverPolicy};
+use dnsttl_netsim::SimTime;
+use dnsttl_wire::{Name, RRset, Rcode, RecordType, Ttl};
+use std::collections::HashMap;
+
+/// Trustworthiness of cached data, descending (RFC 2181 §5.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Credibility {
+    /// Glue / additional-section data from a referral. Lowest.
+    ReferralAdditional,
+    /// NS records from the authority section of a referral.
+    ReferralAuthority,
+    /// Data from the authority section of an authoritative answer.
+    AuthAuthority,
+    /// Data from the answer section of an authoritative (AA) answer.
+    AuthAnswer,
+}
+
+/// One positive cache entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    rrset: RRset,
+    stored_at: SimTime,
+    expires_at: SimTime,
+    rank: Credibility,
+    /// True for entries a local-root (RFC 7706) resolver treats as a
+    /// mirrored copy: served at full TTL, never expiring.
+    pinned: bool,
+}
+
+/// One negative cache entry (RFC 2308).
+#[derive(Debug, Clone)]
+struct NegEntry {
+    rcode: Rcode,
+    expires_at: SimTime,
+}
+
+/// A cached RRset as handed to a client or to the iteration logic:
+/// TTLs already decremented by the entry's age.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// The RRset with remaining (decremented) TTL.
+    pub rrset: RRset,
+    /// Rank the data was stored under.
+    pub rank: Credibility,
+    /// True if the entry had expired and was served stale.
+    pub stale: bool,
+}
+
+/// The cache proper.
+///
+/// ```
+/// use dnsttl_resolver::{Cache, Credibility};
+/// use dnsttl_core::ResolverPolicy;
+/// use dnsttl_netsim::SimTime;
+/// use dnsttl_wire::{Name, RData, RRset, RecordType, Ttl};
+///
+/// let policy = ResolverPolicy::default();
+/// let mut cache = Cache::new();
+/// let name = Name::parse("a.nic.uy").unwrap();
+/// let rrset = RRset {
+///     name: name.clone(),
+///     rtype: RecordType::A,
+///     ttl: Ttl::from_secs(120),
+///     rdatas: vec![RData::A("200.40.241.1".parse().unwrap())],
+/// };
+/// cache.store(rrset, Credibility::AuthAnswer, SimTime::ZERO, &policy, false);
+/// // 50 s later the remaining TTL is 70 s…
+/// let got = cache.get(&name, RecordType::A, SimTime::from_secs(50)).unwrap();
+/// assert_eq!(got.rrset.ttl.as_secs(), 70);
+/// // …and at 120 s it is gone.
+/// assert!(cache.get(&name, RecordType::A, SimTime::from_secs(120)).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: HashMap<(Name, RecordType), Entry>,
+    negatives: HashMap<(Name, RecordType), NegEntry>,
+    /// Maximum positive entries; `None` = unbounded. Real caches are
+    /// bounded, and under pressure the *effective* TTL is the eviction
+    /// horizon, not the configured TTL (the paper's \[19\] studies
+    /// exactly this).
+    capacity: Option<usize>,
+    /// Entries evicted due to capacity pressure.
+    evictions: u64,
+}
+
+impl Cache {
+    /// An empty, unbounded cache.
+    pub fn new() -> Cache {
+        Cache::default()
+    }
+
+    /// A cache bounded to `capacity` positive entries. When full, the
+    /// entry closest to expiry is evicted first (least remaining
+    /// value), pinned entries last.
+    pub fn with_capacity(capacity: usize) -> Cache {
+        Cache {
+            capacity: Some(capacity.max(1)),
+            ..Cache::default()
+        }
+    }
+
+    /// Entries evicted under capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Makes room for one more entry when at capacity.
+    fn evict_if_full(&mut self, incoming: &(Name, RecordType), now: SimTime) {
+        let Some(cap) = self.capacity else { return };
+        if self.entries.len() < cap || self.entries.contains_key(incoming) {
+            return;
+        }
+        // Prefer dropping already-expired entries; otherwise the entry
+        // with the least remaining lifetime. Pinned entries are
+        // mirrored zone data and are never evicted.
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned)
+            .min_by_key(|(_, e)| if e.expires_at <= now { SimTime::ZERO } else { e.expires_at })
+            .map(|(k, _)| k.clone());
+        if let Some(victim) = victim {
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Stores an RRset under `rank`, applying the policy's TTL clamp and
+    /// replacement rules. `pinned` marks RFC 7706 mirrored data.
+    ///
+    /// Replacement rules (the crux of §3 and §4.2 of the paper):
+    ///
+    /// * expired entries are always replaced;
+    /// * fresh entries are replaced by data of **equal or higher** rank
+    ///   (RFC 2181 §5.4.1) — this is how re-fetched referral glue
+    ///   carries a renumbered address into the cache at NS-expiry time,
+    ///   producing the coupled NS/A lifetimes of §4.2;
+    /// * a policy with `link_inbailiwick_glue = false` keeps fresh glue
+    ///   instead of replacing it with *equal*-ranked glue — the minority
+    ///   "trust my cache" behaviour visible as the slow-decaying old
+    ///   server bars in Figure 6;
+    /// * a **parent-centric** policy refuses to replace fresh
+    ///   referral-ranked data with the child's authoritative data —
+    ///   the referral is its truth (§3.2's 10%).
+    ///
+    /// Zero-TTL RRsets are not cached at all (§5.1.2: TTL 0 "undermines
+    /// caching"), and any same-key negative entry is invalidated.
+    pub fn store(
+        &mut self,
+        rrset: RRset,
+        rank: Credibility,
+        now: SimTime,
+        policy: &ResolverPolicy,
+        pinned: bool,
+    ) {
+        let key = (rrset.name.clone(), rrset.rtype);
+        self.negatives.remove(&key);
+        let ttl = policy.clamp_ttl(rrset.ttl);
+        if ttl.is_zero() {
+            return;
+        }
+        if let Some(existing) = self.entries.get(&key) {
+            let fresh = existing.pinned || existing.expires_at > now;
+            if fresh {
+                if existing.rank > rank {
+                    return; // lower-ranked data never displaces higher
+                }
+                if policy.centricity == Centricity::ParentCentric
+                    && existing.rank <= Credibility::ReferralAuthority
+                    && rank >= Credibility::AuthAuthority
+                {
+                    return; // parent-centric: referral data wins
+                }
+                if !policy.link_inbailiwick_glue
+                    && existing.rank == Credibility::ReferralAdditional
+                    && rank == Credibility::ReferralAdditional
+                {
+                    return; // keep cached glue until it expires itself
+                }
+            }
+        }
+        let mut rrset = rrset;
+        rrset.ttl = ttl;
+        self.evict_if_full(&key, now);
+        self.entries.insert(
+            key,
+            Entry {
+                expires_at: now + ttl_span(ttl),
+                stored_at: now,
+                rrset,
+                rank,
+                pinned,
+            },
+        );
+    }
+
+    /// Fetches a fresh entry, decrementing TTLs by age. Pinned entries
+    /// are served at full TTL (an RFC 7706 mirror is always fresh).
+    pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<CachedAnswer> {
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if e.pinned {
+            return Some(CachedAnswer {
+                rrset: e.rrset.clone(),
+                rank: e.rank,
+                stale: false,
+            });
+        }
+        if e.expires_at <= now {
+            return None;
+        }
+        let age = now.secs_since(e.stored_at) as u32;
+        let mut rrset = e.rrset.clone();
+        rrset.ttl = rrset.ttl.saturating_sub_secs(age);
+        Some(CachedAnswer {
+            rrset,
+            rank: e.rank,
+            stale: false,
+        })
+    }
+
+    /// Remaining lifetime of a fresh entry as a fraction of its
+    /// original TTL (1.0 = just stored, →0.0 = about to expire).
+    /// Pinned entries are always 1.0; absent/expired entries are None.
+    /// Prefetching resolvers use this to decide when to refresh ahead.
+    pub fn freshness(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<f64> {
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if e.pinned {
+            return Some(1.0);
+        }
+        if e.expires_at <= now {
+            return None;
+        }
+        let total = e.rrset.ttl.as_secs() as f64;
+        if total == 0.0 {
+            return None;
+        }
+        let remaining = e.expires_at.since(now).as_secs_f64();
+        Some((remaining / total).clamp(0.0, 1.0))
+    }
+
+    /// Fetches an entry even if expired, for serve-stale: the entry must
+    /// not be older than `expires_at + max_stale`. Stale answers carry a
+    /// short 30 s TTL, per draft-ietf-dnsop-serve-stale.
+    pub fn get_stale(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        max_stale: Ttl,
+    ) -> Option<CachedAnswer> {
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if e.expires_at > now || e.pinned {
+            return self.get(name, rtype, now);
+        }
+        let staleness = now.secs_since(e.expires_at);
+        if staleness > max_stale.as_secs() as u64 {
+            return None;
+        }
+        let mut rrset = e.rrset.clone();
+        rrset.ttl = Ttl::from_secs(30);
+        Some(CachedAnswer {
+            rrset,
+            rank: e.rank,
+            stale: true,
+        })
+    }
+
+    /// Stores a negative answer (NXDOMAIN or NODATA) bounded by the SOA
+    /// `minimum` / SOA TTL pair per RFC 2308.
+    pub fn store_negative(
+        &mut self,
+        name: Name,
+        rtype: RecordType,
+        rcode: Rcode,
+        soa_minimum: Ttl,
+        soa_ttl: Ttl,
+        now: SimTime,
+        policy: &ResolverPolicy,
+    ) {
+        let ttl = policy.clamp_ttl(soa_minimum.min(soa_ttl));
+        if ttl.is_zero() {
+            return;
+        }
+        self.negatives.insert(
+            (name, rtype),
+            NegEntry {
+                rcode,
+                expires_at: now + ttl_span(ttl),
+            },
+        );
+    }
+
+    /// Fresh negative entry for the key, if any.
+    pub fn get_negative(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Rcode> {
+        let e = self.negatives.get(&(name.clone(), rtype))?;
+        (e.expires_at > now).then_some(e.rcode)
+    }
+
+    /// Number of positive entries (fresh and expired).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds no positive entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops expired, unpinned entries. Not required for correctness
+    /// (reads check freshness) but keeps long simulations lean.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        self.entries
+            .retain(|_, e| e.pinned || e.expires_at > now);
+        self.negatives.retain(|_, e| e.expires_at > now);
+    }
+
+    /// Removes every entry (used between experiment phases).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.negatives.clear();
+    }
+}
+
+/// TTL seconds as a simulated duration.
+fn ttl_span(ttl: Ttl) -> dnsttl_netsim::SimDuration {
+    dnsttl_netsim::SimDuration::from_secs(ttl.as_secs() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnsttl_wire::RData;
+
+    fn policy() -> ResolverPolicy {
+        ResolverPolicy::default()
+    }
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a_rrset(name: &str, ttl: u32, last: u8) -> RRset {
+        RRset {
+            name: n(name),
+            rtype: RecordType::A,
+            ttl: Ttl::from_secs(ttl),
+            rdatas: vec![RData::A(std::net::Ipv4Addr::new(192, 0, 2, last))],
+        }
+    }
+
+    #[test]
+    fn ttl_decrements_with_age() {
+        let mut c = Cache::new();
+        c.store(a_rrset("x.example", 300, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        let got = c.get(&n("x.example"), RecordType::A, SimTime::from_secs(100)).unwrap();
+        assert_eq!(got.rrset.ttl.as_secs(), 200);
+    }
+
+    #[test]
+    fn expired_entries_are_not_served() {
+        let mut c = Cache::new();
+        c.store(a_rrset("x.example", 300, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        assert!(c.get(&n("x.example"), RecordType::A, SimTime::from_secs(300)).is_none());
+        assert!(c.get(&n("x.example"), RecordType::A, SimTime::from_secs(299)).is_some());
+    }
+
+    #[test]
+    fn lower_rank_cannot_displace_fresh_higher_rank() {
+        let mut c = Cache::new();
+        c.store(a_rrset("ns.example", 3600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(a_rrset("ns.example", 172800, 2), Credibility::ReferralAdditional, SimTime::from_secs(10), &policy(), false);
+        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(20)).unwrap();
+        assert_eq!(got.rank, Credibility::AuthAnswer);
+        assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 1).rdatas);
+    }
+
+    #[test]
+    fn equal_rank_replaces_and_refreshes() {
+        // Re-fetched glue replaces cached glue — the mechanism behind
+        // §4.2's NS/A lifetime coupling.
+        let mut c = Cache::new();
+        c.store(a_rrset("ns.example", 7200, 1), Credibility::ReferralAdditional, SimTime::ZERO, &policy(), false);
+        c.store(a_rrset("ns.example", 7200, 2), Credibility::ReferralAdditional, SimTime::from_secs(3600), &policy(), false);
+        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(3700)).unwrap();
+        assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 2).rdatas);
+        assert_eq!(got.rrset.ttl.as_secs(), 7100);
+    }
+
+    #[test]
+    fn unlinked_policy_keeps_old_glue_until_expiry() {
+        let p = ResolverPolicy {
+            link_inbailiwick_glue: false,
+            ..ResolverPolicy::default()
+        };
+        let mut c = Cache::new();
+        c.store(a_rrset("ns.example", 7200, 1), Credibility::ReferralAdditional, SimTime::ZERO, &p, false);
+        c.store(a_rrset("ns.example", 7200, 2), Credibility::ReferralAdditional, SimTime::from_secs(3600), &p, false);
+        // Old glue still served…
+        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(3700)).unwrap();
+        assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 1).rdatas);
+        // …until it expires; a later store succeeds.
+        c.store(a_rrset("ns.example", 7200, 2), Credibility::ReferralAdditional, SimTime::from_secs(7300), &p, false);
+        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(7400)).unwrap();
+        assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 2).rdatas);
+    }
+
+    #[test]
+    fn parent_centric_refuses_child_overwrite() {
+        let p = ResolverPolicy::parent_centric();
+        let mut c = Cache::new();
+        c.store(a_rrset("a.nic.uy", 172800, 1), Credibility::ReferralAdditional, SimTime::ZERO, &p, false);
+        c.store(a_rrset("a.nic.uy", 120, 2), Credibility::AuthAnswer, SimTime::from_secs(5), &p, false);
+        let got = c.get(&n("a.nic.uy"), RecordType::A, SimTime::from_secs(10)).unwrap();
+        assert_eq!(got.rank, Credibility::ReferralAdditional);
+        assert_eq!(got.rrset.ttl.as_secs(), 172_790);
+    }
+
+    #[test]
+    fn child_centric_overwrites_glue_with_answer() {
+        let mut c = Cache::new();
+        c.store(a_rrset("a.nic.uy", 172800, 1), Credibility::ReferralAdditional, SimTime::ZERO, &policy(), false);
+        c.store(a_rrset("a.nic.uy", 120, 2), Credibility::AuthAnswer, SimTime::from_secs(5), &policy(), false);
+        let got = c.get(&n("a.nic.uy"), RecordType::A, SimTime::from_secs(10)).unwrap();
+        assert_eq!(got.rank, Credibility::AuthAnswer);
+        assert_eq!(got.rrset.ttl.as_secs(), 115);
+    }
+
+    #[test]
+    fn pinned_entries_never_age() {
+        let mut c = Cache::new();
+        c.store(a_rrset("uy", 172800, 1), Credibility::ReferralAuthority, SimTime::ZERO, &policy(), true);
+        let got = c
+            .get(&n("uy"), RecordType::A, SimTime::from_secs(1_000_000))
+            .unwrap();
+        assert_eq!(got.rrset.ttl.as_secs(), 172_800);
+    }
+
+    #[test]
+    fn ttl_cap_applies_at_store_time() {
+        let p = ResolverPolicy::google_like();
+        let mut c = Cache::new();
+        c.store(a_rrset("google.co", 345_600, 1), Credibility::AuthAnswer, SimTime::ZERO, &p, false);
+        let got = c.get(&n("google.co"), RecordType::A, SimTime::ZERO).unwrap();
+        assert_eq!(got.rrset.ttl.as_secs(), 21_599);
+    }
+
+    #[test]
+    fn zero_ttl_is_not_cached() {
+        let mut c = Cache::new();
+        c.store(a_rrset("x.example", 0, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        assert!(c.get(&n("x.example"), RecordType::A, SimTime::ZERO).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stale_service_within_window() {
+        let mut c = Cache::new();
+        c.store(a_rrset("x.example", 60, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        // Expired at 60 s; stale window one day.
+        let got = c
+            .get_stale(&n("x.example"), RecordType::A, SimTime::from_secs(600), Ttl::DAY)
+            .unwrap();
+        assert!(got.stale);
+        assert_eq!(got.rrset.ttl.as_secs(), 30);
+        // Beyond the stale window: gone.
+        assert!(c
+            .get_stale(&n("x.example"), RecordType::A, SimTime::from_secs(90_000), Ttl::DAY)
+            .is_none());
+    }
+
+    #[test]
+    fn freshness_tracks_remaining_fraction() {
+        let mut c = Cache::new();
+        c.store(a_rrset("x.example", 1000, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        let f0 = c.freshness(&n("x.example"), RecordType::A, SimTime::ZERO).unwrap();
+        assert!((f0 - 1.0).abs() < 1e-9);
+        let f_mid = c.freshness(&n("x.example"), RecordType::A, SimTime::from_secs(500)).unwrap();
+        assert!((f_mid - 0.5).abs() < 1e-9);
+        let f_late = c.freshness(&n("x.example"), RecordType::A, SimTime::from_secs(950)).unwrap();
+        assert!(f_late < 0.1);
+        assert!(c.freshness(&n("x.example"), RecordType::A, SimTime::from_secs(1_000)).is_none());
+        assert!(c.freshness(&n("y.example"), RecordType::A, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn pinned_entries_are_always_fresh() {
+        let mut c = Cache::new();
+        c.store(a_rrset("uy", 300, 1), Credibility::ReferralAuthority, SimTime::ZERO, &policy(), true);
+        let f = c.freshness(&n("uy"), RecordType::A, SimTime::from_secs(1_000_000)).unwrap();
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn negative_caching_round_trip() {
+        let mut c = Cache::new();
+        c.store_negative(
+            n("missing.example"),
+            RecordType::A,
+            Rcode::NxDomain,
+            Ttl::from_secs(300),
+            Ttl::HOUR,
+            SimTime::ZERO,
+            &policy(),
+        );
+        assert_eq!(
+            c.get_negative(&n("missing.example"), RecordType::A, SimTime::from_secs(100)),
+            Some(Rcode::NxDomain)
+        );
+        // Bounded by min(SOA minimum, SOA TTL) = 300 s.
+        assert_eq!(
+            c.get_negative(&n("missing.example"), RecordType::A, SimTime::from_secs(300)),
+            None
+        );
+    }
+
+    #[test]
+    fn positive_store_clears_negative() {
+        let mut c = Cache::new();
+        c.store_negative(
+            n("x.example"),
+            RecordType::A,
+            Rcode::NxDomain,
+            Ttl::HOUR,
+            Ttl::HOUR,
+            SimTime::ZERO,
+            &policy(),
+        );
+        c.store(a_rrset("x.example", 60, 1), Credibility::AuthAnswer, SimTime::from_secs(10), &policy(), false);
+        assert_eq!(c.get_negative(&n("x.example"), RecordType::A, SimTime::from_secs(11)), None);
+        assert!(c.get(&n("x.example"), RecordType::A, SimTime::from_secs(11)).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_soonest_to_expire() {
+        let mut c = Cache::with_capacity(2);
+        c.store(a_rrset("long.example", 3_600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(a_rrset("short.example", 60, 2), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        // Third entry: the 60 s one goes.
+        c.store(a_rrset("new.example", 600, 3), Credibility::AuthAnswer, SimTime::from_secs(1), &policy(), false);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&n("short.example"), RecordType::A, SimTime::from_secs(1)).is_none());
+        assert!(c.get(&n("long.example"), RecordType::A, SimTime::from_secs(1)).is_some());
+        assert!(c.get(&n("new.example"), RecordType::A, SimTime::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_update_in_place_does_not_evict() {
+        let mut c = Cache::with_capacity(2);
+        c.store(a_rrset("a.example", 600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(a_rrset("b.example", 600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        // Refreshing an existing key at capacity must not evict.
+        c.store(a_rrset("a.example", 600, 2), Credibility::AuthAnswer, SimTime::from_secs(10), &policy(), false);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_never_evicts_pinned() {
+        let mut c = Cache::with_capacity(1);
+        c.store(a_rrset("root.example", 600, 1), Credibility::ReferralAuthority, SimTime::ZERO, &policy(), true);
+        c.store(a_rrset("x.example", 600, 2), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        // The pinned entry survives; the cache grows past capacity
+        // rather than dropping mirrored zone data.
+        assert!(c.get(&n("root.example"), RecordType::A, SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn purge_drops_expired_keeps_pinned() {
+        let mut c = Cache::new();
+        c.store(a_rrset("a.example", 60, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(a_rrset("b.example", 60, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), true);
+        c.purge_expired(SimTime::from_secs(120));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&n("b.example"), RecordType::A, SimTime::from_secs(120)).is_some());
+    }
+}

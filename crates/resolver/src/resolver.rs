@@ -1,0 +1,1477 @@
+//! The iterative resolution engine.
+//!
+//! [`RecursiveResolver::resolve`] answers one client question the way a
+//! production recursive does: consult the cache (with the centricity
+//! rules deciding which ranks of cached data may answer a client),
+//! otherwise walk the delegation tree from the deepest cached zone cut,
+//! chasing referrals and CNAMEs, resolving out-of-bailiwick server
+//! addresses with sub-queries, retrying and failing over between
+//! servers, and accounting the RTT of every exchange.
+
+use crate::cache::{Cache, Credibility};
+use dnsttl_core::{Centricity, ResolverPolicy};
+use dnsttl_netsim::{ExchangeOutcome, Network, Region, SimDuration, SimRng, SimTime, Transport};
+use dnsttl_wire::{Message, Name, RData, RRset, Rcode, Record, RecordType, Ttl};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// Maximum referral-chasing iterations per query.
+const MAX_ITERATIONS: usize = 16;
+/// Maximum recursion depth for server-address sub-resolutions and
+/// CNAME chains.
+const MAX_DEPTH: usize = 6;
+
+/// A root hint: the name and address of a root server, compiled into
+/// every resolver (never expires).
+#[derive(Debug, Clone)]
+pub struct RootHint {
+    /// Root server host name (e.g. `k.root-servers.net`).
+    pub ns_name: Name,
+    /// Its address on the simulated network.
+    pub addr: IpAddr,
+}
+
+/// Counters a resolver keeps about its own behaviour.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Client questions received.
+    pub client_queries: u64,
+    /// Questions answered entirely from cache.
+    pub cache_hits: u64,
+    /// Queries sent to authoritative servers.
+    pub upstream_queries: u64,
+    /// Exchanges that timed out.
+    pub timeouts: u64,
+    /// Questions that ended in SERVFAIL.
+    pub servfails: u64,
+    /// Questions answered from stale cache entries.
+    pub stale_answers: u64,
+    /// RRsets that passed DNSSEC validation.
+    pub validations: u64,
+    /// Responses rejected as bogus (signature present but invalid).
+    pub validation_failures: u64,
+    /// Background refreshes triggered by the prefetch policy.
+    pub prefetches: u64,
+    /// Truncated UDP responses retried over TCP.
+    pub tcp_fallbacks: u64,
+}
+
+/// What one client question cost and produced.
+#[derive(Debug, Clone)]
+pub struct ResolutionOutcome {
+    /// The response message handed to the client (RA set; TTLs are the
+    /// decremented cache views, which is exactly what the paper's Atlas
+    /// vantage points record).
+    pub answer: Message,
+    /// Resolver-side time spent: the sum of all upstream exchange RTTs
+    /// and timeouts. Zero-ish for cache hits.
+    pub elapsed: SimDuration,
+    /// True when no upstream query was needed.
+    pub cache_hit: bool,
+    /// True when the answer came from an expired entry (serve-stale).
+    pub served_stale: bool,
+    /// Upstream queries sent for this question.
+    pub upstream_queries: u32,
+}
+
+/// Per-question bookkeeping threaded through recursion.
+struct Ctx {
+    elapsed: SimDuration,
+    upstream: u32,
+    /// Names currently being resolved, to break sub-resolution cycles.
+    in_flight: HashSet<(Name, RecordType)>,
+    /// Prefetch refresh: this (name, type) must bypass the answer
+    /// cache so the upstream copy is re-fetched.
+    refresh_target: Option<(Name, RecordType)>,
+}
+
+/// Result of the internal resolution routine.
+enum Resolved {
+    /// Records answering the question (CNAME chain included), plus
+    /// whether any came from stale cache.
+    Answer { records: Vec<Record>, stale: bool },
+    /// A cached or fresh negative result.
+    Negative(Rcode),
+    /// Resolution failed (lame delegations, timeouts, depth exhausted).
+    Fail,
+}
+
+/// A recursive resolver with one cache and one policy.
+pub struct RecursiveResolver {
+    /// Diagnostic label, e.g. `"resolver-193"`.
+    pub label: String,
+    policy: ResolverPolicy,
+    region: Region,
+    tag: u64,
+    cache: Cache,
+    roots: Vec<RootHint>,
+    rng: SimRng,
+    /// Zone apex → server address that answered for it last
+    /// (sticky-resolver state, §4.4).
+    sticky_server: HashMap<Name, IpAddr>,
+    stats: ResolverStats,
+    next_id: u16,
+}
+
+impl RecursiveResolver {
+    /// Creates a resolver.
+    ///
+    /// * `tag` identifies this resolver as a traffic source (its
+    ///   simulated source address);
+    /// * `roots` are the compiled-in root hints;
+    /// * `rng` drives server selection rotation.
+    pub fn new(
+        label: impl Into<String>,
+        policy: ResolverPolicy,
+        region: Region,
+        tag: u64,
+        roots: Vec<RootHint>,
+        rng: SimRng,
+    ) -> RecursiveResolver {
+        let cache = match policy.cache_capacity {
+            Some(cap) => Cache::with_capacity(cap),
+            None => Cache::new(),
+        };
+        RecursiveResolver {
+            label: label.into(),
+            policy,
+            region,
+            tag,
+            cache,
+            roots,
+            rng,
+            sticky_server: HashMap::new(),
+            stats: ResolverStats::default(),
+            next_id: 1,
+        }
+    }
+
+    /// The policy this resolver runs.
+    pub fn policy(&self) -> &ResolverPolicy {
+        &self.policy
+    }
+
+    /// The resolver's region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The resolver's source tag (visible to servers it queries).
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Read access to the cache (tests and analyses).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Drops all cached state (between experiment phases).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+        self.sticky_server.clear();
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &ResolverStats {
+        &self.stats
+    }
+
+    fn next_msg_id(&mut self) -> u16 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    /// Answers one client question.
+    pub fn resolve(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        net: &mut Network,
+    ) -> ResolutionOutcome {
+        self.stats.client_queries += 1;
+        let mut ctx = Ctx {
+            elapsed: SimDuration::ZERO,
+            upstream: 0,
+            in_flight: HashSet::new(),
+            refresh_target: None,
+        };
+        let resolved = self.resolve_inner(qname, qtype, now, net, &mut ctx, 0);
+
+        let mut answer = Message::query(self.next_msg_id(), qname.clone(), qtype);
+        answer.header.response = true;
+        answer.header.recursion_available = true;
+        let mut served_stale = false;
+        match resolved {
+            Resolved::Answer { records, stale } => {
+                answer.header.rcode = Rcode::NoError;
+                answer.answers = records;
+                served_stale = stale;
+                if stale {
+                    self.stats.stale_answers += 1;
+                }
+            }
+            Resolved::Negative(rcode) => {
+                answer.header.rcode = rcode;
+            }
+            Resolved::Fail => {
+                answer.header.rcode = Rcode::ServFail;
+                self.stats.servfails += 1;
+            }
+        }
+        let cache_hit = ctx.upstream == 0 && answer.header.rcode != Rcode::ServFail;
+        if cache_hit {
+            self.stats.cache_hits += 1;
+        }
+        // Prefetch: a cache hit on a nearly-expired entry triggers a
+        // background refresh. Its latency is NOT charged to this
+        // client (real prefetchers refresh asynchronously), but its
+        // upstream queries are real and counted in the stats.
+        if self.policy.prefetch && cache_hit {
+            if let Some(freshness) = self.cache.freshness(qname, qtype, now) {
+                if freshness < 0.10 {
+                    self.stats.prefetches += 1;
+                    let mut refresh_ctx = Ctx {
+                        elapsed: SimDuration::ZERO,
+                        upstream: 0,
+                        in_flight: HashSet::new(),
+                        refresh_target: Some((qname.clone(), qtype)),
+                    };
+                    let _ = self.resolve_inner(qname, qtype, now, net, &mut refresh_ctx, 0);
+                }
+            }
+        }
+        ResolutionOutcome {
+            answer,
+            elapsed: ctx.elapsed,
+            cache_hit,
+            served_stale,
+            upstream_queries: ctx.upstream,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Internal resolution
+    // -----------------------------------------------------------------
+
+    fn resolve_inner(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        net: &mut Network,
+        ctx: &mut Ctx,
+        depth: usize,
+    ) -> Resolved {
+        if depth > MAX_DEPTH {
+            return Resolved::Fail;
+        }
+        if let Some(rcode) = self.cache.get_negative(qname, qtype, now) {
+            return Resolved::Negative(rcode);
+        }
+        let bypass = ctx.refresh_target.as_ref() == Some(&(qname.clone(), qtype));
+        if !bypass {
+            if let Some(records) = self.answer_from_cache(qname, qtype, now) {
+                return Resolved::Answer {
+                    records,
+                    stale: false,
+                };
+            }
+        }
+
+        let mut current = qname.clone();
+        let mut chain: Vec<Record> = Vec::new();
+        // QNAME minimisation state: per zone, how many labels of the
+        // target we have already exposed (RFC 7816 extends by one
+        // label after an empty-non-terminal NODATA).
+        let mut exposed: HashMap<Name, usize> = HashMap::new();
+
+        for _ in 0..MAX_ITERATIONS {
+            // A previous referral may have made the answer available
+            // from cache (parent-centric resolvers answer NS questions
+            // straight from referral data).
+            let bypass = ctx.refresh_target.as_ref() == Some(&(current.clone(), qtype));
+            if let Some(mut records) = if bypass {
+                None
+            } else {
+                self.answer_from_cache(&current, qtype, now)
+            } {
+                let mut all = chain;
+                all.append(&mut records);
+                return Resolved::Answer {
+                    records: all,
+                    stale: false,
+                };
+            }
+
+            let Some((zone, candidates)) = self.server_candidates(&current, now, net, ctx, depth)
+            else {
+                return self.fail_or_stale(qname, qtype, now);
+            };
+
+            // RFC 7816: against this zone's servers, ask only for the
+            // next label (as NS) until the remaining name is exposed.
+            let min_target = if self.policy.qname_minimization {
+                let floor = exposed
+                    .get(&zone)
+                    .copied()
+                    .unwrap_or(zone.label_count() + 1);
+                if current.label_count() > floor {
+                    current.ancestry().into_iter().find(|a| a.label_count() == floor)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let (send_name, send_type) = match &min_target {
+                Some(mt) => (mt.clone(), RecordType::NS),
+                None => (current.clone(), qtype),
+            };
+
+            let Some((response, from_root)) =
+                self.query_candidates(&zone, &candidates, &send_name, send_type, now, net, ctx)
+            else {
+                return self.fail_or_stale(qname, qtype, now);
+            };
+
+            // Cache everything the response taught us, with ranks by
+            // section and AA status.
+            self.ingest(&response, now, from_root);
+
+            if let Some(mt) = &min_target {
+                if response.header.rcode == Rcode::NxDomain {
+                    // RFC 8020: NXDOMAIN on an ancestor means the whole
+                    // subtree (and thus the full question) is absent.
+                    self.cache_negative_from(&response, &current, qtype, now);
+                    return Resolved::Negative(Rcode::NxDomain);
+                }
+                if response.is_referral() {
+                    // A cut at or below the minimised label: the
+                    // referral was ingested; descend normally.
+                    continue;
+                }
+                if response.header.authoritative && response.answers.is_empty() {
+                    // Empty non-terminal: expose one more label to the
+                    // same zone next round (RFC 7816 §3).
+                    exposed.insert(zone.clone(), mt.label_count() + 1);
+                    continue;
+                }
+                if response.header.authoritative {
+                    // The zone answered NS for the minimised name (it
+                    // serves both sides of the cut); the NS set is
+                    // cached — continue descending from it.
+                    continue;
+                }
+                return Resolved::Fail;
+            }
+
+            if response.header.rcode == Rcode::NxDomain {
+                self.cache_negative_from(&response, &current, qtype, now);
+                return Resolved::Negative(Rcode::NxDomain);
+            }
+
+            if response.header.authoritative && !response.answers.is_empty() {
+                // CNAME? chase within the loop.
+                let direct: Vec<Record> = response
+                    .answers
+                    .iter()
+                    .filter(|r| r.name == current && r.record_type() == qtype)
+                    .cloned()
+                    .collect();
+                if !direct.is_empty() {
+                    if self.policy.validate_dnssec
+                        && !self.validate_answer(&current, qtype, &direct, &response)
+                    {
+                        return Resolved::Fail; // bogus data ⇒ SERVFAIL
+                    }
+                    // Prefer the cache view (clamped, coherent TTLs);
+                    // fall back to raw records for uncacheable TTL-0.
+                    ctx.refresh_target = None; // fresh copy fetched
+                    let mut records = self
+                        .answer_from_cache(&current, qtype, now)
+                        .unwrap_or_else(|| {
+                            direct
+                                .iter()
+                                .map(|r| r.with_ttl(self.policy.clamp_ttl(r.ttl)))
+                                .collect()
+                        });
+                    let mut all = chain;
+                    all.append(&mut records);
+                    return Resolved::Answer {
+                        records: all,
+                        stale: false,
+                    };
+                }
+                if qtype != RecordType::CNAME {
+                    if let Some(cname) = response
+                        .answers
+                        .iter()
+                        .find(|r| r.name == current && r.record_type() == RecordType::CNAME)
+                    {
+                        chain.push(cname.with_ttl(self.policy.clamp_ttl(cname.ttl)));
+                        if chain.len() > MAX_DEPTH {
+                            return Resolved::Fail;
+                        }
+                        if let RData::Cname(target) = &cname.rdata {
+                            current = target.clone();
+                            continue;
+                        }
+                    }
+                }
+                // Authoritative answer that does not answer the
+                // question (misconfigured server): give up.
+                return Resolved::Fail;
+            }
+
+            if response.is_referral() {
+                let cut = response
+                    .authorities
+                    .iter()
+                    .find(|r| r.record_type() == RecordType::NS)
+                    .map(|r| r.name.clone())
+                    .expect("is_referral guarantees an NS record");
+                // Lame referral: the cut must be deeper than the zone
+                // we asked, or we would loop forever.
+                if !cut.is_strict_subdomain_of(&zone) && cut != current {
+                    return Resolved::Fail;
+                }
+                continue;
+            }
+
+            if response.header.authoritative && response.answers.is_empty() {
+                // NODATA.
+                self.cache_negative_from(&response, &current, qtype, now);
+                return Resolved::Negative(Rcode::NoError);
+            }
+
+            // Anything else (REFUSED, FORMERR from every server…).
+            return Resolved::Fail;
+        }
+        Resolved::Fail
+    }
+
+    /// DNSSEC validation of a direct answer: if the response carries an
+    /// RRSIG covering the answered type, it must verify (RFC 4035 §5).
+    /// Absence of a signature means an unsigned (insecure) zone, which
+    /// a validator accepts — there is no DS chain in the simulation.
+    fn validate_answer(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        direct: &[Record],
+        response: &Message,
+    ) -> bool {
+        let sig = response.answers.iter().find(|r| {
+            r.name == *qname
+                && matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == qtype)
+        });
+        let Some(sig) = sig else {
+            return true; // insecure zone
+        };
+        let rdatas: Vec<RData> = direct.iter().map(|r| r.rdata.clone()).collect();
+        if dnsttl_wire::verify_rrset(qname, qtype, &rdatas, sig) {
+            self.stats.validations += 1;
+            true
+        } else {
+            self.stats.validation_failures += 1;
+            false
+        }
+    }
+
+    /// When every server failed: serve stale if policy allows.
+    fn fail_or_stale(&mut self, qname: &Name, qtype: RecordType, now: SimTime) -> Resolved {
+        if let Some(window) = self.policy.serve_stale {
+            if let Some(hit) = self.cache.get_stale(qname, qtype, now, window) {
+                return Resolved::Answer {
+                    records: hit.rrset.to_records(),
+                    stale: hit.stale,
+                };
+            }
+        }
+        Resolved::Fail
+    }
+
+    /// Can the cache answer this question for a *client*?
+    ///
+    /// Child-centric resolvers only answer from answer-ranked data —
+    /// they re-query the child for anything learned via referrals.
+    /// Parent-centric resolvers happily answer from referral data, which
+    /// is how the paper's §3.2 sees 172 800 s TTLs for `.uy` NS.
+    /// CNAME chains are followed through the cache.
+    fn answer_from_cache(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+    ) -> Option<Vec<Record>> {
+        let min_rank = if self.policy.validate_dnssec {
+            // A validator can only answer with data it could verify:
+            // glue and referral data are unsigned, so only
+            // answer-ranked entries qualify (§2: DNSSEC forces
+            // child-centric behaviour).
+            Credibility::AuthAnswer
+        } else {
+            match self.policy.centricity {
+                Centricity::ChildCentric => Credibility::AuthAnswer,
+                Centricity::ParentCentric => Credibility::ReferralAdditional,
+            }
+        };
+        let mut records = Vec::new();
+        let mut current = qname.clone();
+        for _ in 0..=MAX_DEPTH {
+            if let Some(hit) = self.cache.get(&current, qtype, now) {
+                if hit.rank >= min_rank {
+                    records.extend(hit.rrset.to_records());
+                    return Some(records);
+                }
+            }
+            if qtype != RecordType::CNAME {
+                if let Some(hit) = self.cache.get(&current, RecordType::CNAME, now) {
+                    if hit.rank >= min_rank {
+                        records.extend(hit.rrset.to_records());
+                        if let Some(RData::Cname(target)) = hit.rrset.rdatas.first() {
+                            current = target.clone();
+                            continue;
+                        }
+                    }
+                }
+            }
+            return None;
+        }
+        None
+    }
+
+    /// Finds the deepest zone with usable name servers for `name`.
+    ///
+    /// Returns the zone apex and `(ns_name, address)` candidates. Walks
+    /// from the name toward the root; zones whose servers have no
+    /// resolvable address are skipped (their parent will re-supply
+    /// glue). Root hints are the backstop.
+    fn server_candidates(
+        &mut self,
+        name: &Name,
+        now: SimTime,
+        net: &mut Network,
+        ctx: &mut Ctx,
+        depth: usize,
+    ) -> Option<(Name, Vec<(Name, IpAddr)>)> {
+        let mut ancestry = name.ancestry();
+        ancestry.reverse(); // deepest first
+        for zone in ancestry {
+            if zone.is_root() {
+                break;
+            }
+            let Some(ns_hit) = self.cache.get(&zone, RecordType::NS, now) else {
+                continue;
+            };
+            let mut candidates = Vec::new();
+            let ns_targets: Vec<Name> = ns_hit
+                .rrset
+                .rdatas
+                .iter()
+                .filter_map(|rd| match rd {
+                    RData::Ns(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect();
+            for target in &ns_targets {
+                if let Some(addr) = self.cached_address(target, now) {
+                    candidates.push((target.clone(), addr));
+                }
+            }
+            if candidates.is_empty() && depth < MAX_DEPTH {
+                // Out-of-bailiwick servers: resolve their addresses via
+                // separate queries (in-bailiwick targets would need this
+                // zone itself — skip them, the parent's glue covers it).
+                for target in &ns_targets {
+                    if target.is_subdomain_of(&zone) {
+                        continue;
+                    }
+                    let key = (target.clone(), RecordType::A);
+                    if ctx.in_flight.contains(&key) {
+                        continue;
+                    }
+                    ctx.in_flight.insert(key.clone());
+                    let sub = self.resolve_inner(target, RecordType::A, now, net, ctx, depth + 1);
+                    ctx.in_flight.remove(&key);
+                    if let Resolved::Answer { records, .. } = sub {
+                        for r in records {
+                            if let RData::A(a) = r.rdata {
+                                candidates.push((target.clone(), IpAddr::V4(a)));
+                            }
+                        }
+                    }
+                    if !candidates.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if !candidates.is_empty() {
+                self.order_candidates(&zone, &mut candidates, net);
+                return Some((zone, candidates));
+            }
+        }
+        // Root hints.
+        let mut candidates: Vec<(Name, IpAddr)> = self
+            .roots
+            .iter()
+            .map(|h| (h.ns_name.clone(), h.addr))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let root = Name::root();
+        self.order_candidates(&root, &mut candidates, net);
+        Some((root, candidates))
+    }
+
+    /// A cached address for a server name, any rank (glue is fine for
+    /// iteration — RFC 2181's ranking constrains answers to clients,
+    /// not the resolver's own navigation).
+    fn cached_address(&self, target: &Name, now: SimTime) -> Option<IpAddr> {
+        if let Some(hit) = self.cache.get(target, RecordType::A, now) {
+            for rd in &hit.rrset.rdatas {
+                if let RData::A(a) = rd {
+                    return Some(IpAddr::V4(*a));
+                }
+            }
+        }
+        if let Some(hit) = self.cache.get(target, RecordType::AAAA, now) {
+            for rd in &hit.rrset.rdatas {
+                if let RData::Aaaa(a) = rd {
+                    return Some(IpAddr::V6(*a));
+                }
+            }
+        }
+        None
+    }
+
+    /// Rotates candidates (resolvers rotate across authoritatives,
+    /// paper §3.4 / [37]); sticky resolvers pin their remembered server
+    /// to the front instead.
+    fn order_candidates(
+        &mut self,
+        zone: &Name,
+        candidates: &mut Vec<(Name, IpAddr)>,
+        _net: &Network,
+    ) {
+        self.rng.shuffle(candidates);
+        if self.policy.sticky {
+            if let Some(&addr) = self.sticky_server.get(zone) {
+                if let Some(pos) = candidates.iter().position(|(_, a)| *a == addr) {
+                    candidates.swap(0, pos);
+                } else {
+                    // The sticky address may no longer be in the NS set
+                    // (renumbered); stay loyal to it anyway.
+                    candidates.insert(0, (zone.clone(), addr));
+                }
+            }
+        }
+    }
+
+    /// Queries candidates in order with retries; returns the first
+    /// useful response and whether it came from a root server.
+    fn query_candidates(
+        &mut self,
+        zone: &Name,
+        candidates: &[(Name, IpAddr)],
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        net: &mut Network,
+        ctx: &mut Ctx,
+    ) -> Option<(Message, bool)> {
+        let from_root = zone.is_root();
+        for (_, addr) in candidates {
+            for _attempt in 0..=self.policy.retries {
+                let query = Message::iterative_query(self.next_msg_id(), qname.clone(), qtype);
+                let mut outcome =
+                    net.exchange(self.region, self.tag, *addr, &query, now, &mut self.rng);
+                ctx.elapsed = ctx.elapsed + outcome.elapsed();
+                // RFC 1035 §4.2.1: a truncated UDP response is retried
+                // over TCP (extra handshake RTT, counted above).
+                if let ExchangeOutcome::Response { message, .. } = &outcome {
+                    if message.header.truncated {
+                        self.stats.tcp_fallbacks += 1;
+                        ctx.upstream += 1;
+                        self.stats.upstream_queries += 1;
+                        let retry = Message::iterative_query(
+                            self.next_msg_id(),
+                            qname.clone(),
+                            qtype,
+                        );
+                        outcome = net.exchange_with(
+                            self.region,
+                            self.tag,
+                            *addr,
+                            &retry,
+                            now,
+                            &mut self.rng,
+                            Transport::Tcp,
+                        );
+                        ctx.elapsed = ctx.elapsed + outcome.elapsed();
+                    }
+                }
+                match outcome {
+                    ExchangeOutcome::Response { message, .. } => {
+                        ctx.upstream += 1;
+                        self.stats.upstream_queries += 1;
+                        match message.header.rcode {
+                            Rcode::NoError | Rcode::NxDomain => {
+                                if self.policy.sticky {
+                                    self.sticky_server.insert(zone.clone(), *addr);
+                                }
+                                return Some((message, from_root));
+                            }
+                            // REFUSED / SERVFAIL / …: try the next server.
+                            _ => break,
+                        }
+                    }
+                    ExchangeOutcome::Timeout { .. } => {
+                        self.stats.timeouts += 1;
+                        // Retry the same server up to `retries` times.
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Stores every RRset of a response into the cache with the rank
+    /// its section and the AA bit dictate. `from_root` pins data for
+    /// RFC 7706 local-root policies.
+    fn ingest(&mut self, response: &Message, now: SimTime, from_root: bool) {
+        let pinned = from_root && self.policy.local_root;
+        let aa = response.header.authoritative;
+        for (records, rank) in [
+            (
+                &response.answers,
+                if aa {
+                    Credibility::AuthAnswer
+                } else {
+                    Credibility::ReferralAuthority
+                },
+            ),
+            (
+                &response.authorities,
+                if aa {
+                    Credibility::AuthAuthority
+                } else {
+                    Credibility::ReferralAuthority
+                },
+            ),
+            (&response.additionals, Credibility::ReferralAdditional),
+        ] {
+            for rrset in group_rrsets(records) {
+                if rrset.rtype == RecordType::SOA {
+                    continue; // negative-caching SOAs are handled separately
+                }
+                self.cache.store(rrset, rank, now, &self.policy, pinned);
+            }
+        }
+    }
+
+    /// Extracts the SOA from a negative response and populates the
+    /// negative cache.
+    fn cache_negative_from(
+        &mut self,
+        response: &Message,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+    ) {
+        let Some(soa) = response
+            .authorities
+            .iter()
+            .find(|r| r.record_type() == RecordType::SOA)
+        else {
+            return;
+        };
+        let RData::Soa(data) = &soa.rdata else { return };
+        let rcode = response.header.rcode;
+        self.cache.store_negative(
+            qname.clone(),
+            qtype,
+            rcode,
+            Ttl::from_secs(data.minimum),
+            soa.ttl,
+            now,
+            &self.policy,
+        );
+    }
+}
+
+/// Groups a section's records into RRsets (name+type runs).
+fn group_rrsets(records: &[Record]) -> Vec<RRset> {
+    let mut order: Vec<(Name, RecordType)> = Vec::new();
+    let mut groups: HashMap<(Name, RecordType), Vec<Record>> = HashMap::new();
+    for r in records {
+        let key = (r.name.clone(), r.record_type());
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(r.clone());
+    }
+    order
+        .into_iter()
+        .filter_map(|key| RRset::from_records(&groups[&key]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};
+    use dnsttl_netsim::{LatencyModel, ServiceHandle};
+    use std::cell::RefCell;
+    use std::net::Ipv4Addr;
+    use std::rc::Rc;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(198, 51, 100, last))
+    }
+
+    /// Builds the paper's Table 1 world: a root delegating `.cl` with
+    /// two-day glue, and `a.nic.cl` authoritative for `.cl` with
+    /// 3600 s NS / 43200 s A TTLs.
+    fn build_cl_world() -> (Network, Vec<RootHint>) {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("k.root-servers.net").with_zone(
+            ZoneBuilder::new(".")
+                .ns("cl", "a.nic.cl", Ttl::TWO_DAYS)
+                .a("a.nic.cl", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let child = AuthoritativeServer::new("a.nic.cl").with_zone(
+            ZoneBuilder::new("cl")
+                .ns("cl", "a.nic.cl", Ttl::HOUR)
+                .a("a.nic.cl", "198.51.100.2", Ttl::from_secs(43_200))
+                .a("www.example.cl", "203.0.113.80", Ttl::from_secs(600))
+                .build(),
+        );
+        let root: ServiceHandle = Rc::new(RefCell::new(root));
+        let child: ServiceHandle = Rc::new(RefCell::new(child));
+        net.register(ip(1), Region::Eu, root);
+        net.register(ip(2), Region::Eu, child);
+        let hints = vec![RootHint {
+            ns_name: n("k.root-servers.net"),
+            addr: ip(1),
+        }];
+        (net, hints)
+    }
+
+    fn resolver(policy: ResolverPolicy, hints: Vec<RootHint>) -> RecursiveResolver {
+        RecursiveResolver::new("test", policy, Region::Eu, 7, hints, SimRng::seed_from(1))
+    }
+
+    #[test]
+    fn full_iteration_resolves_leaf_a_record() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("www.example.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert_eq!(out.answer.answers.len(), 1);
+        assert_eq!(out.answer.answers[0].ttl.as_secs(), 600);
+        assert!(!out.cache_hit);
+        // Two upstream queries: root referral + child answer.
+        assert_eq!(out.upstream_queries, 2);
+        assert_eq!(out.elapsed, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn second_query_is_a_cache_hit_with_decremented_ttl() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        r.resolve(&n("www.example.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        let out = r.resolve(
+            &n("www.example.cl"),
+            RecordType::A,
+            SimTime::from_secs(100),
+            &mut net,
+        );
+        assert!(out.cache_hit);
+        assert_eq!(out.upstream_queries, 0);
+        assert_eq!(out.answer.answers[0].ttl.as_secs(), 500);
+        assert_eq!(out.elapsed, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn child_centric_ns_query_returns_child_ttl() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("cl"), RecordType::NS, SimTime::ZERO, &mut net);
+        // Child-centric: must have queried a.nic.cl and gotten 3600 s.
+        assert_eq!(out.answer.answers[0].ttl, Ttl::HOUR);
+    }
+
+    #[test]
+    fn parent_centric_ns_query_returns_parent_ttl() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::parent_centric(), hints);
+        let out = r.resolve(&n("cl"), RecordType::NS, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.answers[0].ttl, Ttl::TWO_DAYS);
+        // Only the root was queried; the child never saw us.
+        assert_eq!(out.upstream_queries, 1);
+    }
+
+    #[test]
+    fn parent_centric_address_query_returns_glue_ttl() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::parent_centric(), hints);
+        let out = r.resolve(&n("a.nic.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.answers[0].ttl, Ttl::TWO_DAYS);
+    }
+
+    #[test]
+    fn child_centric_address_query_returns_child_ttl() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("a.nic.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.answers[0].ttl.as_secs(), 43_200);
+    }
+
+    #[test]
+    fn nxdomain_is_negatively_cached() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("missing.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NxDomain);
+        let out2 = r.resolve(&n("missing.cl"), RecordType::A, SimTime::from_secs(10), &mut net);
+        assert_eq!(out2.answer.header.rcode, Rcode::NxDomain);
+        assert!(out2.cache_hit);
+    }
+
+    #[test]
+    fn ttl_cap_flows_through_to_client_answer() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::google_like(), hints);
+        let out = r.resolve(&n("a.nic.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.answers[0].ttl.as_secs(), 21_599);
+    }
+
+    #[test]
+    fn servfail_when_child_offline_for_child_centric() {
+        let (mut net, hints) = build_cl_world();
+        net.set_online(ip(2), false);
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("cl"), RecordType::NS, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::ServFail);
+        assert!(out.elapsed >= net.query_timeout, "timeouts must cost time");
+    }
+
+    #[test]
+    fn parent_centric_survives_child_offline() {
+        // The paper's zurrundedu-offline observation (§4.4): OpenDNS
+        // (parent-centric) answers NS queries with the child dead.
+        let (mut net, hints) = build_cl_world();
+        net.set_online(ip(2), false);
+        let mut r = resolver(ResolverPolicy::parent_centric(), hints);
+        let out = r.resolve(&n("cl"), RecordType::NS, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn serve_stale_bridges_outage() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::serve_stale_like(), hints);
+        r.resolve(&n("www.example.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        // The record expires at 600 s; kill every server and ask again.
+        net.set_online(ip(1), false);
+        net.set_online(ip(2), false);
+        let out = r.resolve(
+            &n("www.example.cl"),
+            RecordType::A,
+            SimTime::from_secs(700),
+            &mut net,
+        );
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert!(out.served_stale);
+        assert_eq!(out.answer.answers[0].ttl.as_secs(), 30);
+    }
+
+    #[test]
+    fn local_root_pins_tld_data_at_full_ttl() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::opendns_like(), hints);
+        let out = r.resolve(&n("cl"), RecordType::NS, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.answers[0].ttl, Ttl::TWO_DAYS);
+        // Much later, still the *full* parent TTL: the mirrored root
+        // zone never decays (§3.2 sees constant 172800 s from OpenDNS).
+        let out = r.resolve(&n("cl"), RecordType::NS, SimTime::from_secs(400_000), &mut net);
+        assert_eq!(out.answer.answers[0].ttl, Ttl::TWO_DAYS);
+    }
+
+    #[test]
+    fn cname_chain_is_followed_and_returned() {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("example", "ns.example", Ttl::TWO_DAYS)
+                .a("ns.example", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let child = AuthoritativeServer::new("ns.example").with_zone(
+            ZoneBuilder::new("example")
+                .ns("example", "ns.example", Ttl::HOUR)
+                .cname("www.example", "web.example", Ttl::HOUR)
+                .a("web.example", "203.0.113.80", Ttl::HOUR)
+                .build(),
+        );
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(ip(2), Region::Eu, Rc::new(RefCell::new(child)));
+        let hints = vec![RootHint {
+            ns_name: n("root"),
+            addr: ip(1),
+        }];
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("www.example"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        let types: Vec<RecordType> =
+            out.answer.answers.iter().map(|r| r.record_type()).collect();
+        assert!(types.contains(&RecordType::CNAME));
+        assert!(types.contains(&RecordType::A));
+    }
+
+    #[test]
+    fn out_of_bailiwick_server_address_is_sub_resolved() {
+        // example.org served by ns1.example.com: resolving anything in
+        // example.org first requires resolving ns1.example.com.
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("org", "ns.org", Ttl::TWO_DAYS)
+                .a("ns.org", "198.51.100.2", Ttl::TWO_DAYS)
+                .ns("com", "ns.com", Ttl::TWO_DAYS)
+                .a("ns.com", "198.51.100.3", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let org = AuthoritativeServer::new("ns.org").with_zone(
+            ZoneBuilder::new("org")
+                .ns("org", "ns.org", Ttl::DAY)
+                .ns("example.org", "ns1.example.com", Ttl::HOUR)
+                .build(),
+        );
+        let com = AuthoritativeServer::new("ns.com").with_zone(
+            ZoneBuilder::new("com")
+                .ns("com", "ns.com", Ttl::DAY)
+                .ns("example.com", "ns1.example.com", Ttl::HOUR)
+                .a("ns1.example.com", "198.51.100.4", Ttl::from_secs(7_200))
+                .build(),
+        );
+        let excom = AuthoritativeServer::new("ns1.example.com")
+            .with_zone(
+                ZoneBuilder::new("example.com")
+                    .ns("example.com", "ns1.example.com", Ttl::HOUR)
+                    .a("ns1.example.com", "198.51.100.4", Ttl::from_secs(7_200))
+                    .build(),
+            )
+            .with_zone(
+                ZoneBuilder::new("example.org")
+                    .ns("example.org", "ns1.example.com", Ttl::HOUR)
+                    .a("www.example.org", "203.0.113.80", Ttl::HOUR)
+                    .build(),
+            );
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(ip(2), Region::Eu, Rc::new(RefCell::new(org)));
+        net.register(ip(3), Region::Eu, Rc::new(RefCell::new(com)));
+        net.register(ip(4), Region::Eu, Rc::new(RefCell::new(excom)));
+        let hints = vec![RootHint {
+            ns_name: n("root"),
+            addr: ip(1),
+        }];
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("www.example.org"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert_eq!(out.answer.answers[0].rdata, RData::A("203.0.113.80".parse().unwrap()));
+        // Root, org (referral), then the glue chase (root hit from
+        // cache, com referral, example.com answer), then example.org.
+        assert!(out.upstream_queries >= 4, "took {}", out.upstream_queries);
+    }
+
+    /// A middlebox that rewrites A answers while forwarding to a real
+    /// server — the tampering a validator must catch.
+    struct Tamperer {
+        inner: AuthoritativeServer,
+    }
+
+    impl dnsttl_netsim::DnsService for Tamperer {
+        fn handle_query(
+            &mut self,
+            query: &Message,
+            client: dnsttl_netsim::ClientId,
+            now: SimTime,
+        ) -> Message {
+            let mut response =
+                dnsttl_netsim::DnsService::handle_query(&mut self.inner, query, client, now);
+            for r in &mut response.answers {
+                if let RData::A(a) = &mut r.rdata {
+                    *a = Ipv4Addr::new(6, 6, 6, 6); // hijack
+                }
+            }
+            response
+        }
+    }
+
+    fn build_signed_world(tamper: bool) -> (Network, Vec<RootHint>) {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("uy", "a.nic.uy", Ttl::TWO_DAYS)
+                .a("a.nic.uy", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let mut uy_zone = ZoneBuilder::new("uy")
+            .ns("uy", "a.nic.uy", Ttl::from_secs(300))
+            .a("a.nic.uy", "198.51.100.2", Ttl::from_secs(120))
+            .a("www.gub.uy", "200.40.30.1", Ttl::HOUR)
+            .build();
+        dnsttl_auth::sign_zone(&mut uy_zone);
+        let child = AuthoritativeServer::new("a.nic.uy").with_zone(uy_zone);
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        if tamper {
+            net.register(ip(2), Region::Eu, Rc::new(RefCell::new(Tamperer { inner: child })));
+        } else {
+            net.register(ip(2), Region::Eu, Rc::new(RefCell::new(child)));
+        }
+        (
+            net,
+            vec![RootHint {
+                ns_name: n("root"),
+                addr: ip(1),
+            }],
+        )
+    }
+
+    #[test]
+    fn validator_accepts_signed_answers() {
+        let (mut net, hints) = build_signed_world(false);
+        let mut r = resolver(ResolverPolicy::validating(), hints);
+        let out = r.resolve(&n("www.gub.uy"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert!(r.stats().validations > 0);
+        assert_eq!(r.stats().validation_failures, 0);
+    }
+
+    #[test]
+    fn validator_rejects_tampered_answers() {
+        let (mut net, hints) = build_signed_world(true);
+        let mut r = resolver(ResolverPolicy::validating(), hints);
+        let out = r.resolve(&n("www.gub.uy"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::ServFail, "bogus ⇒ SERVFAIL");
+        assert!(r.stats().validation_failures > 0);
+    }
+
+    #[test]
+    fn non_validator_swallows_tampered_answers() {
+        // The contrast: without validation the hijack succeeds.
+        let (mut net, hints) = build_signed_world(true);
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("www.gub.uy"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert_eq!(
+            out.answer.answers[0].rdata,
+            RData::A(Ipv4Addr::new(6, 6, 6, 6))
+        );
+    }
+
+    #[test]
+    fn validator_is_structurally_child_centric() {
+        // Even a parent-centric-configured validator must fetch the
+        // child's (signed) data to answer: it sees the child TTL.
+        let (mut net, hints) = build_signed_world(false);
+        let policy = ResolverPolicy {
+            validate_dnssec: true,
+            ..ResolverPolicy::parent_centric()
+        };
+        let mut r = resolver(policy, hints);
+        let out = r.resolve(&n("uy"), RecordType::NS, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert_eq!(out.answer.answers[0].ttl.as_secs(), 300, "child TTL, not 172800");
+    }
+
+    #[test]
+    fn cname_loops_terminate_with_failure() {
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("example", "ns.example", Ttl::TWO_DAYS)
+                .a("ns.example", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let child = AuthoritativeServer::new("ns.example").with_zone(
+            ZoneBuilder::new("example")
+                .ns("example", "ns.example", Ttl::HOUR)
+                .cname("a.example", "b.example", Ttl::HOUR)
+                .cname("b.example", "a.example", Ttl::HOUR)
+                .build(),
+        );
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(ip(2), Region::Eu, Rc::new(RefCell::new(child)));
+        let hints = vec![RootHint {
+            ns_name: n("root"),
+            addr: ip(1),
+        }];
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("a.example"), RecordType::A, SimTime::ZERO, &mut net);
+        // Must terminate (bounded chain) and report failure, not spin.
+        assert_eq!(out.answer.header.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn lame_delegation_fails_cleanly() {
+        // The child's server answers with a referral back to the same
+        // cut instead of an answer — a lame delegation. The resolver
+        // must not loop.
+        struct Lame;
+        impl dnsttl_netsim::DnsService for Lame {
+            fn handle_query(
+                &mut self,
+                query: &Message,
+                _client: dnsttl_netsim::ClientId,
+                _now: SimTime,
+            ) -> Message {
+                let mut r = Message::response_to(query);
+                r.header.authoritative = false;
+                r.authorities.push(Record::new(
+                    n("example"),
+                    Ttl::HOUR,
+                    RData::Ns(n("ns.example")),
+                ));
+                r
+            }
+        }
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("example", "ns.example", Ttl::TWO_DAYS)
+                .a("ns.example", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(ip(2), Region::Eu, Rc::new(RefCell::new(Lame)));
+        let hints = vec![RootHint {
+            ns_name: n("root"),
+            addr: ip(1),
+        }];
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("www.example"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::ServFail);
+        assert!(out.upstream_queries <= 8, "bounded work on lameness");
+    }
+
+    #[test]
+    fn truncated_responses_fall_back_to_tcp() {
+        // A zone answering with 40 address records cannot fit in a
+        // 512-octet UDP response; the resolver must complete over TCP.
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("big", "ns.big", Ttl::TWO_DAYS)
+                .a("ns.big", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let mut big_zone = ZoneBuilder::new("big").ns("big", "ns.big", Ttl::HOUR);
+        for i in 0..40u8 {
+            big_zone = big_zone.a("www.big", &format!("203.0.113.{i}"), Ttl::HOUR);
+        }
+        let big = AuthoritativeServer::new("ns.big").with_zone(big_zone.build());
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(ip(2), Region::Eu, Rc::new(RefCell::new(big)));
+        let hints = vec![RootHint {
+            ns_name: n("root"),
+            addr: ip(1),
+        }];
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        let out = r.resolve(&n("www.big"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert_eq!(out.answer.answers.len(), 40);
+        assert!(r.stats().tcp_fallbacks >= 1);
+        // Latency accounting: root referral (10) + truncated UDP try
+        // (10) + TCP retry with handshake (2 × 10) = 40 ms.
+        assert_eq!(out.elapsed, SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn qname_minimization_hides_the_full_question_from_parents() {
+        // root and .cl must only ever see the next label; only the
+        // final authoritative server sees www.example.cl.
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let mut root_srv = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("cl", "a.nic.cl", Ttl::TWO_DAYS)
+                .a("a.nic.cl", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        root_srv.enable_logging();
+        let root_handle = Rc::new(RefCell::new(root_srv));
+        let mut cl_srv = AuthoritativeServer::new("a.nic.cl").with_zone(
+            ZoneBuilder::new("cl")
+                .ns("cl", "a.nic.cl", Ttl::HOUR)
+                .a("a.nic.cl", "198.51.100.2", Ttl::from_secs(43_200))
+                .ns("example.cl", "ns.example.cl", Ttl::HOUR)
+                .a("ns.example.cl", "198.51.100.3", Ttl::HOUR)
+                .build(),
+        );
+        cl_srv.enable_logging();
+        let cl_handle = Rc::new(RefCell::new(cl_srv));
+        let example = AuthoritativeServer::new("ns.example.cl").with_zone(
+            ZoneBuilder::new("example.cl")
+                .ns("example.cl", "ns.example.cl", Ttl::HOUR)
+                .a("www.example.cl", "203.0.113.80", Ttl::from_secs(600))
+                .build(),
+        );
+        net.register(ip(1), Region::Eu, root_handle.clone());
+        net.register(ip(2), Region::Eu, cl_handle.clone());
+        net.register(ip(3), Region::Eu, Rc::new(RefCell::new(example)));
+        let hints = vec![RootHint {
+            ns_name: n("root"),
+            addr: ip(1),
+        }];
+
+        let mut r = resolver(ResolverPolicy::minimizing(), hints);
+        let out = r.resolve(&n("www.example.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert_eq!(
+            out.answer.answers[0].rdata,
+            RData::A("203.0.113.80".parse().unwrap())
+        );
+
+        // Privacy invariant: the root saw at most one label, .cl at
+        // most two.
+        for entry in root_handle.borrow().log().entries() {
+            assert!(
+                entry.qname.label_count() <= 1,
+                "root saw {}",
+                entry.qname
+            );
+        }
+        for entry in cl_handle.borrow().log().entries() {
+            assert!(
+                entry.qname.label_count() <= 2,
+                ".cl saw {}",
+                entry.qname
+            );
+        }
+    }
+
+    #[test]
+    fn qname_minimization_descends_through_empty_non_terminals() {
+        // deep.sub.example has no cut at sub.example (empty
+        // non-terminal): a minimised NS probe gets NODATA and the
+        // resolver must extend by one label, not give up.
+        let mut net = Network::new(LatencyModel::constant(10.0));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("example", "ns.example", Ttl::TWO_DAYS)
+                .a("ns.example", "198.51.100.2", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let child = AuthoritativeServer::new("ns.example").with_zone(
+            ZoneBuilder::new("example")
+                .ns("example", "ns.example", Ttl::HOUR)
+                .a("deep.sub.example", "203.0.113.9", Ttl::HOUR)
+                .build(),
+        );
+        net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(ip(2), Region::Eu, Rc::new(RefCell::new(child)));
+        let hints = vec![RootHint {
+            ns_name: n("root"),
+            addr: ip(1),
+        }];
+        let mut r = resolver(ResolverPolicy::minimizing(), hints);
+        let out = r.resolve(&n("deep.sub.example"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NoError);
+        assert_eq!(out.answer.answers[0].rdata, RData::A("203.0.113.9".parse().unwrap()));
+    }
+
+    #[test]
+    fn qname_minimization_preserves_nxdomain_cut_off() {
+        // RFC 8020: an NXDOMAIN on an ancestor short-circuits.
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::minimizing(), hints);
+        let out = r.resolve(&n("a.b.nothere.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(out.answer.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn prefetch_eliminates_periodic_misses() {
+        // www.example.cl has a 600 s TTL; query every 550 s. Without
+        // prefetch, every other query around expiry is a miss; with
+        // prefetch, the near-expiry hit refreshes the entry so the
+        // *next* query hits too.
+        let run = |prefetch: bool| -> (u32, u64) {
+            let (mut net, hints) = build_cl_world();
+            let policy = ResolverPolicy {
+                prefetch,
+                ..ResolverPolicy::default()
+            };
+            let mut r = resolver(policy, hints);
+            let mut misses = 0u32;
+            for i in 0..12u64 {
+                let out = r.resolve(
+                    &n("www.example.cl"),
+                    RecordType::A,
+                    SimTime::from_secs(i * 550),
+                    &mut net,
+                );
+                assert_eq!(out.answer.header.rcode, Rcode::NoError);
+                misses += (!out.cache_hit) as u32;
+            }
+            (misses, r.stats().prefetches)
+        };
+        let (misses_plain, prefetches_plain) = run(false);
+        let (misses_prefetch, prefetches) = run(true);
+        assert_eq!(prefetches_plain, 0);
+        assert!(prefetches > 0, "prefetches must fire near expiry");
+        assert!(
+            misses_prefetch < misses_plain,
+            "prefetch {misses_prefetch} !< plain {misses_plain}"
+        );
+    }
+
+    #[test]
+    fn prefetch_latency_stays_hidden_from_client() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::prefetching(), hints);
+        r.resolve(&n("www.example.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        // A hit at 96% of the TTL consumed triggers a refresh but the
+        // client still sees a zero-cost cache answer.
+        let out = r.resolve(
+            &n("www.example.cl"),
+            RecordType::A,
+            SimTime::from_secs(580),
+            &mut net,
+        );
+        assert!(out.cache_hit);
+        assert_eq!(out.elapsed, SimDuration::ZERO);
+        assert_eq!(r.stats().prefetches, 1);
+        // And the refresh really happened: the entry is fresh again.
+        let again = r.resolve(
+            &n("www.example.cl"),
+            RecordType::A,
+            SimTime::from_secs(620),
+            &mut net,
+        );
+        assert!(again.cache_hit, "entry was refreshed in the background");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut net, hints) = build_cl_world();
+        let mut r = resolver(ResolverPolicy::default(), hints);
+        r.resolve(&n("www.example.cl"), RecordType::A, SimTime::ZERO, &mut net);
+        r.resolve(&n("www.example.cl"), RecordType::A, SimTime::from_secs(1), &mut net);
+        let s = r.stats();
+        assert_eq!(s.client_queries, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.upstream_queries, 2);
+        assert_eq!(s.servfails, 0);
+    }
+}

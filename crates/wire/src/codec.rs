@@ -1,0 +1,612 @@
+//! RFC 1035 wire-format encoding and decoding.
+//!
+//! The encoder performs standard name compression (back-pointers to
+//! earlier occurrences); the decoder accepts compression anywhere a name
+//! may appear and rejects forward pointers and pointer loops. Round-trip
+//! fidelity is enforced by property tests in `tests/` of this crate.
+
+use crate::message::{Header, Message, Opcode, Question, Rcode};
+use crate::rdata::{RData, RecordType, SoaData};
+use crate::record::{Class, Record};
+use crate::{Name, Ttl, WireError};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Upper bound on an encoded message (TCP-framed DNS limit).
+pub const MAX_MESSAGE_LEN: usize = 65_535;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct Encoder {
+    buf: Vec<u8>,
+    /// Canonical name → offset of an earlier occurrence, for compression.
+    name_offsets: HashMap<String, usize>,
+}
+
+impl Encoder {
+    fn new() -> Encoder {
+        Encoder {
+            buf: Vec::with_capacity(512),
+            name_offsets: HashMap::new(),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes `name`, compressing against previously written names.
+    ///
+    /// For each suffix of the name we either emit a pointer to a prior
+    /// occurrence or emit the label and remember the offset (offsets must
+    /// fit in 14 bits to be pointer targets).
+    fn name(&mut self, name: &Name) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix_key: String = labels[i..]
+                .iter()
+                .map(|l| format!("{}.", l.to_ascii_lowercase()))
+                .collect();
+            if let Some(&off) = self.name_offsets.get(&suffix_key) {
+                self.u16(0xC000 | off as u16);
+                return;
+            }
+            let here = self.buf.len();
+            if here < 0x3FFF {
+                self.name_offsets.insert(suffix_key, here);
+            }
+            let label = &labels[i];
+            self.u8(label.len() as u8);
+            self.buf.extend_from_slice(label.as_bytes());
+        }
+        self.u8(0); // root terminator
+    }
+
+    fn question(&mut self, q: &Question) {
+        self.name(&q.qname);
+        self.u16(q.qtype.code());
+        self.u16(q.qclass.code());
+    }
+
+    fn record(&mut self, r: &Record) {
+        self.name(&r.name);
+        self.u16(r.record_type().code());
+        self.u16(r.class.code());
+        self.u32(r.ttl.as_secs());
+        // Reserve RDLENGTH, fill in after writing RDATA.
+        let len_pos = self.buf.len();
+        self.u16(0);
+        let start = self.buf.len();
+        self.rdata(&r.rdata);
+        let rdlen = self.buf.len() - start;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
+    }
+
+    fn rdata(&mut self, rd: &RData) {
+        match rd {
+            RData::A(addr) => self.buf.extend_from_slice(&addr.octets()),
+            RData::Aaaa(addr) => self.buf.extend_from_slice(&addr.octets()),
+            // Compression inside RDATA is legal for NS/CNAME/SOA/MX
+            // (RFC 1035 §4.1.4 allows it for these "well-known" types).
+            RData::Ns(n) | RData::Cname(n) => self.name(n),
+            RData::Soa(soa) => {
+                self.name(&soa.mname);
+                self.name(&soa.rname);
+                self.u32(soa.serial);
+                self.u32(soa.refresh);
+                self.u32(soa.retry);
+                self.u32(soa.expire);
+                self.u32(soa.minimum);
+            }
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                self.u16(*preference);
+                self.name(exchange);
+            }
+            RData::Txt(t) => {
+                // Character-strings of at most 255 bytes each.
+                for chunk in t.as_bytes().chunks(255) {
+                    self.u8(chunk.len() as u8);
+                    self.buf.extend_from_slice(chunk);
+                }
+                if t.is_empty() {
+                    self.u8(0);
+                }
+            }
+            RData::Dnskey {
+                flags,
+                protocol,
+                algorithm,
+                key,
+            } => {
+                self.u16(*flags);
+                self.u8(*protocol);
+                self.u8(*algorithm);
+                self.buf.extend_from_slice(key);
+            }
+            RData::Rrsig {
+                type_covered,
+                algorithm,
+                original_ttl,
+                signer,
+                signature,
+            } => {
+                self.u16(type_covered.code());
+                self.u8(*algorithm);
+                self.u32(*original_ttl);
+                // Signer name must NOT be compressed (RFC 4034 §3.1.7);
+                // we emit it label by label without registering offsets.
+                for label in signer.labels() {
+                    self.u8(label.len() as u8);
+                    self.buf.extend_from_slice(label.as_bytes());
+                }
+                self.u8(0);
+                self.buf.extend_from_slice(signature);
+            }
+            RData::Opt(bytes) => self.buf.extend_from_slice(bytes),
+        }
+    }
+}
+
+/// Encodes a message to wire format.
+pub fn encode_message(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let mut e = Encoder::new();
+    let h = &msg.header;
+    e.u16(h.id);
+    let mut flags: u16 = 0;
+    if h.response {
+        flags |= 1 << 15;
+    }
+    flags |= (h.opcode.code() as u16) << 11;
+    if h.authoritative {
+        flags |= 1 << 10;
+    }
+    if h.truncated {
+        flags |= 1 << 9;
+    }
+    if h.recursion_desired {
+        flags |= 1 << 8;
+    }
+    if h.recursion_available {
+        flags |= 1 << 7;
+    }
+    flags |= h.rcode.code() as u16;
+    e.u16(flags);
+    e.u16(msg.questions.len() as u16);
+    e.u16(msg.answers.len() as u16);
+    e.u16(msg.authorities.len() as u16);
+    e.u16(msg.additionals.len() as u16);
+    for q in &msg.questions {
+        e.question(q);
+    }
+    for r in &msg.answers {
+        e.record(r);
+    }
+    for r in &msg.authorities {
+        e.record(r);
+    }
+    for r in &msg.additionals {
+        e.record(r);
+    }
+    if e.buf.len() > MAX_MESSAGE_LEN {
+        return Err(WireError::MessageTooLarge(e.buf.len()));
+    }
+    Ok(e.buf)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated {
+            expected: what,
+            at: self.pos,
+        })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let hi = self.u8(what)? as u16;
+        let lo = self.u8(what)? as u16;
+        Ok(hi << 8 | lo)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let hi = self.u16(what)? as u32;
+        let lo = self.u16(what)? as u32;
+        Ok(hi << 16 | lo)
+    }
+
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos + n;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated {
+            expected: what,
+            at: self.pos,
+        })?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a possibly-compressed name starting at the current offset.
+    ///
+    /// Pointers must point strictly backwards, which also bounds the
+    /// number of jumps and rules out loops.
+    fn name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut pos = self.pos;
+        let mut followed_pointer = false;
+        let mut end_after_first_pointer = self.pos;
+        let mut min_ptr_target = usize::MAX;
+        loop {
+            let len = *self.buf.get(pos).ok_or(WireError::Truncated {
+                expected: "name label length",
+                at: pos,
+            })? as usize;
+            if len & 0xC0 == 0xC0 {
+                let lo = *self.buf.get(pos + 1).ok_or(WireError::Truncated {
+                    expected: "compression pointer",
+                    at: pos + 1,
+                })? as usize;
+                let target = (len & 0x3F) << 8 | lo;
+                if target >= pos || target >= min_ptr_target {
+                    return Err(WireError::BadCompressionPointer(pos));
+                }
+                min_ptr_target = target;
+                if !followed_pointer {
+                    end_after_first_pointer = pos + 2;
+                    followed_pointer = true;
+                }
+                pos = target;
+            } else if len == 0 {
+                pos += 1;
+                break;
+            } else {
+                if len > crate::name::MAX_LABEL_LEN {
+                    return Err(WireError::LabelTooLong(len));
+                }
+                let bytes = self.buf.get(pos + 1..pos + 1 + len).ok_or(WireError::Truncated {
+                    expected: "name label",
+                    at: pos + 1,
+                })?;
+                let label: String = bytes.iter().map(|&b| b as char).collect();
+                labels.push(label);
+                pos += 1 + len;
+            }
+        }
+        self.pos = if followed_pointer {
+            end_after_first_pointer
+        } else {
+            pos
+        };
+        Name::from_labels(labels)
+    }
+
+    fn question(&mut self) -> Result<Question, WireError> {
+        let qname = self.name()?;
+        let qtype = RecordType::from_code(self.u16("qtype")?)?;
+        let qclass = Class::from_code(self.u16("qclass")?)?;
+        Ok(Question {
+            qname,
+            qtype,
+            qclass,
+        })
+    }
+
+    fn record(&mut self) -> Result<Record, WireError> {
+        let name = self.name()?;
+        let rtype = RecordType::from_code(self.u16("rtype")?)?;
+        let class = Class::from_code(self.u16("class")?)?;
+        let ttl = Ttl::from_wire(self.u32("ttl")?);
+        let rdlen = self.u16("rdlength")? as usize;
+        let rdata_end = self.pos + rdlen;
+        if rdata_end > self.buf.len() {
+            return Err(WireError::Truncated {
+                expected: "rdata",
+                at: self.pos,
+            });
+        }
+        let rdata_start = self.pos;
+        let rdata = self.rdata(rtype, rdlen)?;
+        if self.pos != rdata_end {
+            return Err(WireError::RdataLengthMismatch {
+                declared: rdlen,
+                consumed: self.pos - rdata_start,
+            });
+        }
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+
+    fn rdata(&mut self, rtype: RecordType, rdlen: usize) -> Result<RData, WireError> {
+        Ok(match rtype {
+            RecordType::A => {
+                let o = self.bytes(4, "A rdata")?;
+                RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            RecordType::AAAA => {
+                let o = self.bytes(16, "AAAA rdata")?;
+                let mut oct = [0u8; 16];
+                oct.copy_from_slice(o);
+                RData::Aaaa(Ipv6Addr::from(oct))
+            }
+            RecordType::NS => RData::Ns(self.name()?),
+            RecordType::CNAME => RData::Cname(self.name()?),
+            RecordType::SOA => RData::Soa(SoaData {
+                mname: self.name()?,
+                rname: self.name()?,
+                serial: self.u32("SOA serial")?,
+                refresh: self.u32("SOA refresh")?,
+                retry: self.u32("SOA retry")?,
+                expire: self.u32("SOA expire")?,
+                minimum: self.u32("SOA minimum")?,
+            }),
+            RecordType::MX => RData::Mx {
+                preference: self.u16("MX preference")?,
+                exchange: self.name()?,
+            },
+            RecordType::TXT => {
+                let end = self.pos + rdlen;
+                let mut text = String::new();
+                while self.pos < end {
+                    let n = self.u8("TXT length")? as usize;
+                    let chunk = self.bytes(n, "TXT chunk")?;
+                    text.extend(chunk.iter().map(|&b| b as char));
+                }
+                RData::Txt(text)
+            }
+            RecordType::DNSKEY => {
+                let flags = self.u16("DNSKEY flags")?;
+                let protocol = self.u8("DNSKEY protocol")?;
+                let algorithm = self.u8("DNSKEY algorithm")?;
+                let key_len = rdlen.checked_sub(4).ok_or(WireError::Truncated {
+                    expected: "DNSKEY key",
+                    at: self.pos,
+                })?;
+                let key = self.bytes(key_len, "DNSKEY key")?.to_vec();
+                RData::Dnskey {
+                    flags,
+                    protocol,
+                    algorithm,
+                    key,
+                }
+            }
+            RecordType::RRSIG => {
+                let start = self.pos;
+                let type_covered = RecordType::from_code(self.u16("RRSIG covered")?)?;
+                let algorithm = self.u8("RRSIG algorithm")?;
+                let original_ttl = self.u32("RRSIG original ttl")?;
+                let signer = self.name()?;
+                let consumed = self.pos - start;
+                let sig_len = rdlen.checked_sub(consumed).ok_or(WireError::Truncated {
+                    expected: "RRSIG signature",
+                    at: self.pos,
+                })?;
+                let signature = self.bytes(sig_len, "RRSIG signature")?.to_vec();
+                RData::Rrsig {
+                    type_covered,
+                    algorithm,
+                    original_ttl,
+                    signer,
+                    signature,
+                }
+            }
+            RecordType::OPT => RData::Opt(self.bytes(rdlen, "OPT rdata")?.to_vec()),
+        })
+    }
+}
+
+/// Decodes a wire-format message.
+pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
+    let mut d = Decoder { buf, pos: 0 };
+    let id = d.u16("header id")?;
+    let flags = d.u16("header flags")?;
+    let header = Header {
+        id,
+        response: flags & (1 << 15) != 0,
+        opcode: Opcode::from_code(((flags >> 11) & 0xF) as u8),
+        authoritative: flags & (1 << 10) != 0,
+        truncated: flags & (1 << 9) != 0,
+        recursion_desired: flags & (1 << 8) != 0,
+        recursion_available: flags & (1 << 7) != 0,
+        rcode: Rcode::from_code((flags & 0xF) as u8),
+    };
+    let qd = d.u16("qdcount")?;
+    let an = d.u16("ancount")?;
+    let ns = d.u16("nscount")?;
+    let ar = d.u16("arcount")?;
+    let mut msg = Message {
+        header,
+        ..Message::default()
+    };
+    for _ in 0..qd {
+        msg.questions.push(d.question()?);
+    }
+    for _ in 0..an {
+        msg.answers.push(d.record()?);
+    }
+    for _ in 0..ns {
+        msg.authorities.push(d.record()?);
+    }
+    for _ in 0..ar {
+        msg.additionals.push(d.record()?);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn sample_message() -> Message {
+        let q = Message::iterative_query(0x1234, name("example.cl"), RecordType::A);
+        let mut r = Message::response_to(&q);
+        r.header.rcode = Rcode::NoError;
+        r.authorities.push(Record::new(
+            name("cl"),
+            Ttl::TWO_DAYS,
+            RData::Ns(name("a.nic.cl")),
+        ));
+        r.additionals.push(Record::new(
+            name("a.nic.cl"),
+            Ttl::TWO_DAYS,
+            RData::A("190.124.27.10".parse().unwrap()),
+        ));
+        r.additionals.push(Record::new(
+            name("a.nic.cl"),
+            Ttl::TWO_DAYS,
+            RData::Aaaa("2001:1398:1::300".parse().unwrap()),
+        ));
+        r
+    }
+
+    #[test]
+    fn round_trip_referral() {
+        let m = sample_message();
+        let wire = encode_message(&m).unwrap();
+        let back = decode_message(&wire).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let m = sample_message();
+        let wire = encode_message(&m).unwrap();
+        // "a.nic.cl" appears three times; compression should keep the
+        // packet comfortably under the uncompressed size.
+        let uncompressed: usize = 12
+            + m.questions.iter().map(|q| q.qname.wire_len() + 4).sum::<usize>()
+            + m.sectioned_records()
+                .map(|(_, r)| r.name.wire_len() + 10 + 16)
+                .sum::<usize>();
+        assert!(wire.len() < uncompressed, "{} !< {}", wire.len(), uncompressed);
+    }
+
+    #[test]
+    fn decodes_all_rdata_types() {
+        let mut m = Message::default();
+        m.answers.push(Record::new(
+            name("k.example"),
+            Ttl::HOUR,
+            RData::Dnskey {
+                flags: 257,
+                protocol: 3,
+                algorithm: 13,
+                key: vec![1, 2, 3, 4],
+            },
+        ));
+        m.answers.push(Record::new(
+            name("example"),
+            Ttl::HOUR,
+            RData::Soa(SoaData {
+                mname: name("ns1.example"),
+                rname: name("hostmaster.example"),
+                serial: 2019031501,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        m.answers.push(Record::new(
+            name("example"),
+            Ttl::HOUR,
+            RData::Mx {
+                preference: 10,
+                exchange: name("mail.example"),
+            },
+        ));
+        m.answers.push(Record::new(
+            name("example"),
+            Ttl::HOUR,
+            RData::Txt("v=spf1 -all".into()),
+        ));
+        m.answers.push(Record::new(
+            name("example"),
+            Ttl::HOUR,
+            RData::Rrsig {
+                type_covered: RecordType::NS,
+                algorithm: 13,
+                original_ttl: 3600,
+                signer: name("example"),
+                signature: vec![9; 64],
+            },
+        ));
+        let wire = encode_message(&m).unwrap();
+        assert_eq!(decode_message(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_truncated_packet() {
+        let wire = encode_message(&sample_message()).unwrap();
+        for cut in [0, 5, 11, wire.len() / 2, wire.len() - 1] {
+            assert!(decode_message(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_pointer_loops() {
+        // Header (12 bytes) + a question whose name is a self-pointer.
+        let mut buf = vec![0u8; 12];
+        buf[5] = 1; // qdcount = 1
+        buf.extend_from_slice(&[0xC0, 12]); // pointer to itself
+        buf.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(matches!(
+            decode_message(&buf),
+            Err(WireError::BadCompressionPointer(_))
+        ));
+    }
+
+    #[test]
+    fn ttl_high_bit_decodes_as_zero() {
+        let mut m = Message::default();
+        m.answers.push(Record::new(
+            name("x.example"),
+            Ttl::HOUR,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ));
+        let mut wire = encode_message(&m).unwrap();
+        // Patch the TTL field (name len 10 + type 2 + class 2 after the
+        // 12-byte header) to have the top bit set.
+        let ttl_off = 12 + name("x.example").wire_len() + 4;
+        wire[ttl_off] = 0x80;
+        let back = decode_message(&wire).unwrap();
+        assert_eq!(back.answers[0].ttl, Ttl::ZERO);
+    }
+
+    #[test]
+    fn empty_txt_round_trips() {
+        let mut m = Message::default();
+        m.answers.push(Record::new(name("t.example"), Ttl::MINUTE, RData::Txt(String::new())));
+        let wire = encode_message(&m).unwrap();
+        assert_eq!(decode_message(&wire).unwrap(), m);
+    }
+}

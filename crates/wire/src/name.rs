@@ -1,0 +1,365 @@
+//! Domain names.
+//!
+//! Names carry the structure the paper's questions hang on: parent/child
+//! relationships at delegation boundaries and bailiwick membership
+//! ("is `ns1.example.org` *inside* the zone `example.org`?"). The type
+//! here keeps labels in their original case but compares and hashes
+//! case-insensitively, as RFC 1035 §2.3.3 requires.
+
+use crate::WireError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum length of a single label, RFC 1035 §2.3.4.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a whole name in wire format, RFC 1035 §2.3.4.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name.
+///
+/// Internally a sequence of labels, most-specific first; the root is the
+/// empty sequence. Comparison, ordering, and hashing are case-insensitive.
+///
+/// ```
+/// use dnsttl_wire::Name;
+/// let ns = Name::parse("ns1.CacheTest.net").unwrap();
+/// let zone = Name::parse("cachetest.net").unwrap();
+/// assert!(ns.is_subdomain_of(&zone));      // in bailiwick
+/// assert_eq!(ns, Name::parse("NS1.cachetest.NET").unwrap());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Name {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a presentation-format name such as `"a.nic.uy"` or `"."`.
+    ///
+    /// A single trailing dot is accepted and ignored; empty interior
+    /// labels, over-long labels, and over-long names are rejected. Allowed
+    /// characters are letters, digits, `-`, `_` and `*` (the last two for
+    /// SRV-style owners and wildcards).
+    pub fn parse(s: &str) -> Result<Name, WireError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for label in s.split('.') {
+            if label.is_empty() {
+                return Err(WireError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
+            if let Some(c) = label
+                .chars()
+                .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '*')))
+            {
+                return Err(WireError::InvalidCharacter(c));
+            }
+            labels.push(label.to_owned());
+        }
+        let name = Name { labels };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// Builds a name from raw labels, most-specific first.
+    pub fn from_labels<I, S>(labels: I) -> Result<Name, WireError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            let l = l.into();
+            if l.is_empty() {
+                return Err(WireError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            out.push(l);
+        }
+        let name = Name { labels: out };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// The labels of this name, most-specific first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels; the root has zero.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length of the name in uncompressed wire format (labels plus length
+    /// octets plus the terminating zero octet).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The name with the leftmost label removed; `None` for the root.
+    ///
+    /// `a.nic.uy` → `nic.uy` → `uy` → `.` → `None`.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepends `label`, producing a child of this name.
+    pub fn child(&self, label: &str) -> Result<Name, WireError> {
+        if label.is_empty() {
+            return Err(WireError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(label.len()));
+        }
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_owned());
+        labels.extend_from_slice(&self.labels);
+        let name = Name { labels };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// True if `self` equals `zone` or sits below it in the tree.
+    ///
+    /// This is the *bailiwick* test: a server name is in bailiwick of the
+    /// zone it serves exactly when `server.is_subdomain_of(zone)`
+    /// (RFC 8499). Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, zone: &Name) -> bool {
+        if zone.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - zone.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(&zone.labels)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// True if `self` is *strictly* below `zone`.
+    pub fn is_strict_subdomain_of(&self, zone: &Name) -> bool {
+        self.labels.len() > zone.labels.len() && self.is_subdomain_of(zone)
+    }
+
+    /// All ancestor names from the root down to `self` inclusive.
+    ///
+    /// For `a.nic.uy`: `.`, `uy`, `nic.uy`, `a.nic.uy`. Resolvers walk
+    /// this chain when hunting for the deepest cached delegation.
+    pub fn ancestry(&self) -> Vec<Name> {
+        let mut out = Vec::with_capacity(self.labels.len() + 1);
+        for i in (0..=self.labels.len()).rev() {
+            out.push(Name {
+                labels: self.labels[i..].to_vec(),
+            });
+        }
+        out
+    }
+
+    /// A canonical lowercase key for use in maps.
+    pub fn canonical(&self) -> String {
+        if self.labels.is_empty() {
+            ".".to_owned()
+        } else {
+            let mut s = String::new();
+            for l in &self.labels {
+                s.push_str(&l.to_ascii_lowercase());
+                s.push('.');
+            }
+            s
+        }
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for l in &self.labels {
+            for b in l.bytes() {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+            state.write_u8(0);
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+    /// from the root downward, case-insensitively.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.labels.iter().rev();
+        let b = other.labels.iter().rev();
+        for (la, lb) in a.zip(b) {
+            let ord = la
+                .bytes()
+                .map(|c| c.to_ascii_lowercase())
+                .cmp(lb.bytes().map(|c| c.to_ascii_lowercase()));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            write!(f, "{l}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["uy", "a.nic.uy", "ns1.sub.cachetest.net", "google.co"] {
+            assert_eq!(n(s).to_string(), format!("{s}."));
+        }
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(n("."), Name::root());
+        assert_eq!(n("nl."), n("nl"));
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        assert_eq!(Name::parse("a..b"), Err(WireError::EmptyLabel));
+        assert!(matches!(
+            Name::parse(&"x".repeat(64)),
+            Err(WireError::LabelTooLong(64))
+        ));
+        assert!(matches!(
+            Name::parse("bad domain.example"),
+            Err(WireError::InvalidCharacter(' '))
+        ));
+        let long = vec!["abcdefgh"; 32].join("."); // 32*9 + 1 > 255
+        assert!(matches!(Name::parse(&long), Err(WireError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        use std::collections::HashSet;
+        assert_eq!(n("A.NIC.UY"), n("a.nic.uy"));
+        let mut set = HashSet::new();
+        set.insert(n("Example.ORG"));
+        assert!(set.contains(&n("example.org")));
+    }
+
+    #[test]
+    fn parent_walk_terminates_at_root() {
+        let mut cur = Some(n("a.nic.uy"));
+        let mut seen = Vec::new();
+        while let Some(c) = cur {
+            seen.push(c.to_string());
+            cur = c.parent();
+        }
+        assert_eq!(seen, ["a.nic.uy.", "nic.uy.", "uy.", "."]);
+    }
+
+    #[test]
+    fn bailiwick_checks() {
+        let zone = n("cachetest.net");
+        assert!(n("ns1.cachetest.net").is_subdomain_of(&zone));
+        assert!(n("ns1.sub.cachetest.net").is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&zone));
+        assert!(!zone.is_strict_subdomain_of(&zone));
+        assert!(!n("ns1.zurrundedu.com").is_subdomain_of(&zone));
+        // Suffix coincidence is not subdomain-ness.
+        assert!(!n("evilcachetest.net").is_subdomain_of(&zone));
+        assert!(n("anything.example").is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn ancestry_order() {
+        let chain: Vec<String> = n("a.nic.uy").ancestry().iter().map(|x| x.to_string()).collect();
+        assert_eq!(chain, [".", "uy.", "nic.uy.", "a.nic.uy."]);
+    }
+
+    #[test]
+    fn child_builds_and_validates() {
+        let zone = n("cachetest.net");
+        assert_eq!(zone.child("ns1").unwrap(), n("ns1.cachetest.net"));
+        assert!(zone.child("").is_err());
+    }
+
+    #[test]
+    fn canonical_ordering_is_hierarchical() {
+        let mut v = vec![n("b.example"), n("a.example"), n("example"), n("z.a.example")];
+        v.sort();
+        let strs: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        assert_eq!(strs, ["example.", "a.example.", "z.a.example.", "b.example."]);
+    }
+
+    #[test]
+    fn wire_len_counts_length_octets_and_terminator() {
+        assert_eq!(Name::root().wire_len(), 1);
+        assert_eq!(n("uy").wire_len(), 4); // 1 len + 2 + root 1
+        assert_eq!(n("a.nic.uy").wire_len(), 10);
+    }
+}

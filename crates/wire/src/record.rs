@@ -1,0 +1,237 @@
+//! Resource records and RRsets.
+
+use crate::{Name, RData, RecordType, Ttl, WireError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// DNS class. Only `IN` matters in practice; `CH`/`HS` are kept so the
+/// codec can round-trip real-world oddities (version.bind queries etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Class {
+    /// The Internet class.
+    #[default]
+    In,
+    /// Chaosnet (used for server identification queries).
+    Ch,
+    /// Hesiod.
+    Hs,
+}
+
+impl Class {
+    /// The IANA class code.
+    pub fn code(self) -> u16 {
+        match self {
+            Class::In => 1,
+            Class::Ch => 3,
+            Class::Hs => 4,
+        }
+    }
+
+    /// Looks up a class by IANA code.
+    pub fn from_code(code: u16) -> Result<Class, WireError> {
+        Ok(match code {
+            1 => Class::In,
+            3 => Class::Ch,
+            4 => Class::Hs,
+            other => return Err(WireError::UnknownClass(other)),
+        })
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Class::In => "IN",
+            Class::Ch => "CH",
+            Class::Hs => "HS",
+        })
+    }
+}
+
+/// A single resource record: owner name, class, TTL, and typed data.
+///
+/// ```
+/// use dnsttl_wire::{Name, RData, Record, Ttl};
+/// let rr = Record::new(
+///     Name::parse("a.nic.uy").unwrap(),
+///     Ttl::from_secs(120),
+///     RData::A("164.73.128.5".parse().unwrap()),
+/// );
+/// assert_eq!(rr.ttl.as_secs(), 120);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name of the record.
+    pub name: Name,
+    /// Record class (almost always `IN`).
+    pub class: Class,
+    /// Time-to-live governing how long caches may reuse this record.
+    pub ttl: Ttl,
+    /// Typed record data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Creates an `IN`-class record.
+    pub fn new(name: Name, ttl: Ttl, rdata: RData) -> Record {
+        Record {
+            name,
+            class: Class::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record's type, derived from its data.
+    pub fn record_type(&self) -> RecordType {
+        self.rdata.record_type()
+    }
+
+    /// A copy of this record with the TTL replaced — what a cache emits
+    /// when serving a partially aged entry.
+    pub fn with_ttl(&self, ttl: Ttl) -> Record {
+        Record {
+            ttl,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.name,
+            self.ttl.as_secs(),
+            self.class,
+            self.record_type(),
+            self.rdata
+        )
+    }
+}
+
+/// A set of records sharing owner name, class, and type.
+///
+/// RFC 2181 §5.2 requires all records of an RRset to share one TTL; the
+/// constructor normalises differing TTLs to the minimum, as resolvers do.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RRset {
+    /// Owner name shared by every record in the set.
+    pub name: Name,
+    /// Type shared by every record in the set.
+    pub rtype: RecordType,
+    /// The common TTL (minimum of the members' TTLs).
+    pub ttl: Ttl,
+    /// The member records' data.
+    pub rdatas: Vec<RData>,
+}
+
+impl RRset {
+    /// Assembles an RRset from records, which must share name and type.
+    ///
+    /// Returns `None` for an empty slice or on mixed names/types.
+    pub fn from_records(records: &[Record]) -> Option<RRset> {
+        let first = records.first()?;
+        let rtype = first.record_type();
+        let mut ttl = first.ttl;
+        for r in records {
+            if r.name != first.name || r.record_type() != rtype {
+                return None;
+            }
+            ttl = ttl.min(r.ttl); // RFC 2181 §5.2: differing TTLs → minimum
+        }
+        Some(RRset {
+            name: first.name.clone(),
+            rtype,
+            ttl,
+            rdatas: records.iter().map(|r| r.rdata.clone()).collect(),
+        })
+    }
+
+    /// Expands the set back into individual records with the common TTL.
+    pub fn to_records(&self) -> Vec<Record> {
+        self.rdatas
+            .iter()
+            .map(|rd| Record::new(self.name.clone(), self.ttl, rd.clone()))
+            .collect()
+    }
+
+    /// Number of records in the set.
+    pub fn len(&self) -> usize {
+        self.rdatas.len()
+    }
+
+    /// True if the set contains no records (never produced by
+    /// [`RRset::from_records`], but reachable by manual construction).
+    pub fn is_empty(&self) -> bool {
+        self.rdatas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a(owner: &str, ttl: u32, addr: [u8; 4]) -> Record {
+        Record::new(
+            name(owner),
+            Ttl::from_secs(ttl),
+            RData::A(Ipv4Addr::from(addr)),
+        )
+    }
+
+    #[test]
+    fn class_codes_round_trip() {
+        for c in [Class::In, Class::Ch, Class::Hs] {
+            assert_eq!(Class::from_code(c.code()).unwrap(), c);
+        }
+        assert!(Class::from_code(2).is_err());
+    }
+
+    #[test]
+    fn record_display_is_zonefile_like() {
+        let rr = a("a.nic.uy", 120, [164, 73, 128, 5]);
+        assert_eq!(rr.to_string(), "a.nic.uy. 120 IN A 164.73.128.5");
+    }
+
+    #[test]
+    fn with_ttl_replaces_only_ttl() {
+        let rr = a("x.example", 300, [1, 2, 3, 4]);
+        let aged = rr.with_ttl(Ttl::from_secs(17));
+        assert_eq!(aged.ttl.as_secs(), 17);
+        assert_eq!(aged.rdata, rr.rdata);
+        assert_eq!(aged.name, rr.name);
+    }
+
+    #[test]
+    fn rrset_normalises_ttl_to_minimum() {
+        let set = RRset::from_records(&[
+            a("ns.example", 3600, [1, 1, 1, 1]),
+            a("ns.example", 300, [2, 2, 2, 2]),
+        ])
+        .unwrap();
+        assert_eq!(set.ttl.as_secs(), 300);
+        assert_eq!(set.len(), 2);
+        for r in set.to_records() {
+            assert_eq!(r.ttl.as_secs(), 300);
+        }
+    }
+
+    #[test]
+    fn rrset_rejects_mixed_members() {
+        assert!(RRset::from_records(&[]).is_none());
+        let mixed_name = [a("a.example", 60, [1, 1, 1, 1]), a("b.example", 60, [1, 1, 1, 2])];
+        assert!(RRset::from_records(&mixed_name).is_none());
+        let mixed_type = [
+            a("a.example", 60, [1, 1, 1, 1]),
+            Record::new(name("a.example"), Ttl::MINUTE, RData::Ns(name("ns.example"))),
+        ];
+        assert!(RRset::from_records(&mixed_type).is_none());
+    }
+}

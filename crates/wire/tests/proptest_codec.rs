@@ -1,0 +1,127 @@
+//! Property tests for the wire codec: arbitrary well-formed messages must
+//! round-trip exactly, and the decoder must never panic on arbitrary bytes.
+
+use dnsttl_wire::{
+    decode_message, encode_message, Header, Message, Name, Opcode, Question, RData, Rcode, Record,
+    RecordType, SoaData, Ttl,
+};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14})").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..5)
+        .prop_map(|labels| Name::from_labels(labels).expect("labels within limits"))
+}
+
+fn arb_ttl() -> impl Strategy<Value = Ttl> {
+    (0u32..=((1 << 31) - 1)).prop_map(Ttl::from_secs)
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(SoaData { mname, rname, serial, refresh, retry, expire, minimum })
+            }),
+        (any::<u16>(), arb_name())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        proptest::string::string_regex("[ -~]{0,300}")
+            .unwrap()
+            .prop_map(RData::Txt),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(flags, key)| {
+            RData::Dnskey { flags, protocol: 3, algorithm: 13, key }
+        }),
+        (arb_name(), proptest::collection::vec(any::<u8>(), 0..64), any::<u32>()).prop_map(
+            |(signer, signature, original_ttl)| RData::Rrsig {
+                type_covered: RecordType::NS,
+                algorithm: 13,
+                original_ttl,
+                signer,
+                signature,
+            }
+        ),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), arb_ttl(), arb_rdata()).prop_map(|(n, t, rd)| Record::new(n, t, rd))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(arb_name(), 0..2),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(|(id, response, aa, rd, qnames, ans, auth, add)| Message {
+            header: Header {
+                id,
+                response,
+                opcode: Opcode::Query,
+                authoritative: aa,
+                truncated: false,
+                recursion_desired: rd,
+                recursion_available: response,
+                rcode: Rcode::NoError,
+            },
+            questions: qnames
+                .into_iter()
+                .map(|n| Question::new(n, RecordType::A))
+                .collect(),
+            answers: ans,
+            authorities: auth,
+            additionals: add,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_round_trips(msg in arb_message()) {
+        let wire = encode_message(&msg).unwrap();
+        let back = decode_message(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Outcome (Ok or Err) is irrelevant; absence of panic is the test.
+        let _ = decode_message(&bytes);
+    }
+
+    #[test]
+    fn reencoding_decoded_message_is_stable(msg in arb_message()) {
+        let wire = encode_message(&msg).unwrap();
+        let decoded = decode_message(&wire).unwrap();
+        let wire2 = encode_message(&decoded).unwrap();
+        let decoded2 = decode_message(&wire2).unwrap();
+        prop_assert_eq!(decoded, decoded2);
+    }
+
+    #[test]
+    fn name_parse_display_round_trips(labels in proptest::collection::vec("[a-z0-9]{1,10}", 0..5)) {
+        let name = Name::from_labels(labels).unwrap();
+        let reparsed = Name::parse(&name.to_string()).unwrap();
+        prop_assert_eq!(reparsed, name);
+    }
+
+    #[test]
+    fn ttl_countdown_never_underflows(start in 0u32..=((1<<31)-1), step in 0u32..u32::MAX) {
+        let t = Ttl::from_secs(start);
+        let aged = t.saturating_sub_secs(step);
+        prop_assert!(aged <= t);
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's headline findings, asserted over the quick-scale
+//! experiment suite. Each test names the claim it guards.
+
+use dnsttl::experiments::{
+    bailiwick_exp, centricity, controlled, crawl_exp, passive_nl, table1, uy_latency, ExpConfig,
+    Report,
+};
+
+fn cfg() -> ExpConfig {
+    ExpConfig::quick()
+}
+
+fn by_id<'a>(reports: &'a [Report], id: &str) -> &'a Report {
+    reports
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("report {id} missing"))
+}
+
+#[test]
+fn finding_records_are_duplicated_with_different_ttls() {
+    // §3.1 / Table 1: the same record carries three TTLs depending on
+    // where you ask.
+    let t1 = table1::run(&cfg());
+    assert_eq!(t1.get("parent_ns_ttl"), 172_800.0);
+    assert_eq!(t1.get("child_ns_ttl"), 3_600.0);
+    assert_eq!(t1.get("child_a_ttl"), 43_200.0);
+}
+
+#[test]
+fn finding_most_resolvers_are_child_centric_but_parents_matter() {
+    // §3: "most recursive resolvers are child-centric" yet "enough
+    // queries are parent-centric, so parent TTLs still matter".
+    let reports = centricity::run(&cfg());
+    let fig1 = by_id(&reports, "fig1");
+    let child = fig1.get("frac_ns_child");
+    assert!(child > 0.75, "child-centric majority, got {child}");
+    assert!(child < 0.99, "parent-centric minority must exist, got {child}");
+}
+
+#[test]
+fn finding_passive_logs_confirm_child_centricity() {
+    // §3.4: more than half of (resolver, qname) groups query again
+    // within the observation window, clustering at the child's 1-hour
+    // TTL.
+    let reports = passive_nl::run(&cfg());
+    let fig3 = by_id(&reports, "fig3");
+    assert!(fig3.get("frac_single_query") < 0.9);
+    let fig4 = by_id(&reports, "fig4");
+    assert!(fig4.get("hour_bump_fraction") > 0.15);
+}
+
+#[test]
+fn finding_in_bailiwick_couples_ns_and_address_lifetimes() {
+    // §4.2 vs §4.3: the in-bailiwick switch happens at the NS TTL,
+    // the out-of-bailiwick one only at the address TTL.
+    let reports = bailiwick_exp::run(&cfg());
+    let fig6 = by_id(&reports, "fig6");
+    let fig7 = by_id(&reports, "fig7");
+    assert!(fig6.get("new_60_120") > fig7.get("new_60_120") + 0.25);
+    assert!(fig7.get("new_after_120") > 0.5);
+    // Table 4: stickiness is manufactured by the out-of-bailiwick
+    // configuration.
+    let t4 = by_id(&reports, "table4");
+    assert!(t4.get("sticky_out") > t4.get("sticky_in"));
+}
+
+#[test]
+fn finding_no_consensus_on_ttls_in_the_wild() {
+    // §5.1: huge TTL spread; roots long, cloud lists short; A records
+    // shorter than NS; a few TTL-0 domains exist.
+    let reports = crawl_exp::run(&cfg());
+    let fig9 = by_id(&reports, "fig9");
+    assert!(fig9.get("root_ns_day_or_more") > 0.7);
+    assert!(fig9.get("umbrella_ns_under_minute") > 0.15);
+    assert!(fig9.get("alexa_a_median") <= fig9.get("alexa_ns_median"));
+    let t8 = by_id(&reports, "table8");
+    assert!(t8.get("total_ttl_zero") > 0.0);
+    let t9 = by_id(&reports, "table9");
+    assert!(t9.get("alexa_percent_out") > 0.9, "popular lists are out-of-bailiwick");
+}
+
+#[test]
+fn finding_longer_ttls_cut_latency() {
+    // §5.3 / Figure 10: .uy's TTL increase halved (and more) the
+    // median, in every region.
+    let reports = uy_latency::run(&cfg());
+    let fig10a = by_id(&reports, "fig10a");
+    assert!(fig10a.get("median_after_ms") * 2.0 < fig10a.get("median_before_ms"));
+    let fig10b = by_id(&reports, "fig10b");
+    assert_eq!(fig10b.get("all_regions_improved"), 1.0);
+}
+
+#[test]
+fn finding_caching_beats_anycast_at_the_median() {
+    // §6.2 / Table 10 + Figure 11: ~77% authoritative traffic cut;
+    // long-TTL unicast beats short-TTL anycast at the median; anycast
+    // wins in the tail.
+    let reports = controlled::run(&cfg());
+    let t10 = by_id(&reports, "table10");
+    assert!(t10.get("reduction_unique") > 0.55);
+    let fig11b = by_id(&reports, "fig11b");
+    assert!(fig11b.get("median_ttl86400_s") < fig11b.get("median_anycast"));
+    assert!(fig11b.get("p95_anycast") < fig11b.get("p95_ttl60_s"));
+}

@@ -1,0 +1,266 @@
+//! Cross-crate property tests: invariants that must hold for any
+//! zone configuration or policy the generators produce.
+
+use dnsttl::auth::{AuthoritativeServer, ZoneBuilder};
+use dnsttl::core::{effective_ttl, Bailiwick, PublishedTtls, ResolverPolicy};
+use dnsttl::netsim::{LatencyModel, Network, Region, SimRng, SimTime};
+use dnsttl::resolver::{RecursiveResolver, RootHint};
+use dnsttl::wire::{Name, Rcode, RecordType, Ttl};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+
+fn arb_ttl() -> impl Strategy<Value = Ttl> {
+    prop_oneof![
+        Just(Ttl::ZERO),
+        (1u32..=172_800).prop_map(Ttl::from_secs),
+        Just(Ttl::MAX),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = ResolverPolicy> {
+    (
+        any::<bool>(),
+        proptest::option::of(1u32..=604_800),
+        proptest::option::of(1u32..=600),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(parent, cap, floor, link, stale, sticky)| ResolverPolicy {
+            centricity: if parent {
+                dnsttl::core::Centricity::ParentCentric
+            } else {
+                dnsttl::core::Centricity::ChildCentric
+            },
+            ttl_cap: cap.map(Ttl::from_secs),
+            ttl_floor: floor.map(Ttl::from_secs),
+            link_inbailiwick_glue: link,
+            serve_stale: stale.then_some(Ttl::DAY),
+            local_root: false,
+            sticky,
+            retries: 1,
+            validate_dnssec: false,
+            prefetch: false,
+            cache_capacity: None,
+            qname_minimization: false,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The effective TTL never exceeds what either parent or child
+    /// published (after policy clamping can only shrink/floor it), and
+    /// in-bailiwick coupling never *extends* an address's life.
+    #[test]
+    fn effective_ttl_is_bounded(
+        parent_ns in arb_ttl(),
+        child_ns in arb_ttl(),
+        parent_addr in arb_ttl(),
+        child_addr in arb_ttl(),
+        policy in arb_policy(),
+        in_bailiwick in any::<bool>(),
+    ) {
+        let published = PublishedTtls { parent_ns, child_ns, parent_addr, child_addr };
+        let bw = if in_bailiwick { Bailiwick::In } else { Bailiwick::Out };
+        let eff = effective_ttl(&policy, &published, bw);
+        let source_ns = match policy.centricity {
+            dnsttl::core::Centricity::ChildCentric => child_ns,
+            dnsttl::core::Centricity::ParentCentric => parent_ns,
+        };
+        prop_assert_eq!(eff.ns, policy.clamp_ttl(source_ns));
+        let source_addr = match policy.centricity {
+            dnsttl::core::Centricity::ChildCentric => child_addr,
+            dnsttl::core::Centricity::ParentCentric => parent_addr,
+        };
+        let addr_bound = eff.ns.max(policy.clamp_ttl(source_addr));
+        prop_assert!(eff.addr <= addr_bound);
+        if eff.addr_coupled_to_ns {
+            prop_assert_eq!(eff.addr, eff.ns);
+            prop_assert!(in_bailiwick && policy.link_inbailiwick_glue);
+        }
+    }
+
+    /// Any (policy, TTL) world resolves without panicking, terminates,
+    /// and the answer's TTL never exceeds the policy-clamped published
+    /// TTL.
+    #[test]
+    fn resolution_terminates_and_ttls_are_clamped(
+        child_ns in 1u32..=172_800,
+        child_a in 1u32..=172_800,
+        policy in arb_policy(),
+        query_at in 0u64..7_200,
+    ) {
+        let root_addr = IpAddr::V4(Ipv4Addr::new(198, 41, 0, 4));
+        let child_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 53));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("example", "ns.example", Ttl::TWO_DAYS)
+                .a("ns.example", "192.0.2.53", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let child = AuthoritativeServer::new("ns.example").with_zone(
+            ZoneBuilder::new("example")
+                .ns("example", "ns.example", Ttl::from_secs(child_ns))
+                .a("ns.example", "192.0.2.53", Ttl::from_secs(child_a))
+                .a("www.example", "203.0.113.1", Ttl::from_secs(child_a))
+                .build(),
+        );
+        let mut net = Network::new(LatencyModel::constant(5.0));
+        net.register(root_addr, Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(child_addr, Region::Eu, Rc::new(RefCell::new(child)));
+        let mut r = RecursiveResolver::new(
+            "prop",
+            policy.clone(),
+            Region::Eu,
+            1,
+            vec![RootHint { ns_name: Name::parse("root").unwrap(), addr: root_addr }],
+            SimRng::seed_from(1),
+        );
+        // Two queries: cold then somewhere in the cache lifetime.
+        let first = r.resolve(&Name::parse("www.example").unwrap(), RecordType::A, SimTime::ZERO, &mut net);
+        prop_assert_eq!(first.answer.header.rcode, Rcode::NoError);
+        let second = r.resolve(
+            &Name::parse("www.example").unwrap(),
+            RecordType::A,
+            SimTime::from_secs(query_at),
+            &mut net,
+        );
+        prop_assert_eq!(second.answer.header.rcode, Rcode::NoError);
+        for rec in &second.answer.answers {
+            let bound = policy.clamp_ttl(Ttl::from_secs(child_a)).max(
+                policy.clamp_ttl(Ttl::TWO_DAYS), // parent-centric may serve glue TTL
+            );
+            prop_assert!(rec.ttl <= bound, "ttl {} > bound {}", rec.ttl, bound);
+        }
+    }
+
+    /// Arbitrary three-level delegation trees (random TTLs, random
+    /// bailiwick for the leaf zone's server, random policy) always
+    /// resolve, terminate, and keep answering as time advances.
+    #[test]
+    fn random_delegation_trees_resolve(
+        tld_ns_ttl in 60u32..=172_800,
+        sld_ns_ttl in 60u32..=172_800,
+        sld_a_ttl in 60u32..=172_800,
+        leaf_ttl in 1u32..=86_400,
+        out_of_bailiwick in any::<bool>(),
+        policy in arb_policy(),
+        later in 1u64..200_000,
+    ) {
+        let root_addr = IpAddr::V4(Ipv4Addr::new(198, 41, 0, 4));
+        let tld_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1));
+        let sld_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 2));
+        let other_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 3));
+
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("tld", "ns.tld", Ttl::TWO_DAYS)
+                .a("ns.tld", "192.0.2.1", Ttl::TWO_DAYS)
+                .ns("other", "ns.other", Ttl::TWO_DAYS)
+                .a("ns.other", "192.0.2.3", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let sld_host = if out_of_bailiwick { "ns.host.other" } else { "ns.site.tld" };
+        let mut tld_builder = ZoneBuilder::new("tld")
+            .ns("tld", "ns.tld", Ttl::from_secs(tld_ns_ttl))
+            .a("ns.tld", "192.0.2.1", Ttl::from_secs(tld_ns_ttl))
+            .ns("site.tld", sld_host, Ttl::from_secs(sld_ns_ttl));
+        if !out_of_bailiwick {
+            tld_builder = tld_builder.a(sld_host, "192.0.2.2", Ttl::from_secs(sld_a_ttl));
+        }
+        let tld = AuthoritativeServer::new("ns.tld").with_zone(tld_builder.build());
+        // The same operator serves `other` and its child `host.other`
+        // (the A record must live in a zone someone is authoritative
+        // for — below a cut it would be unreachable glue).
+        let other = AuthoritativeServer::new("ns.other")
+            .with_zone(
+                ZoneBuilder::new("other")
+                    .ns("other", "ns.other", Ttl::DAY)
+                    .a("ns.other", "192.0.2.3", Ttl::DAY)
+                    .ns("host.other", "ns.other", Ttl::DAY)
+                    .build(),
+            )
+            .with_zone(
+                ZoneBuilder::new("host.other")
+                    .ns("host.other", "ns.other", Ttl::DAY)
+                    .a("ns.host.other", "192.0.2.2", Ttl::from_secs(sld_a_ttl))
+                    .build(),
+            );
+        let sld = AuthoritativeServer::new("sld").with_zone(
+            ZoneBuilder::new("site.tld")
+                .ns("site.tld", sld_host, Ttl::from_secs(sld_ns_ttl))
+                .a("www.site.tld", "203.0.113.1", Ttl::from_secs(leaf_ttl))
+                .build(),
+        );
+        let mut net = Network::new(LatencyModel::constant(5.0));
+        net.register(root_addr, Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(tld_addr, Region::Eu, Rc::new(RefCell::new(tld)));
+        net.register(other_addr, Region::Eu, Rc::new(RefCell::new(other)));
+        net.register(sld_addr, Region::Eu, Rc::new(RefCell::new(sld)));
+
+        let mut r = RecursiveResolver::new(
+            "tree",
+            policy,
+            Region::Eu,
+            1,
+            vec![RootHint { ns_name: Name::parse("root").unwrap(), addr: root_addr }],
+            SimRng::seed_from(3),
+        );
+        let leaf = Name::parse("www.site.tld").unwrap();
+        let first = r.resolve(&leaf, RecordType::A, SimTime::ZERO, &mut net);
+        prop_assert_eq!(first.answer.header.rcode, Rcode::NoError);
+        prop_assert!(!first.answer.answers.is_empty());
+        let second = r.resolve(&leaf, RecordType::A, SimTime::from_secs(later), &mut net);
+        prop_assert_eq!(second.answer.header.rcode, Rcode::NoError);
+        // Bounded work per query even on cold paths.
+        prop_assert!(second.upstream_queries <= 12, "{} upstream", second.upstream_queries);
+    }
+
+    /// Cached answers age monotonically: a later query never sees a
+    /// larger remaining TTL than an earlier one, unless a re-fetch
+    /// happened (in which case it is back at the clamped original).
+    #[test]
+    fn cached_ttls_age_monotonically(step in 1u64..400) {
+        let root_addr = IpAddr::V4(Ipv4Addr::new(198, 41, 0, 4));
+        let child_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 53));
+        let root = AuthoritativeServer::new("root").with_zone(
+            ZoneBuilder::new(".")
+                .ns("example", "ns.example", Ttl::TWO_DAYS)
+                .a("ns.example", "192.0.2.53", Ttl::TWO_DAYS)
+                .build(),
+        );
+        let child = AuthoritativeServer::new("ns.example").with_zone(
+            ZoneBuilder::new("example")
+                .ns("example", "ns.example", Ttl::HOUR)
+                .a("www.example", "203.0.113.1", Ttl::from_secs(1_000))
+                .build(),
+        );
+        let mut net = Network::new(LatencyModel::constant(5.0));
+        net.register(root_addr, Region::Eu, Rc::new(RefCell::new(root)));
+        net.register(child_addr, Region::Eu, Rc::new(RefCell::new(child)));
+        let mut r = RecursiveResolver::new(
+            "prop",
+            ResolverPolicy::default(),
+            Region::Eu,
+            1,
+            vec![RootHint { ns_name: Name::parse("root").unwrap(), addr: root_addr }],
+            SimRng::seed_from(2),
+        );
+        let name = Name::parse("www.example").unwrap();
+        let mut last_ttl = u32::MAX;
+        for i in 0..6u64 {
+            let now = SimTime::from_secs(i * step);
+            let out = r.resolve(&name, RecordType::A, now, &mut net);
+            let ttl = out.answer.answers[0].ttl.as_secs();
+            if out.cache_hit {
+                prop_assert!(ttl <= last_ttl, "aged entry grew: {ttl} > {last_ttl}");
+            } else {
+                prop_assert_eq!(ttl, 1_000, "fresh fetch returns the original TTL");
+            }
+            last_ttl = ttl;
+        }
+    }
+}

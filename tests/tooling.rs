@@ -1,0 +1,111 @@
+//! Integration of the operator-facing tooling: master-file parsing →
+//! linting → migration planning → behaviour classification, through
+//! the public facade.
+
+use dnsttl::analysis::{classify_ttl_series, BehaviorCensus, TtlBehavior};
+use dnsttl::auth::{parse_records, parse_zone, render_zone};
+use dnsttl::core::{
+    lint_zone, plan_migration, Bailiwick, LintContext, MigrationSpec, ParentInfo, PolicyMix,
+    PublishedTtls, ResolverPolicy,
+};
+use dnsttl::wire::{Name, Ttl};
+
+const UY_2019: &str = r#"
+$ORIGIN uy.
+$TTL 300
+@           IN NS a.nic.uy.
+            IN NS b.nic.uy.
+a.nic.uy.   120 IN A 200.40.241.1
+b.nic.uy.   120 IN A 200.40.241.2
+"#;
+
+#[test]
+fn lint_flags_the_papers_uy_findings_from_a_zone_file() {
+    let origin = Name::parse("uy").unwrap();
+    let records = parse_records(UY_2019, Some(&origin)).unwrap();
+    let findings = lint_zone(
+        &origin,
+        &records,
+        &ParentInfo {
+            ns_ttl: Some(Ttl::TWO_DAYS),
+            glue_ttl: Some(Ttl::TWO_DAYS),
+        },
+        LintContext::default(),
+    );
+    let codes: Vec<_> = findings.iter().map(|f| f.code).collect();
+    assert!(codes.contains(&"ns-ttl-short"), "{codes:?}");
+    assert!(codes.contains(&"parent-child-ttl-mismatch"), "{codes:?}");
+}
+
+#[test]
+fn fixed_zone_passes_the_lint() {
+    let fixed = UY_2019.replace("$TTL 300", "$TTL 86400").replace("120 IN A", "86400 IN A");
+    let origin = Name::parse("uy").unwrap();
+    let records = parse_records(&fixed, Some(&origin)).unwrap();
+    let findings = lint_zone(
+        &origin,
+        &records,
+        &ParentInfo {
+            ns_ttl: Some(Ttl::DAY),
+            glue_ttl: Some(Ttl::DAY),
+        },
+        LintContext::default(),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn migration_plan_respects_the_population_worst_case() {
+    // An all-child-centric population drains in the child TTL; the
+    // paper population includes parent-centric resolvers riding the
+    // 2-day glue.
+    let uniform = plan_migration(&MigrationSpec {
+        current: PublishedTtls::uy_before(),
+        bailiwick: Bailiwick::In,
+        transition_ttl: Ttl::from_secs(300),
+        population: PolicyMix::uniform(ResolverPolicy::default()),
+        can_update_parent: true,
+    });
+    let mixed = plan_migration(&MigrationSpec {
+        current: PublishedTtls::uy_before(),
+        bailiwick: Bailiwick::In,
+        transition_ttl: Ttl::from_secs(300),
+        population: PolicyMix::paper_population(),
+        can_update_parent: true,
+    });
+    assert!(uniform.worst_effective_ttl < mixed.worst_effective_ttl);
+    assert_eq!(mixed.worst_effective_ttl, Ttl::TWO_DAYS);
+}
+
+#[test]
+fn zone_round_trips_through_render_and_parse() {
+    let zone = parse_zone("uy", UY_2019).unwrap();
+    let rendered = render_zone(&zone);
+    let back = parse_zone("uy", &rendered).unwrap();
+    let apex = Name::parse("uy").unwrap();
+    assert_eq!(
+        zone.get(&apex, dnsttl::wire::RecordType::NS).len(),
+        back.get(&apex, dnsttl::wire::RecordType::NS).len()
+    );
+}
+
+#[test]
+fn classifier_matches_known_behaviours() {
+    // Series shaped like the paper's Figure 1 regions.
+    assert_eq!(
+        classify_ttl_series(&[300, 298, 300, 150], 300, 172_800),
+        TtlBehavior::ChildCentric
+    );
+    assert_eq!(
+        classify_ttl_series(&[172_800, 172_800], 300, 172_800),
+        TtlBehavior::PinnedFullTtl
+    );
+    let census = BehaviorCensus::take(
+        [&[300u64, 290][..], &[172_800, 172_800][..], &[21_599, 21_599][..]],
+        300,
+        172_800,
+    );
+    assert_eq!(census.child_centric, 1);
+    assert_eq!(census.pinned, 1);
+    assert_eq!(census.capped, vec![21_599]);
+}
