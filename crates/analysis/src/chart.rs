@@ -22,13 +22,20 @@ pub fn ascii_cdf_multi(series: &[(&str, &Ecdf)], width: usize, height: usize) ->
     if non_empty.is_empty() {
         return "(no data)\n".to_owned();
     }
-    let xmin = non_empty.iter().map(|(_, e)| e.min()).fold(f64::MAX, f64::min);
-    let xmax = non_empty.iter().map(|(_, e)| e.max()).fold(f64::MIN, f64::max);
+    let xmin = non_empty
+        .iter()
+        .map(|(_, e)| e.min())
+        .fold(f64::MAX, f64::min);
+    let xmax = non_empty
+        .iter()
+        .map(|(_, e)| e.max())
+        .fold(f64::MIN, f64::max);
     let span = if xmax > xmin { xmax - xmin } else { 1.0 };
 
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, ecdf)) in non_empty.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // writes grid[row][col], row varies per col
         for col in 0..width {
             let x = xmin + span * col as f64 / (width - 1) as f64;
             let y = ecdf.fraction_leq(x);
@@ -92,6 +99,7 @@ pub fn ascii_cdf_log(series: &[(&str, &Ecdf)], width: usize, height: usize) -> S
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, ecdf)) in non_empty.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // writes grid[row][col], row varies per col
         for col in 0..width {
             let lx = lmin + (lmax - lmin) * col as f64 / (width - 1) as f64;
             let y = ecdf.fraction_leq(lx.exp());

@@ -53,7 +53,10 @@ pub enum TtlBehavior {
 /// );
 /// ```
 pub fn classify_ttl_series(observed: &[u64], child_ttl: u64, parent_ttl: u64) -> TtlBehavior {
-    debug_assert!(child_ttl <= parent_ttl, "see module docs: child is the smaller TTL");
+    debug_assert!(
+        child_ttl <= parent_ttl,
+        "see module docs: child is the smaller TTL"
+    );
     if observed.is_empty() {
         return TtlBehavior::Unknown;
     }
@@ -198,7 +201,10 @@ mod tests {
 
     #[test]
     fn empty_is_unknown() {
-        assert_eq!(classify_ttl_series(&[], CHILD, PARENT), TtlBehavior::Unknown);
+        assert_eq!(
+            classify_ttl_series(&[], CHILD, PARENT),
+            TtlBehavior::Unknown
+        );
     }
 
     #[test]
@@ -211,8 +217,7 @@ mod tests {
             vec![300, 172_000],
             vec![],
         ];
-        let census =
-            BehaviorCensus::take(series.iter().map(|v| v.as_slice()), CHILD, PARENT);
+        let census = BehaviorCensus::take(series.iter().map(|v| v.as_slice()), CHILD, PARENT);
         assert_eq!(census.child_centric, 2);
         assert_eq!(census.pinned, 1);
         assert_eq!(census.capped, vec![21_599]);

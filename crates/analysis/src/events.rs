@@ -9,7 +9,9 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Groups `(key, time)` events into per-key sorted time lists.
-pub fn group_by<K: Eq + Hash + Clone>(events: impl IntoIterator<Item = (K, u64)>) -> HashMap<K, Vec<u64>> {
+pub fn group_by<K: Eq + Hash + Clone>(
+    events: impl IntoIterator<Item = (K, u64)>,
+) -> HashMap<K, Vec<u64>> {
     let mut groups: HashMap<K, Vec<u64>> = HashMap::new();
     for (k, t) in events {
         groups.entry(k).or_default().push(t);

@@ -50,11 +50,7 @@ impl TimeSeries {
 
     /// All labels seen, sorted.
     pub fn labels(&self) -> Vec<String> {
-        let mut labels: Vec<String> = self
-            .bins
-            .values()
-            .flat_map(|m| m.keys().cloned())
-            .collect();
+        let mut labels: Vec<String> = self.bins.values().flat_map(|m| m.keys().cloned()).collect();
         labels.sort();
         labels.dedup();
         labels
@@ -63,10 +59,8 @@ impl TimeSeries {
     /// `(bin_start, count)` for one label across all bins (bins where
     /// the label is absent yield 0), covering the observed range.
     pub fn series(&self, label: &str) -> Vec<(u64, u64)> {
-        let (Some(&first), Some(&last)) = (
-            self.bins.keys().next(),
-            self.bins.keys().next_back(),
-        ) else {
+        let (Some(&first), Some(&last)) = (self.bins.keys().next(), self.bins.keys().next_back())
+        else {
             return Vec::new();
         };
         (first..=last)
@@ -84,10 +78,7 @@ impl TimeSeries {
 
     /// Total events for a label.
     pub fn total(&self, label: &str) -> u64 {
-        self.bins
-            .values()
-            .filter_map(|m| m.get(label))
-            .sum()
+        self.bins.values().filter_map(|m| m.get(label)).sum()
     }
 
     /// Renders stacked per-bin counts as text rows:

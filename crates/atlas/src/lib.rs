@@ -29,5 +29,7 @@ pub mod measurement;
 pub mod population;
 
 pub use dataset::{Dataset, MeasurementResult};
-pub use measurement::{run_measurement, run_measurement_with_hooks, Hook, MeasurementSpec, QueryName};
+pub use measurement::{
+    run_measurement, run_measurement_with_hooks, Hook, MeasurementSpec, QueryName,
+};
 pub use population::{Population, PopulationConfig, Probe, ResolverRef, VantagePoint};

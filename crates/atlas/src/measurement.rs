@@ -10,6 +10,7 @@
 use crate::dataset::{Dataset, MeasurementResult};
 use crate::population::Population;
 use dnsttl_netsim::{EventQueue, Network, SimDuration, SimRng, SimTime};
+use dnsttl_telemetry::{EventKind, Telemetry};
 use dnsttl_wire::{Name, RData, Rcode, RecordType};
 
 /// How query names are formed.
@@ -159,6 +160,29 @@ pub fn run_measurement_with_hooks(
             && outcome.answer.header.rcode == Rcode::NoError
             && !outcome.answer.answers.is_empty();
 
+        // Valid/discard accounting rides on the resolver's telemetry
+        // handle (all population resolvers share one when attached).
+        let telemetry: &Telemetry = population.resolvers[backend].telemetry();
+        if valid {
+            telemetry.count("atlas_measurements_valid", 1);
+        } else {
+            let reason = if hijacked {
+                "hijacked"
+            } else if outcome.answer.header.rcode != Rcode::NoError {
+                "rcode"
+            } else {
+                "empty_answer"
+            };
+            telemetry.count_with("atlas_measurements_discarded", &[("reason", reason)], 1);
+            telemetry.event(now.as_millis(), EventKind::Discard, || {
+                vec![
+                    ("probe_id", u64::from(probe_id).into()),
+                    ("qname", qname.to_string().into()),
+                    ("reason", reason.into()),
+                ]
+            });
+        }
+
         dataset.push(MeasurementResult {
             at: now,
             probe_id,
@@ -294,8 +318,16 @@ mod tests {
         let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
         // Cache misses must be slower than hits on average: misses pay
         // 20 ms per upstream exchange.
-        let miss: Vec<u64> = ds.valid().filter(|r| !r.cache_hit).map(|r| r.rtt_ms).collect();
-        let hit: Vec<u64> = ds.valid().filter(|r| r.cache_hit).map(|r| r.rtt_ms).collect();
+        let miss: Vec<u64> = ds
+            .valid()
+            .filter(|r| !r.cache_hit)
+            .map(|r| r.rtt_ms)
+            .collect();
+        let hit: Vec<u64> = ds
+            .valid()
+            .filter(|r| r.cache_hit)
+            .map(|r| r.rtt_ms)
+            .collect();
         assert!(!miss.is_empty() && !hit.is_empty());
         let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
         assert!(avg(&miss) > avg(&hit) + 10.0);

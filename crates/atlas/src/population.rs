@@ -167,7 +167,10 @@ impl Population {
                     }
                 }
                 // Dedicated local resolver in the probe's region.
-                let policy = config.policy_mix.policy(rng.weighted_index(&weights)).clone();
+                let policy = config
+                    .policy_mix
+                    .policy(rng.weighted_index(&weights))
+                    .clone();
                 let idx = resolvers.len();
                 resolvers.push(RecursiveResolver::new(
                     format!("local-{idx}"),
@@ -241,6 +244,15 @@ impl Population {
             r.clear_cache();
         }
     }
+
+    /// Attaches a telemetry handle to every resolver cache in the
+    /// population. Backend caches share the handle, so their counters
+    /// aggregate into one registry.
+    pub fn set_telemetry(&mut self, telemetry: &dnsttl_telemetry::Telemetry) {
+        for r in &mut self.resolvers {
+            r.set_telemetry(telemetry.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,12 +277,7 @@ mod tests {
     #[test]
     fn regions_skew_european() {
         let pop = build(2_000, 2);
-        let eu = pop
-            .probes
-            .iter()
-            .filter(|p| p.region == Region::Eu)
-            .count() as f64
-            / 2_000.0;
+        let eu = pop.probes.iter().filter(|p| p.region == Region::Eu).count() as f64 / 2_000.0;
         assert!((0.48..0.62).contains(&eu), "EU fraction {eu}");
     }
 

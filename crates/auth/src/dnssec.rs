@@ -99,7 +99,10 @@ mod tests {
         assert!(
             sigs.iter().any(|r| matches!(
                 &r.rdata,
-                RData::Rrsig { type_covered: RecordType::NS, .. }
+                RData::Rrsig {
+                    type_covered: RecordType::NS,
+                    ..
+                }
             )),
             "apex NS RRset must be signed"
         );
@@ -107,7 +110,10 @@ mod tests {
         assert!(
             sigs.iter().any(|r| matches!(
                 &r.rdata,
-                RData::Rrsig { type_covered: RecordType::DNSKEY, .. }
+                RData::Rrsig {
+                    type_covered: RecordType::DNSKEY,
+                    ..
+                }
             )),
             "the DNSKEY itself must be signed"
         );
@@ -140,10 +146,16 @@ mod tests {
 
         let mut srv = AuthoritativeServer::new("a.nic.uy").with_zone(signed_zone());
         let q = Message::iterative_query(1, n("a.nic.uy"), RecordType::A);
-        let client = ClientId { region: Region::Eu, tag: 0 };
+        let client = ClientId {
+            region: Region::Eu,
+            tag: 0,
+        };
         let r = srv.handle_query(&q, client, SimTime::ZERO);
         let types: Vec<RecordType> = r.answers.iter().map(|x| x.record_type()).collect();
         assert!(types.contains(&RecordType::A));
-        assert!(types.contains(&RecordType::RRSIG), "answer must carry its RRSIG");
+        assert!(
+            types.contains(&RecordType::RRSIG),
+            "answer must carry its RRSIG"
+        );
     }
 }

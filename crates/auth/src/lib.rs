@@ -30,7 +30,9 @@ pub mod server;
 pub mod zone;
 
 pub use dnssec::{sign_zone, verify_rrset};
-pub use master::{parse_records, parse_zone, render_records, render_zone, MasterError, MasterErrorKind};
+pub use master::{
+    parse_records, parse_zone, render_records, render_zone, MasterError, MasterErrorKind,
+};
 pub use secondary::SecondaryServer;
 pub use server::{AuthoritativeServer, LoggedQuery, QueryLog};
 pub use zone::{Zone, ZoneBuilder, ZoneLookup};

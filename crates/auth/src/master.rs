@@ -304,14 +304,12 @@ fn parse_rdata(
             // Quoted strings keep interior whitespace exactly; bare
             // text is taken as-is.
             let content = raw_rdata.trim();
-            let content = if content.len() >= 2
-                && content.starts_with('"')
-                && content.ends_with('"')
-            {
-                &content[1..content.len() - 1]
-            } else {
-                content
-            };
+            let content =
+                if content.len() >= 2 && content.starts_with('"') && content.ends_with('"') {
+                    &content[1..content.len() - 1]
+                } else {
+                    content
+                };
             Ok(RData::Txt(content.to_owned()))
         }
         "SOA" => {
@@ -402,7 +400,12 @@ pub fn render_records(records: &[Record]) -> String {
                 let _ = writeln!(
                     out,
                     "{name} {ttl} IN SOA {} {} {} {} {} {} {}",
-                    soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire,
+                    soa.mname,
+                    soa.rname,
+                    soa.serial,
+                    soa.refresh,
+                    soa.retry,
+                    soa.expire,
                     soa.minimum
                 );
             }
@@ -423,7 +426,11 @@ pub fn render_records(records: &[Record]) -> String {
                 }
             },
             RData::Rrsig { .. } | RData::Opt(_) => {
-                let _ = writeln!(out, "; {name} {ttl} IN {} (synthesised, not rendered)", r.record_type());
+                let _ = writeln!(
+                    out,
+                    "; {name} {ttl} IN {} (synthesised, not rendered)",
+                    r.record_type()
+                );
             }
         }
     }
@@ -441,8 +448,7 @@ pub fn render_zone(zone: &Zone) -> String {
 /// the origin are rejected by [`Zone::add`]'s invariant, surfaced here
 /// as an error instead of a panic.
 pub fn parse_zone(origin: &str, text: &str) -> Result<Zone, MasterError> {
-    let origin_name =
-        Name::parse(origin).map_err(|e| err(0, MasterErrorKind::BadName(e)))?;
+    let origin_name = Name::parse(origin).map_err(|e| err(0, MasterErrorKind::BadName(e)))?;
     let records = parse_records(text, Some(&origin_name))?;
     let mut zone = Zone::new(origin_name.clone());
     for (i, record) in records.into_iter().enumerate() {
@@ -539,7 +545,10 @@ $TTL 3600
     fn errors_carry_line_numbers() {
         let e = parse_records("$ORIGIN e.\nx BOGUS 192.0.2.1\n", None).unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(matches!(e.kind, MasterErrorKind::BadTtl(_) | MasterErrorKind::UnknownType(_)));
+        assert!(matches!(
+            e.kind,
+            MasterErrorKind::BadTtl(_) | MasterErrorKind::UnknownType(_)
+        ));
 
         let e = parse_records("x A 192.0.2.1\n", None).unwrap_err();
         assert!(matches!(e.kind, MasterErrorKind::NoOrigin));

@@ -15,6 +15,7 @@
 
 use crate::server::AuthoritativeServer;
 use dnsttl_netsim::{ClientId, DnsService, SimDuration, SimTime};
+use dnsttl_telemetry::{EventKind, Telemetry};
 use dnsttl_wire::{Message, Name};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -29,6 +30,7 @@ pub struct SecondaryServer {
     inner: AuthoritativeServer,
     last_check: Option<SimTime>,
     transfers: u64,
+    telemetry: Telemetry,
 }
 
 impl SecondaryServer {
@@ -60,7 +62,15 @@ impl SecondaryServer {
             inner,
             last_check: None,
             transfers: 1,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; zone-transfer events and counters
+    /// land in it. The default handle is disabled (no-op).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.inner.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Zone transfers performed (including the initial one).
@@ -92,11 +102,23 @@ impl SecondaryServer {
             return;
         };
         if zone.soa().serial != self.serving_serial() {
+            let serial = zone.soa().serial;
             let fresh = zone.clone();
             drop(primary);
             // Replace the inner server's copy wholesale (AXFR-style).
             self.inner = AuthoritativeServer::new(self.name.clone()).with_zone(fresh);
+            self.inner.set_telemetry(self.telemetry.clone());
             self.transfers += 1;
+            self.telemetry
+                .count_with("auth_zone_transfers", &[("server", &self.name)], 1);
+            self.telemetry
+                .event(now.as_millis(), EventKind::ZoneTransfer, || {
+                    vec![
+                        ("server", self.name.as_str().into()),
+                        ("zone", self.origin.to_string().into()),
+                        ("serial", serial.into()),
+                    ]
+                });
         }
     }
 }
@@ -146,7 +168,8 @@ mod tests {
     #[test]
     fn initial_transfer_serves_the_zone() {
         let p = primary();
-        let mut s = SecondaryServer::new("ns2.example", p, n("example"), SimDuration::from_secs(900));
+        let mut s =
+            SecondaryServer::new("ns2.example", p, n("example"), SimDuration::from_secs(900));
         assert_eq!(s.transfers(), 1);
         assert_eq!(
             query_www(&mut s, SimTime::ZERO),
@@ -166,7 +189,11 @@ mod tests {
         p.borrow_mut()
             .zone_mut(&n("example"))
             .unwrap()
-            .replace_address(&n("www.example"), "198.51.100.9".parse().unwrap(), Ttl::HOUR);
+            .replace_address(
+                &n("www.example"),
+                "198.51.100.9".parse().unwrap(),
+                Ttl::HOUR,
+            );
 
         // Before the refresh interval: the secondary still serves the
         // old data — the propagation window the paper's instant-sync
@@ -204,13 +231,21 @@ mod tests {
     #[test]
     fn serial_tracking() {
         let p = primary();
-        let mut s =
-            SecondaryServer::new("ns2.example", p.clone(), n("example"), SimDuration::from_secs(1));
+        let mut s = SecondaryServer::new(
+            "ns2.example",
+            p.clone(),
+            n("example"),
+            SimDuration::from_secs(1),
+        );
         let initial = s.serving_serial();
         p.borrow_mut()
             .zone_mut(&n("example"))
             .unwrap()
-            .replace_address(&n("www.example"), "198.51.100.9".parse().unwrap(), Ttl::HOUR);
+            .replace_address(
+                &n("www.example"),
+                "198.51.100.9".parse().unwrap(),
+                Ttl::HOUR,
+            );
         s.maybe_refresh(SimTime::from_secs(5));
         s.maybe_refresh(SimTime::from_secs(10));
         assert_eq!(s.serving_serial(), initial + 1);

@@ -2,6 +2,7 @@
 
 use crate::zone::{Zone, ZoneLookup};
 use dnsttl_netsim::{ClientId, DnsService, SimTime};
+use dnsttl_telemetry::Telemetry;
 use dnsttl_wire::{Message, Name, Rcode, RecordType};
 
 /// One logged query, as a passive capture (ENTRADA-style) would record
@@ -67,6 +68,10 @@ pub struct AuthoritativeServer {
     /// to adjust load"). Each response rotates multi-record answer
     /// sets by one position.
     rotate_answers: bool,
+    telemetry: Telemetry,
+    /// Arrival time of the previous query, for the interarrival
+    /// histogram (how the paper's §3.4 classifies resolver behaviour).
+    last_query_at: Option<SimTime>,
 }
 
 impl AuthoritativeServer {
@@ -78,7 +83,16 @@ impl AuthoritativeServer {
             log: QueryLog::default(),
             queries_answered: 0,
             rotate_answers: false,
+            telemetry: Telemetry::disabled(),
+            last_query_at: None,
         }
+    }
+
+    /// Attaches a telemetry handle; per-server query/response counters
+    /// and the interarrival histogram land in it. The default handle is
+    /// disabled (no-op).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Enables round-robin rotation of multi-record answers — the
@@ -130,6 +144,15 @@ impl AuthoritativeServer {
         self.zones.iter().find(|z| z.origin() == origin)
     }
 
+    /// Records one response on the per-server, per-outcome counter.
+    fn note_response(&self, outcome: &str) {
+        self.telemetry.count_with(
+            "auth_responses",
+            &[("server", &self.name), ("outcome", outcome)],
+            1,
+        );
+    }
+
     /// Picks the zone with the longest origin matching `qname`.
     ///
     /// A server authoritative for both a parent and its child (the root
@@ -145,9 +168,22 @@ impl AuthoritativeServer {
 impl DnsService for AuthoritativeServer {
     fn handle_query(&mut self, query: &Message, client: ClientId, now: SimTime) -> Message {
         self.queries_answered += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .count_with("auth_queries", &[("server", &self.name)], 1);
+            if let Some(prev) = self.last_query_at {
+                self.telemetry.observe_with(
+                    "auth_interarrival_ms",
+                    &[("server", &self.name)],
+                    now.since(prev).as_millis(),
+                );
+            }
+            self.last_query_at = Some(now);
+        }
         let mut response = Message::response_to(query);
         let Some(question) = query.question() else {
             response.header.rcode = Rcode::FormErr;
+            self.note_response("formerr");
             return response;
         };
         if self.log.enabled {
@@ -160,6 +196,7 @@ impl DnsService for AuthoritativeServer {
         }
         let Some(zone) = self.best_zone(&question.qname) else {
             response.header.rcode = Rcode::Refused;
+            self.note_response("refused");
             return response;
         };
         match zone.lookup(&question.qname, question.qtype) {
@@ -186,6 +223,7 @@ impl DnsService for AuthoritativeServer {
                 }
                 response.answers.extend(signatures);
                 response.additionals = additionals;
+                self.note_response("answer");
             }
             ZoneLookup::Referral {
                 ns_records, glue, ..
@@ -196,18 +234,22 @@ impl DnsService for AuthoritativeServer {
                 response.header.authoritative = false;
                 response.authorities = ns_records;
                 response.additionals = glue;
+                self.note_response("referral");
             }
             ZoneLookup::NoData { soa } => {
                 response.header.authoritative = true;
                 response.authorities.push(soa);
+                self.note_response("nodata");
             }
             ZoneLookup::NxDomain { soa } => {
                 response.header.authoritative = true;
                 response.header.rcode = Rcode::NxDomain;
                 response.authorities.push(soa);
+                self.note_response("nxdomain");
             }
             ZoneLookup::NotInZone => {
                 response.header.rcode = Rcode::Refused;
+                self.note_response("refused");
             }
         }
         response
@@ -233,13 +275,12 @@ mod tests {
     }
 
     fn root_and_cl_server() -> AuthoritativeServer {
-        AuthoritativeServer::new("k.root-servers.net")
-            .with_zone(
-                ZoneBuilder::new(".")
-                    .ns("cl", "a.nic.cl", Ttl::TWO_DAYS)
-                    .a("a.nic.cl", "190.124.27.10", Ttl::TWO_DAYS)
-                    .build(),
-            )
+        AuthoritativeServer::new("k.root-servers.net").with_zone(
+            ZoneBuilder::new(".")
+                .ns("cl", "a.nic.cl", Ttl::TWO_DAYS)
+                .a("a.nic.cl", "190.124.27.10", Ttl::TWO_DAYS)
+                .build(),
+        )
     }
 
     #[test]
@@ -272,7 +313,9 @@ mod tests {
     #[test]
     fn refuses_out_of_zone_queries() {
         let mut srv = AuthoritativeServer::new("a.nic.cl").with_zone(
-            ZoneBuilder::new("cl").ns("cl", "a.nic.cl", Ttl::HOUR).build(),
+            ZoneBuilder::new("cl")
+                .ns("cl", "a.nic.cl", Ttl::HOUR)
+                .build(),
         );
         let q = Message::iterative_query(3, n("example.org"), RecordType::A);
         let r = srv.handle_query(&q, client(1), SimTime::ZERO);
@@ -282,7 +325,9 @@ mod tests {
     #[test]
     fn nxdomain_with_soa() {
         let mut srv = AuthoritativeServer::new("a.nic.cl").with_zone(
-            ZoneBuilder::new("cl").ns("cl", "a.nic.cl", Ttl::HOUR).build(),
+            ZoneBuilder::new("cl")
+                .ns("cl", "a.nic.cl", Ttl::HOUR)
+                .build(),
         );
         let q = Message::iterative_query(4, n("missing.cl"), RecordType::A);
         let r = srv.handle_query(&q, client(1), SimTime::ZERO);
@@ -361,8 +406,12 @@ mod tests {
                 .a("www.example", "203.0.113.2", Ttl::MINUTE)
                 .build(),
         );
-        let a1 = plain.handle_query(&q, client(1), SimTime::ZERO).answers[0].rdata.to_string();
-        let a2 = plain.handle_query(&q, client(1), SimTime::ZERO).answers[0].rdata.to_string();
+        let a1 = plain.handle_query(&q, client(1), SimTime::ZERO).answers[0]
+            .rdata
+            .to_string();
+        let a2 = plain.handle_query(&q, client(1), SimTime::ZERO).answers[0]
+            .rdata
+            .to_string();
         assert_eq!(a1, a2);
     }
 

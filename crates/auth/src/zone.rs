@@ -291,7 +291,9 @@ impl Zone {
                 let mut seen: Vec<Name> = vec![qname.clone()];
                 let mut cursor = first.clone();
                 for _ in 0..8 {
-                    let RData::Cname(target) = &cursor.rdata else { break };
+                    let RData::Cname(target) = &cursor.rdata else {
+                        break;
+                    };
                     if seen.contains(target) {
                         break; // loop: stop chasing, serve what we have
                     }
@@ -522,8 +524,8 @@ mod tests {
                 additionals,
             } => {
                 assert_eq!(records[0].ttl, Ttl::HOUR); // child's own TTL
-                // Additional carries the in-zone address of the NS host
-                // with the child's A TTL (43200 s, Table 1 row 2).
+                                                       // Additional carries the in-zone address of the NS host
+                                                       // with the child's A TTL (43200 s, Table 1 row 2).
                 assert_eq!(additionals.len(), 1);
                 assert_eq!(additionals[0].ttl.as_secs(), 43_200);
             }
@@ -586,7 +588,10 @@ mod tests {
     #[test]
     fn out_of_zone_query_is_rejected() {
         let cl = cl_zone();
-        assert_eq!(cl.lookup(&n("example.org"), RecordType::A), ZoneLookup::NotInZone);
+        assert_eq!(
+            cl.lookup(&n("example.org"), RecordType::A),
+            ZoneLookup::NotInZone
+        );
     }
 
     #[test]
@@ -614,7 +619,7 @@ mod tests {
         // Must not recurse forever; serves the partial chain.
         match zone.lookup(&n("a.example.cl"), RecordType::A) {
             ZoneLookup::Answer { records, .. } => {
-                assert!(records.len() >= 1);
+                assert!(!records.is_empty());
                 assert!(records.iter().all(|r| r.record_type() == RecordType::CNAME));
             }
             other => panic!("expected partial CNAME answer, got {other:?}"),

@@ -1,0 +1,110 @@
+//! Property tests: master-file render ⇄ parse round-trips, and parsed
+//! zones behave identically to builder-built ones. Driven by the
+//! workspace's own deterministic [`SimRng`] with fixed seeds (the build
+//! environment is offline, so no external property-testing harness).
+
+use dnsttl_auth::{parse_records, parse_zone, render_records, render_zone, ZoneBuilder};
+use dnsttl_netsim::SimRng;
+use dnsttl_wire::{Name, RData, Record, SoaData, Ttl};
+
+fn gen_label(rng: &mut SimRng) -> String {
+    let first = b"abcdefghijklmnopqrstuvwxyz";
+    let rest = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let mut s = String::new();
+    s.push(first[rng.below(first.len() as u64) as usize] as char);
+    for _ in 0..rng.below(9) {
+        s.push(rest[rng.below(rest.len() as u64) as usize] as char);
+    }
+    s
+}
+
+fn gen_name(rng: &mut SimRng) -> Name {
+    let labels: Vec<String> = (0..=rng.below(3)).map(|_| gen_label(rng)).collect();
+    Name::from_labels(labels).expect("small labels")
+}
+
+fn gen_ttl(rng: &mut SimRng) -> Ttl {
+    Ttl::from_secs(rng.range_u64(1, 172_801) as u32)
+}
+
+fn gen_record(rng: &mut SimRng) -> Record {
+    let rdata = match rng.below(7) {
+        0 => RData::A(std::net::Ipv4Addr::from(rng.next_u64() as u32)),
+        1 => RData::Aaaa(std::net::Ipv6Addr::from(
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128,
+        )),
+        2 => RData::Ns(gen_name(rng)),
+        3 => RData::Cname(gen_name(rng)),
+        4 => RData::Mx {
+            preference: rng.range_u64(1, 100) as u16,
+            exchange: gen_name(rng),
+        },
+        5 => {
+            let chars = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 =:;.-";
+            let txt: String = (0..rng.below(41))
+                .map(|_| chars[rng.below(chars.len() as u64) as usize] as char)
+                .collect();
+            RData::Txt(txt)
+        }
+        _ => RData::Soa(SoaData {
+            mname: gen_name(rng),
+            rname: gen_name(rng),
+            serial: rng.next_u64() as u32,
+            refresh: 7_200,
+            retry: 3_600,
+            expire: 1_209_600,
+            minimum: 300,
+        }),
+    };
+    Record::new(gen_name(rng), gen_ttl(rng), rdata)
+}
+
+#[test]
+fn render_parse_round_trips() {
+    let mut rng = SimRng::seed_from(11);
+    for case in 0..128 {
+        let records: Vec<Record> = (0..rng.below(12)).map(|_| gen_record(&mut rng)).collect();
+        let text = render_records(&records);
+        let parsed = parse_records(&text, None).expect("rendered output must parse");
+        assert_eq!(parsed, records, "case {case}");
+    }
+}
+
+#[test]
+fn parser_never_panics() {
+    let mut rng = SimRng::seed_from(12);
+    for _ in 0..256 {
+        // Printable ASCII plus newlines and tabs, up to 400 chars.
+        let text: String = (0..rng.below(401))
+            .map(|_| match rng.below(12) {
+                0 => '\n',
+                1 => '\t',
+                _ => (32 + rng.below(95) as u8) as char,
+            })
+            .collect();
+        let _ = parse_records(&text, None);
+    }
+}
+
+#[test]
+fn zone_render_parse_preserves_lookups() {
+    let mut rng = SimRng::seed_from(13);
+    for case in 0..128 {
+        let host = gen_label(&mut rng);
+        let addr = std::net::Ipv4Addr::from(rng.next_u64() as u32);
+        let ttl = rng.range_u64(1, 86_400) as u32;
+        let origin = "example";
+        let owner = format!("{host}.example");
+        let zone = ZoneBuilder::new(origin)
+            .ns("example", "ns.example", Ttl::HOUR)
+            .a("ns.example", "192.0.2.53", Ttl::HOUR)
+            .a(&owner, &addr.to_string(), Ttl::from_secs(ttl))
+            .build();
+        let text = render_zone(&zone);
+        let reparsed = parse_zone(origin, &text).expect("rendered zone parses");
+        let name = Name::parse(&owner).unwrap();
+        let original = zone.get(&name, dnsttl_wire::RecordType::A);
+        let round = reparsed.get(&name, dnsttl_wire::RecordType::A);
+        assert_eq!(original, round, "case {case}");
+    }
+}

@@ -102,7 +102,11 @@ fn ablate_cache_sharing(c: &mut Criterion) {
     });
     g.bench_function("private_caches_10_clients", |b| {
         b.iter_batched(
-            || (0..10).map(|_| bench_world(Ttl::HOUR, ResolverPolicy::default())).collect::<Vec<_>>(),
+            || {
+                (0..10)
+                    .map(|_| bench_world(Ttl::HOUR, ResolverPolicy::default()))
+                    .collect::<Vec<_>>()
+            },
             |mut worlds| {
                 for (i, w) in worlds.iter_mut().enumerate() {
                     w.resolve_at(i as u64 * 10);

@@ -2,7 +2,9 @@
 //! that generates them, exactly as in the paper).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dnsttl_experiments::{bailiwick_exp, centricity, controlled, crawl_exp, passive_nl, uy_latency, ExpConfig};
+use dnsttl_experiments::{
+    bailiwick_exp, centricity, controlled, crawl_exp, passive_nl, uy_latency, ExpConfig,
+};
 use std::hint::black_box;
 
 fn cfg() -> ExpConfig {

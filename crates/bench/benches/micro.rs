@@ -53,7 +53,13 @@ fn cache_ops(c: &mut Criterion) {
         )
     });
     let mut cache = Cache::new();
-    cache.store(rrset.clone(), Credibility::AuthAnswer, SimTime::ZERO, &policy, false);
+    cache.store(
+        rrset.clone(),
+        Credibility::AuthAnswer,
+        SimTime::ZERO,
+        &policy,
+        false,
+    );
     c.bench_function("cache/get_fresh", |b| {
         b.iter(|| {
             cache.get(

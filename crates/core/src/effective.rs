@@ -6,11 +6,10 @@
 
 use crate::policy::{Centricity, ResolverPolicy};
 use dnsttl_wire::Ttl;
-use serde::{Deserialize, Serialize};
 
 /// Whether a zone's name servers are named inside or outside the zone
 /// they serve (RFC 8499 "in bailiwick").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Bailiwick {
     /// `ns1.example.org` serving `example.org`: glue records required;
     /// NS and address lifetimes are *coupled* in most resolvers (§4.2).
@@ -22,7 +21,7 @@ pub enum Bailiwick {
 }
 
 /// The TTLs a zone owner (and its parent) publish for a delegation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PublishedTtls {
     /// NS TTL in the parent zone (the delegation / glue TTL — 172 800 s
     /// for anything delegated from the root).
@@ -61,7 +60,7 @@ impl PublishedTtls {
 }
 
 /// The cache lifetimes a resolver policy actually yields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EffectiveTtl {
     /// Effective lifetime of the NS RRset in this resolver's cache.
     pub ns: Ttl,

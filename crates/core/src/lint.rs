@@ -8,12 +8,11 @@
 //! about, each finding citing its section.
 
 use dnsttl_wire::{Name, RData, Record, RecordType, Ttl};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// How serious a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
     /// Informational: worth knowing, nothing to fix.
     Info,
@@ -34,7 +33,7 @@ impl fmt::Display for Severity {
 }
 
 /// One lint finding.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintFinding {
     /// Severity.
     pub severity: Severity,
@@ -156,16 +155,16 @@ pub fn lint_zone(
                     severity: Severity::Info,
                     code: "ns-ttl-below-hour",
                     name: origin.to_string(),
-                    message: format!(
-                        "NS TTL is {t}s, below the paper's one-hour baseline (§6.3)"
-                    ),
+                    message: format!("NS TTL is {t}s, below the paper's one-hour baseline (§6.3)"),
                 });
             }
         }
 
         // §4.2: in-bailiwick server addresses cannot outlive the NS set.
         for ns_rec in &apex_ns {
-            let RData::Ns(target) = &ns_rec.rdata else { continue };
+            let RData::Ns(target) = &ns_rec.rdata else {
+                continue;
+            };
             if !target.is_subdomain_of(origin) {
                 continue;
             }
@@ -235,8 +234,16 @@ mod tests {
         let records = vec![
             rec("example", 14_400, RData::Ns(n("ns1.example"))),
             rec("example", 14_400, RData::Ns(n("ns2.example"))),
-            rec("ns1.example", 14_400, RData::A("192.0.2.1".parse().unwrap())),
-            rec("ns2.example", 14_400, RData::A("192.0.2.2".parse().unwrap())),
+            rec(
+                "ns1.example",
+                14_400,
+                RData::A("192.0.2.1".parse().unwrap()),
+            ),
+            rec(
+                "ns2.example",
+                14_400,
+                RData::A("192.0.2.2".parse().unwrap()),
+            ),
         ];
         let findings = lint_zone(
             &n("example"),
@@ -290,7 +297,12 @@ mod tests {
             rec("example", 3_600, RData::Ns(n("ns1.example"))),
             rec("www.example", 0, RData::A("192.0.2.1".parse().unwrap())),
         ];
-        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        let findings = lint_zone(
+            &n("example"),
+            &records,
+            &ParentInfo::default(),
+            LintContext::default(),
+        );
         let f = findings.iter().find(|f| f.code == "ttl-zero").unwrap();
         assert_eq!(f.severity, Severity::Error);
     }
@@ -299,7 +311,11 @@ mod tests {
     fn inbailiwick_address_outliving_ns_is_flagged() {
         // The §4.1 cachetest.net setup: NS 3600 s, glue A 7200 s.
         let records = vec![
-            rec("sub.cachetest.net", 3_600, RData::Ns(n("ns1.sub.cachetest.net"))),
+            rec(
+                "sub.cachetest.net",
+                3_600,
+                RData::Ns(n("ns1.sub.cachetest.net")),
+            ),
             rec(
                 "ns1.sub.cachetest.net",
                 7_200,
@@ -321,7 +337,11 @@ mod tests {
             rec("example.org", 3_600, RData::Ns(n("ns1.hoster.net"))),
             // The hoster's own records are not in this zone; an A for
             // some unrelated in-zone host with a longer TTL is fine.
-            rec("www.example.org", 86_400, RData::A("192.0.2.1".parse().unwrap())),
+            rec(
+                "www.example.org",
+                86_400,
+                RData::A("192.0.2.1".parse().unwrap()),
+            ),
         ];
         let findings = lint_zone(
             &n("example.org"),
@@ -338,14 +358,28 @@ mod tests {
             rec("example", 3_600, RData::Ns(n("ns1.example"))),
             rec("example", 7_200, RData::Ns(n("ns2.example"))),
         ];
-        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        let findings = lint_zone(
+            &n("example"),
+            &records,
+            &ParentInfo::default(),
+            LintContext::default(),
+        );
         assert!(codes(&findings).contains(&"rrset-ttl-mismatch"));
     }
 
     #[test]
     fn missing_apex_ns_is_an_error() {
-        let records = vec![rec("www.example", 3_600, RData::A("192.0.2.1".parse().unwrap()))];
-        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        let records = vec![rec(
+            "www.example",
+            3_600,
+            RData::A("192.0.2.1".parse().unwrap()),
+        )];
+        let findings = lint_zone(
+            &n("example"),
+            &records,
+            &ParentInfo::default(),
+            LintContext::default(),
+        );
         assert!(codes(&findings).contains(&"no-apex-ns"));
     }
 
@@ -355,7 +389,12 @@ mod tests {
             rec("example", 1_900, RData::Ns(n("ns1.example"))), // info (below hour)
             rec("www.example", 0, RData::A("192.0.2.1".parse().unwrap())), // error
         ];
-        let findings = lint_zone(&n("example"), &records, &ParentInfo::default(), LintContext::default());
+        let findings = lint_zone(
+            &n("example"),
+            &records,
+            &ParentInfo::default(),
+            LintContext::default(),
+        );
         assert!(findings.len() >= 2);
         assert_eq!(findings[0].severity, Severity::Error);
     }

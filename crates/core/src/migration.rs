@@ -13,10 +13,9 @@
 use crate::effective::{effective_ttl, Bailiwick, PublishedTtls};
 use crate::policy::PolicyMix;
 use dnsttl_wire::Ttl;
-use serde::{Deserialize, Serialize};
 
 /// One step of a migration timeline, in seconds relative to "now".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationStep {
     /// Offset from plan start, seconds.
     pub at_secs: u64,
@@ -25,7 +24,7 @@ pub struct MigrationStep {
 }
 
 /// A complete migration plan for renumbering / re-hosting a service.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationPlan {
     /// Ordered steps.
     pub steps: Vec<MigrationStep>,
@@ -131,8 +130,7 @@ pub fn plan_migration(spec: &MigrationSpec) -> MigrationPlan {
             child_addr: spec.transition_ttl,
         }
     };
-    let worst_transition =
-        worst_effective_addr_ttl(&spec.population, &transition, spec.bailiwick);
+    let worst_transition = worst_effective_addr_ttl(&spec.population, &transition, spec.bailiwick);
 
     if !spec.can_update_parent {
         caveats.push(format!(
@@ -275,11 +273,8 @@ mod tests {
         // A population that is 100% Google-like caps everything at
         // 21599 s, so even 2-day publications drain in ~6 h.
         let mix = PolicyMix::uniform(ResolverPolicy::google_like());
-        let worst = worst_effective_addr_ttl(
-            &mix,
-            &MigrationSpec::default().current,
-            Bailiwick::Out,
-        );
+        let worst =
+            worst_effective_addr_ttl(&mix, &MigrationSpec::default().current, Bailiwick::Out);
         assert_eq!(worst.as_secs(), 21_599);
     }
 }

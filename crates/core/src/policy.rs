@@ -8,11 +8,10 @@
 //! [`PolicyMix`] expresses a weighted population of them.
 
 use dnsttl_wire::Ttl;
-use serde::{Deserialize, Serialize};
 
 /// Which copy of a record (and thus which TTL) a resolver prefers when
 /// the parent's glue and the child's authoritative data disagree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Centricity {
     /// Prefers the child zone's authoritative records (RFC 2181 §5.4.1
     /// ranking). ~90% of queries in the paper's `.uy` experiment (§3.2).
@@ -26,7 +25,7 @@ pub enum Centricity {
 /// A complete description of one resolver implementation's caching
 /// behaviour — every behaviour the paper observes in the wild, as a
 /// configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResolverPolicy {
     /// Parent- or child-centric TTL preference.
     pub centricity: Centricity,
@@ -203,7 +202,7 @@ impl ResolverPolicy {
 /// roughly 90% child-centric behaviour in §3.2, a parent-centric
 /// minority including RFC 7706 users, ~15% TTL capping visible in §3.3,
 /// and the small sticky population of Table 4.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyMix {
     entries: Vec<(f64, ResolverPolicy)>,
 }

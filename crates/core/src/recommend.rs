@@ -9,10 +9,9 @@
 
 use crate::effective::Bailiwick;
 use dnsttl_wire::Ttl;
-use serde::{Deserialize, Serialize};
 
 /// Operational characteristics of a zone, as its owner knows them.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ZoneProfile {
     /// The zone participates in DNS-based load balancing (CDN-style
     /// request routing, §6.1 "shorter caching helps DNS-based load
@@ -36,7 +35,7 @@ pub struct ZoneProfile {
 }
 
 /// A TTL recommendation with its reasoning.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TtlRecommendation {
     /// Recommended NS-record TTL.
     pub ns_ttl: Ttl,

@@ -141,8 +141,7 @@ mod tests {
     fn longer_ttl_lowers_latency_and_load() {
         let r = 0.02;
         assert!(
-            expected_latency_ms(r, 86_400.0, 5.0, 100.0)
-                < expected_latency_ms(r, 60.0, 5.0, 100.0)
+            expected_latency_ms(r, 86_400.0, 5.0, 100.0) < expected_latency_ms(r, 60.0, 5.0, 100.0)
         );
         assert!(authoritative_load(r, 86_400.0) < authoritative_load(r, 60.0));
     }

@@ -91,8 +91,8 @@ pub fn aaaa_ttl_mix(list: ListKind) -> TtlMix {
 /// (Table 7: 1 h median for `.nl`).
 pub fn mx_ttl_mix(_list: ListKind) -> TtlMix {
     [
-        0.001, 0.004, 0.020, 0.080, 0.060, 0.030, 0.100, 0.330, 0.100, 0.090, 0.060, 0.050,
-        0.065, 0.010,
+        0.001, 0.004, 0.020, 0.080, 0.060, 0.030, 0.100, 0.330, 0.100, 0.090, 0.060, 0.050, 0.065,
+        0.010,
     ]
 }
 
@@ -100,8 +100,8 @@ pub fn mx_ttl_mix(_list: ListKind) -> TtlMix {
 /// lived" (§5.1).
 pub fn dnskey_ttl_mix(_list: ListKind) -> TtlMix {
     [
-        0.001, 0.002, 0.007, 0.020, 0.020, 0.010, 0.040, 0.250, 0.090, 0.120, 0.080, 0.080,
-        0.250, 0.030,
+        0.001, 0.002, 0.007, 0.020, 0.020, 0.010, 0.040, 0.250, 0.090, 0.120, 0.080, 0.080, 0.250,
+        0.030,
     ]
 }
 
@@ -256,7 +256,12 @@ mod tests {
 
     #[test]
     fn a_records_shorter_than_ns() {
-        for list in [ListKind::Alexa, ListKind::Majestic, ListKind::Umbrella, ListKind::Nl] {
+        for list in [
+            ListKind::Alexa,
+            ListKind::Majestic,
+            ListKind::Umbrella,
+            ListKind::Nl,
+        ] {
             assert!(
                 median_of(&a_ttl_mix(list)) <= median_of(&ns_ttl_mix(list)),
                 "{list:?}"

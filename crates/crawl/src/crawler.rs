@@ -178,18 +178,35 @@ mod tests {
     #[test]
     fn ns_sharing_ratio_is_high() {
         let (_, s) = crawl(ListKind::Nl, 30_000);
-        let ns = s.per_type.iter().find(|t| t.rtype == RecordType::NS).unwrap();
+        let ns = s
+            .per_type
+            .iter()
+            .find(|t| t.rtype == RecordType::NS)
+            .unwrap();
         // Paper: 190 at full scale; scaled-down pools preserve heavy
         // sharing (ratio well above A records').
-        let a = s.per_type.iter().find(|t| t.rtype == RecordType::A).unwrap();
-        assert!(ns.ratio() > a.ratio(), "ns {} vs a {}", ns.ratio(), a.ratio());
+        let a = s
+            .per_type
+            .iter()
+            .find(|t| t.rtype == RecordType::A)
+            .unwrap();
+        assert!(
+            ns.ratio() > a.ratio(),
+            "ns {} vs a {}",
+            ns.ratio(),
+            a.ratio()
+        );
         assert!(ns.ratio() > 3.0);
     }
 
     #[test]
     fn ttl_zero_exists_but_rare() {
         let (_, s) = crawl(ListKind::Alexa, 30_000);
-        let ns = s.per_type.iter().find(|t| t.rtype == RecordType::NS).unwrap();
+        let ns = s
+            .per_type
+            .iter()
+            .find(|t| t.rtype == RecordType::NS)
+            .unwrap();
         assert!(ns.ttl_zero_domains > 0, "Table 8 expects some TTL-0 NS");
         assert!((ns.ttl_zero_domains as f64) < 0.02 * 30_000.0);
     }
@@ -208,7 +225,10 @@ mod tests {
         // Umbrella NS: ~25% under a minute.
         let umb_ns = ttl_ecdf(&umbrella, RecordType::NS);
         let sub_min = umb_ns.fraction_leq(60.0);
-        assert!((0.18..0.35).contains(&sub_min), "umbrella sub-minute {sub_min}");
+        assert!(
+            (0.18..0.35).contains(&sub_min),
+            "umbrella sub-minute {sub_min}"
+        );
 
         // A records are shorter than NS records (medians).
         let alexa_ns = ttl_ecdf(&alexa, RecordType::NS);
@@ -223,7 +243,10 @@ mod tests {
         let parking = median_ttl_hours(&nl, RecordType::NS, ContentCategory::Parking).unwrap();
         let ecommerce = median_ttl_hours(&nl, RecordType::NS, ContentCategory::Ecommerce).unwrap();
         assert!(parking >= 24.0, "parking median {parking}h");
-        assert!((1.0..=8.0).contains(&ecommerce), "ecommerce median {ecommerce}h");
+        assert!(
+            (1.0..=8.0).contains(&ecommerce),
+            "ecommerce median {ecommerce}h"
+        );
     }
 
     #[test]

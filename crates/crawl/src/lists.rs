@@ -222,7 +222,11 @@ impl ListSpec {
                     records.push(CrawledRecord {
                         rtype: RecordType::A,
                         ttl: a_ttl,
-                        value: format!("192.0.{}.{}", rng.below(addr_pool as u64 / 250 + 1), rng.below(250)),
+                        value: format!(
+                            "192.0.{}.{}",
+                            rng.below(addr_pool as u64 / 250 + 1),
+                            rng.below(250)
+                        ),
                     });
                 }
                 if rng.chance(params.has_aaaa) {

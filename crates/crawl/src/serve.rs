@@ -131,8 +131,8 @@ mod tests {
             let domains = sample(kind, 300);
             let mut checked = 0;
             for d in domains.iter().filter(|d| d.responds_ns()).take(40) {
-                let served = crawl_served_domain(d)
-                    .unwrap_or_else(|| panic!("{} must materialize", d.name));
+                let served =
+                    crawl_served_domain(d).unwrap_or_else(|| panic!("{} must materialize", d.name));
                 assert_eq!(
                     as_set(&served),
                     as_set(&d.records),
@@ -167,7 +167,10 @@ mod tests {
         let domains = sample(ListKind::Umbrella, 500);
         let unresponsive = domains.iter().find(|d| !d.responsive).expect("some fail");
         assert!(materialize_zone(unresponsive).is_none());
-        let cname = domains.iter().find(|d| d.cname_on_ns).expect("umbrella has CNAMEs");
+        let cname = domains
+            .iter()
+            .find(|d| d.cname_on_ns)
+            .expect("umbrella has CNAMEs");
         assert!(materialize_zone(cname).is_none());
     }
 
@@ -180,7 +183,9 @@ mod tests {
         let served = crawl_served_domain(d).unwrap();
         for r in &served {
             assert!(
-                d.records.iter().any(|g| g.rtype == r.rtype && g.ttl == r.ttl),
+                d.records
+                    .iter()
+                    .any(|g| g.rtype == r.rtype && g.ttl == r.ttl),
                 "TTL {} for {} not in generated set",
                 r.ttl,
                 r.rtype

@@ -25,6 +25,7 @@ use dnsttl_atlas::{
     QueryName,
 };
 use dnsttl_netsim::{SimRng, SimTime};
+use dnsttl_telemetry::EventKind;
 use dnsttl_wire::{Name, RecordType};
 
 /// When the renumbering happens (the paper's t = 9 min).
@@ -48,11 +49,13 @@ fn run_config(cfg: &ExpConfig, out_of_bailiwick: bool) -> RunOutput {
         com,
         ..
     } = worlds::cachetest_world(out_of_bailiwick);
+    net.set_telemetry(cfg.telemetry.clone());
 
     // The same population seed for both configurations, so Figure 8
     // can match VPs across them (the paper compares the same probes).
     let mut pop_rng = SimRng::seed_from(cfg.seed_for("bailiwick-pop"));
     let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut pop_rng);
+    pop.set_telemetry(&cfg.telemetry);
     let mut rng = SimRng::seed_from(cfg.seed_for(if out_of_bailiwick {
         "bailiwick-out"
     } else {
@@ -67,6 +70,7 @@ fn run_config(cfg: &ExpConfig, out_of_bailiwick: bool) -> RunOutput {
         HOURS,
     );
 
+    let telemetry = cfg.telemetry.clone();
     let renumber: Box<dyn FnOnce(&mut dnsttl_netsim::Network)> = if out_of_bailiwick {
         let gtld = com.expect("out-of-bailiwick world has .com");
         Box::new(move |_net| {
@@ -82,6 +86,15 @@ fn run_config(cfg: &ExpConfig, out_of_bailiwick: bool) -> RunOutput {
                 },
                 dnsttl_wire::Ttl::TWO_DAYS,
             );
+            telemetry.count("experiment_renumbers", 1);
+            telemetry.event(RENUMBER_AT.as_millis(), EventKind::Renumber, || {
+                vec![
+                    ("zone", "com".into()),
+                    ("host", "ns1.zurrundedu.com".into()),
+                    ("new_addr", worlds::addrs::SUB_NEW.to_string().into()),
+                    ("bailiwick", "out".into()),
+                ]
+            });
         })
     } else {
         Box::new(move |_net| {
@@ -97,6 +110,15 @@ fn run_config(cfg: &ExpConfig, out_of_bailiwick: bool) -> RunOutput {
                 },
                 dnsttl_wire::Ttl::from_secs(7_200),
             );
+            telemetry.count("experiment_renumbers", 1);
+            telemetry.event(RENUMBER_AT.as_millis(), EventKind::Renumber, || {
+                vec![
+                    ("zone", "cachetest.net".into()),
+                    ("host", "ns1.sub.cachetest.net".into()),
+                    ("new_addr", worlds::addrs::SUB_NEW.to_string().into()),
+                    ("bailiwick", "in".into()),
+                ]
+            });
         })
     };
 
@@ -246,7 +268,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
 
     // ----- Figure 7: out-of-bailiwick time series -----
     let ts_out = timeseries(&output.dataset);
-    let mut fig7 = Report::new("fig7", "Timeseries of answers, out-of-bailiwick renumbering");
+    let mut fig7 = Report::new(
+        "fig7",
+        "Timeseries of answers, out-of-bailiwick renumbering",
+    );
     fig7.push(ts_out.render());
     let out_mid = new_fraction(&output.dataset, 15, 59);
     let out_after_ns = new_fraction(&output.dataset, 65, 119);
@@ -257,7 +282,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         out_after_ns * 100.0,
         out_after_all * 100.0
     ));
-    fig7.push("paper: cached A records are trusted to their full 7200 s; the switch happens at 2 h.");
+    fig7.push(
+        "paper: cached A records are trusted to their full 7200 s; the switch happens at 2 h.",
+    );
     fig7.metric("new_9_60", out_mid);
     fig7.metric("new_60_120", out_after_ns);
     fig7.metric("new_after_120", out_after_all);
@@ -291,29 +318,48 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     );
     let ratio_ecdf = Ecdf::new(ratios.clone());
     if !ratio_ecdf.is_empty() {
-        fig8.push(ascii_cdf_multi(&[("new-server ratio", &ratio_ecdf)], 64, 10));
-        fig8.push(format!("matched VPs: {}  median ratio {:.2}", ratios.len(), ratio_ecdf.median()));
+        fig8.push(ascii_cdf_multi(
+            &[("new-server ratio", &ratio_ecdf)],
+            64,
+            10,
+        ));
+        fig8.push(format!(
+            "matched VPs: {}  median ratio {:.2}",
+            ratios.len(),
+            ratio_ecdf.median()
+        ));
     }
     fig8.push("paper: VPs sticky out-of-bailiwick mostly behave normally in-bailiwick.");
     fig8.metric("matched_vps", ratios.len() as f64);
     fig8.metric(
         "median_new_ratio",
-        if ratio_ecdf.is_empty() { 0.0 } else { ratio_ecdf.median() },
+        if ratio_ecdf.is_empty() {
+            0.0
+        } else {
+            ratio_ecdf.median()
+        },
     );
     reports.push(fig8);
 
     // ----- Table 3 -----
     let mut table3 = Report::new("table3", "Bailiwick experiment accounting");
     let mut t = Table::new(vec!["", "in-bailiwick", "out-of-bailiwick"]);
-    let pairs: [(&str, Box<dyn Fn(&RunOutput) -> String>); 8] = [
+    type Cell = Box<dyn Fn(&RunOutput) -> String>;
+    let pairs: [(&str, Cell); 8] = [
         ("Frequency", Box::new(|_| "600 s".into())),
         ("Duration", Box::new(|_| format!("{HOURS}h"))),
         ("Probes", Box::new(|r| r.probes.to_string())),
         ("VPs", Box::new(|r| r.vps.to_string())),
         ("Queries", Box::new(|r| r.dataset.len().to_string())),
         ("Queries (timeout)", Box::new(|r| r.timeouts.to_string())),
-        ("Responses (val.)", Box::new(|r| r.dataset.valid_count().to_string())),
-        ("Resolvers (backends)", Box::new(|r| r.resolvers.to_string())),
+        (
+            "Responses (val.)",
+            Box::new(|r| r.dataset.valid_count().to_string()),
+        ),
+        (
+            "Resolvers (backends)",
+            Box::new(|r| r.resolvers.to_string()),
+        ),
     ];
     for (label, f) in &pairs {
         t.row(vec![label.to_string(), f(&input), f(&output)]);
@@ -359,7 +405,11 @@ mod tests {
         assert_eq!(fig6.get("new_before_renumber"), 0.0);
         // In-bailiwick: the NS expiry at 1 h drags the A record with it.
         assert!(fig6.get("new_60_120") > 0.6, "{}", fig6.get("new_60_120"));
-        assert!(fig6.get("new_after_120") > 0.8, "{}", fig6.get("new_after_120"));
+        assert!(
+            fig6.get("new_after_120") > 0.8,
+            "{}",
+            fig6.get("new_after_120")
+        );
 
         let fig7 = by_id("fig7");
         // Out-of-bailiwick: the cached address survives the NS expiry…
@@ -385,7 +435,11 @@ mod tests {
         let fig8 = by_id("fig8");
         // Sticky-out VPs behave normally in-bailiwick.
         if fig8.get("matched_vps") > 3.0 {
-            assert!(fig8.get("median_new_ratio") > 0.5, "{}", fig8.get("median_new_ratio"));
+            assert!(
+                fig8.get("median_new_ratio") > 0.5,
+                "{}",
+                fig8.get("median_new_ratio")
+            );
         }
     }
 }

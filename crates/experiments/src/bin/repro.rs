@@ -6,13 +6,19 @@
 //! repro --paper-scale all    # full population sizes (slow)
 //! repro --quick fig6         # tiny populations (CI smoke)
 //! repro --seed 7 fig10       # different random world
+//! repro --metrics fig6       # + metrics dashboard and Prometheus text
 //! repro --list               # show available artifact ids
 //! ```
+//!
+//! Every module run writes a provenance manifest
+//! (`<module>_manifest.json`) and a simulation-time trace
+//! (`<module>_trace.jsonl`) next to its CSVs, unless `--no-csv`.
 
 use dnsttl_experiments::{
     bailiwick_exp, centricity, controlled, crawl_exp, extensions, passive_nl, table1, uy_latency,
     ExpConfig, Report,
 };
+use dnsttl_telemetry::{RunManifest, Telemetry};
 
 const ARTIFACTS: &[(&str, &str)] = &[
     ("table1", "a.nic.cl TTLs in parent and child (§3.1)"),
@@ -36,13 +42,28 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("fig10", ".uy latency before/after TTL change (§5.3)"),
     ("table10", "controlled TTL experiments (§6.2)"),
     ("fig11", "latency CDFs, controlled + anycast (§6.2)"),
-    ("ext-offline", "child authoritatives offline (§4.4, extension)"),
-    ("ext-dnssec", "DNSSEC validation vs centricity (§2, extension)"),
+    (
+        "ext-offline",
+        "child authoritatives offline (§4.4, extension)",
+    ),
+    (
+        "ext-dnssec",
+        "DNSSEC validation vs centricity (§2, extension)",
+    ),
     ("ext-ddos", "TTL vs DDoS survival (§6.1, extension)"),
     ("ext-hitrate", "analytic cache model validation (extension)"),
-    ("ext-loadbalance", "DNS load-balancing agility vs TTL (§6.1, extension)"),
-    ("ext-negttl", "negative-caching TTL vs typo load (RFC 2308, extension)"),
-    ("ext-secondary", "renumbering propagation via secondaries (extension)"),
+    (
+        "ext-loadbalance",
+        "DNS load-balancing agility vs TTL (§6.1, extension)",
+    ),
+    (
+        "ext-negttl",
+        "negative-caching TTL vs typo load (RFC 2308, extension)",
+    ),
+    (
+        "ext-secondary",
+        "renumbering propagation via secondaries (extension)",
+    ),
 ];
 
 /// Which experiment module regenerates an artifact. Artifacts sharing
@@ -79,9 +100,43 @@ fn produce(module: &str, cfg: &ExpConfig) -> Vec<Report> {
     }
 }
 
+/// Writes `<module>_manifest.json` and `<module>_trace.jsonl` next to
+/// the module's CSVs. Wall time stays on stderr: manifests and traces
+/// must be byte-identical across same-seed reruns.
+fn write_observability(module: &str, cfg: &ExpConfig, telemetry: &Telemetry, reports: &[Report]) {
+    let Some(dir) = &cfg.out_dir else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("cannot create {}", dir.display());
+        return;
+    }
+    let trace_name = format!("{module}_trace.jsonl");
+    if let Err(e) = std::fs::write(dir.join(&trace_name), telemetry.trace_jsonl()) {
+        eprintln!("cannot write {trace_name}: {e}");
+    }
+
+    let mut manifest = RunManifest::new(module, cfg.seed);
+    manifest.sim_duration_ms =
+        telemetry.with_tracer(|t| t.events().map(|e| e.t_ms).max().unwrap_or(0));
+    manifest
+        .world_note("probes", cfg.probes as u64)
+        .world_note("crawl_scale", cfg.crawl_scale)
+        .world_note("nl_resolvers", cfg.nl_resolvers as u64)
+        .world_note("nl_hours", cfg.nl_hours);
+    manifest.policy("mix", "paper_population");
+    telemetry.fill_manifest(&mut manifest);
+    manifest.artifact(&trace_name);
+    let ids: Vec<String> = reports.iter().map(|r| r.id.clone()).collect();
+    manifest.note("reports", ids.join(","));
+    let manifest_name = format!("{module}_manifest.json");
+    if let Err(e) = std::fs::write(dir.join(&manifest_name), manifest.to_json()) {
+        eprintln!("cannot write {manifest_name}: {e}");
+    }
+}
+
 fn main() {
     let mut cfg = ExpConfig::default();
     let mut wanted: Vec<String> = Vec::new();
+    let mut show_metrics = false;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -112,6 +167,7 @@ fn main() {
                 });
             }
             "--no-csv" => cfg.out_dir = None,
+            "--metrics" => show_metrics = true,
             "all" => wanted.extend(ARTIFACTS.iter().map(|(id, _)| id.to_string())),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other:?}");
@@ -121,7 +177,7 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--paper-scale|--quick] [--seed N] [--probes N] [--no-csv] <artifact…|all>");
+        eprintln!("usage: repro [--paper-scale|--quick] [--seed N] [--probes N] [--no-csv] [--metrics] <artifact…|all>");
         eprintln!("       repro --list");
         std::process::exit(2);
     }
@@ -134,7 +190,16 @@ fn main() {
             continue;
         }
         done_modules.push(module);
-        for report in produce(module, &cfg) {
+        // Each module gets its own enabled telemetry handle, so traces
+        // and metrics are per-experiment and same-seed reruns stay
+        // byte-identical.
+        let telemetry = Telemetry::new();
+        let mut module_cfg = cfg.clone();
+        module_cfg.telemetry = telemetry.clone();
+        let started = std::time::Instant::now();
+        let reports = produce(module, &module_cfg);
+        let wall = started.elapsed();
+        for report in &reports {
             // Only print what was asked for (a module may produce
             // siblings the user did not request).
             let asked = wanted.iter().any(|w| report.id.starts_with(w.as_str()));
@@ -142,6 +207,18 @@ fn main() {
                 println!("{}", report.render());
             }
         }
+        write_observability(module, &cfg, &telemetry, &reports);
+        if show_metrics {
+            println!("=== {module}: metrics dashboard ===");
+            println!("{}", telemetry.dashboard());
+            println!("=== {module}: prometheus exposition ===");
+            println!("{}", telemetry.prometheus_text());
+        }
+        eprintln!(
+            "({module}: {:.1}s wall, {} trace events)",
+            wall.as_secs_f64(),
+            telemetry.events_recorded()
+        );
     }
     if let Some(dir) = &cfg.out_dir {
         eprintln!("(CSV series written under {})", dir.display());

@@ -6,6 +6,7 @@
 //! sdig --world google-co google.co NS
 //! sdig --world cachetest p1.sub.cachetest.net AAAA --at 4000
 //! sdig uy NS --repeat 3 --every 600   # watch the cache age
+//! sdig uy NS --trace                  # resolution walkthrough
 //! ```
 //!
 //! Worlds: `uy` (default; .uy with 300 s/120 s child TTLs),
@@ -16,6 +17,7 @@ use dnsttl_core::ResolverPolicy;
 use dnsttl_experiments::worlds;
 use dnsttl_netsim::{Network, Region, SimRng, SimTime};
 use dnsttl_resolver::{RecursiveResolver, RootHint};
+use dnsttl_telemetry::{EventKind, Telemetry, Value};
 use dnsttl_wire::{Name, RecordType, Ttl};
 
 struct Options {
@@ -26,13 +28,14 @@ struct Options {
     at: u64,
     repeat: u32,
     every: u64,
+    trace: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sdig [--world uy|uy-after|google-co|cachetest|cachetest-out|nl]\n\
          \x20           [--parent-centric|--google|--opendns|--validating|--serve-stale]\n\
-         \x20           [--at SECONDS] [--repeat N] [--every SECONDS] <name> [type]"
+         \x20           [--at SECONDS] [--repeat N] [--every SECONDS] [--trace] <name> [type]"
     );
     std::process::exit(2);
 }
@@ -46,6 +49,7 @@ fn parse_args() -> Options {
         at: 0,
         repeat: 1,
         every: 600,
+        trace: false,
     };
     let mut args = std::env::args().skip(1);
     let mut saw_type = false;
@@ -75,6 +79,7 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--trace" => opts.trace = true,
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),
             other => {
@@ -138,6 +143,34 @@ fn build_world(name: &str) -> (Network, Vec<RootHint>) {
     }
 }
 
+/// Prints the trace events recorded since `from_seq` as an indented
+/// walkthrough, and returns the next unseen sequence number.
+fn print_walkthrough(telemetry: &Telemetry, from_seq: u64) -> u64 {
+    telemetry.with_tracer(|tracer| {
+        let mut next = from_seq;
+        for e in tracer.events().filter(|e| e.seq >= from_seq) {
+            next = e.seq + 1;
+            let indent = match e.kind {
+                EventKind::SpanStart | EventKind::SpanEnd => "",
+                _ => "  ",
+            };
+            let fields: Vec<String> = e
+                .fields
+                .iter()
+                .map(|(k, v): &(&'static str, Value)| format!("{k}={v}"))
+                .collect();
+            println!(
+                ";; [{:>9}ms] {}{:<12} {}",
+                e.t_ms,
+                indent,
+                e.kind.as_str(),
+                fields.join(" ")
+            );
+        }
+        next
+    })
+}
+
 fn main() {
     let opts = parse_args();
     let (mut net, roots) = build_world(&opts.world);
@@ -151,17 +184,32 @@ fn main() {
         roots,
         SimRng::seed_from(1),
     );
+    let telemetry = if opts.trace {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    resolver.set_telemetry(telemetry.clone());
+    net.set_telemetry(telemetry.clone());
+    let mut seen_seq = 0u64;
 
     for i in 0..opts.repeat {
         let at = SimTime::from_secs(opts.at + i as u64 * opts.every);
         let out = resolver.resolve(&qname, opts.qtype, at, &mut net);
+        if opts.trace {
+            seen_seq = print_walkthrough(&telemetry, seen_seq);
+        }
         println!(
             ";; world={} t={} policy answered in {} ({} upstream quer{}, {})",
             opts.world,
             at,
             out.elapsed,
             out.upstream_queries,
-            if out.upstream_queries == 1 { "y" } else { "ies" },
+            if out.upstream_queries == 1 {
+                "y"
+            } else {
+                "ies"
+            },
             if out.cache_hit {
                 "cache hit"
             } else if out.served_stale {

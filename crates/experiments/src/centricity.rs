@@ -14,7 +14,9 @@ use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::worlds;
 use dnsttl_analysis::{ascii_cdf_log, BehaviorCensus, CsvWriter, Ecdf, Table};
-use dnsttl_atlas::{run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName};
+use dnsttl_atlas::{
+    run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName,
+};
 use dnsttl_netsim::SimRng;
 use dnsttl_wire::{Name, RecordType};
 
@@ -33,8 +35,10 @@ fn campaign(
     hours: u64,
 ) -> Campaign {
     let (mut net, roots) = world;
+    net.set_telemetry(cfg.telemetry.clone());
     let mut rng = SimRng::seed_from(cfg.seed_for(tag));
     let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
+    pop.set_telemetry(&cfg.telemetry);
     let spec = MeasurementSpec::every_600s(
         QueryName::Fixed(Name::parse(qname).expect("static name")),
         qtype,
@@ -55,7 +59,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let uy_ns = campaign(
         cfg,
         "fig1-ns",
-        worlds::uy_world(dnsttl_wire::Ttl::from_secs(300), dnsttl_wire::Ttl::from_secs(120)),
+        worlds::uy_world(
+            dnsttl_wire::Ttl::from_secs(300),
+            dnsttl_wire::Ttl::from_secs(120),
+        ),
         "uy",
         RecordType::NS,
         2,
@@ -63,7 +70,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let uy_a = campaign(
         cfg,
         "fig1-a",
-        worlds::uy_world(dnsttl_wire::Ttl::from_secs(300), dnsttl_wire::Ttl::from_secs(120)),
+        worlds::uy_world(
+            dnsttl_wire::Ttl::from_secs(300),
+            dnsttl_wire::Ttl::from_secs(120),
+        ),
         "a.nic.uy",
         RecordType::A,
         3,
@@ -107,7 +117,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     // regions to resolver behaviours, automated).
     let mut series: Vec<Vec<u64>> = Vec::new();
     for (_vp, results) in uy_ns.dataset.by_vp() {
-        series.push(results.iter().filter(|r| r.valid).filter_map(|r| r.ttl).collect());
+        series.push(
+            results
+                .iter()
+                .filter(|r| r.valid)
+                .filter_map(|r| r.ttl)
+                .collect(),
+        );
     }
     let census = BehaviorCensus::take(series.iter().map(|v| v.as_slice()), 300, 172_800);
     let mut t = Table::new(vec!["behaviour", "VPs", "share"]);
@@ -169,28 +185,17 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
 
     // ----- Table 2 -----
     let mut table2 = Report::new("table2", "Resolver centricity experiments");
-    let mut t = Table::new(vec![
-        "", ".uy-NS", "a.nic.uy-A", "google.co-NS",
-    ]);
-    let row =
-        |label: &str, f: &dyn Fn(&Campaign) -> String, cs: &[&Campaign]| -> Vec<String> {
-            let mut cells = vec![label.to_owned()];
-            cells.extend(cs.iter().map(|c| f(c)));
-            cells
-        };
+    let mut t = Table::new(vec!["", ".uy-NS", "a.nic.uy-A", "google.co-NS"]);
+    let row = |label: &str, f: &dyn Fn(&Campaign) -> String, cs: &[&Campaign]| -> Vec<String> {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(cs.iter().map(|c| f(c)));
+        cells
+    };
     let campaigns = [&uy_ns, &uy_a, &gco];
     t.row(row("TTL Parent", &|_| "172800 / 900".into(), &[]));
-    t.row(row(
-        "Probes",
-        &|c| c.probes.to_string(),
-        &campaigns,
-    ));
+    t.row(row("Probes", &|c| c.probes.to_string(), &campaigns));
     t.row(row("VPs", &|c| c.vps.to_string(), &campaigns));
-    t.row(row(
-        "Queries",
-        &|c| c.dataset.len().to_string(),
-        &campaigns,
-    ));
+    t.row(row("Queries", &|c| c.dataset.len().to_string(), &campaigns));
     t.row(row(
         "Responses (valid)",
         &|c| c.dataset.valid_count().to_string(),
@@ -223,8 +228,16 @@ mod tests {
         let reports = run(&ExpConfig::quick());
         let fig1 = &reports[0];
         // Paper: 90% of .uy-NS ≤ 300 s, 88% of a.nic.uy-A ≤ 120 s.
-        assert!(fig1.get("frac_ns_child") > 0.75, "{}", fig1.get("frac_ns_child"));
-        assert!(fig1.get("frac_a_child") > 0.75, "{}", fig1.get("frac_a_child"));
+        assert!(
+            fig1.get("frac_ns_child") > 0.75,
+            "{}",
+            fig1.get("frac_ns_child")
+        );
+        assert!(
+            fig1.get("frac_a_child") > 0.75,
+            "{}",
+            fig1.get("frac_a_child")
+        );
         // A parent-centric minority exists but is a minority.
         assert!(fig1.get("frac_ns_child") < 0.99);
         // ~2.9% show the full parent TTL (local-root mirrors).

@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use dnsttl_telemetry::Telemetry;
 use std::path::PathBuf;
 
 /// Shared knobs for all experiments.
@@ -24,6 +25,10 @@ pub struct ExpConfig {
     pub nl_hours: u64,
     /// Where to write CSV series; `None` disables file output.
     pub out_dir: Option<PathBuf>,
+    /// Observability handle experiments attach to the worlds they
+    /// build. Disabled by default; `repro` swaps in an enabled handle
+    /// per module to collect metrics, traces, and manifests.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ExpConfig {
@@ -35,6 +40,7 @@ impl Default for ExpConfig {
             nl_resolvers: 6_000,
             nl_hours: 48,
             out_dir: Some(PathBuf::from("target/experiments")),
+            telemetry: Telemetry::disabled(),
         }
     }
 }

@@ -18,7 +18,9 @@ use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::worlds;
 use dnsttl_analysis::{ascii_cdf_multi, CsvWriter, Ecdf, Table};
-use dnsttl_atlas::{run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName};
+use dnsttl_atlas::{
+    run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName,
+};
 use dnsttl_netsim::{SimDuration, SimRng, SimTime};
 use dnsttl_wire::{Name, RecordType, Ttl};
 
@@ -39,8 +41,10 @@ fn campaign(
     unique_names: bool,
 ) -> Campaign {
     let (mut net, roots, test_addr) = worlds::controlled_world(ttl, anycast);
+    net.set_telemetry(cfg.telemetry.clone());
     let mut rng = SimRng::seed_from(cfg.seed_for(tag));
     let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
+    pop.set_telemetry(&cfg.telemetry);
     let query = if unique_names {
         QueryName::PerProbe {
             suffix: Name::parse("mapache-de-madrid.co").expect("static"),
@@ -71,22 +75,47 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let ttl86400_u = campaign(cfg, "ttl86400-u", "TTL86400-u", Ttl::DAY, false, true);
     let ttl60_s = campaign(cfg, "ttl60-s", "TTL60-s", Ttl::MINUTE, false, false);
     let ttl86400_s = campaign(cfg, "ttl86400-s", "TTL86400-s", Ttl::DAY, false, false);
-    let anycast = campaign(cfg, "ttl60-anycast", "TTL60-s-anycast", Ttl::MINUTE, true, false);
+    let anycast = campaign(
+        cfg,
+        "ttl60-anycast",
+        "TTL60-s-anycast",
+        Ttl::MINUTE,
+        true,
+        false,
+    );
 
     let campaigns = [&ttl60_u, &ttl86400_u, &ttl60_s, &ttl86400_s, &anycast];
 
     // ----- Table 10 -----
-    let mut table10 = Report::new("table10", "Controlled TTL experiments: client and authoritative view");
+    let mut table10 = Report::new(
+        "table10",
+        "Controlled TTL experiments: client and authoritative view",
+    );
     let mut t = Table::new(vec![
-        "", "TTL60-u", "TTL86400-u", "TTL60-s", "TTL86400-s", "TTL60-anycast",
+        "",
+        "TTL60-u",
+        "TTL86400-u",
+        "TTL60-s",
+        "TTL86400-s",
+        "TTL60-anycast",
     ]);
-    let rows: [(&str, Box<dyn Fn(&Campaign) -> String>); 7] = [
+    type Cell = Box<dyn Fn(&Campaign) -> String>;
+    let rows: [(&str, Cell); 7] = [
         ("Frequency", Box::new(|_| "600s".into())),
         ("Duration", Box::new(|_| "65min".into())),
         ("VPs", Box::new(|c| c.vps.to_string())),
-        ("Queries (client)", Box::new(|c| c.dataset.len().to_string())),
-        ("Responses (val.)", Box::new(|c| c.dataset.valid_count().to_string())),
-        ("Querying IPs (auth)", Box::new(|c| c.auth_sources.to_string())),
+        (
+            "Queries (client)",
+            Box::new(|c| c.dataset.len().to_string()),
+        ),
+        (
+            "Responses (val.)",
+            Box::new(|c| c.dataset.valid_count().to_string()),
+        ),
+        (
+            "Querying IPs (auth)",
+            Box::new(|c| c.auth_sources.to_string()),
+        ),
         ("Queries (auth)", Box::new(|c| c.auth_queries.to_string())),
     ];
     for (label, f) in &rows {
@@ -140,7 +169,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         64,
         14,
     ));
-    let mut t = Table::new(vec!["series", "p50 (ms)", "p75 (ms)", "p95 (ms)", "paper p50"]);
+    let mut t = Table::new(vec![
+        "series",
+        "p50 (ms)",
+        "p75 (ms)",
+        "p95 (ms)",
+        "paper p50",
+    ]);
     for (label, e, paper) in [
         ("TTL60-s", &e60s, "35.59"),
         ("TTL86400-s", &e86s, "7.38"),
@@ -167,7 +202,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     fig11b.metric("p95_anycast", eany.quantile(0.95));
 
     if let Some(dir) = &cfg.out_dir {
-        let mut w = CsvWriter::new(dir.join("fig11_latency_cdfs.csv"), &["series", "rtt_ms", "cdf"]);
+        let mut w = CsvWriter::new(
+            dir.join("fig11_latency_cdfs.csv"),
+            &["series", "rtt_ms", "cdf"],
+        );
         for (series, e) in [
             ("ttl60-u", &e60u),
             ("ttl86400-u", &e86u),

@@ -78,39 +78,60 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
                 .collect(),
         );
         t.row(
-            std::iter::once(format!("  unique")).chain(summaries.iter().map(|s| {
-                s.per_type
-                    .iter()
-                    .find(|p| p.rtype == rtype)
-                    .map(|p| p.unique.to_string())
-                    .unwrap_or_default()
-            }))
-            .collect(),
+            std::iter::once("  unique".to_string())
+                .chain(summaries.iter().map(|s| {
+                    s.per_type
+                        .iter()
+                        .find(|p| p.rtype == rtype)
+                        .map(|p| p.unique.to_string())
+                        .unwrap_or_default()
+                }))
+                .collect(),
         );
         t.row(
-            std::iter::once(format!("  ratio")).chain(summaries.iter().map(|s| {
-                s.per_type
-                    .iter()
-                    .find(|p| p.rtype == rtype)
-                    .map(|p| format!("{:.2}", p.ratio()))
-                    .unwrap_or_default()
-            }))
-            .collect(),
+            std::iter::once("  ratio".to_string())
+                .chain(summaries.iter().map(|s| {
+                    s.per_type
+                        .iter()
+                        .find(|p| p.rtype == rtype)
+                        .map(|p| format!("{:.2}", p.ratio()))
+                        .unwrap_or_default()
+                }))
+                .collect(),
         );
     }
     table5.push(t.render());
     let alexa = &summaries[0];
     let nl = &summaries[3];
-    let alexa_ns_ratio = alexa.per_type.iter().find(|p| p.rtype == RecordType::NS).unwrap().ratio();
-    let nl_ns_ratio = nl.per_type.iter().find(|p| p.rtype == RecordType::NS).unwrap().ratio();
-    table5.metric("alexa_responsive_ratio", alexa.responsive as f64 / alexa.domains as f64);
+    let alexa_ns_ratio = alexa
+        .per_type
+        .iter()
+        .find(|p| p.rtype == RecordType::NS)
+        .unwrap()
+        .ratio();
+    let nl_ns_ratio = nl
+        .per_type
+        .iter()
+        .find(|p| p.rtype == RecordType::NS)
+        .unwrap()
+        .ratio();
+    table5.metric(
+        "alexa_responsive_ratio",
+        alexa.responsive as f64 / alexa.domains as f64,
+    );
     table5.metric("alexa_ns_ratio", alexa_ns_ratio);
     table5.metric("nl_ns_ratio", nl_ns_ratio);
     reports.push(table5);
 
     // ----- Figure 9 -----
     let mut fig9 = Report::new("fig9", "CDF of TTLs per record type, for each list");
-    for rtype in [RecordType::NS, RecordType::A, RecordType::AAAA, RecordType::MX, RecordType::DNSKEY] {
+    for rtype in [
+        RecordType::NS,
+        RecordType::A,
+        RecordType::AAAA,
+        RecordType::MX,
+        RecordType::DNSKEY,
+    ] {
         let ecdfs: Vec<(ListKind, dnsttl_analysis::Ecdf)> = populations
             .iter()
             .map(|(k, d)| (*k, crawler::ttl_ecdf(d, rtype)))
@@ -125,7 +146,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         }
         if let Some(dir) = &cfg.out_dir {
             let mut w = CsvWriter::new(
-                dir.join(format!("fig9_{}_ttl_cdf.csv", rtype.to_string().to_lowercase())),
+                dir.join(format!(
+                    "fig9_{}_ttl_cdf.csv",
+                    rtype.to_string().to_lowercase()
+                )),
                 &["list", "ttl_s", "cdf"],
             );
             for (k, e) in &ecdfs {
@@ -165,14 +189,27 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         ]);
         table6.metric(&format!("count_{}", cat.label()), n as f64);
     }
-    t.row(vec!["Total".into(), classified.len().to_string(), "100%".into()]);
+    t.row(vec![
+        "Total".into(),
+        classified.len().to_string(),
+        "100%".into(),
+    ]);
     table6.push(t.render());
     reports.push(table6);
 
     // ----- Table 7 -----
-    let mut table7 = Report::new("table7", "Median TTL values (hours) for .nl domains by category");
+    let mut table7 = Report::new(
+        "table7",
+        "Median TTL values (hours) for .nl domains by category",
+    );
     let mut t = Table::new(vec!["", "Ecommerce", "Parking", "Placeholder"]);
-    for rtype in [RecordType::NS, RecordType::A, RecordType::AAAA, RecordType::MX, RecordType::DNSKEY] {
+    for rtype in [
+        RecordType::NS,
+        RecordType::A,
+        RecordType::AAAA,
+        RecordType::MX,
+        RecordType::DNSKEY,
+    ] {
         let cell = |cat| {
             crawler::median_ttl_hours(nl_domains, rtype, cat)
                 .map(|h| format!("{h:.1}"))
@@ -223,13 +260,17 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         .sum();
     let total_domains: usize = summaries.iter().map(|s| s.domains).sum();
     table8.metric("total_ttl_zero", total_zero as f64);
-    table8.metric("ttl_zero_fraction", total_zero as f64 / total_domains.max(1) as f64);
+    table8.metric(
+        "ttl_zero_fraction",
+        total_zero as f64 / total_domains.max(1) as f64,
+    );
     reports.push(table8);
 
     // ----- Table 9 -----
     let mut table9 = Report::new("table9", "Bailiwick distribution in the wild");
     let mut t = Table::new(headers);
-    let rows: [(&str, Box<dyn Fn(&dnsttl_crawl::CrawlSummary) -> String>); 7] = [
+    type Cell = Box<dyn Fn(&dnsttl_crawl::CrawlSummary) -> String>;
+    let rows: [(&str, Cell); 7] = [
         ("responsive", Box::new(|s| s.responsive.to_string())),
         ("CNAME", Box::new(|s| s.cname_on_ns.to_string())),
         ("SOA", Box::new(|s| s.soa_on_ns.to_string())),
@@ -244,12 +285,15 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
                 )
             }),
         ),
-        ("In only / Mixed", Box::new(|s| format!("{} / {}", s.in_only, s.mixed))),
+        (
+            "In only / Mixed",
+            Box::new(|s| format!("{} / {}", s.in_only, s.mixed)),
+        ),
     ];
     for (label, f) in &rows {
         t.row(
             std::iter::once(label.to_string())
-                .chain(summaries.iter().map(|s| f(s)))
+                .chain(summaries.iter().map(f))
                 .collect(),
         );
     }

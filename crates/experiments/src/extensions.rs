@@ -81,7 +81,12 @@ pub fn offline_child(cfg: &ExpConfig) -> Report {
             roots.clone(),
             rng.fork(i as u64),
         );
-        let out = r.resolve(&n("zurrundedu.com"), RecordType::NS, SimTime::ZERO, &mut net);
+        let out = r.resolve(
+            &n("zurrundedu.com"),
+            RecordType::NS,
+            SimTime::ZERO,
+            &mut net,
+        );
         let ok = out.answer.header.rcode == Rcode::NoError;
         if parentish {
             total_parentish += 1;
@@ -180,15 +185,9 @@ pub fn dnssec_centricity(cfg: &ExpConfig) -> Report {
     let validating_ttls = run_group(ResolverPolicy::validating(), &mut net, &mut rng);
     let parentish_ttls = run_group(ResolverPolicy::parent_centric(), &mut net, &mut rng);
 
-    let frac_validating_child = validating_ttls
-        .iter()
-        .filter(|&&t| t <= 300)
-        .count() as f64
+    let frac_validating_child = validating_ttls.iter().filter(|&&t| t <= 300).count() as f64
         / validating_ttls.len().max(1) as f64;
-    let frac_parentish_parent = parentish_ttls
-        .iter()
-        .filter(|&&t| t > 86_400)
-        .count() as f64
+    let frac_parentish_parent = parentish_ttls.iter().filter(|&&t| t > 86_400).count() as f64
         / parentish_ttls.len().max(1) as f64;
 
     // Tamper: rewrite www.gub.uy's address without re-signing.
@@ -324,12 +323,8 @@ pub fn ddos_resilience(cfg: &ExpConfig) -> Report {
             if attack_applied && now >= attack_start + attack && !net.is_online(victim_addr) {
                 net.set_online(victim_addr, true);
             }
-            let out = resolvers[tick.client].resolve(
-                &n("www.example"),
-                RecordType::A,
-                now,
-                &mut net,
-            );
+            let out =
+                resolvers[tick.client].resolve(&n("www.example"), RecordType::A, now, &mut net);
             let in_attack = now >= attack_start && now < attack_start + attack;
             if in_attack {
                 during_total += 1;
@@ -423,7 +418,11 @@ pub fn hitrate_validation(cfg: &ExpConfig) -> Report {
                 .build(),
         );
         net.register(worlds::addrs::ROOT, Region::Eu, Rc::new(RefCell::new(root)));
-        net.register("192.0.2.53".parse().unwrap(), Region::Eu, Rc::new(RefCell::new(child)));
+        net.register(
+            "192.0.2.53".parse().unwrap(),
+            Region::Eu,
+            Rc::new(RefCell::new(child)),
+        );
 
         let mut rng = SimRng::seed_from(cfg.seed_for("ext-hitrate") ^ ttl as u64);
         let mut r = RecursiveResolver::new(
@@ -440,7 +439,7 @@ pub fn hitrate_validation(cfg: &ExpConfig) -> Report {
             // Poisson arrivals: exponential gaps with mean 1/λ.
             let u = rng.next_f64().max(f64::MIN_POSITIVE);
             let gap_ms = ((-u.ln()) / rate_qps * 1_000.0) as u64;
-            now = now + SimDuration::from_millis(gap_ms.max(1));
+            now += SimDuration::from_millis(gap_ms.max(1));
             if now > SimTime::ZERO + horizon {
                 break;
             }
@@ -474,7 +473,11 @@ pub fn hitrate_validation(cfg: &ExpConfig) -> Report {
 
     // A quick visual: measured hit rate vs TTL.
     let e = Ecdf::new(measured_series);
-    report.push(ascii_cdf_multi(&[("measured hit rates (per TTL)", &e)], 48, 8));
+    report.push(ascii_cdf_multi(
+        &[("measured hit rates (per TTL)", &e)],
+        48,
+        8,
+    ));
     report
 }
 
@@ -489,12 +492,7 @@ pub fn hitrate_validation(cfg: &ExpConfig) -> Report {
 pub fn load_balancing_agility(cfg: &ExpConfig) -> Report {
     let clients = (cfg.probes / 20).max(24);
     let horizon = SimDuration::from_hours(2);
-    let backends = [
-        "203.0.113.1",
-        "203.0.113.2",
-        "203.0.113.3",
-        "203.0.113.4",
-    ];
+    let backends = ["203.0.113.1", "203.0.113.2", "203.0.113.3", "203.0.113.4"];
 
     let imbalance_for = |ttl: Ttl| -> (f64, Vec<u64>) {
         let mut net = Network::new(LatencyModel::constant(20.0));
@@ -511,7 +509,11 @@ pub fn load_balancing_agility(cfg: &ExpConfig) -> Report {
         let mut lb = AuthoritativeServer::new("ns.example").with_zone(zone.build());
         lb.enable_rotation();
         net.register(worlds::addrs::ROOT, Region::Eu, Rc::new(RefCell::new(root)));
-        net.register("192.0.2.53".parse().unwrap(), Region::Eu, Rc::new(RefCell::new(lb)));
+        net.register(
+            "192.0.2.53".parse().unwrap(),
+            Region::Eu,
+            Rc::new(RefCell::new(lb)),
+        );
 
         let mut rng = SimRng::seed_from(cfg.seed_for("ext-lb") ^ ttl.as_secs() as u64);
         let mut resolvers: Vec<RecursiveResolver> = (0..clients)
@@ -538,9 +540,9 @@ pub fn load_balancing_agility(cfg: &ExpConfig) -> Report {
             .map(|_| (rng.log_normal(3.6, 1.3) * 1_000.0).clamp(5_000.0, 600_000.0) as u64)
             .collect();
         let mut queue = EventQueue::new();
-        for i in 0..clients {
+        for (i, gap) in gaps_ms.iter().enumerate() {
             queue.schedule(
-                SimTime::from_millis(rng.below(gaps_ms[i].max(1))),
+                SimTime::from_millis(rng.below((*gap).max(1))),
                 Tick { client: i },
             );
         }
@@ -550,7 +552,8 @@ pub fn load_balancing_agility(cfg: &ExpConfig) -> Report {
             if now >= end {
                 continue;
             }
-            let out = resolvers[tick.client].resolve(&n("www.example"), RecordType::A, now, &mut net);
+            let out =
+                resolvers[tick.client].resolve(&n("www.example"), RecordType::A, now, &mut net);
             // The client uses the first answer — that backend gets the
             // connection.
             if let Some(first) = out.answer.answers.first() {
@@ -764,7 +767,11 @@ pub fn secondary_propagation(cfg: &ExpConfig) -> Report {
                     .borrow_mut()
                     .zone_mut(&n("example"))
                     .unwrap()
-                    .replace_address(&n("www.example"), "198.51.100.9".parse().unwrap(), Ttl::MINUTE);
+                    .replace_address(
+                        &n("www.example"),
+                        "198.51.100.9".parse().unwrap(),
+                        Ttl::MINUTE,
+                    );
             }
             for r in &mut resolvers {
                 let out = r.resolve(&n("www.example"), RecordType::A, now, &mut net);
@@ -785,7 +792,10 @@ pub fn secondary_propagation(cfg: &ExpConfig) -> Report {
             format!("t={last_old_seen}s"),
             format!("≤ t={bound}s"),
         ]);
-        report.metric(&format!("last_old_refresh_{refresh_s}"), last_old_seen as f64);
+        report.metric(
+            &format!("last_old_refresh_{refresh_s}"),
+            last_old_seen as f64,
+        );
         report.metric(&format!("bound_refresh_{refresh_s}"), bound as f64);
     }
     report.push(t.render());
@@ -841,7 +851,10 @@ mod tests {
         let s7200 = r.get("survival_ttl_7200");
         let s86400 = r.get("survival_ttl_86400");
         assert!(s60 < 0.3, "short TTL drains: {s60}");
-        assert!(s1800 < s7200, "partial protection below full: {s1800} vs {s7200}");
+        assert!(
+            s1800 < s7200,
+            "partial protection below full: {s1800} vs {s7200}"
+        );
         assert!(s7200 > 0.5, "TTL ≥ attack survives: {s7200}");
         assert!(s86400 > 0.5);
         assert!(

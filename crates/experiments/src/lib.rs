@@ -26,10 +26,10 @@
 
 pub mod bailiwick_exp;
 pub mod centricity;
-pub mod extensions;
 pub mod config;
 pub mod controlled;
 pub mod crawl_exp;
+pub mod extensions;
 pub mod passive_nl;
 pub mod report;
 pub mod table1;

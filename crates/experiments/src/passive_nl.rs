@@ -25,6 +25,7 @@ use dnsttl_wire::RecordType;
 /// Runs the passive `.nl` study; returns fig3 and fig4.
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut world = worlds::nl_world();
+    world.net.set_telemetry(cfg.telemetry.clone());
     let mut rng = SimRng::seed_from(cfg.seed_for("passive-nl"));
 
     // Build the resolver population with the paper's policy mixture.
@@ -44,12 +45,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         resolvers.push(RecursiveResolver::new(
             format!("nl-res-{i}"),
             mix.policy(rng.weighted_index(&weights)).clone(),
-            dnsttl_netsim::Region::ALL
-                [rng.weighted_index(&dnsttl_netsim::Region::atlas_weights())],
+            dnsttl_netsim::Region::ALL[rng.weighted_index(&dnsttl_netsim::Region::atlas_weights())],
             source_tag,
             world.roots.clone(),
             rng.fork(i as u64),
         ));
+    }
+    for r in &mut resolvers {
+        r.set_telemetry(cfg.telemetry.clone());
     }
 
     // Heavy-tailed demand: most resolvers need `.nl` rarely, some
@@ -136,11 +139,21 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         })
         .collect();
 
-    let mut fig3 = Report::new("fig3", "CDF of A queries per resolver/query-name (.nl, 2 days)");
+    let mut fig3 = Report::new(
+        "fig3",
+        "CDF of A queries per resolver/query-name (.nl, 2 days)",
+    );
     let all = Ecdf::from_u64(counts.iter().copied());
     let filt = Ecdf::from_u64(filtered_counts.iter().copied());
-    fig3.push(ascii_cdf_multi(&[("all", &all), ("filtered >2s", &filt)], 64, 12));
-    fig3.push(format!("groups: {}   demand events: {total_demand}", groups.len()));
+    fig3.push(ascii_cdf_multi(
+        &[("all", &all), ("filtered >2s", &filt)],
+        64,
+        12,
+    ));
+    fig3.push(format!(
+        "groups: {}   demand events: {total_demand}",
+        groups.len()
+    ));
     fig3.push(format!(
         "single-query groups: {:.1}% (paper: ~48%)   multi-query (child-centric evidence): {:.1}%",
         single * 100.0,
@@ -150,7 +163,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     fig3.metric("frac_single_query", single);
     fig3.metric("median_queries_per_group", all.median());
     if let Some(dir) = &cfg.out_dir {
-        let mut w = CsvWriter::new(dir.join("fig3_queries_per_group_cdf.csv"), &["queries", "cdf"]);
+        let mut w = CsvWriter::new(
+            dir.join("fig3_queries_per_group_cdf.csv"),
+            &["queries", "cdf"],
+        );
         for (x, y) in all.points() {
             w.row_display(&[x, y]);
         }
@@ -170,7 +186,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let min_ecdf = Ecdf::from_u64(mins.iter().copied());
     if !min_ecdf.is_empty() {
         fig4.push(ascii_cdf_multi(&[("min interarrival", &min_ecdf)], 64, 12));
-        fig4.push(format!("min-interarrival summary (s): {}", min_ecdf.summary()));
+        fig4.push(format!(
+            "min-interarrival summary (s): {}",
+            min_ecdf.summary()
+        ));
     }
     // The 1-hour bump: mass within ±10% of 3600 s.
     let hour_bump = mins
@@ -178,11 +197,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         .filter(|&&m| (3_240..=3_960).contains(&m))
         .count() as f64
         / mins.len().max(1) as f64;
-    let sub_hour = min_ecdf
-        .samples()
-        .iter()
-        .filter(|&&m| m < 3_240.0)
-        .count() as f64
+    let sub_hour = min_ecdf.samples().iter().filter(|&&m| m < 3_240.0).count() as f64
         / mins.len().max(1) as f64;
     fig4.push(format!(
         "mass at ~1h (child TTL): {:.1}%   below 1h: {:.1}%",
@@ -192,7 +207,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     fig4.metric("hour_bump_fraction", hour_bump);
     fig4.metric("groups_with_multi", mins.len() as f64);
     if let Some(dir) = &cfg.out_dir {
-        let mut w = CsvWriter::new(dir.join("fig4_min_interarrival_cdf.csv"), &["seconds", "cdf"]);
+        let mut w = CsvWriter::new(
+            dir.join("fig4_min_interarrival_cdf.csv"),
+            &["seconds", "cdf"],
+        );
         for (x, y) in min_ecdf.points() {
             w.row_display(&[x, y]);
         }

@@ -92,7 +92,10 @@ pub fn run(_cfg: &ExpConfig) -> Report {
     report.metric("child_ns_ttl", child_ns_ttl);
     report.metric("child_a_ttl", child_a_ttl);
     report.metric("aa_on_child_answer", r2.header.authoritative as u8 as f64);
-    report.metric("aa_on_parent_referral", r1.header.authoritative as u8 as f64);
+    report.metric(
+        "aa_on_parent_referral",
+        r1.header.authoritative as u8 as f64,
+    );
     report
 }
 

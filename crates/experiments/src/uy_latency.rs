@@ -11,14 +11,18 @@ use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::worlds;
 use dnsttl_analysis::{ascii_cdf_multi, CsvWriter, Ecdf, Table};
-use dnsttl_atlas::{run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName};
+use dnsttl_atlas::{
+    run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName,
+};
 use dnsttl_netsim::{Region, SimRng};
 use dnsttl_wire::{Name, RecordType, Ttl};
 
 fn measure(cfg: &ExpConfig, tag: &str, child_ns: Ttl, child_a: Ttl) -> Dataset {
     let (mut net, roots) = worlds::uy_world(child_ns, child_a);
+    net.set_telemetry(cfg.telemetry.clone());
     let mut rng = SimRng::seed_from(cfg.seed_for(tag));
     let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
+    pop.set_telemetry(&cfg.telemetry);
     let spec = MeasurementSpec::every_600s(
         QueryName::Fixed(Name::parse("uy").expect("static")),
         RecordType::NS,
@@ -30,7 +34,12 @@ fn measure(cfg: &ExpConfig, tag: &str, child_ns: Ttl, child_a: Ttl) -> Dataset {
 /// Runs the before/after comparison; returns fig10a and fig10b.
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     // Before: NS 300 s / A 120 s. After: both one day (§5.3).
-    let before = measure(cfg, "fig10-before", Ttl::from_secs(300), Ttl::from_secs(120));
+    let before = measure(
+        cfg,
+        "fig10-before",
+        Ttl::from_secs(300),
+        Ttl::from_secs(120),
+    );
     let after = measure(cfg, "fig10-after", Ttl::DAY, Ttl::DAY);
 
     let before_ecdf = Ecdf::from_u64(before.rtts_ms());
@@ -41,11 +50,20 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         "RTT of NS .uy queries before (TTL 300 s) and after (TTL 86400 s)",
     );
     fig10a.push(ascii_cdf_multi(
-        &[("TTL 300s (before)", &before_ecdf), ("TTL 86400s (after)", &after_ecdf)],
+        &[
+            ("TTL 300s (before)", &before_ecdf),
+            ("TTL 86400s (after)", &after_ecdf),
+        ],
         64,
         14,
     ));
-    let mut t = Table::new(vec!["quantile", "before (ms)", "after (ms)", "paper before", "paper after"]);
+    let mut t = Table::new(vec![
+        "quantile",
+        "before (ms)",
+        "after (ms)",
+        "paper before",
+        "paper after",
+    ]);
     for (q, pb, pa) in [
         (0.50, "28.7", "8"),
         (0.75, "183", "21"),
@@ -78,7 +96,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         after.valid().filter(|r| r.cache_hit).count() as f64 / after.valid_count().max(1) as f64,
     );
     if let Some(dir) = &cfg.out_dir {
-        let mut w = CsvWriter::new(dir.join("fig10a_uy_rtt_cdf.csv"), &["phase", "rtt_ms", "cdf"]);
+        let mut w = CsvWriter::new(
+            dir.join("fig10a_uy_rtt_cdf.csv"),
+            &["phase", "rtt_ms", "cdf"],
+        );
         for (phase, e) in [("before", &before_ecdf), ("after", &after_ecdf)] {
             for (x, y) in e.points() {
                 w.row(&[phase.into(), format!("{x}"), format!("{y}")]);
@@ -90,7 +111,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     // ----- Figure 10b: per-region quantiles -----
     let mut fig10b = Report::new("fig10b", "RTT quantiles per region, before vs after");
     let mut t = Table::new(vec![
-        "region", "p25 before", "p50 before", "p75 before", "p25 after", "p50 after", "p75 after",
+        "region",
+        "p25 before",
+        "p50 before",
+        "p75 before",
+        "p25 after",
+        "p50 after",
+        "p75 after",
     ]);
     let mut all_regions_improved = true;
     for region in Region::ALL {

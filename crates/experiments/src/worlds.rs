@@ -303,11 +303,7 @@ pub fn nl_world() -> NlWorld {
         net,
         roots: root_hints(),
         logged: [logged[0].clone(), logged[1].clone()],
-        ns_host_names: vec![
-            name("ns1.dns.nl"),
-            name("ns2.dns.nl"),
-            name("ns3.dns.nl"),
-        ],
+        ns_host_names: vec![name("ns1.dns.nl"), name("ns2.dns.nl"), name("ns3.dns.nl")],
     }
 }
 
@@ -395,9 +391,11 @@ impl DnsService for SyntheticZoneService {
                 }
             }
             RecordType::A if self.serves_ns_a && q.qname == self.ns_name => {
-                response
-                    .answers
-                    .push(Record::new(q.qname.clone(), self.a_ttl, RData::A(self.ns_addr)));
+                response.answers.push(Record::new(
+                    q.qname.clone(),
+                    self.a_ttl,
+                    RData::A(self.ns_addr),
+                ));
             }
             RecordType::AAAA => {
                 response.answers.push(Record::new(
@@ -483,7 +481,8 @@ pub fn cachetest_world(out_of_bailiwick: bool) -> CachetestWorld {
     if !out_of_bailiwick {
         cachetest_builder = cachetest_builder.a(ns_host, "18.184.0.20", Ttl::from_secs(7_200));
     }
-    let parent = rc(AuthoritativeServer::new("ns1.cachetest.net").with_zone(cachetest_builder.build()));
+    let parent =
+        rc(AuthoritativeServer::new("ns1.cachetest.net").with_zone(cachetest_builder.build()));
 
     let com = if out_of_bailiwick {
         // .com delegates zurrundedu.com. The registry pins its own
@@ -498,7 +497,9 @@ pub fn cachetest_world(out_of_bailiwick: bool) -> CachetestWorld {
             .ns("zurrundedu.com", "ns1.zurrundedu.com", Ttl::TWO_DAYS)
             .a("ns1.zurrundedu.com", "18.184.0.20", Ttl::TWO_DAYS)
             .build();
-        Some(rc(AuthoritativeServer::new("a.gtld-servers.net").with_zone(com_zone)))
+        Some(rc(
+            AuthoritativeServer::new("a.gtld-servers.net").with_zone(com_zone)
+        ))
     } else {
         None
     };
@@ -570,7 +571,9 @@ impl CachetestWorld {
             zone.replace_address(&name("ns1.zurrundedu.com"), new_addr, Ttl::from_secs(7_200));
         } else {
             let mut parent = self.parent.borrow_mut();
-            let zone = parent.zone_mut(&name("cachetest.net")).expect("cachetest zone");
+            let zone = parent
+                .zone_mut(&name("cachetest.net"))
+                .expect("cachetest zone");
             zone.replace_address(
                 &name("ns1.sub.cachetest.net"),
                 new_addr,
@@ -606,7 +609,11 @@ pub fn controlled_world(aaaa_ttl: Ttl, anycast: bool) -> (Network, Vec<RootHint>
     let co_zone = ZoneBuilder::new("co")
         .ns("co", "ns.cctld.co", Ttl::DAY)
         .a("ns.cctld.co", "156.154.100.1", Ttl::DAY)
-        .ns("mapache-de-madrid.co", "ns1.mapache-de-madrid.co", Ttl::TWO_DAYS)
+        .ns(
+            "mapache-de-madrid.co",
+            "ns1.mapache-de-madrid.co",
+            Ttl::TWO_DAYS,
+        )
         .a("ns1.mapache-de-madrid.co", "18.184.0.40", Ttl::TWO_DAYS)
         .build();
     net.register(
@@ -708,11 +715,21 @@ mod tests {
         );
         world.renumber();
         // Within NS lifetime: cached glue still points at the old VM.
-        let out = r.resolve(&q, RecordType::AAAA, SimTime::from_secs(1_200), &mut world.net);
+        let out = r.resolve(
+            &q,
+            RecordType::AAAA,
+            SimTime::from_secs(1_200),
+            &mut world.net,
+        );
         assert_eq!(out.answer.answers[0].rdata, RData::Aaaa(OLD_MARKER));
         // After the NS TTL (3600 s): the re-fetched referral glue
         // carries the new address (§4.2's coupled lifetimes).
-        let out = r.resolve(&q, RecordType::AAAA, SimTime::from_secs(3_700), &mut world.net);
+        let out = r.resolve(
+            &q,
+            RecordType::AAAA,
+            SimTime::from_secs(3_700),
+            &mut world.net,
+        );
         assert_eq!(out.answer.answers[0].rdata, RData::Aaaa(NEW_MARKER));
     }
 
@@ -726,10 +743,20 @@ mod tests {
         world.renumber();
         // Past the NS TTL but inside the address's 7200 s: still old
         // (§4.3: out-of-bailiwick addresses live their full TTL).
-        let out = r.resolve(&q, RecordType::AAAA, SimTime::from_secs(3_700), &mut world.net);
+        let out = r.resolve(
+            &q,
+            RecordType::AAAA,
+            SimTime::from_secs(3_700),
+            &mut world.net,
+        );
         assert_eq!(out.answer.answers[0].rdata, RData::Aaaa(OLD_MARKER));
         // Past the address TTL: new server.
-        let out = r.resolve(&q, RecordType::AAAA, SimTime::from_secs(7_300), &mut world.net);
+        let out = r.resolve(
+            &q,
+            RecordType::AAAA,
+            SimTime::from_secs(7_300),
+            &mut world.net,
+        );
         assert_eq!(out.answer.answers[0].rdata, RData::Aaaa(NEW_MARKER));
     }
 

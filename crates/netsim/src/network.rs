@@ -15,6 +15,7 @@
 use crate::latency::{LatencyModel, Region};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use dnsttl_telemetry::{EventKind, Telemetry};
 use dnsttl_wire::{decode_message, encode_message, Message};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -124,6 +125,7 @@ pub struct Network {
     latency: LatencyModel,
     /// How long a client waits for a lost packet before retrying.
     pub query_timeout: SimDuration,
+    telemetry: Telemetry,
 }
 
 impl Network {
@@ -134,7 +136,15 @@ impl Network {
             endpoints: HashMap::new(),
             latency,
             query_timeout: SimDuration::from_secs(2),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; packet counters, loss events, and
+    /// per-region RTT histograms from every exchange land in it. The
+    /// default handle is disabled (no-op).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The latency model in force.
@@ -204,7 +214,10 @@ impl Network {
     /// Distinct querying sources seen by `addr` (Table 10's
     /// "Querying IPs" row).
     pub fn distinct_sources(&self, addr: ServiceAddr) -> usize {
-        self.endpoints.get(&addr).map(|e| e.sources.len()).unwrap_or(0)
+        self.endpoints
+            .get(&addr)
+            .map(|e| e.sources.len())
+            .unwrap_or(0)
     }
 
     /// The anycast catchment of an address: for each client region,
@@ -273,13 +286,24 @@ impl Network {
         transport: Transport,
     ) -> ExchangeOutcome {
         let timeout = self.query_timeout;
+        self.telemetry.count("net_packets_sent", 1);
         let Some(ep) = self.endpoints.get_mut(&server) else {
+            self.telemetry.count("net_unknown_address", 1);
             return ExchangeOutcome::Timeout { elapsed: timeout };
         };
         if !ep.online {
+            self.telemetry.count("net_server_offline", 1);
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
         if self.latency.sample_loss(rng) {
+            self.telemetry.count("net_packets_lost", 1);
+            self.telemetry
+                .event(now.as_millis(), EventKind::PacketLoss, || {
+                    vec![
+                        ("server", server.to_string().into()),
+                        ("client_region", client_region.to_string().into()),
+                    ]
+                });
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
         // Anycast: BGP-like stable routing to the site with the lowest
@@ -295,6 +319,18 @@ impl Network {
             .expect("endpoint has at least one site");
         ep.queries_received += 1;
         ep.sources.insert((client_region, client_tag));
+        if self.telemetry.is_enabled() && ep.sites.len() > 1 {
+            // Anycast catchment accounting: which site this client
+            // region lands on (the Figure 11b comparison).
+            self.telemetry.count_with(
+                "net_anycast_catchment",
+                &[
+                    ("client", &client_region.to_string()),
+                    ("site", &site.region.to_string()),
+                ],
+                1,
+            );
+        }
 
         let wire = encode_message(query).expect("query must encode");
         let query = decode_message(&wire).expect("encoded query must decode");
@@ -319,6 +355,14 @@ impl Network {
         if transport == Transport::Tcp {
             // Handshake before the query round trip.
             rtt = rtt + self.latency.sample_rtt(client_region, site.region, rng);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.count("net_responses", 1);
+            self.telemetry.observe_with(
+                "net_rtt_ms",
+                &[("client_region", &client_region.to_string())],
+                rtt.as_millis(),
+            );
         }
         ExchangeOutcome::Response {
             message: response,
@@ -443,7 +487,10 @@ mod tests {
         assert_eq!(site_of(Region::Sa), Region::Na, "SA→NA is the shorter path");
         // Unicast: everyone lands on the single site.
         net.register(addr(2), Region::Oc, svc);
-        assert!(net.catchment(addr(2)).iter().all(|(_, s)| *s == Some(Region::Oc)));
+        assert!(net
+            .catchment(addr(2))
+            .iter()
+            .all(|(_, s)| *s == Some(Region::Oc)));
         // Unknown address: no site.
         assert!(net.catchment(addr(9)).iter().all(|(_, s)| s.is_none()));
     }

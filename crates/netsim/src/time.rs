@@ -4,14 +4,11 @@
 //! the start of the simulation. Nothing reads the wall clock, which is
 //! what makes every experiment reproducible from a seed.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A span of simulated time, millisecond resolution.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -73,7 +70,7 @@ impl Add for SimDuration {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1_000 == 0 {
+        if self.0.is_multiple_of(1_000) {
             write!(f, "{}s", self.0 / 1_000)
         } else {
             write!(f, "{}ms", self.0)
@@ -82,9 +79,7 @@ impl fmt::Display for SimDuration {
 }
 
 /// An instant in simulated time: milliseconds since simulation start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -10,7 +10,7 @@
 //! the child's authoritative answers.
 
 use dnsttl_core::{Centricity, ResolverPolicy};
-use dnsttl_netsim::SimTime;
+use dnsttl_netsim::{SimDuration, SimTime};
 use dnsttl_wire::{Name, RRset, Rcode, RecordType, Ttl};
 use std::collections::HashMap;
 
@@ -129,7 +129,13 @@ impl Cache {
             .entries
             .iter()
             .filter(|(_, e)| !e.pinned)
-            .min_by_key(|(_, e)| if e.expires_at <= now { SimTime::ZERO } else { e.expires_at })
+            .min_by_key(|(_, e)| {
+                if e.expires_at <= now {
+                    SimTime::ZERO
+                } else {
+                    e.expires_at
+                }
+            })
             .map(|(k, _)| k.clone());
         if let Some(victim) = victim {
             self.entries.remove(&victim);
@@ -230,6 +236,24 @@ impl Cache {
         })
     }
 
+    /// If an entry exists for `(name, rtype)` but is past its TTL (and
+    /// not pinned), returns how long ago it expired. This is the
+    /// telemetry probe distinguishing an *expiry* (the resolver held
+    /// the data and lost it to the TTL — the refetches of Figure 6)
+    /// from a plain miss (never cached).
+    pub fn expired_since(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+    ) -> Option<SimDuration> {
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if e.pinned || e.expires_at > now {
+            return None;
+        }
+        Some(now.since(e.expires_at))
+    }
+
     /// Remaining lifetime of a fresh entry as a fraction of its
     /// original TTL (1.0 = just stored, →0.0 = about to expire).
     /// Pinned entries are always 1.0; absent/expired entries are None.
@@ -279,6 +303,7 @@ impl Cache {
 
     /// Stores a negative answer (NXDOMAIN or NODATA) bounded by the SOA
     /// `minimum` / SOA TTL pair per RFC 2308.
+    #[allow(clippy::too_many_arguments)]
     pub fn store_negative(
         &mut self,
         name: Name,
@@ -321,8 +346,7 @@ impl Cache {
     /// Drops expired, unpinned entries. Not required for correctness
     /// (reads check freshness) but keeps long simulations lean.
     pub fn purge_expired(&mut self, now: SimTime) {
-        self.entries
-            .retain(|_, e| e.pinned || e.expires_at > now);
+        self.entries.retain(|_, e| e.pinned || e.expires_at > now);
         self.negatives.retain(|_, e| e.expires_at > now);
     }
 
@@ -363,25 +387,57 @@ mod tests {
     #[test]
     fn ttl_decrements_with_age() {
         let mut c = Cache::new();
-        c.store(a_rrset("x.example", 300, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        let got = c.get(&n("x.example"), RecordType::A, SimTime::from_secs(100)).unwrap();
+        c.store(
+            a_rrset("x.example", 300, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        let got = c
+            .get(&n("x.example"), RecordType::A, SimTime::from_secs(100))
+            .unwrap();
         assert_eq!(got.rrset.ttl.as_secs(), 200);
     }
 
     #[test]
     fn expired_entries_are_not_served() {
         let mut c = Cache::new();
-        c.store(a_rrset("x.example", 300, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        assert!(c.get(&n("x.example"), RecordType::A, SimTime::from_secs(300)).is_none());
-        assert!(c.get(&n("x.example"), RecordType::A, SimTime::from_secs(299)).is_some());
+        c.store(
+            a_rrset("x.example", 300, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        assert!(c
+            .get(&n("x.example"), RecordType::A, SimTime::from_secs(300))
+            .is_none());
+        assert!(c
+            .get(&n("x.example"), RecordType::A, SimTime::from_secs(299))
+            .is_some());
     }
 
     #[test]
     fn lower_rank_cannot_displace_fresh_higher_rank() {
         let mut c = Cache::new();
-        c.store(a_rrset("ns.example", 3600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        c.store(a_rrset("ns.example", 172800, 2), Credibility::ReferralAdditional, SimTime::from_secs(10), &policy(), false);
-        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(20)).unwrap();
+        c.store(
+            a_rrset("ns.example", 3600, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        c.store(
+            a_rrset("ns.example", 172800, 2),
+            Credibility::ReferralAdditional,
+            SimTime::from_secs(10),
+            &policy(),
+            false,
+        );
+        let got = c
+            .get(&n("ns.example"), RecordType::A, SimTime::from_secs(20))
+            .unwrap();
         assert_eq!(got.rank, Credibility::AuthAnswer);
         assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 1).rdatas);
     }
@@ -391,9 +447,23 @@ mod tests {
         // Re-fetched glue replaces cached glue — the mechanism behind
         // §4.2's NS/A lifetime coupling.
         let mut c = Cache::new();
-        c.store(a_rrset("ns.example", 7200, 1), Credibility::ReferralAdditional, SimTime::ZERO, &policy(), false);
-        c.store(a_rrset("ns.example", 7200, 2), Credibility::ReferralAdditional, SimTime::from_secs(3600), &policy(), false);
-        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(3700)).unwrap();
+        c.store(
+            a_rrset("ns.example", 7200, 1),
+            Credibility::ReferralAdditional,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        c.store(
+            a_rrset("ns.example", 7200, 2),
+            Credibility::ReferralAdditional,
+            SimTime::from_secs(3600),
+            &policy(),
+            false,
+        );
+        let got = c
+            .get(&n("ns.example"), RecordType::A, SimTime::from_secs(3700))
+            .unwrap();
         assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 2).rdatas);
         assert_eq!(got.rrset.ttl.as_secs(), 7100);
     }
@@ -405,14 +475,36 @@ mod tests {
             ..ResolverPolicy::default()
         };
         let mut c = Cache::new();
-        c.store(a_rrset("ns.example", 7200, 1), Credibility::ReferralAdditional, SimTime::ZERO, &p, false);
-        c.store(a_rrset("ns.example", 7200, 2), Credibility::ReferralAdditional, SimTime::from_secs(3600), &p, false);
+        c.store(
+            a_rrset("ns.example", 7200, 1),
+            Credibility::ReferralAdditional,
+            SimTime::ZERO,
+            &p,
+            false,
+        );
+        c.store(
+            a_rrset("ns.example", 7200, 2),
+            Credibility::ReferralAdditional,
+            SimTime::from_secs(3600),
+            &p,
+            false,
+        );
         // Old glue still served…
-        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(3700)).unwrap();
+        let got = c
+            .get(&n("ns.example"), RecordType::A, SimTime::from_secs(3700))
+            .unwrap();
         assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 1).rdatas);
         // …until it expires; a later store succeeds.
-        c.store(a_rrset("ns.example", 7200, 2), Credibility::ReferralAdditional, SimTime::from_secs(7300), &p, false);
-        let got = c.get(&n("ns.example"), RecordType::A, SimTime::from_secs(7400)).unwrap();
+        c.store(
+            a_rrset("ns.example", 7200, 2),
+            Credibility::ReferralAdditional,
+            SimTime::from_secs(7300),
+            &p,
+            false,
+        );
+        let got = c
+            .get(&n("ns.example"), RecordType::A, SimTime::from_secs(7400))
+            .unwrap();
         assert_eq!(got.rrset.rdatas, a_rrset("ns.example", 0, 2).rdatas);
     }
 
@@ -420,9 +512,23 @@ mod tests {
     fn parent_centric_refuses_child_overwrite() {
         let p = ResolverPolicy::parent_centric();
         let mut c = Cache::new();
-        c.store(a_rrset("a.nic.uy", 172800, 1), Credibility::ReferralAdditional, SimTime::ZERO, &p, false);
-        c.store(a_rrset("a.nic.uy", 120, 2), Credibility::AuthAnswer, SimTime::from_secs(5), &p, false);
-        let got = c.get(&n("a.nic.uy"), RecordType::A, SimTime::from_secs(10)).unwrap();
+        c.store(
+            a_rrset("a.nic.uy", 172800, 1),
+            Credibility::ReferralAdditional,
+            SimTime::ZERO,
+            &p,
+            false,
+        );
+        c.store(
+            a_rrset("a.nic.uy", 120, 2),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(5),
+            &p,
+            false,
+        );
+        let got = c
+            .get(&n("a.nic.uy"), RecordType::A, SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(got.rank, Credibility::ReferralAdditional);
         assert_eq!(got.rrset.ttl.as_secs(), 172_790);
     }
@@ -430,9 +536,23 @@ mod tests {
     #[test]
     fn child_centric_overwrites_glue_with_answer() {
         let mut c = Cache::new();
-        c.store(a_rrset("a.nic.uy", 172800, 1), Credibility::ReferralAdditional, SimTime::ZERO, &policy(), false);
-        c.store(a_rrset("a.nic.uy", 120, 2), Credibility::AuthAnswer, SimTime::from_secs(5), &policy(), false);
-        let got = c.get(&n("a.nic.uy"), RecordType::A, SimTime::from_secs(10)).unwrap();
+        c.store(
+            a_rrset("a.nic.uy", 172800, 1),
+            Credibility::ReferralAdditional,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        c.store(
+            a_rrset("a.nic.uy", 120, 2),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(5),
+            &policy(),
+            false,
+        );
+        let got = c
+            .get(&n("a.nic.uy"), RecordType::A, SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(got.rank, Credibility::AuthAnswer);
         assert_eq!(got.rrset.ttl.as_secs(), 115);
     }
@@ -440,7 +560,13 @@ mod tests {
     #[test]
     fn pinned_entries_never_age() {
         let mut c = Cache::new();
-        c.store(a_rrset("uy", 172800, 1), Credibility::ReferralAuthority, SimTime::ZERO, &policy(), true);
+        c.store(
+            a_rrset("uy", 172800, 1),
+            Credibility::ReferralAuthority,
+            SimTime::ZERO,
+            &policy(),
+            true,
+        );
         let got = c
             .get(&n("uy"), RecordType::A, SimTime::from_secs(1_000_000))
             .unwrap();
@@ -451,54 +577,110 @@ mod tests {
     fn ttl_cap_applies_at_store_time() {
         let p = ResolverPolicy::google_like();
         let mut c = Cache::new();
-        c.store(a_rrset("google.co", 345_600, 1), Credibility::AuthAnswer, SimTime::ZERO, &p, false);
-        let got = c.get(&n("google.co"), RecordType::A, SimTime::ZERO).unwrap();
+        c.store(
+            a_rrset("google.co", 345_600, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &p,
+            false,
+        );
+        let got = c
+            .get(&n("google.co"), RecordType::A, SimTime::ZERO)
+            .unwrap();
         assert_eq!(got.rrset.ttl.as_secs(), 21_599);
     }
 
     #[test]
     fn zero_ttl_is_not_cached() {
         let mut c = Cache::new();
-        c.store(a_rrset("x.example", 0, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        assert!(c.get(&n("x.example"), RecordType::A, SimTime::ZERO).is_none());
+        c.store(
+            a_rrset("x.example", 0, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        assert!(c
+            .get(&n("x.example"), RecordType::A, SimTime::ZERO)
+            .is_none());
         assert!(c.is_empty());
     }
 
     #[test]
     fn stale_service_within_window() {
         let mut c = Cache::new();
-        c.store(a_rrset("x.example", 60, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(
+            a_rrset("x.example", 60, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
         // Expired at 60 s; stale window one day.
         let got = c
-            .get_stale(&n("x.example"), RecordType::A, SimTime::from_secs(600), Ttl::DAY)
+            .get_stale(
+                &n("x.example"),
+                RecordType::A,
+                SimTime::from_secs(600),
+                Ttl::DAY,
+            )
             .unwrap();
         assert!(got.stale);
         assert_eq!(got.rrset.ttl.as_secs(), 30);
         // Beyond the stale window: gone.
         assert!(c
-            .get_stale(&n("x.example"), RecordType::A, SimTime::from_secs(90_000), Ttl::DAY)
+            .get_stale(
+                &n("x.example"),
+                RecordType::A,
+                SimTime::from_secs(90_000),
+                Ttl::DAY
+            )
             .is_none());
     }
 
     #[test]
     fn freshness_tracks_remaining_fraction() {
         let mut c = Cache::new();
-        c.store(a_rrset("x.example", 1000, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        let f0 = c.freshness(&n("x.example"), RecordType::A, SimTime::ZERO).unwrap();
+        c.store(
+            a_rrset("x.example", 1000, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        let f0 = c
+            .freshness(&n("x.example"), RecordType::A, SimTime::ZERO)
+            .unwrap();
         assert!((f0 - 1.0).abs() < 1e-9);
-        let f_mid = c.freshness(&n("x.example"), RecordType::A, SimTime::from_secs(500)).unwrap();
+        let f_mid = c
+            .freshness(&n("x.example"), RecordType::A, SimTime::from_secs(500))
+            .unwrap();
         assert!((f_mid - 0.5).abs() < 1e-9);
-        let f_late = c.freshness(&n("x.example"), RecordType::A, SimTime::from_secs(950)).unwrap();
+        let f_late = c
+            .freshness(&n("x.example"), RecordType::A, SimTime::from_secs(950))
+            .unwrap();
         assert!(f_late < 0.1);
-        assert!(c.freshness(&n("x.example"), RecordType::A, SimTime::from_secs(1_000)).is_none());
-        assert!(c.freshness(&n("y.example"), RecordType::A, SimTime::ZERO).is_none());
+        assert!(c
+            .freshness(&n("x.example"), RecordType::A, SimTime::from_secs(1_000))
+            .is_none());
+        assert!(c
+            .freshness(&n("y.example"), RecordType::A, SimTime::ZERO)
+            .is_none());
     }
 
     #[test]
     fn pinned_entries_are_always_fresh() {
         let mut c = Cache::new();
-        c.store(a_rrset("uy", 300, 1), Credibility::ReferralAuthority, SimTime::ZERO, &policy(), true);
-        let f = c.freshness(&n("uy"), RecordType::A, SimTime::from_secs(1_000_000)).unwrap();
+        c.store(
+            a_rrset("uy", 300, 1),
+            Credibility::ReferralAuthority,
+            SimTime::ZERO,
+            &policy(),
+            true,
+        );
+        let f = c
+            .freshness(&n("uy"), RecordType::A, SimTime::from_secs(1_000_000))
+            .unwrap();
         assert_eq!(f, 1.0);
     }
 
@@ -515,12 +697,20 @@ mod tests {
             &policy(),
         );
         assert_eq!(
-            c.get_negative(&n("missing.example"), RecordType::A, SimTime::from_secs(100)),
+            c.get_negative(
+                &n("missing.example"),
+                RecordType::A,
+                SimTime::from_secs(100)
+            ),
             Some(Rcode::NxDomain)
         );
         // Bounded by min(SOA minimum, SOA TTL) = 300 s.
         assert_eq!(
-            c.get_negative(&n("missing.example"), RecordType::A, SimTime::from_secs(300)),
+            c.get_negative(
+                &n("missing.example"),
+                RecordType::A,
+                SimTime::from_secs(300)
+            ),
             None
         );
     }
@@ -537,32 +727,85 @@ mod tests {
             SimTime::ZERO,
             &policy(),
         );
-        c.store(a_rrset("x.example", 60, 1), Credibility::AuthAnswer, SimTime::from_secs(10), &policy(), false);
-        assert_eq!(c.get_negative(&n("x.example"), RecordType::A, SimTime::from_secs(11)), None);
-        assert!(c.get(&n("x.example"), RecordType::A, SimTime::from_secs(11)).is_some());
+        c.store(
+            a_rrset("x.example", 60, 1),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(10),
+            &policy(),
+            false,
+        );
+        assert_eq!(
+            c.get_negative(&n("x.example"), RecordType::A, SimTime::from_secs(11)),
+            None
+        );
+        assert!(c
+            .get(&n("x.example"), RecordType::A, SimTime::from_secs(11))
+            .is_some());
     }
 
     #[test]
     fn bounded_cache_evicts_soonest_to_expire() {
         let mut c = Cache::with_capacity(2);
-        c.store(a_rrset("long.example", 3_600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        c.store(a_rrset("short.example", 60, 2), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(
+            a_rrset("long.example", 3_600, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        c.store(
+            a_rrset("short.example", 60, 2),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
         // Third entry: the 60 s one goes.
-        c.store(a_rrset("new.example", 600, 3), Credibility::AuthAnswer, SimTime::from_secs(1), &policy(), false);
+        c.store(
+            a_rrset("new.example", 600, 3),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(1),
+            &policy(),
+            false,
+        );
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 1);
-        assert!(c.get(&n("short.example"), RecordType::A, SimTime::from_secs(1)).is_none());
-        assert!(c.get(&n("long.example"), RecordType::A, SimTime::from_secs(1)).is_some());
-        assert!(c.get(&n("new.example"), RecordType::A, SimTime::from_secs(1)).is_some());
+        assert!(c
+            .get(&n("short.example"), RecordType::A, SimTime::from_secs(1))
+            .is_none());
+        assert!(c
+            .get(&n("long.example"), RecordType::A, SimTime::from_secs(1))
+            .is_some());
+        assert!(c
+            .get(&n("new.example"), RecordType::A, SimTime::from_secs(1))
+            .is_some());
     }
 
     #[test]
     fn bounded_cache_update_in_place_does_not_evict() {
         let mut c = Cache::with_capacity(2);
-        c.store(a_rrset("a.example", 600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        c.store(a_rrset("b.example", 600, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(
+            a_rrset("a.example", 600, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        c.store(
+            a_rrset("b.example", 600, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
         // Refreshing an existing key at capacity must not evict.
-        c.store(a_rrset("a.example", 600, 2), Credibility::AuthAnswer, SimTime::from_secs(10), &policy(), false);
+        c.store(
+            a_rrset("a.example", 600, 2),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(10),
+            &policy(),
+            false,
+        );
         assert_eq!(c.evictions(), 0);
         assert_eq!(c.len(), 2);
     }
@@ -570,20 +813,48 @@ mod tests {
     #[test]
     fn bounded_cache_never_evicts_pinned() {
         let mut c = Cache::with_capacity(1);
-        c.store(a_rrset("root.example", 600, 1), Credibility::ReferralAuthority, SimTime::ZERO, &policy(), true);
-        c.store(a_rrset("x.example", 600, 2), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
+        c.store(
+            a_rrset("root.example", 600, 1),
+            Credibility::ReferralAuthority,
+            SimTime::ZERO,
+            &policy(),
+            true,
+        );
+        c.store(
+            a_rrset("x.example", 600, 2),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
         // The pinned entry survives; the cache grows past capacity
         // rather than dropping mirrored zone data.
-        assert!(c.get(&n("root.example"), RecordType::A, SimTime::ZERO).is_some());
+        assert!(c
+            .get(&n("root.example"), RecordType::A, SimTime::ZERO)
+            .is_some());
     }
 
     #[test]
     fn purge_drops_expired_keeps_pinned() {
         let mut c = Cache::new();
-        c.store(a_rrset("a.example", 60, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), false);
-        c.store(a_rrset("b.example", 60, 1), Credibility::AuthAnswer, SimTime::ZERO, &policy(), true);
+        c.store(
+            a_rrset("a.example", 60, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        c.store(
+            a_rrset("b.example", 60, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            true,
+        );
         c.purge_expired(SimTime::from_secs(120));
         assert_eq!(c.len(), 1);
-        assert!(c.get(&n("b.example"), RecordType::A, SimTime::from_secs(120)).is_some());
+        assert!(c
+            .get(&n("b.example"), RecordType::A, SimTime::from_secs(120))
+            .is_some());
     }
 }

@@ -11,6 +11,7 @@
 use crate::cache::{Cache, Credibility};
 use dnsttl_core::{Centricity, ResolverPolicy};
 use dnsttl_netsim::{ExchangeOutcome, Network, Region, SimDuration, SimRng, SimTime, Transport};
+use dnsttl_telemetry::{EventKind, SpanId, Telemetry};
 use dnsttl_wire::{Message, Name, RData, RRset, Rcode, Record, RecordType, Ttl};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
@@ -83,6 +84,8 @@ struct Ctx {
     /// Prefetch refresh: this (name, type) must bypass the answer
     /// cache so the upstream copy is re-fetched.
     refresh_target: Option<(Name, RecordType)>,
+    /// The telemetry span covering this client question.
+    span: SpanId,
 }
 
 /// Result of the internal resolution routine.
@@ -110,6 +113,7 @@ pub struct RecursiveResolver {
     /// (sticky-resolver state, §4.4).
     sticky_server: HashMap<Name, IpAddr>,
     stats: ResolverStats,
+    telemetry: Telemetry,
     next_id: u16,
 }
 
@@ -142,8 +146,20 @@ impl RecursiveResolver {
             rng,
             sticky_server: HashMap::new(),
             stats: ResolverStats::default(),
+            telemetry: Telemetry::disabled(),
             next_id: 1,
         }
+    }
+
+    /// Attaches a telemetry handle; events and metrics from this
+    /// resolver land in it. The default handle is disabled (no-op).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The policy this resolver runs.
@@ -191,12 +207,42 @@ impl RecursiveResolver {
         now: SimTime,
         net: &mut Network,
     ) -> ResolutionOutcome {
-        self.stats.client_queries += 1;
+        bump(
+            &mut self.stats.client_queries,
+            &self.telemetry,
+            "resolver_client_queries",
+        );
+        let span = {
+            let label = self.label.as_str();
+            self.telemetry.span_start(now.as_millis(), |_| {
+                vec![
+                    ("resolver", label.into()),
+                    ("qname", qname.to_string().into()),
+                    ("qtype", qtype.to_string().into()),
+                ]
+            })
+        };
+        // Expiry probe: the entry was cached and the TTL ran out — this
+        // question is a *refetch*, the event Figure 6 bins by age.
+        if self.telemetry.is_enabled() {
+            if let Some(expired_for) = self.cache.expired_since(qname, qtype, now) {
+                self.telemetry
+                    .span_event(span, now.as_millis(), EventKind::CacheExpiry, || {
+                        vec![
+                            ("qname", qname.to_string().into()),
+                            ("qtype", qtype.to_string().into()),
+                            ("expired_for_ms", expired_for.as_millis().into()),
+                        ]
+                    });
+                self.telemetry.count("resolver_cache_expiries", 1);
+            }
+        }
         let mut ctx = Ctx {
             elapsed: SimDuration::ZERO,
             upstream: 0,
             in_flight: HashSet::new(),
             refresh_target: None,
+            span,
         };
         let resolved = self.resolve_inner(qname, qtype, now, net, &mut ctx, 0);
 
@@ -210,7 +256,15 @@ impl RecursiveResolver {
                 answer.answers = records;
                 served_stale = stale;
                 if stale {
-                    self.stats.stale_answers += 1;
+                    bump(
+                        &mut self.stats.stale_answers,
+                        &self.telemetry,
+                        "resolver_stale_answers",
+                    );
+                    self.telemetry
+                        .span_event(span, now.as_millis(), EventKind::CacheStale, || {
+                            vec![("qname", qname.to_string().into())]
+                        });
                 }
             }
             Resolved::Negative(rcode) => {
@@ -218,12 +272,42 @@ impl RecursiveResolver {
             }
             Resolved::Fail => {
                 answer.header.rcode = Rcode::ServFail;
-                self.stats.servfails += 1;
+                bump(
+                    &mut self.stats.servfails,
+                    &self.telemetry,
+                    "resolver_servfails",
+                );
+                self.telemetry
+                    .span_event(span, now.as_millis(), EventKind::ServFail, || {
+                        vec![("qname", qname.to_string().into())]
+                    });
             }
         }
         let cache_hit = ctx.upstream == 0 && answer.header.rcode != Rcode::ServFail;
         if cache_hit {
-            self.stats.cache_hits += 1;
+            bump(
+                &mut self.stats.cache_hits,
+                &self.telemetry,
+                "resolver_cache_hits",
+            );
+        }
+        if self.telemetry.is_enabled() {
+            let kind = if cache_hit {
+                EventKind::CacheHit
+            } else {
+                EventKind::CacheMiss
+            };
+            self.telemetry.span_event(span, now.as_millis(), kind, || {
+                vec![("qname", qname.to_string().into())]
+            });
+            self.telemetry
+                .observe("resolver_latency_ms", ctx.elapsed.as_millis());
+            for r in &answer.answers {
+                self.telemetry
+                    .observe("resolver_answer_ttl_s", r.ttl.as_secs() as u64);
+            }
+            self.telemetry
+                .gauge("resolver_cache_entries", self.cache.len() as f64);
         }
         // Prefetch: a cache hit on a nearly-expired entry triggers a
         // background refresh. Its latency is NOT charged to this
@@ -232,17 +316,36 @@ impl RecursiveResolver {
         if self.policy.prefetch && cache_hit {
             if let Some(freshness) = self.cache.freshness(qname, qtype, now) {
                 if freshness < 0.10 {
-                    self.stats.prefetches += 1;
+                    bump(
+                        &mut self.stats.prefetches,
+                        &self.telemetry,
+                        "resolver_prefetches",
+                    );
+                    self.telemetry
+                        .span_event(span, now.as_millis(), EventKind::Prefetch, || {
+                            vec![("qname", qname.to_string().into())]
+                        });
                     let mut refresh_ctx = Ctx {
                         elapsed: SimDuration::ZERO,
                         upstream: 0,
                         in_flight: HashSet::new(),
                         refresh_target: Some((qname.clone(), qtype)),
+                        span,
                     };
                     let _ = self.resolve_inner(qname, qtype, now, net, &mut refresh_ctx, 0);
                 }
             }
         }
+        self.telemetry
+            .span_end(span, (now + ctx.elapsed).as_millis(), || {
+                vec![
+                    ("rcode", answer.header.rcode.to_string().into()),
+                    ("cache_hit", cache_hit.into()),
+                    ("stale", served_stale.into()),
+                    ("upstream_queries", (ctx.upstream as u64).into()),
+                    ("elapsed_ms", ctx.elapsed.as_millis().into()),
+                ]
+            });
         ResolutionOutcome {
             answer,
             elapsed: ctx.elapsed,
@@ -319,7 +422,10 @@ impl RecursiveResolver {
                     .copied()
                     .unwrap_or(zone.label_count() + 1);
                 if current.label_count() > floor {
-                    current.ancestry().into_iter().find(|a| a.label_count() == floor)
+                    current
+                        .ancestry()
+                        .into_iter()
+                        .find(|a| a.label_count() == floor)
                 } else {
                     None
                 }
@@ -340,6 +446,19 @@ impl RecursiveResolver {
             // Cache everything the response taught us, with ranks by
             // section and AA status.
             self.ingest(&response, now, from_root);
+
+            if response.is_referral() {
+                self.telemetry
+                    .span_event(ctx.span, now.as_millis(), EventKind::Referral, || {
+                        let cut = response
+                            .authorities
+                            .iter()
+                            .find(|r| r.record_type() == RecordType::NS)
+                            .map(|r| r.name.to_string())
+                            .unwrap_or_default();
+                        vec![("zone", zone.to_string().into()), ("cut", cut.into())]
+                    });
+            }
 
             if let Some(mt) = &min_target {
                 if response.header.rcode == Rcode::NxDomain {
@@ -385,19 +504,25 @@ impl RecursiveResolver {
                     if self.policy.validate_dnssec
                         && !self.validate_answer(&current, qtype, &direct, &response)
                     {
+                        self.telemetry.span_event(
+                            ctx.span,
+                            now.as_millis(),
+                            EventKind::ValidationFailure,
+                            || vec![("qname", current.to_string().into())],
+                        );
                         return Resolved::Fail; // bogus data ⇒ SERVFAIL
                     }
                     // Prefer the cache view (clamped, coherent TTLs);
                     // fall back to raw records for uncacheable TTL-0.
                     ctx.refresh_target = None; // fresh copy fetched
-                    let mut records = self
-                        .answer_from_cache(&current, qtype, now)
-                        .unwrap_or_else(|| {
-                            direct
-                                .iter()
-                                .map(|r| r.with_ttl(self.policy.clamp_ttl(r.ttl)))
-                                .collect()
-                        });
+                    let mut records =
+                        self.answer_from_cache(&current, qtype, now)
+                            .unwrap_or_else(|| {
+                                direct
+                                    .iter()
+                                    .map(|r| r.with_ttl(self.policy.clamp_ttl(r.ttl)))
+                                    .collect()
+                            });
                     let mut all = chain;
                     all.append(&mut records);
                     return Resolved::Answer {
@@ -473,10 +598,18 @@ impl RecursiveResolver {
         };
         let rdatas: Vec<RData> = direct.iter().map(|r| r.rdata.clone()).collect();
         if dnsttl_wire::verify_rrset(qname, qtype, &rdatas, sig) {
-            self.stats.validations += 1;
+            bump(
+                &mut self.stats.validations,
+                &self.telemetry,
+                "resolver_validations",
+            );
             true
         } else {
-            self.stats.validation_failures += 1;
+            bump(
+                &mut self.stats.validation_failures,
+                &self.telemetry,
+                "resolver_validation_failures",
+            );
             false
         }
     }
@@ -674,6 +807,7 @@ impl RecursiveResolver {
 
     /// Queries candidates in order with retries; returns the first
     /// useful response and whether it came from a root server.
+    #[allow(clippy::too_many_arguments)]
     fn query_candidates(
         &mut self,
         zone: &Name,
@@ -686,7 +820,16 @@ impl RecursiveResolver {
     ) -> Option<(Message, bool)> {
         let from_root = zone.is_root();
         for (_, addr) in candidates {
-            for _attempt in 0..=self.policy.retries {
+            for attempt in 0..=self.policy.retries {
+                if attempt > 0 {
+                    self.telemetry
+                        .span_event(ctx.span, now.as_millis(), EventKind::Retry, || {
+                            vec![
+                                ("server", addr.to_string().into()),
+                                ("attempt", (attempt as u64).into()),
+                            ]
+                        });
+                }
                 let query = Message::iterative_query(self.next_msg_id(), qname.clone(), qtype);
                 let mut outcome =
                     net.exchange(self.region, self.tag, *addr, &query, now, &mut self.rng);
@@ -695,14 +838,25 @@ impl RecursiveResolver {
                 // over TCP (extra handshake RTT, counted above).
                 if let ExchangeOutcome::Response { message, .. } = &outcome {
                     if message.header.truncated {
-                        self.stats.tcp_fallbacks += 1;
-                        ctx.upstream += 1;
-                        self.stats.upstream_queries += 1;
-                        let retry = Message::iterative_query(
-                            self.next_msg_id(),
-                            qname.clone(),
-                            qtype,
+                        bump(
+                            &mut self.stats.tcp_fallbacks,
+                            &self.telemetry,
+                            "resolver_tcp_fallbacks",
                         );
+                        self.telemetry.span_event(
+                            ctx.span,
+                            now.as_millis(),
+                            EventKind::TcFallback,
+                            || vec![("server", addr.to_string().into())],
+                        );
+                        ctx.upstream += 1;
+                        bump(
+                            &mut self.stats.upstream_queries,
+                            &self.telemetry,
+                            "resolver_upstream_queries",
+                        );
+                        let retry =
+                            Message::iterative_query(self.next_msg_id(), qname.clone(), qtype);
                         outcome = net.exchange_with(
                             self.region,
                             self.tag,
@@ -718,7 +872,11 @@ impl RecursiveResolver {
                 match outcome {
                     ExchangeOutcome::Response { message, .. } => {
                         ctx.upstream += 1;
-                        self.stats.upstream_queries += 1;
+                        bump(
+                            &mut self.stats.upstream_queries,
+                            &self.telemetry,
+                            "resolver_upstream_queries",
+                        );
                         match message.header.rcode {
                             Rcode::NoError | Rcode::NxDomain => {
                                 if self.policy.sticky {
@@ -731,7 +889,17 @@ impl RecursiveResolver {
                         }
                     }
                     ExchangeOutcome::Timeout { .. } => {
-                        self.stats.timeouts += 1;
+                        bump(
+                            &mut self.stats.timeouts,
+                            &self.telemetry,
+                            "resolver_timeouts",
+                        );
+                        self.telemetry.span_event(
+                            ctx.span,
+                            now.as_millis(),
+                            EventKind::Timeout,
+                            || vec![("server", addr.to_string().into())],
+                        );
                         // Retry the same server up to `retries` times.
                     }
                 }
@@ -802,6 +970,14 @@ impl RecursiveResolver {
             &self.policy,
         );
     }
+}
+
+/// Increments a [`ResolverStats`] cell and mirrors it onto the metrics
+/// registry: the struct stays the zero-cost compatibility view, the
+/// registry is the exported series.
+fn bump(field: &mut u64, telemetry: &Telemetry, metric: &'static str) {
+    *field += 1;
+    telemetry.count(metric, 1);
 }
 
 /// Groups a section's records into RRsets (name+type runs).
@@ -943,7 +1119,12 @@ mod tests {
         let mut r = resolver(ResolverPolicy::default(), hints);
         let out = r.resolve(&n("missing.cl"), RecordType::A, SimTime::ZERO, &mut net);
         assert_eq!(out.answer.header.rcode, Rcode::NxDomain);
-        let out2 = r.resolve(&n("missing.cl"), RecordType::A, SimTime::from_secs(10), &mut net);
+        let out2 = r.resolve(
+            &n("missing.cl"),
+            RecordType::A,
+            SimTime::from_secs(10),
+            &mut net,
+        );
         assert_eq!(out2.answer.header.rcode, Rcode::NxDomain);
         assert!(out2.cache_hit);
     }
@@ -1004,7 +1185,12 @@ mod tests {
         assert_eq!(out.answer.answers[0].ttl, Ttl::TWO_DAYS);
         // Much later, still the *full* parent TTL: the mirrored root
         // zone never decays (§3.2 sees constant 172800 s from OpenDNS).
-        let out = r.resolve(&n("cl"), RecordType::NS, SimTime::from_secs(400_000), &mut net);
+        let out = r.resolve(
+            &n("cl"),
+            RecordType::NS,
+            SimTime::from_secs(400_000),
+            &mut net,
+        );
         assert_eq!(out.answer.answers[0].ttl, Ttl::TWO_DAYS);
     }
 
@@ -1033,8 +1219,7 @@ mod tests {
         let mut r = resolver(ResolverPolicy::default(), hints);
         let out = r.resolve(&n("www.example"), RecordType::A, SimTime::ZERO, &mut net);
         assert_eq!(out.answer.header.rcode, Rcode::NoError);
-        let types: Vec<RecordType> =
-            out.answer.answers.iter().map(|r| r.record_type()).collect();
+        let types: Vec<RecordType> = out.answer.answers.iter().map(|r| r.record_type()).collect();
         assert!(types.contains(&RecordType::CNAME));
         assert!(types.contains(&RecordType::A));
     }
@@ -1087,9 +1272,17 @@ mod tests {
             addr: ip(1),
         }];
         let mut r = resolver(ResolverPolicy::default(), hints);
-        let out = r.resolve(&n("www.example.org"), RecordType::A, SimTime::ZERO, &mut net);
+        let out = r.resolve(
+            &n("www.example.org"),
+            RecordType::A,
+            SimTime::ZERO,
+            &mut net,
+        );
         assert_eq!(out.answer.header.rcode, Rcode::NoError);
-        assert_eq!(out.answer.answers[0].rdata, RData::A("203.0.113.80".parse().unwrap()));
+        assert_eq!(
+            out.answer.answers[0].rdata,
+            RData::A("203.0.113.80".parse().unwrap())
+        );
         // Root, org (referral), then the glue chase (root hit from
         // cache, com referral, example.com answer), then example.org.
         assert!(out.upstream_queries >= 4, "took {}", out.upstream_queries);
@@ -1136,7 +1329,11 @@ mod tests {
         let child = AuthoritativeServer::new("a.nic.uy").with_zone(uy_zone);
         net.register(ip(1), Region::Eu, Rc::new(RefCell::new(root)));
         if tamper {
-            net.register(ip(2), Region::Eu, Rc::new(RefCell::new(Tamperer { inner: child })));
+            net.register(
+                ip(2),
+                Region::Eu,
+                Rc::new(RefCell::new(Tamperer { inner: child })),
+            );
         } else {
             net.register(ip(2), Region::Eu, Rc::new(RefCell::new(child)));
         }
@@ -1193,7 +1390,11 @@ mod tests {
         let mut r = resolver(policy, hints);
         let out = r.resolve(&n("uy"), RecordType::NS, SimTime::ZERO, &mut net);
         assert_eq!(out.answer.header.rcode, Rcode::NoError);
-        assert_eq!(out.answer.answers[0].ttl.as_secs(), 300, "child TTL, not 172800");
+        assert_eq!(
+            out.answer.answers[0].ttl.as_secs(),
+            300,
+            "child TTL, not 172800"
+        );
     }
 
     #[test]
@@ -1346,18 +1547,10 @@ mod tests {
         // Privacy invariant: the root saw at most one label, .cl at
         // most two.
         for entry in root_handle.borrow().log().entries() {
-            assert!(
-                entry.qname.label_count() <= 1,
-                "root saw {}",
-                entry.qname
-            );
+            assert!(entry.qname.label_count() <= 1, "root saw {}", entry.qname);
         }
         for entry in cl_handle.borrow().log().entries() {
-            assert!(
-                entry.qname.label_count() <= 2,
-                ".cl saw {}",
-                entry.qname
-            );
+            assert!(entry.qname.label_count() <= 2, ".cl saw {}", entry.qname);
         }
     }
 
@@ -1386,9 +1579,17 @@ mod tests {
             addr: ip(1),
         }];
         let mut r = resolver(ResolverPolicy::minimizing(), hints);
-        let out = r.resolve(&n("deep.sub.example"), RecordType::A, SimTime::ZERO, &mut net);
+        let out = r.resolve(
+            &n("deep.sub.example"),
+            RecordType::A,
+            SimTime::ZERO,
+            &mut net,
+        );
         assert_eq!(out.answer.header.rcode, Rcode::NoError);
-        assert_eq!(out.answer.answers[0].rdata, RData::A("203.0.113.9".parse().unwrap()));
+        assert_eq!(
+            out.answer.answers[0].rdata,
+            RData::A("203.0.113.9".parse().unwrap())
+        );
     }
 
     #[test]
@@ -1467,7 +1668,12 @@ mod tests {
         let (mut net, hints) = build_cl_world();
         let mut r = resolver(ResolverPolicy::default(), hints);
         r.resolve(&n("www.example.cl"), RecordType::A, SimTime::ZERO, &mut net);
-        r.resolve(&n("www.example.cl"), RecordType::A, SimTime::from_secs(1), &mut net);
+        r.resolve(
+            &n("www.example.cl"),
+            RecordType::A,
+            SimTime::from_secs(1),
+            &mut net,
+        );
         let s = r.stats();
         assert_eq!(s.client_queries, 2);
         assert_eq!(s.cache_hits, 1);

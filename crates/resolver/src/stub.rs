@@ -233,7 +233,9 @@ mod tests {
     fn absolute_lookup_returns_both_families() {
         let (mut net, server) = world();
         let stub = StubResolver::new(StubConfig::new(server));
-        let result = stub.lookup_host("web.corp.", SimTime::ZERO, &mut net).unwrap();
+        let result = stub
+            .lookup_host("web.corp.", SimTime::ZERO, &mut net)
+            .unwrap();
         assert_eq!(result.addresses.len(), 2);
         assert!(result.addresses[0].is_ipv4());
         assert!(result.addresses[1].is_ipv6());
@@ -244,7 +246,10 @@ mod tests {
     fn search_list_expands_short_names() {
         let (mut net, server) = world();
         let mut config = StubConfig::new(server);
-        config.search = vec![Name::parse("prod.corp").unwrap(), Name::parse("corp").unwrap()];
+        config.search = vec![
+            Name::parse("prod.corp").unwrap(),
+            Name::parse("corp").unwrap(),
+        ];
         let stub = StubResolver::new(config);
         // "db" has 0 dots < ndots=1 → search list first: db.prod.corp.
         let result = stub.lookup_host("db", SimTime::ZERO, &mut net).unwrap();
@@ -302,8 +307,13 @@ mod tests {
             attempts: 1,
         };
         let stub = StubResolver::new(config);
-        let result = stub.lookup_host("web.corp.", SimTime::ZERO, &mut net).unwrap();
-        assert!(!result.addresses.is_empty(), "second server must save the lookup");
+        let result = stub
+            .lookup_host("web.corp.", SimTime::ZERO, &mut net)
+            .unwrap();
+        assert!(
+            !result.addresses.is_empty(),
+            "second server must save the lookup"
+        );
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! A tiny, deterministic JSON writer.
+//!
+//! The build environment is offline, so the workspace carries no serde;
+//! everything telemetry exports (trace lines, manifests, metric
+//! snapshots) goes through this module instead. Output is canonical in
+//! the sense that the same inputs always produce the same bytes: field
+//! order is insertion order, floats are rendered with a fixed rule, and
+//! there is no whitespace outside strings.
+
+use std::fmt::Write as _;
+
+/// A JSON-serialisable scalar used in trace fields and manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string (escaped on output).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float, rendered via [`fmt_f64`].
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// Human-readable rendering (strings unquoted) — for walkthrough
+/// output, not JSON; use [`write_value`] for serialisation.
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => {
+                let mut s = String::new();
+                fmt_f64(&mut s, *v);
+                f.write_str(&s)
+            }
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Escapes `s` into `out` as the body of a JSON string (no quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a float deterministically: integers without a fraction get a
+/// trailing `.0`, everything else uses the shortest round-trip form
+/// Rust's formatter produces. NaN and infinities (not valid JSON)
+/// become `null`.
+pub fn fmt_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{:.1}", v);
+    } else {
+        let _ = write!(out, "{}", v);
+    }
+}
+
+/// Appends `value` to `out` as a JSON value.
+pub fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => fmt_f64(out, *v),
+        Value::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+    }
+}
+
+/// An in-progress JSON object, appended field by field in call order.
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjectWriter {
+    /// Opens a new object (`{`).
+    pub fn new() -> ObjectWriter {
+        ObjectWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    /// Appends `"name":<value>`.
+    pub fn field(&mut self, name: &str, value: &Value) -> &mut ObjectWriter {
+        self.key(name);
+        write_value(&mut self.buf, value);
+        self
+    }
+
+    /// Appends a raw pre-rendered JSON fragment as the value of `name`.
+    pub fn field_raw(&mut self, name: &str, json: &str) -> &mut ObjectWriter {
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Appends an array of strings.
+    pub fn field_str_array(&mut self, name: &str, items: &[String]) -> &mut ObjectWriter {
+        self.key(name);
+        self.buf.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(&mut self.buf, item);
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for ObjectWriter {
+    fn default() -> ObjectWriter {
+        ObjectWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn floats_are_deterministic() {
+        let mut s = String::new();
+        fmt_f64(&mut s, 3.0);
+        s.push(' ');
+        fmt_f64(&mut s, 0.25);
+        s.push(' ');
+        fmt_f64(&mut s, f64::NAN);
+        assert_eq!(s, "3.0 0.25 null");
+    }
+
+    #[test]
+    fn object_writer_builds_in_order() {
+        let mut w = ObjectWriter::new();
+        w.field("b", &Value::U64(2))
+            .field("a", &Value::Str("x".into()))
+            .field_str_array("list", &["p".into(), "q".into()]);
+        assert_eq!(w.finish(), r#"{"b":2,"a":"x","list":["p","q"]}"#);
+    }
+}

@@ -1,0 +1,337 @@
+//! Observability for the dnsttl workspace: a metrics registry, a
+//! simulation-time trace layer, and run manifests.
+//!
+//! The simulator is single-threaded and deterministic, so this crate
+//! deliberately has **no atomics, no locks, and no dependencies**:
+//! metrics are plain `u64` cells behind a [`Registry`], traces are a
+//! bounded ring of [`TraceEvent`]s, and every export (Prometheus text,
+//! JSON Lines, manifests) is byte-stable for a given sequence of calls.
+//! Wall-clock time never enters any exported artifact.
+//!
+//! The entry point is [`Telemetry`]: a cheaply cloneable handle
+//! (`Rc`-backed) that the simulation threads through the resolver, the
+//! authoritative servers, the network, and the measurement platform.
+//! A disabled handle ([`Telemetry::disabled`]) makes every call a
+//! branch-and-return, so instrumented code pays nothing when
+//! observability is off.
+//!
+//! ```
+//! use dnsttl_telemetry::{EventKind, Telemetry};
+//!
+//! let tel = Telemetry::new();
+//! tel.count("resolver_cache_hits", 1);
+//! tel.observe("resolver_latency_ms", 23);
+//! let span = tel.span_start(1_000, |_| vec![("qname", "example.".into())]);
+//! tel.span_event(span, 1_023, EventKind::CacheHit, || vec![]);
+//! tel.span_end(span, 1_023, || vec![("rcode", "NOERROR".into())]);
+//!
+//! assert!(tel.prometheus_text().contains("resolver_cache_hits 1"));
+//! assert_eq!(tel.trace_jsonl().lines().count(), 3);
+//! ```
+
+mod json;
+mod manifest;
+mod registry;
+mod trace;
+
+pub use json::{ObjectWriter, Value};
+pub use manifest::RunManifest;
+pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
+pub use trace::{EventKind, SpanId, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+struct Inner {
+    enabled: Cell<bool>,
+    registry: RefCell<Registry>,
+    tracer: RefCell<Tracer>,
+}
+
+/// The cloneable observability handle threaded through the simulator.
+///
+/// Clones share one registry and one tracer. All recording methods are
+/// `&self` (interior mutability), so a handle can be stored alongside
+/// the `Rc<RefCell<…>>` service handles the simulator already uses.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Rc<Inner>,
+}
+
+impl Telemetry {
+    /// An enabled handle with the default trace capacity.
+    pub fn new() -> Telemetry {
+        Telemetry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled handle whose trace ring holds `capacity` events.
+    pub fn with_trace_capacity(capacity: usize) -> Telemetry {
+        Telemetry {
+            inner: Rc::new(Inner {
+                enabled: Cell::new(true),
+                registry: RefCell::new(Registry::new()),
+                tracer: RefCell::new(Tracer::with_capacity(capacity)),
+            }),
+        }
+    }
+
+    /// A disabled handle: every recording call returns immediately.
+    /// This is the default for instrumented components.
+    pub fn disabled() -> Telemetry {
+        let t = Telemetry::new();
+        t.inner.enabled.set(false);
+        t
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Turns recording on or off (the registry and trace are kept).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.set(enabled);
+    }
+
+    // ── metrics ─────────────────────────────────────────────────────
+
+    /// Adds `delta` to the unlabelled counter `name`.
+    pub fn count(&self, name: &str, delta: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .counter_add(MetricId::new(name, &[]), delta);
+        }
+    }
+
+    /// Adds `delta` to the counter `name` with `labels`.
+    pub fn count_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .counter_add(MetricId::new(name, labels), delta);
+        }
+    }
+
+    /// Sets the unlabelled gauge `name`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .gauge_set(MetricId::new(name, &[]), value);
+        }
+    }
+
+    /// Sets the gauge `name` with `labels`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .gauge_set(MetricId::new(name, labels), value);
+        }
+    }
+
+    /// Records `value` into the unlabelled histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .observe(MetricId::new(name, &[]), value);
+        }
+    }
+
+    /// Records `value` into the histogram `name` with `labels`.
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .observe(MetricId::new(name, labels), value);
+        }
+    }
+
+    /// Reads a counter's current value (zero when untouched/disabled).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner
+            .registry
+            .borrow()
+            .counter(&MetricId::new(name, labels))
+    }
+
+    /// Runs `f` with read access to the registry.
+    pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> T {
+        f(&self.inner.registry.borrow())
+    }
+
+    // ── tracing ─────────────────────────────────────────────────────
+
+    /// Opens a span at simulation time `t_ms`. The closure receives the
+    /// fresh [`SpanId`] and produces the start event's fields; it only
+    /// runs when recording is enabled. Disabled handles return a dummy
+    /// id that later calls ignore.
+    pub fn span_start(
+        &self,
+        t_ms: u64,
+        fields: impl FnOnce(SpanId) -> Vec<(&'static str, Value)>,
+    ) -> SpanId {
+        if !self.is_enabled() {
+            return SpanId(u64::MAX);
+        }
+        let mut tracer = self.inner.tracer.borrow_mut();
+        let span = tracer.new_span();
+        let fields = fields(span);
+        tracer.record(t_ms, EventKind::SpanStart, Some(span), fields);
+        span
+    }
+
+    /// Closes `span` at simulation time `t_ms`.
+    pub fn span_end(
+        &self,
+        span: SpanId,
+        t_ms: u64,
+        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
+    ) {
+        self.span_event(span, t_ms, EventKind::SpanEnd, fields);
+    }
+
+    /// Records an event inside `span`. The fields closure only runs
+    /// when recording is enabled, so call sites pay nothing otherwise.
+    pub fn span_event(
+        &self,
+        span: SpanId,
+        t_ms: u64,
+        kind: EventKind,
+        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
+    ) {
+        if self.is_enabled() {
+            self.inner
+                .tracer
+                .borrow_mut()
+                .record(t_ms, kind, Some(span), fields());
+        }
+    }
+
+    /// Records a span-less event at simulation time `t_ms`.
+    pub fn event(
+        &self,
+        t_ms: u64,
+        kind: EventKind,
+        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
+    ) {
+        if self.is_enabled() {
+            self.inner
+                .tracer
+                .borrow_mut()
+                .record(t_ms, kind, None, fields());
+        }
+    }
+
+    // ── exports ─────────────────────────────────────────────────────
+
+    /// All metrics in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.inner.registry.borrow().to_prometheus_text()
+    }
+
+    /// An ASCII dashboard of all metrics.
+    pub fn dashboard(&self) -> String {
+        self.inner.registry.borrow().to_dashboard()
+    }
+
+    /// The buffered trace as JSON Lines.
+    pub fn trace_jsonl(&self) -> String {
+        self.inner.tracer.borrow().to_jsonl()
+    }
+
+    /// Runs `f` with read access to the tracer.
+    pub fn with_tracer<T>(&self, f: impl FnOnce(&Tracer) -> T) -> T {
+        f(&self.inner.tracer.borrow())
+    }
+
+    /// Total events recorded (including ones the ring later dropped).
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.tracer.borrow().total_recorded()
+    }
+
+    /// Copies trace statistics (per-kind totals, drop count) into a
+    /// manifest.
+    pub fn fill_manifest(&self, manifest: &mut RunManifest) {
+        let tracer = self.inner.tracer.borrow();
+        manifest.event_counts = tracer
+            .kind_counts()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        manifest.trace_dropped = tracer.dropped();
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("events", &self.events_recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        a.count("q", 1);
+        b.count("q", 2);
+        assert_eq!(a.counter_value("q", &[]), 3);
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_skips_field_closures() {
+        let t = Telemetry::disabled();
+        t.count("q", 1);
+        let span = t.span_start(0, |_| panic!("must not run when disabled"));
+        t.span_event(span, 1, EventKind::CacheHit, || {
+            panic!("must not run when disabled")
+        });
+        assert_eq!(t.counter_value("q", &[]), 0);
+        assert_eq!(t.events_recorded(), 0);
+        assert!(t.trace_jsonl().is_empty());
+    }
+
+    #[test]
+    fn manifest_gets_event_counts() {
+        let t = Telemetry::new();
+        t.event(5, EventKind::CacheExpiry, std::vec::Vec::new);
+        t.event(9, EventKind::CacheExpiry, std::vec::Vec::new);
+        let mut m = RunManifest::new("test", 7);
+        t.fill_manifest(&mut m);
+        assert_eq!(m.event_counts, vec![("cache_expiry".to_string(), 2)]);
+    }
+
+    #[test]
+    fn identical_call_sequences_export_identically() {
+        let run = || {
+            let t = Telemetry::new();
+            for i in 0..100u64 {
+                t.count_with("q", &[("policy", "default")], 1);
+                t.observe("lat_ms", i * 7 % 256);
+                t.event(i, EventKind::CacheMiss, || vec![("i", i.into())]);
+            }
+            (t.prometheus_text(), t.trace_jsonl())
+        };
+        assert_eq!(run(), run());
+    }
+}

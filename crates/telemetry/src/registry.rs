@@ -1,0 +1,418 @@
+//! The metrics registry: counters, gauges, and log₂-bucketed
+//! histograms.
+//!
+//! Everything here is plain `u64`/`f64` cells behind a [`Registry`] —
+//! the simulator is single-threaded and deterministic, so there are no
+//! atomics and no locks. Metrics are keyed by name plus an ordered
+//! label set, stored in `BTreeMap`s so every export (Prometheus text,
+//! JSON snapshot, dashboard) lists series in a stable order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{escape_into, fmt_f64};
+
+/// A metric series identifier: a name plus its label pairs.
+///
+/// Labels are sorted on construction, so two call sites that disagree
+/// on label order still address the same series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, e.g. `resolver_cache_hits`.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Builds an id, sorting the labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",...}` (or just `name` without labels).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.name);
+        if !self.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket *i* ≥ 1
+/// holds values in `[2^(i-1), 2^i)`. 64 value buckets cover all of
+/// `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram over `u64` observations (latencies in
+/// milliseconds, TTLs in seconds, interarrival gaps, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The exclusive upper bound of bucket `i` (`None` for the last
+    /// bucket, whose bound exceeds `u64::MAX`).
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        if i == 0 {
+            Some(1)
+        } else if i < 64 {
+            Some(1u64 << i)
+        } else {
+            None
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate quantile (0.0..=1.0): the upper bound of the bucket
+    /// containing the q-th observation. Exact for the tracked min/max
+    /// at q=0 and q=1.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(
+                    Self::bucket_upper_bound(i)
+                        .unwrap_or(u64::MAX)
+                        .min(self.max),
+                );
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The registry holding every metric series of a run.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<MetricId, u64>,
+    gauges: BTreeMap<MetricId, f64>,
+    histograms: BTreeMap<MetricId, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, id: MetricId, delta: u64) {
+        *self.counters.entry(id).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn counter(&self, id: &MetricId) -> u64 {
+        self.counters.get(id).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, id: MetricId, value: f64) {
+        self.gauges.insert(id, value);
+    }
+
+    /// Reads a gauge, if set.
+    pub fn gauge(&self, id: &MetricId) -> Option<f64> {
+        self.gauges.get(id).copied()
+    }
+
+    /// Records an observation into a histogram, creating it if needed.
+    pub fn observe(&mut self, id: MetricId, value: u64) {
+        self.histograms.entry(id).or_default().observe(value);
+    }
+
+    /// Reads a histogram, if it exists.
+    pub fn histogram(&self, id: &MetricId) -> Option<&Histogram> {
+        self.histograms.get(id)
+    }
+
+    /// Iterates counters in deterministic order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricId, u64)> {
+        self.counters.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Iterates gauges in deterministic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricId, f64)> {
+        self.gauges.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Iterates histograms in deterministic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricId, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Merges another registry into this one (summing counters and
+    /// histograms; `other`'s gauges win on key collisions).
+    pub fn merge(&mut self, other: &Registry) {
+        for (id, v) in other.counters.iter() {
+            *self.counters.entry(id.clone()).or_insert(0) += v;
+        }
+        for (id, v) in other.gauges.iter() {
+            self.gauges.insert(id.clone(), *v);
+        }
+        for (id, h) in other.histograms.iter() {
+            self.histograms.entry(id.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (counters and gauges as-is; histograms as cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (id, v) in self.counters.iter() {
+            let _ = writeln!(out, "# TYPE {} counter", id.name);
+            let _ = writeln!(out, "{} {}", id.render(), v);
+        }
+        for (id, v) in self.gauges.iter() {
+            let _ = writeln!(out, "# TYPE {} gauge", id.name);
+            let mut val = String::new();
+            fmt_f64(&mut val, *v);
+            let _ = writeln!(out, "{} {}", id.render(), val);
+        }
+        for (id, h) in self.histograms.iter() {
+            let _ = writeln!(out, "# TYPE {} histogram", id.name);
+            let mut cumulative = 0;
+            for (i, &n) in h.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let mut with_le = id.clone();
+                let le = match Histogram::bucket_upper_bound(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                with_le.name = format!("{}_bucket", id.name);
+                with_le.labels.push(("le".to_string(), le));
+                let _ = writeln!(out, "{} {}", with_le.render(), cumulative);
+            }
+            let mut bound = id.clone();
+            bound.name = format!("{}_bucket", id.name);
+            bound.labels.push(("le".to_string(), "+Inf".to_string()));
+            let _ = writeln!(out, "{} {}", bound.render(), h.count());
+            let mut sum_id = id.clone();
+            sum_id.name = format!("{}_sum", id.name);
+            let _ = writeln!(out, "{} {}", sum_id.render(), h.sum());
+            let mut count_id = id.clone();
+            count_id.name = format!("{}_count", id.name);
+            let _ = writeln!(out, "{} {}", count_id.render(), h.count());
+        }
+        out
+    }
+
+    /// Renders a compact ASCII dashboard: counters and gauges as a
+    /// table, histograms as sparkline-style bucket bars with summary
+    /// quantiles.
+    pub fn to_dashboard(&self) -> String {
+        let mut out = String::new();
+        if self.counters.len() + self.gauges.len() > 0 {
+            let _ = writeln!(out, "── counters ─────────────────────────────────────────");
+            let width = self
+                .counters
+                .keys()
+                .chain(self.gauges.keys())
+                .map(|id| id.render().len())
+                .max()
+                .unwrap_or(0);
+            for (id, v) in self.counters.iter() {
+                let _ = writeln!(out, "  {:<width$}  {:>12}", id.render(), v);
+            }
+            for (id, v) in self.gauges.iter() {
+                let mut val = String::new();
+                fmt_f64(&mut val, *v);
+                let _ = writeln!(out, "  {:<width$}  {:>12}", id.render(), val);
+            }
+        }
+        for (id, h) in self.histograms.iter() {
+            let _ = writeln!(out, "── {} ", id.render());
+            let (Some(min), Some(max)) = (h.min(), h.max()) else {
+                let _ = writeln!(out, "  (empty)");
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  n={} min={} p50={} p90={} p99={} max={} mean={:.1}",
+                h.count(),
+                min,
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.9).unwrap_or(0),
+                h.quantile(0.99).unwrap_or(0),
+                max,
+                h.mean().unwrap_or(0.0),
+            );
+            let peak = h.buckets().iter().copied().max().unwrap_or(1).max(1);
+            for (i, &n) in h.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let bar_len = ((n as f64 / peak as f64) * 40.0).ceil() as usize;
+                let label = match Histogram::bucket_upper_bound(i) {
+                    Some(b) => format!("<{b}"),
+                    None => ">=2^63".to_string(),
+                };
+                let _ = writeln!(out, "  {:>10} |{} {}", label, "#".repeat(bar_len), n);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert!(h.quantile(0.5).unwrap() >= 3);
+        assert!(h.quantile(0.99).unwrap() <= 1024);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let mut r = Registry::new();
+        r.counter_add(MetricId::new("q", &[("a", "1"), ("b", "2")]), 1);
+        r.counter_add(MetricId::new("q", &[("b", "2"), ("a", "1")]), 1);
+        assert_eq!(r.counter(&MetricId::new("q", &[("a", "1"), ("b", "2")])), 2);
+    }
+
+    #[test]
+    fn prometheus_text_is_stable() {
+        let mut r = Registry::new();
+        r.counter_add(MetricId::new("b_metric", &[]), 2);
+        r.counter_add(MetricId::new("a_metric", &[("k", "v")]), 1);
+        r.observe(MetricId::new("lat", &[]), 5);
+        let text = r.to_prometheus_text();
+        let again = r.to_prometheus_text();
+        assert_eq!(text, again);
+        // BTreeMap ordering: a_metric before b_metric.
+        assert!(text.find("a_metric").unwrap() < text.find("b_metric").unwrap());
+        assert!(text.contains("lat_bucket{le=\"8\"} 1"));
+        assert!(text.contains("lat_sum 5"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The simulation-time trace layer.
+//!
+//! Traces are flat streams of [`TraceEvent`]s keyed by simulation time
+//! (milliseconds since simulation start — the workspace's `SimTime`
+//! unit). A *span* groups the events of one recursive resolution: span
+//! start/end are themselves events, and any event may carry the span id
+//! it belongs to. Events land in a bounded ring — when full, the oldest
+//! events are dropped and counted, so a long run's trace stays at a
+//! predictable size with the most recent history intact.
+
+use std::collections::VecDeque;
+
+use crate::json::{ObjectWriter, Value};
+
+/// What happened. The variants mirror the simulator's interesting
+/// moments; `Custom` covers one-off experiment-specific events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A recursive resolution began (opens a span).
+    SpanStart,
+    /// A recursive resolution finished (closes a span).
+    SpanEnd,
+    /// Answer served from cache.
+    CacheHit,
+    /// Cache had nothing usable.
+    CacheMiss,
+    /// A cached entry was present but past its TTL.
+    CacheExpiry,
+    /// A stale entry was served (serve-stale policy).
+    CacheStale,
+    /// A prefetch refreshed an entry nearing expiry.
+    Prefetch,
+    /// An authoritative server delegated to a child zone.
+    Referral,
+    /// A query was retried against another candidate server.
+    Retry,
+    /// A query timed out.
+    Timeout,
+    /// A truncated UDP response forced a TCP retry.
+    TcFallback,
+    /// Resolution failed with SERVFAIL.
+    ServFail,
+    /// An authoritative server was renumbered mid-run.
+    Renumber,
+    /// A zone was transferred/replaced on a server.
+    ZoneTransfer,
+    /// The network dropped a packet.
+    PacketLoss,
+    /// DNSSEC validation failed.
+    ValidationFailure,
+    /// A query arrived at an authoritative server.
+    Query,
+    /// An Atlas-style measurement was discarded as invalid.
+    Discard,
+    /// Anything else; the string is the event name.
+    Custom(&'static str),
+}
+
+impl EventKind {
+    /// The stable string written to JSONL exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheExpiry => "cache_expiry",
+            EventKind::CacheStale => "cache_stale",
+            EventKind::Prefetch => "prefetch",
+            EventKind::Referral => "referral",
+            EventKind::Retry => "retry",
+            EventKind::Timeout => "timeout",
+            EventKind::TcFallback => "tc_fallback",
+            EventKind::ServFail => "servfail",
+            EventKind::Renumber => "renumber",
+            EventKind::ZoneTransfer => "zone_transfer",
+            EventKind::PacketLoss => "packet_loss",
+            EventKind::ValidationFailure => "validation_failure",
+            EventKind::Query => "query",
+            EventKind::Discard => "discard",
+            EventKind::Custom(name) => name,
+        }
+    }
+}
+
+/// Identifies one span (one recursive resolution) within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Simulation time in milliseconds.
+    pub t_ms: u64,
+    /// Monotonic sequence number (total order across equal timestamps).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The span this event belongs to, if any.
+    pub span: Option<SpanId>,
+    /// Free-form structured payload, in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field("t_ms", &Value::U64(self.t_ms));
+        w.field("seq", &Value::U64(self.seq));
+        w.field("event", &Value::Str(self.kind.as_str().to_string()));
+        if let Some(SpanId(id)) = self.span {
+            w.field("span", &Value::U64(id));
+        }
+        for (k, v) in &self.fields {
+            w.field(k, v);
+        }
+        w.finish()
+    }
+}
+
+/// Default ring capacity: enough for every event of the paper-scale
+/// experiments while bounding a pathological run to tens of MB.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
+
+/// The bounded event ring plus span bookkeeping.
+#[derive(Debug)]
+pub struct Tracer {
+    capacity: usize,
+    ring: VecDeque<TraceEvent>,
+    next_seq: u64,
+    next_span: u64,
+    dropped: u64,
+    per_kind: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Tracer {
+    /// A tracer with the given ring capacity (min 1).
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+            next_seq: 0,
+            next_span: 0,
+            dropped: 0,
+            per_kind: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Allocates a fresh span id.
+    pub fn new_span(&mut self) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        id
+    }
+
+    /// Records an event; evicts the oldest if the ring is full.
+    pub fn record(
+        &mut self,
+        t_ms: u64,
+        kind: EventKind,
+        span: Option<SpanId>,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        *self.per_kind.entry(kind.as_str()).or_insert(0) += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceEvent {
+            t_ms,
+            seq,
+            kind,
+            span,
+            fields,
+        });
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (buffered + dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Per-kind event totals (counting dropped events too), in
+    /// deterministic order.
+    pub fn kind_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.per_kind.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Renders all buffered events as JSON Lines (one event per line,
+    /// trailing newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.ring.iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut t = Tracer::with_capacity(3);
+        for i in 0..5u64 {
+            t.record(i, EventKind::CacheHit, None, vec![]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.total_recorded(), 5);
+        let first = t.events().next().unwrap();
+        assert_eq!(first.t_ms, 2); // oldest two evicted
+        assert_eq!(t.kind_counts().next(), Some(("cache_hit", 5)));
+    }
+
+    #[test]
+    fn span_ids_are_sequential() {
+        let mut t = Tracer::with_capacity(8);
+        assert_eq!(t.new_span(), SpanId(0));
+        assert_eq!(t.new_span(), SpanId(1));
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_and_ordered() {
+        let mut t = Tracer::with_capacity(8);
+        let span = t.new_span();
+        t.record(
+            10,
+            EventKind::SpanStart,
+            Some(span),
+            vec![("qname", "example.".into())],
+        );
+        t.record(15, EventKind::CacheMiss, Some(span), vec![]);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"t_ms":10,"seq":0,"event":"span_start","span":0,"qname":"example."}"#
+        );
+        assert!(lines[1].contains("\"event\":\"cache_miss\""));
+    }
+}

@@ -284,10 +284,13 @@ impl<'a> Decoder<'a> {
                 if len > crate::name::MAX_LABEL_LEN {
                     return Err(WireError::LabelTooLong(len));
                 }
-                let bytes = self.buf.get(pos + 1..pos + 1 + len).ok_or(WireError::Truncated {
-                    expected: "name label",
-                    at: pos + 1,
-                })?;
+                let bytes = self
+                    .buf
+                    .get(pos + 1..pos + 1 + len)
+                    .ok_or(WireError::Truncated {
+                        expected: "name label",
+                        at: pos + 1,
+                    })?;
                 let label: String = bytes.iter().map(|&b| b as char).collect();
                 labels.push(label);
                 pos += 1 + len;
@@ -503,11 +506,19 @@ mod tests {
         // "a.nic.cl" appears three times; compression should keep the
         // packet comfortably under the uncompressed size.
         let uncompressed: usize = 12
-            + m.questions.iter().map(|q| q.qname.wire_len() + 4).sum::<usize>()
+            + m.questions
+                .iter()
+                .map(|q| q.qname.wire_len() + 4)
+                .sum::<usize>()
             + m.sectioned_records()
                 .map(|(_, r)| r.name.wire_len() + 10 + 16)
                 .sum::<usize>();
-        assert!(wire.len() < uncompressed, "{} !< {}", wire.len(), uncompressed);
+        assert!(
+            wire.len() < uncompressed,
+            "{} !< {}",
+            wire.len(),
+            uncompressed
+        );
     }
 
     #[test]
@@ -605,7 +616,11 @@ mod tests {
     #[test]
     fn empty_txt_round_trips() {
         let mut m = Message::default();
-        m.answers.push(Record::new(name("t.example"), Ttl::MINUTE, RData::Txt(String::new())));
+        m.answers.push(Record::new(
+            name("t.example"),
+            Ttl::MINUTE,
+            RData::Txt(String::new()),
+        ));
         let wire = encode_message(&m).unwrap();
         assert_eq!(decode_message(&wire).unwrap(), m);
     }

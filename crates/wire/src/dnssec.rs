@@ -138,10 +138,25 @@ mod tests {
     fn wrong_owner_type_or_record_kind_fails() {
         let rrset = sample_rrset();
         let sig = sign_rrset(&rrset, &n("uy"));
-        assert!(!verify_rrset(&n("b.nic.uy"), rrset.rtype, &rrset.rdatas, &sig));
-        assert!(!verify_rrset(&rrset.name, RecordType::AAAA, &rrset.rdatas, &sig));
+        assert!(!verify_rrset(
+            &n("b.nic.uy"),
+            rrset.rtype,
+            &rrset.rdatas,
+            &sig
+        ));
+        assert!(!verify_rrset(
+            &rrset.name,
+            RecordType::AAAA,
+            &rrset.rdatas,
+            &sig
+        ));
         let not_a_sig = Record::new(n("a.nic.uy"), Ttl::HOUR, RData::Txt("x".into()));
-        assert!(!verify_rrset(&rrset.name, rrset.rtype, &rrset.rdatas, &not_a_sig));
+        assert!(!verify_rrset(
+            &rrset.name,
+            rrset.rtype,
+            &rrset.rdatas,
+            &not_a_sig
+        ));
     }
 
     #[test]
@@ -151,8 +166,20 @@ mod tests {
             RData::A("192.0.2.2".parse().unwrap()),
         ];
         let rd2 = vec![rd1[1].clone(), rd1[0].clone()];
-        let d1 = rrset_digest(&n("x.example"), RecordType::A, Ttl::HOUR, &n("example"), &rd1);
-        let d2 = rrset_digest(&n("x.example"), RecordType::A, Ttl::HOUR, &n("example"), &rd2);
+        let d1 = rrset_digest(
+            &n("x.example"),
+            RecordType::A,
+            Ttl::HOUR,
+            &n("example"),
+            &rd1,
+        );
+        let d2 = rrset_digest(
+            &n("x.example"),
+            RecordType::A,
+            Ttl::HOUR,
+            &n("example"),
+            &rd2,
+        );
         assert_eq!(d1, d2);
     }
 

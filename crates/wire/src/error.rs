@@ -52,7 +52,10 @@ impl fmt::Display for WireError {
             WireError::InvalidCharacter(c) => write!(f, "invalid character {c:?} in name"),
             WireError::TtlOutOfRange(v) => write!(f, "TTL {v} outside [0, 2^31-1] (RFC 2181 §8)"),
             WireError::Truncated { expected, at } => {
-                write!(f, "packet truncated at offset {at} while reading {expected}")
+                write!(
+                    f,
+                    "packet truncated at offset {at} while reading {expected}"
+                )
             }
             WireError::BadCompressionPointer(off) => {
                 write!(f, "invalid compression pointer at offset {off}")

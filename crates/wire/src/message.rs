@@ -8,12 +8,11 @@
 
 use crate::record::Class;
 use crate::{Name, Record, RecordType};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Message opcode (RFC 1035 §4.1.1). Only `Query` is exercised here;
 /// `Notify` and `Update` exist for zone-maintenance realism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Opcode {
     /// A standard query.
     #[default]
@@ -46,7 +45,7 @@ impl Opcode {
 }
 
 /// Response code (RFC 1035 §4.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Rcode {
     /// No error.
     #[default]
@@ -107,7 +106,7 @@ impl fmt::Display for Rcode {
 }
 
 /// Message header: ID plus flag bits (RFC 1035 §4.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Header {
     /// Transaction identifier echoed by responses.
     pub id: u16,
@@ -130,7 +129,7 @@ pub struct Header {
 }
 
 /// The question being asked.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Question {
     /// Name being queried.
     pub qname: Name,
@@ -163,7 +162,7 @@ impl fmt::Display for Question {
 /// in ("Auth.", "Ans.", "Add.") because resolvers assign them different
 /// credibility; this enum is how that bookkeeping flows through the
 /// workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Section {
     /// The answer section.
     Answer,
@@ -185,7 +184,7 @@ impl fmt::Display for Section {
 }
 
 /// A complete DNS message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Message {
     /// Header with flags.
     pub header: Header,
@@ -283,7 +282,11 @@ impl fmt::Display for Message {
             f,
             ";; id {} {} {} aa={} rd={} ra={}",
             self.header.id,
-            if self.header.response { "response" } else { "query" },
+            if self.header.response {
+                "response"
+            } else {
+                "query"
+            },
             self.header.rcode,
             self.header.authoritative,
             self.header.recursion_desired,
@@ -351,9 +354,21 @@ mod tests {
     #[test]
     fn sectioned_records_covers_all_sections() {
         let mut m = Message::default();
-        m.answers.push(Record::new(name("a.example"), Ttl::HOUR, RData::A(Ipv4Addr::LOCALHOST)));
-        m.authorities.push(Record::new(name("example"), Ttl::HOUR, RData::Ns(name("a.example"))));
-        m.additionals.push(Record::new(name("a.example"), Ttl::HOUR, RData::A(Ipv4Addr::LOCALHOST)));
+        m.answers.push(Record::new(
+            name("a.example"),
+            Ttl::HOUR,
+            RData::A(Ipv4Addr::LOCALHOST),
+        ));
+        m.authorities.push(Record::new(
+            name("example"),
+            Ttl::HOUR,
+            RData::Ns(name("a.example")),
+        ));
+        m.additionals.push(Record::new(
+            name("a.example"),
+            Ttl::HOUR,
+            RData::A(Ipv4Addr::LOCALHOST),
+        ));
         let sections: Vec<Section> = m.sectioned_records().map(|(s, _)| s).collect();
         assert_eq!(
             sections,

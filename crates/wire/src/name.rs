@@ -7,7 +7,6 @@
 //! case-insensitively, as RFC 1035 §2.3.3 requires.
 
 use crate::WireError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum length of a single label, RFC 1035 §2.3.4.
@@ -27,7 +26,7 @@ pub const MAX_NAME_LEN: usize = 255;
 /// assert!(ns.is_subdomain_of(&zone));      // in bailiwick
 /// assert_eq!(ns, Name::parse("NS1.cachetest.NET").unwrap());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Name {
     labels: Vec<String>,
 }
@@ -337,7 +336,11 @@ mod tests {
 
     #[test]
     fn ancestry_order() {
-        let chain: Vec<String> = n("a.nic.uy").ancestry().iter().map(|x| x.to_string()).collect();
+        let chain: Vec<String> = n("a.nic.uy")
+            .ancestry()
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
         assert_eq!(chain, [".", "uy.", "nic.uy.", "a.nic.uy."]);
     }
 
@@ -350,10 +353,18 @@ mod tests {
 
     #[test]
     fn canonical_ordering_is_hierarchical() {
-        let mut v = vec![n("b.example"), n("a.example"), n("example"), n("z.a.example")];
+        let mut v = [
+            n("b.example"),
+            n("a.example"),
+            n("example"),
+            n("z.a.example"),
+        ];
         v.sort();
         let strs: Vec<String> = v.iter().map(|x| x.to_string()).collect();
-        assert_eq!(strs, ["example.", "a.example.", "z.a.example.", "b.example."]);
+        assert_eq!(
+            strs,
+            ["example.", "a.example.", "z.a.example.", "b.example."]
+        );
     }
 
     #[test]

@@ -6,12 +6,11 @@
 //! variants; anything else can be carried opaquely.
 
 use crate::{Name, WireError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// DNS record type codes (RFC 1035 §3.2.2 and successors).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RecordType {
     /// IPv4 address.
     A,
@@ -114,7 +113,7 @@ impl fmt::Display for RecordType {
 ///
 /// The `minimum` field doubles as the negative-caching TTL bound
 /// (RFC 2308 §4), which the resolver crate honours.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SoaData {
     /// Primary name server for the zone.
     pub mname: Name,
@@ -133,7 +132,7 @@ pub struct SoaData {
 }
 
 /// Typed record data.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RData {
     /// IPv4 address.
     A(Ipv4Addr),

@@ -1,12 +1,11 @@
 //! Resource records and RRsets.
 
 use crate::{Name, RData, RecordType, Ttl, WireError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// DNS class. Only `IN` matters in practice; `CH`/`HS` are kept so the
 /// codec can round-trip real-world oddities (version.bind queries etc.).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Class {
     /// The Internet class.
     #[default]
@@ -59,7 +58,7 @@ impl fmt::Display for Class {
 /// );
 /// assert_eq!(rr.ttl.as_secs(), 120);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Record {
     /// Owner name of the record.
     pub name: Name,
@@ -115,7 +114,7 @@ impl fmt::Display for Record {
 ///
 /// RFC 2181 §5.2 requires all records of an RRset to share one TTL; the
 /// constructor normalises differing TTLs to the minimum, as resolvers do.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RRset {
     /// Owner name shared by every record in the set.
     pub name: Name,
@@ -226,11 +225,18 @@ mod tests {
     #[test]
     fn rrset_rejects_mixed_members() {
         assert!(RRset::from_records(&[]).is_none());
-        let mixed_name = [a("a.example", 60, [1, 1, 1, 1]), a("b.example", 60, [1, 1, 1, 2])];
+        let mixed_name = [
+            a("a.example", 60, [1, 1, 1, 1]),
+            a("b.example", 60, [1, 1, 1, 2]),
+        ];
         assert!(RRset::from_records(&mixed_name).is_none());
         let mixed_type = [
             a("a.example", 60, [1, 1, 1, 1]),
-            Record::new(name("a.example"), Ttl::MINUTE, RData::Ns(name("ns.example"))),
+            Record::new(
+                name("a.example"),
+                Ttl::MINUTE,
+                RData::Ns(name("ns.example")),
+            ),
         ];
         assert!(RRset::from_records(&mixed_type).is_none());
     }

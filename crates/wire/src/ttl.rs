@@ -6,7 +6,6 @@
 //! (the top bit must be zero; values with it set are treated as 0).
 
 use crate::WireError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
@@ -22,7 +21,7 @@ use std::time::Duration;
 /// assert_eq!(day.as_secs(), 86_400);
 /// assert_eq!(Ttl::HOUR.saturating_sub_secs(7_200), Ttl::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ttl(u32);
 
 impl Ttl {

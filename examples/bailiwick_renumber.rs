@@ -61,12 +61,18 @@ fn watch(mut world: CachetestWorld, label: &str) {
 fn main() {
     // In bailiwick: the address is glue under the NS record's thumb.
     // Expect the switch at the NS TTL (60 min), not the A TTL (120 min).
-    watch(worlds::cachetest_world(false), "in-bailiwick (ns1.sub.cachetest.net)");
+    watch(
+        worlds::cachetest_world(false),
+        "in-bailiwick (ns1.sub.cachetest.net)",
+    );
 
     // Out of bailiwick: the address was fetched from the server's own
     // zone and is honoured for its full TTL. Expect the switch at
     // 120 min.
-    watch(worlds::cachetest_world(true), "out-of-bailiwick (ns1.zurrundedu.com)");
+    watch(
+        worlds::cachetest_world(true),
+        "out-of-bailiwick (ns1.zurrundedu.com)",
+    );
 
     println!(
         "paper §6.3: \"TTLs of A/AAAA records should be equal (or shorter) than the TTL\n\

@@ -43,7 +43,10 @@ fn main() {
     // Observed TTLs split the population: child-centric resolvers sit
     // at ≤300 s, parent-centric ones up at day-plus values.
     let ttls = Ecdf::from_u64(dataset.ttls());
-    println!("{}", ascii_cdf_multi(&[("observed NS .uy TTL", &ttls)], 64, 12));
+    println!(
+        "{}",
+        ascii_cdf_multi(&[("observed NS .uy TTL", &ttls)], 64, 12)
+    );
     let child = ttls.fraction_leq(300.0);
     println!(
         "child-centric share: {:.1}%  parent-centric share: {:.1}%  (paper: ~90% / ~10%)",
@@ -56,7 +59,11 @@ fn main() {
     let mut parent_vps = 0usize;
     let mut mixed_vps = 0usize;
     for (_vp, results) in dataset.by_vp() {
-        let ttls: Vec<u64> = results.iter().filter(|r| r.valid).filter_map(|r| r.ttl).collect();
+        let ttls: Vec<u64> = results
+            .iter()
+            .filter(|r| r.valid)
+            .filter_map(|r| r.ttl)
+            .collect();
         if ttls.is_empty() {
             continue;
         }

@@ -13,7 +13,14 @@ fn n(s: &str) -> Name {
 }
 
 fn resolver(policy: ResolverPolicy, roots: Vec<dnsttl::resolver::RootHint>) -> RecursiveResolver {
-    RecursiveResolver::new("itest", policy, Region::Eu, 99, roots, SimRng::seed_from(11))
+    RecursiveResolver::new(
+        "itest",
+        policy,
+        Region::Eu,
+        99,
+        roots,
+        SimRng::seed_from(11),
+    )
 }
 
 #[test]
@@ -27,7 +34,12 @@ fn full_stack_resolution_and_caching() {
     assert!(cold.upstream_queries >= 2, "root referral + child answer");
     assert!(cold.elapsed.as_millis() > 0);
 
-    let warm = r.resolve(&n("www.gub.uy"), RecordType::A, SimTime::from_secs(30), &mut net);
+    let warm = r.resolve(
+        &n("www.gub.uy"),
+        RecordType::A,
+        SimTime::from_secs(30),
+        &mut net,
+    );
     assert!(warm.cache_hit);
     assert_eq!(warm.upstream_queries, 0);
     // TTL decremented by 30 s of age.
@@ -52,9 +64,19 @@ fn negative_answers_cache_and_expire() {
     let (mut net, roots) = worlds::uy_world(Ttl::from_secs(300), Ttl::from_secs(120));
     let mut r = resolver(ResolverPolicy::default(), roots);
 
-    let miss = r.resolve(&n("doesnotexist.uy"), RecordType::A, SimTime::ZERO, &mut net);
+    let miss = r.resolve(
+        &n("doesnotexist.uy"),
+        RecordType::A,
+        SimTime::ZERO,
+        &mut net,
+    );
     assert_eq!(miss.answer.header.rcode, Rcode::NxDomain);
-    let cached = r.resolve(&n("doesnotexist.uy"), RecordType::A, SimTime::from_secs(60), &mut net);
+    let cached = r.resolve(
+        &n("doesnotexist.uy"),
+        RecordType::A,
+        SimTime::from_secs(60),
+        &mut net,
+    );
     assert_eq!(cached.answer.header.rcode, Rcode::NxDomain);
     assert!(cached.cache_hit, "negative answer must come from cache");
     // Zone::new defaults SOA minimum to 300 s; past it, a fresh query
@@ -75,11 +97,7 @@ fn atlas_campaign_over_full_stack_is_deterministic() {
         let (mut net, roots) = worlds::uy_world(Ttl::from_secs(300), Ttl::from_secs(120));
         let mut rng = SimRng::seed_from(seed);
         let mut pop = Population::build(&PopulationConfig::small(120), &roots, &mut rng);
-        let spec = MeasurementSpec::every_600s(
-            QueryName::Fixed(n("uy")),
-            RecordType::NS,
-            1,
-        );
+        let spec = MeasurementSpec::every_600s(QueryName::Fixed(n("uy")), RecordType::NS, 1);
         let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
         (
             ds.len(),
@@ -103,10 +121,19 @@ fn serve_stale_survives_total_outage_end_to_end() {
     assert_eq!(ok.answer.header.rcode, Rcode::NoError);
 
     // Take the whole .uy NS set down after the record expired.
-    for addr in [worlds::addrs::UY_A, worlds::addrs::UY_B, worlds::addrs::UY_C] {
+    for addr in [
+        worlds::addrs::UY_A,
+        worlds::addrs::UY_B,
+        worlds::addrs::UY_C,
+    ] {
         net.set_online(addr, false);
     }
-    let stale = r.resolve(&n("www.gub.uy"), RecordType::A, SimTime::from_secs(4_000), &mut net);
+    let stale = r.resolve(
+        &n("www.gub.uy"),
+        RecordType::A,
+        SimTime::from_secs(4_000),
+        &mut net,
+    );
     assert_eq!(stale.answer.header.rcode, Rcode::NoError);
     assert!(stale.served_stale);
 
@@ -114,10 +141,19 @@ fn serve_stale_survives_total_outage_end_to_end() {
     let (mut net2, roots2) = worlds::uy_world(Ttl::from_secs(300), Ttl::from_secs(120));
     let mut strict = resolver(ResolverPolicy::default(), roots2);
     strict.resolve(&n("www.gub.uy"), RecordType::A, SimTime::ZERO, &mut net2);
-    for addr in [worlds::addrs::UY_A, worlds::addrs::UY_B, worlds::addrs::UY_C] {
+    for addr in [
+        worlds::addrs::UY_A,
+        worlds::addrs::UY_B,
+        worlds::addrs::UY_C,
+    ] {
         net2.set_online(addr, false);
     }
-    let dead = strict.resolve(&n("www.gub.uy"), RecordType::A, SimTime::from_secs(4_000), &mut net2);
+    let dead = strict.resolve(
+        &n("www.gub.uy"),
+        RecordType::A,
+        SimTime::from_secs(4_000),
+        &mut net2,
+    );
     assert_eq!(dead.answer.header.rcode, Rcode::ServFail);
 }
 

@@ -35,7 +35,10 @@ fn finding_most_resolvers_are_child_centric_but_parents_matter() {
     let fig1 = by_id(&reports, "fig1");
     let child = fig1.get("frac_ns_child");
     assert!(child > 0.75, "child-centric majority, got {child}");
-    assert!(child < 0.99, "parent-centric minority must exist, got {child}");
+    assert!(
+        child < 0.99,
+        "parent-centric minority must exist, got {child}"
+    );
 }
 
 #[test]
@@ -77,7 +80,10 @@ fn finding_no_consensus_on_ttls_in_the_wild() {
     let t8 = by_id(&reports, "table8");
     assert!(t8.get("total_ttl_zero") > 0.0);
     let t9 = by_id(&reports, "table9");
-    assert!(t9.get("alexa_percent_out") > 0.9, "popular lists are out-of-bailiwick");
+    assert!(
+        t9.get("alexa_percent_out") > 0.9,
+        "popular lists are out-of-bailiwick"
+    );
 }
 
 #[test]

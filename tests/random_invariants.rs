@@ -1,98 +1,100 @@
-//! Cross-crate property tests: invariants that must hold for any
-//! zone configuration or policy the generators produce.
+//! Cross-crate property tests: invariants that must hold for any zone
+//! configuration or policy the generators produce. Driven by the
+//! workspace's own deterministic [`SimRng`] with fixed seeds (the build
+//! environment is offline, so no external property-testing harness).
 
 use dnsttl::auth::{AuthoritativeServer, ZoneBuilder};
-use dnsttl::core::{effective_ttl, Bailiwick, PublishedTtls, ResolverPolicy};
+use dnsttl::core::{effective_ttl, Bailiwick, Centricity, PublishedTtls, ResolverPolicy};
 use dnsttl::netsim::{LatencyModel, Network, Region, SimRng, SimTime};
 use dnsttl::resolver::{RecursiveResolver, RootHint};
 use dnsttl::wire::{Name, Rcode, RecordType, Ttl};
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::net::{IpAddr, Ipv4Addr};
 use std::rc::Rc;
 
-fn arb_ttl() -> impl Strategy<Value = Ttl> {
-    prop_oneof![
-        Just(Ttl::ZERO),
-        (1u32..=172_800).prop_map(Ttl::from_secs),
-        Just(Ttl::MAX),
-    ]
+fn gen_ttl(rng: &mut SimRng) -> Ttl {
+    match rng.below(3) {
+        0 => Ttl::ZERO,
+        1 => Ttl::from_secs(rng.range_u64(1, 172_801) as u32),
+        _ => Ttl::MAX,
+    }
 }
 
-fn arb_policy() -> impl Strategy<Value = ResolverPolicy> {
-    (
-        any::<bool>(),
-        proptest::option::of(1u32..=604_800),
-        proptest::option::of(1u32..=600),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(parent, cap, floor, link, stale, sticky)| ResolverPolicy {
-            centricity: if parent {
-                dnsttl::core::Centricity::ParentCentric
-            } else {
-                dnsttl::core::Centricity::ChildCentric
-            },
-            ttl_cap: cap.map(Ttl::from_secs),
-            ttl_floor: floor.map(Ttl::from_secs),
-            link_inbailiwick_glue: link,
-            serve_stale: stale.then_some(Ttl::DAY),
-            local_root: false,
-            sticky,
-            retries: 1,
-            validate_dnssec: false,
-            prefetch: false,
-            cache_capacity: None,
-            qname_minimization: false,
-        })
+fn gen_policy(rng: &mut SimRng) -> ResolverPolicy {
+    ResolverPolicy {
+        centricity: if rng.chance(0.5) {
+            Centricity::ParentCentric
+        } else {
+            Centricity::ChildCentric
+        },
+        ttl_cap: rng
+            .chance(0.5)
+            .then(|| Ttl::from_secs(rng.range_u64(1, 604_801) as u32)),
+        ttl_floor: rng
+            .chance(0.5)
+            .then(|| Ttl::from_secs(rng.range_u64(1, 601) as u32)),
+        link_inbailiwick_glue: rng.chance(0.5),
+        serve_stale: rng.chance(0.5).then_some(Ttl::DAY),
+        local_root: false,
+        sticky: rng.chance(0.5),
+        retries: 1,
+        validate_dnssec: false,
+        prefetch: false,
+        cache_capacity: None,
+        qname_minimization: false,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The effective TTL never exceeds what either parent or child
-    /// published (after policy clamping can only shrink/floor it), and
-    /// in-bailiwick coupling never *extends* an address's life.
-    #[test]
-    fn effective_ttl_is_bounded(
-        parent_ns in arb_ttl(),
-        child_ns in arb_ttl(),
-        parent_addr in arb_ttl(),
-        child_addr in arb_ttl(),
-        policy in arb_policy(),
-        in_bailiwick in any::<bool>(),
-    ) {
-        let published = PublishedTtls { parent_ns, child_ns, parent_addr, child_addr };
-        let bw = if in_bailiwick { Bailiwick::In } else { Bailiwick::Out };
+/// The effective TTL never exceeds what either parent or child
+/// published (after policy clamping can only shrink/floor it), and
+/// in-bailiwick coupling never *extends* an address's life.
+#[test]
+fn effective_ttl_is_bounded() {
+    let mut rng = SimRng::seed_from(21);
+    for case in 0..256 {
+        let published = PublishedTtls {
+            parent_ns: gen_ttl(&mut rng),
+            child_ns: gen_ttl(&mut rng),
+            parent_addr: gen_ttl(&mut rng),
+            child_addr: gen_ttl(&mut rng),
+        };
+        let policy = gen_policy(&mut rng);
+        let in_bailiwick = rng.chance(0.5);
+        let bw = if in_bailiwick {
+            Bailiwick::In
+        } else {
+            Bailiwick::Out
+        };
         let eff = effective_ttl(&policy, &published, bw);
         let source_ns = match policy.centricity {
-            dnsttl::core::Centricity::ChildCentric => child_ns,
-            dnsttl::core::Centricity::ParentCentric => parent_ns,
+            Centricity::ChildCentric => published.child_ns,
+            Centricity::ParentCentric => published.parent_ns,
         };
-        prop_assert_eq!(eff.ns, policy.clamp_ttl(source_ns));
+        assert_eq!(eff.ns, policy.clamp_ttl(source_ns), "case {case}");
         let source_addr = match policy.centricity {
-            dnsttl::core::Centricity::ChildCentric => child_addr,
-            dnsttl::core::Centricity::ParentCentric => parent_addr,
+            Centricity::ChildCentric => published.child_addr,
+            Centricity::ParentCentric => published.parent_addr,
         };
         let addr_bound = eff.ns.max(policy.clamp_ttl(source_addr));
-        prop_assert!(eff.addr <= addr_bound);
+        assert!(eff.addr <= addr_bound, "case {case}");
         if eff.addr_coupled_to_ns {
-            prop_assert_eq!(eff.addr, eff.ns);
-            prop_assert!(in_bailiwick && policy.link_inbailiwick_glue);
+            assert_eq!(eff.addr, eff.ns, "case {case}");
+            assert!(in_bailiwick && policy.link_inbailiwick_glue, "case {case}");
         }
     }
+}
 
-    /// Any (policy, TTL) world resolves without panicking, terminates,
-    /// and the answer's TTL never exceeds the policy-clamped published
-    /// TTL.
-    #[test]
-    fn resolution_terminates_and_ttls_are_clamped(
-        child_ns in 1u32..=172_800,
-        child_a in 1u32..=172_800,
-        policy in arb_policy(),
-        query_at in 0u64..7_200,
-    ) {
+/// Any (policy, TTL) world resolves without panicking, terminates, and
+/// the answer's TTL never exceeds the policy-clamped published TTL.
+#[test]
+fn resolution_terminates_and_ttls_are_clamped() {
+    let mut rng = SimRng::seed_from(22);
+    for case in 0..64 {
+        let child_ns = rng.range_u64(1, 172_801) as u32;
+        let child_a = rng.range_u64(1, 172_801) as u32;
+        let policy = gen_policy(&mut rng);
+        let query_at = rng.below(7_200);
+
         let root_addr = IpAddr::V4(Ipv4Addr::new(198, 41, 0, 4));
         let child_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 53));
         let root = AuthoritativeServer::new("root").with_zone(
@@ -116,40 +118,47 @@ proptest! {
             policy.clone(),
             Region::Eu,
             1,
-            vec![RootHint { ns_name: Name::parse("root").unwrap(), addr: root_addr }],
+            vec![RootHint {
+                ns_name: Name::parse("root").unwrap(),
+                addr: root_addr,
+            }],
             SimRng::seed_from(1),
         );
         // Two queries: cold then somewhere in the cache lifetime.
-        let first = r.resolve(&Name::parse("www.example").unwrap(), RecordType::A, SimTime::ZERO, &mut net);
-        prop_assert_eq!(first.answer.header.rcode, Rcode::NoError);
-        let second = r.resolve(
-            &Name::parse("www.example").unwrap(),
-            RecordType::A,
-            SimTime::from_secs(query_at),
-            &mut net,
-        );
-        prop_assert_eq!(second.answer.header.rcode, Rcode::NoError);
+        let www = Name::parse("www.example").unwrap();
+        let first = r.resolve(&www, RecordType::A, SimTime::ZERO, &mut net);
+        assert_eq!(first.answer.header.rcode, Rcode::NoError, "case {case}");
+        let second = r.resolve(&www, RecordType::A, SimTime::from_secs(query_at), &mut net);
+        assert_eq!(second.answer.header.rcode, Rcode::NoError, "case {case}");
         for rec in &second.answer.answers {
             let bound = policy.clamp_ttl(Ttl::from_secs(child_a)).max(
                 policy.clamp_ttl(Ttl::TWO_DAYS), // parent-centric may serve glue TTL
             );
-            prop_assert!(rec.ttl <= bound, "ttl {} > bound {}", rec.ttl, bound);
+            assert!(
+                rec.ttl <= bound,
+                "case {case}: ttl {} > bound {}",
+                rec.ttl,
+                bound
+            );
         }
     }
+}
 
-    /// Arbitrary three-level delegation trees (random TTLs, random
-    /// bailiwick for the leaf zone's server, random policy) always
-    /// resolve, terminate, and keep answering as time advances.
-    #[test]
-    fn random_delegation_trees_resolve(
-        tld_ns_ttl in 60u32..=172_800,
-        sld_ns_ttl in 60u32..=172_800,
-        sld_a_ttl in 60u32..=172_800,
-        leaf_ttl in 1u32..=86_400,
-        out_of_bailiwick in any::<bool>(),
-        policy in arb_policy(),
-        later in 1u64..200_000,
-    ) {
+/// Arbitrary three-level delegation trees (random TTLs, random
+/// bailiwick for the leaf zone's server, random policy) always
+/// resolve, terminate, and keep answering as time advances.
+#[test]
+fn random_delegation_trees_resolve() {
+    let mut rng = SimRng::seed_from(23);
+    for case in 0..64 {
+        let tld_ns_ttl = rng.range_u64(60, 172_801) as u32;
+        let sld_ns_ttl = rng.range_u64(60, 172_801) as u32;
+        let sld_a_ttl = rng.range_u64(60, 172_801) as u32;
+        let leaf_ttl = rng.range_u64(1, 86_401) as u32;
+        let out_of_bailiwick = rng.chance(0.5);
+        let policy = gen_policy(&mut rng);
+        let later = rng.range_u64(1, 200_000);
+
         let root_addr = IpAddr::V4(Ipv4Addr::new(198, 41, 0, 4));
         let tld_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1));
         let sld_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 2));
@@ -163,7 +172,11 @@ proptest! {
                 .a("ns.other", "192.0.2.3", Ttl::TWO_DAYS)
                 .build(),
         );
-        let sld_host = if out_of_bailiwick { "ns.host.other" } else { "ns.site.tld" };
+        let sld_host = if out_of_bailiwick {
+            "ns.host.other"
+        } else {
+            "ns.site.tld"
+        };
         let mut tld_builder = ZoneBuilder::new("tld")
             .ns("tld", "ns.tld", Ttl::from_secs(tld_ns_ttl))
             .a("ns.tld", "192.0.2.1", Ttl::from_secs(tld_ns_ttl))
@@ -206,24 +219,35 @@ proptest! {
             policy,
             Region::Eu,
             1,
-            vec![RootHint { ns_name: Name::parse("root").unwrap(), addr: root_addr }],
+            vec![RootHint {
+                ns_name: Name::parse("root").unwrap(),
+                addr: root_addr,
+            }],
             SimRng::seed_from(3),
         );
         let leaf = Name::parse("www.site.tld").unwrap();
         let first = r.resolve(&leaf, RecordType::A, SimTime::ZERO, &mut net);
-        prop_assert_eq!(first.answer.header.rcode, Rcode::NoError);
-        prop_assert!(!first.answer.answers.is_empty());
+        assert_eq!(first.answer.header.rcode, Rcode::NoError, "case {case}");
+        assert!(!first.answer.answers.is_empty(), "case {case}");
         let second = r.resolve(&leaf, RecordType::A, SimTime::from_secs(later), &mut net);
-        prop_assert_eq!(second.answer.header.rcode, Rcode::NoError);
+        assert_eq!(second.answer.header.rcode, Rcode::NoError, "case {case}");
         // Bounded work per query even on cold paths.
-        prop_assert!(second.upstream_queries <= 12, "{} upstream", second.upstream_queries);
+        assert!(
+            second.upstream_queries <= 12,
+            "case {case}: {} upstream",
+            second.upstream_queries
+        );
     }
+}
 
-    /// Cached answers age monotonically: a later query never sees a
-    /// larger remaining TTL than an earlier one, unless a re-fetch
-    /// happened (in which case it is back at the clamped original).
-    #[test]
-    fn cached_ttls_age_monotonically(step in 1u64..400) {
+/// Cached answers age monotonically: a later query never sees a larger
+/// remaining TTL than an earlier one, unless a re-fetch happened (in
+/// which case it is back at the clamped original).
+#[test]
+fn cached_ttls_age_monotonically() {
+    let mut rng = SimRng::seed_from(24);
+    for case in 0..64 {
+        let step = rng.range_u64(1, 400);
         let root_addr = IpAddr::V4(Ipv4Addr::new(198, 41, 0, 4));
         let child_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 53));
         let root = AuthoritativeServer::new("root").with_zone(
@@ -246,7 +270,10 @@ proptest! {
             ResolverPolicy::default(),
             Region::Eu,
             1,
-            vec![RootHint { ns_name: Name::parse("root").unwrap(), addr: root_addr }],
+            vec![RootHint {
+                ns_name: Name::parse("root").unwrap(),
+                addr: root_addr,
+            }],
             SimRng::seed_from(2),
         );
         let name = Name::parse("www.example").unwrap();
@@ -256,9 +283,15 @@ proptest! {
             let out = r.resolve(&name, RecordType::A, now, &mut net);
             let ttl = out.answer.answers[0].ttl.as_secs();
             if out.cache_hit {
-                prop_assert!(ttl <= last_ttl, "aged entry grew: {ttl} > {last_ttl}");
+                assert!(
+                    ttl <= last_ttl,
+                    "case {case}: aged entry grew: {ttl} > {last_ttl}"
+                );
             } else {
-                prop_assert_eq!(ttl, 1_000, "fresh fetch returns the original TTL");
+                assert_eq!(
+                    ttl, 1_000,
+                    "case {case}: fresh fetch returns the original TTL"
+                );
             }
             last_ttl = ttl;
         }

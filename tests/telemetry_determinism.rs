@@ -1,0 +1,94 @@
+//! Telemetry end-to-end: a full simulated measurement (worlds +
+//! population + resolvers + network) run twice with the same seed must
+//! export byte-identical Prometheus text, trace JSONL, and manifests.
+//! This is the observability counterpart of the simulator's own
+//! determinism guarantee: traces are evidence, and evidence must not
+//! wobble between reruns.
+
+use dnsttl_atlas::{run_measurement, MeasurementSpec, Population, PopulationConfig, QueryName};
+use dnsttl_experiments::worlds;
+use dnsttl_netsim::SimRng;
+use dnsttl_telemetry::{EventKind, RunManifest, Telemetry};
+use dnsttl_wire::{Name, RecordType, Ttl};
+
+/// One instrumented campaign against the `.uy` world; returns every
+/// exported artifact as text.
+fn instrumented_run(seed: u64) -> (String, String, String) {
+    let telemetry = Telemetry::new();
+    let (mut net, roots) = worlds::uy_world(Ttl::from_secs(300), Ttl::from_secs(120));
+    net.set_telemetry(telemetry.clone());
+    let mut rng = SimRng::seed_from(seed);
+    let mut pop = Population::build(&PopulationConfig::small(120), &roots, &mut rng);
+    pop.set_telemetry(&telemetry);
+    let spec = MeasurementSpec::every_600s(
+        QueryName::Fixed(Name::parse("uy").unwrap()),
+        RecordType::NS,
+        2,
+    );
+    let _ = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+
+    let mut manifest = RunManifest::new("determinism-test", seed);
+    manifest.sim_duration_ms = 2 * 3_600 * 1_000;
+    telemetry.fill_manifest(&mut manifest);
+    (
+        telemetry.prometheus_text(),
+        telemetry.trace_jsonl(),
+        manifest.to_json(),
+    )
+}
+
+#[test]
+fn same_seed_full_stack_runs_export_identical_bytes() {
+    let (prom_a, trace_a, manifest_a) = instrumented_run(7);
+    let (prom_b, trace_b, manifest_b) = instrumented_run(7);
+    assert!(!prom_a.is_empty() && !trace_a.is_empty());
+    assert_eq!(prom_a, prom_b, "prometheus text must be byte-identical");
+    assert_eq!(trace_a, trace_b, "trace JSONL must be byte-identical");
+    assert_eq!(manifest_a, manifest_b, "manifest must be byte-identical");
+}
+
+#[test]
+fn different_seeds_change_the_trace() {
+    let (_, trace_a, _) = instrumented_run(7);
+    let (_, trace_b, _) = instrumented_run(8);
+    assert_ne!(trace_a, trace_b);
+}
+
+#[test]
+fn campaign_telemetry_covers_every_layer() {
+    let telemetry = Telemetry::new();
+    let (mut net, roots) = worlds::uy_world(Ttl::from_secs(300), Ttl::from_secs(120));
+    net.set_telemetry(telemetry.clone());
+    let mut rng = SimRng::seed_from(3);
+    let mut pop = Population::build(&PopulationConfig::small(150), &roots, &mut rng);
+    pop.set_telemetry(&telemetry);
+    let spec = MeasurementSpec::every_600s(
+        QueryName::Fixed(Name::parse("uy").unwrap()),
+        RecordType::NS,
+        2,
+    );
+    let ds = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+
+    // Resolver layer: the registry mirrors the per-resolver structs.
+    let stats_total: u64 = pop.resolvers.iter().map(|r| r.stats().client_queries).sum();
+    assert_eq!(
+        telemetry.counter_value("resolver_client_queries", &[]),
+        stats_total,
+        "registry must agree with ResolverStats"
+    );
+    // Network layer: every upstream exchange leaves a packet counter.
+    assert!(telemetry.counter_value("net_packets_sent", &[]) > 0);
+    // Atlas layer: valid results are accounted.
+    assert_eq!(
+        telemetry.counter_value("atlas_measurements_valid", &[]),
+        ds.valid_count() as u64
+    );
+    // Trace layer: with a 300 s TTL and 600 s cadence, refetches after
+    // expiry must emit CacheExpiry events (the Figure 6 signal).
+    let expiries = telemetry.with_tracer(|t| {
+        t.events()
+            .filter(|e| matches!(e.kind, EventKind::CacheExpiry))
+            .count()
+    });
+    assert!(expiries > 0, "no cache-expiry events recorded");
+}

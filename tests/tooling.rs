@@ -39,7 +39,9 @@ fn lint_flags_the_papers_uy_findings_from_a_zone_file() {
 
 #[test]
 fn fixed_zone_passes_the_lint() {
-    let fixed = UY_2019.replace("$TTL 300", "$TTL 86400").replace("120 IN A", "86400 IN A");
+    let fixed = UY_2019
+        .replace("$TTL 300", "$TTL 86400")
+        .replace("120 IN A", "86400 IN A");
     let origin = Name::parse("uy").unwrap();
     let records = parse_records(&fixed, Some(&origin)).unwrap();
     let findings = lint_zone(
@@ -101,7 +103,11 @@ fn classifier_matches_known_behaviours() {
         TtlBehavior::PinnedFullTtl
     );
     let census = BehaviorCensus::take(
-        [&[300u64, 290][..], &[172_800, 172_800][..], &[21_599, 21_599][..]],
+        [
+            &[300u64, 290][..],
+            &[172_800, 172_800][..],
+            &[21_599, 21_599][..],
+        ],
         300,
         172_800,
     );
