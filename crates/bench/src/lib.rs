@@ -17,6 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runner;
+
+pub use runner::{
+    BenchConfig, BenchReport, Counter, Timing, BENCH_SCHEMA, REGRESSION_THRESHOLD, TIMINGS_MARKER,
+};
+
 use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};
 use dnsttl_core::ResolverPolicy;
 use dnsttl_netsim::{LatencyModel, Network, Region, SimRng, SimTime};

@@ -8,6 +8,11 @@
 //! repro --seed 7 fig10       # different random world
 //! repro --metrics fig6       # + metrics dashboard and Prometheus text
 //! repro --list               # show available artifact ids
+//!
+//! repro cache-report               # ledger forensics (Tables 3–4)
+//! repro cache-report --diff A B    # diff two cache snapshots (JSONL)
+//! repro bench --quick              # headless bench trajectory
+//! repro bench --out BENCH_report.json --baseline BENCH_report.json --check
 //! ```
 //!
 //! Every module run writes a provenance manifest
@@ -15,8 +20,8 @@
 //! (`<module>_trace.jsonl`) next to its CSVs, unless `--no-csv`.
 
 use dnsttl_experiments::{
-    bailiwick_exp, centricity, controlled, crawl_exp, extensions, passive_nl, table1, uy_latency,
-    ExpConfig, Report,
+    bailiwick_exp, centricity, controlled, crawl_exp, extensions, insight, passive_nl, table1,
+    uy_latency, ExpConfig, Report,
 };
 use dnsttl_telemetry::{RunManifest, Telemetry};
 
@@ -64,6 +69,10 @@ const ARTIFACTS: &[(&str, &str)] = &[
         "ext-secondary",
         "renumbering propagation via secondaries (extension)",
     ),
+    (
+        "cache-report",
+        "cache forensics: Tables 3–4 lifetimes from the provenance ledger",
+    ),
 ];
 
 /// Which experiment module regenerates an artifact. Artifacts sharing
@@ -79,6 +88,7 @@ fn module_of(id: &str) -> &'static str {
         "table10" | "fig11" | "fig11a" | "fig11b" => "controlled",
         "ext-offline" | "ext-dnssec" | "ext-ddos" | "ext-hitrate" | "ext-loadbalance"
         | "ext-negttl" | "ext-secondary" => "extensions",
+        "cache-report" => "insight",
         other => {
             eprintln!("unknown artifact {other:?}; try --list");
             std::process::exit(2);
@@ -96,6 +106,7 @@ fn produce(module: &str, cfg: &ExpConfig) -> Vec<Report> {
         "uy_latency" => uy_latency::run(cfg),
         "controlled" => controlled::run(cfg),
         "extensions" => extensions::run(cfg),
+        "insight" => insight::run(cfg),
         _ => unreachable!("module_of only returns known modules"),
     }
 }
@@ -133,7 +144,142 @@ fn write_observability(module: &str, cfg: &ExpConfig, telemetry: &Telemetry, rep
     }
 }
 
+/// `repro bench`: run the headless benchmark trajectory, write the
+/// schema-versioned report, and optionally gate on a committed
+/// baseline.
+fn run_bench(args: &[String]) -> ! {
+    use dnsttl_bench::{BenchConfig, BenchReport, REGRESSION_THRESHOLD};
+
+    let mut seed = 42u64;
+    let mut quick = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut baseline: Option<std::path::PathBuf> = None;
+    let mut check = false;
+    let mut i = 0;
+    let bad = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: repro bench [--quick] [--seed N] [--out FILE] [--baseline FILE] [--check]"
+        );
+        std::process::exit(2);
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad("--seed needs an integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| bad("--out needs a path"))
+                        .into(),
+                );
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| bad("--baseline needs a path"))
+                        .into(),
+                );
+            }
+            "--check" => check = true,
+            other => bad(&format!("unknown bench flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let config = if quick {
+        BenchConfig::quick(seed)
+    } else {
+        BenchConfig::full(seed)
+    };
+    let started = std::time::Instant::now();
+    let report = dnsttl_bench::runner::run(config);
+    eprint!("{}", report.summary());
+    eprintln!("({:.1}s wall)", started.elapsed().as_secs_f64());
+
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, report.render()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("bench report written to {}", path.display());
+    }
+
+    if check {
+        let Some(path) = &baseline else {
+            bad("--check needs --baseline FILE");
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let base = BenchReport::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let failures = report.compare(&base, REGRESSION_THRESHOLD);
+        if failures.is_empty() {
+            println!(
+                "bench check passed: no scenario regressed more than {:.0}% vs {}",
+                REGRESSION_THRESHOLD * 100.0,
+                path.display()
+            );
+        } else {
+            eprintln!("bench regressions vs {}:", path.display());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
+/// `repro cache-report --diff A B`: diff two cache snapshots.
+fn run_snapshot_diff(a: &str, b: &str) -> ! {
+    use dnsttl_resolver::CacheSnapshot;
+    let load = |path: &str| -> CacheSnapshot {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        CacheSnapshot::parse_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let before = load(a);
+    let after = load(b);
+    let diff = before.diff(&after);
+    if diff.is_empty() {
+        println!("snapshots are identical ({} entries)", before.len());
+    } else {
+        print!("{}", diff.render());
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("bench") {
+        run_bench(&argv[1..]);
+    }
+    if let Some(pos) = argv.iter().position(|a| a == "--diff") {
+        if argv.first().map(String::as_str) != Some("cache-report") || argv.len() != pos + 3 {
+            eprintln!("usage: repro cache-report --diff SNAPSHOT_A SNAPSHOT_B");
+            std::process::exit(2);
+        }
+        run_snapshot_diff(&argv[pos + 1], &argv[pos + 2]);
+    }
+
     let mut cfg = ExpConfig::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut show_metrics = false;

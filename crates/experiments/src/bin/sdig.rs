@@ -7,6 +7,9 @@
 //! sdig --world cachetest p1.sub.cachetest.net AAAA --at 4000
 //! sdig uy NS --repeat 3 --every 600   # watch the cache age
 //! sdig uy NS --trace                  # resolution walkthrough
+//! sdig uy NS --trace-json             # walkthrough as JSONL events
+//! sdig uy NS --cache-dump             # dump cache state afterwards
+//! sdig uy NS --cache-dump-json snap.jsonl   # snapshot for --diff
 //! ```
 //!
 //! Worlds: `uy` (default; .uy with 300 s/120 s child TTLs),
@@ -29,13 +32,17 @@ struct Options {
     repeat: u32,
     every: u64,
     trace: bool,
+    trace_json: bool,
+    cache_dump: bool,
+    cache_dump_json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sdig [--world uy|uy-after|google-co|cachetest|cachetest-out|nl]\n\
          \x20           [--parent-centric|--google|--opendns|--validating|--serve-stale]\n\
-         \x20           [--at SECONDS] [--repeat N] [--every SECONDS] [--trace] <name> [type]"
+         \x20           [--at SECONDS] [--repeat N] [--every SECONDS] [--trace] [--trace-json]\n\
+         \x20           [--cache-dump] [--cache-dump-json FILE] <name> [type]"
     );
     std::process::exit(2);
 }
@@ -50,6 +57,9 @@ fn parse_args() -> Options {
         repeat: 1,
         every: 600,
         trace: false,
+        trace_json: false,
+        cache_dump: false,
+        cache_dump_json: None,
     };
     let mut args = std::env::args().skip(1);
     let mut saw_type = false;
@@ -80,6 +90,11 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage())
             }
             "--trace" => opts.trace = true,
+            "--trace-json" => opts.trace_json = true,
+            "--cache-dump" => opts.cache_dump = true,
+            "--cache-dump-json" => {
+                opts.cache_dump_json = Some(args.next().unwrap_or_else(|| usage()))
+            }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),
             other => {
@@ -143,13 +158,18 @@ fn build_world(name: &str) -> (Network, Vec<RootHint>) {
     }
 }
 
-/// Prints the trace events recorded since `from_seq` as an indented
-/// walkthrough, and returns the next unseen sequence number.
-fn print_walkthrough(telemetry: &Telemetry, from_seq: u64) -> u64 {
+/// Prints the trace events recorded since `from_seq` — as an indented
+/// walkthrough, or one JSON object per line with `json` — and returns
+/// the next unseen sequence number.
+fn print_walkthrough(telemetry: &Telemetry, from_seq: u64, json: bool) -> u64 {
     telemetry.with_tracer(|tracer| {
         let mut next = from_seq;
         for e in tracer.events().filter(|e| e.seq >= from_seq) {
             next = e.seq + 1;
+            if json {
+                println!("{}", e.to_json());
+                continue;
+            }
             let indent = match e.kind {
                 EventKind::SpanStart | EventKind::SpanEnd => "",
                 _ => "  ",
@@ -184,7 +204,7 @@ fn main() {
         roots,
         SimRng::seed_from(1),
     );
-    let telemetry = if opts.trace {
+    let telemetry = if opts.trace || opts.trace_json {
         Telemetry::new()
     } else {
         Telemetry::disabled()
@@ -196,8 +216,8 @@ fn main() {
     for i in 0..opts.repeat {
         let at = SimTime::from_secs(opts.at + i as u64 * opts.every);
         let out = resolver.resolve(&qname, opts.qtype, at, &mut net);
-        if opts.trace {
-            seen_seq = print_walkthrough(&telemetry, seen_seq);
+        if opts.trace || opts.trace_json {
+            seen_seq = print_walkthrough(&telemetry, seen_seq, opts.trace_json);
         }
         println!(
             ";; world={} t={} policy answered in {} ({} upstream quer{}, {})",
@@ -220,6 +240,18 @@ fn main() {
         );
         print!("{}", out.answer);
         println!();
+    }
+    let end = SimTime::from_secs(opts.at + opts.repeat.saturating_sub(1) as u64 * opts.every);
+    if opts.cache_dump {
+        print!("{}", resolver.cache().snapshot(end).render());
+    }
+    if let Some(path) = &opts.cache_dump_json {
+        let snapshot = resolver.cache().snapshot(end);
+        if let Err(e) = std::fs::write(path, snapshot.to_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(";; cache snapshot written to {path}");
     }
     let s = resolver.stats();
     println!(

@@ -12,6 +12,7 @@
 //! | [`uy_latency`] | Figure 10 — `.uy` before/after the TTL change |
 //! | [`controlled`] | Table 10, Figure 11 — controlled TTL & anycast latency |
 //! | [`extensions`] | beyond the figures: §4.4 offline-child, §2 DNSSEC centricity, §6.1 DDoS survival, analytic-model validation |
+//! | [`insight`] | cache forensics: Tables 3–4's effective lifetimes re-derived from the provenance ledger (`repro cache-report`) |
 //!
 //! Each `run(&ExpConfig)` returns a [`Report`]: printable text (tables
 //! and ASCII CDFs), a machine-readable metric map used by the test
@@ -30,6 +31,7 @@ pub mod config;
 pub mod controlled;
 pub mod crawl_exp;
 pub mod extensions;
+pub mod insight;
 pub mod passive_nl;
 pub mod report;
 pub mod table1;

@@ -1,0 +1,180 @@
+//! Process-level tests for the `sdig` and `repro` binaries: the
+//! forensics flags (`--trace-json`, `--cache-dump`, snapshot diffing)
+//! and the bench trajectory's determinism guarantee.
+
+use std::process::Command;
+
+fn sdig() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdig"))
+}
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn stdout_of(out: std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn sdig_trace_json_emits_parseable_ledger_events() {
+    let out = stdout_of(
+        sdig()
+            .args(["uy", "NS", "--trace-json"])
+            .output()
+            .expect("runs"),
+    );
+    let mut cache_inserts = 0;
+    for line in out.lines().filter(|l| l.starts_with('{')) {
+        let fields = dnsttl_telemetry::parse_flat_object(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        let event = dnsttl_telemetry::flat_get(&fields, "event")
+            .and_then(|v| v.as_str())
+            .expect("event field")
+            .to_owned();
+        if event == "cache_insert" {
+            cache_inserts += 1;
+            for key in ["qname", "rank", "origin", "bailiwick", "fp", "txn"] {
+                assert!(
+                    dnsttl_telemetry::flat_get(&fields, key).is_some(),
+                    "cache_insert missing {key}: {line}"
+                );
+            }
+        }
+    }
+    assert!(
+        cache_inserts > 0,
+        "a cold resolution must insert into cache:\n{out}"
+    );
+}
+
+#[test]
+fn sdig_cache_dump_lists_provenance_per_entry() {
+    let out = stdout_of(
+        sdig()
+            .args([
+                "--world",
+                "cachetest",
+                "p1.sub.cachetest.net",
+                "AAAA",
+                "--cache-dump",
+            ])
+            .output()
+            .expect("runs"),
+    );
+    assert!(out.contains("cache snapshot @"), "{out}");
+    // The in-bailiwick glue entry with full provenance.
+    let glue = out
+        .lines()
+        .find(|l| l.contains("ns1.sub.cachetest.net. A "))
+        .unwrap_or_else(|| panic!("glue entry missing from dump:\n{out}"));
+    for token in [
+        "rank=referral_additional",
+        "origin=parent",
+        "bw=in",
+        "fp=",
+        "sv=",
+    ] {
+        assert!(glue.contains(token), "dump line lacks {token}: {glue}");
+    }
+}
+
+#[test]
+fn sdig_snapshots_diff_across_time_via_repro() {
+    let dir = std::env::temp_dir().join(format!("dnsttl-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    // Same world, one resolution vs three spaced past the 120 s A TTL:
+    // the aged cache must differ.
+    stdout_of(
+        sdig()
+            .args(["a.nic.uy", "A", "--cache-dump-json"])
+            .arg(&a)
+            .output()
+            .expect("runs"),
+    );
+    stdout_of(
+        sdig()
+            .args([
+                "a.nic.uy",
+                "A",
+                "--repeat",
+                "3",
+                "--every",
+                "600",
+                "--cache-dump-json",
+            ])
+            .arg(&b)
+            .output()
+            .expect("runs"),
+    );
+    let out = stdout_of(
+        repro()
+            .args(["cache-report", "--diff"])
+            .arg(&a)
+            .arg(&b)
+            .output()
+            .expect("runs"),
+    );
+    assert!(
+        out.contains("a.nic.uy."),
+        "diff must mention the re-fetched record:\n{out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_bench_deterministic_section_is_byte_identical_across_reruns() {
+    let dir = std::env::temp_dir().join(format!("dnsttl-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let r1 = dir.join("r1.json");
+    let r2 = dir.join("r2.json");
+    for path in [&r1, &r2] {
+        let out = repro()
+            .args(["bench", "--quick", "--seed", "42", "--out"])
+            .arg(path)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let t1 = std::fs::read_to_string(&r1).expect("report 1");
+    let t2 = std::fs::read_to_string(&r2).expect("report 2");
+    assert_eq!(
+        dnsttl_bench::BenchReport::deterministic_portion(&t1),
+        dnsttl_bench::BenchReport::deterministic_portion(&t2),
+        "same-seed bench reruns must agree byte-for-byte below the timings marker"
+    );
+    // Both parse under the committed schema, timings included.
+    let report = dnsttl_bench::BenchReport::parse(&t1).expect("valid report");
+    assert!(!report.timings.is_empty());
+
+    // And the check gate accepts a run against its own baseline.
+    let out = repro()
+        .args(["bench", "--quick", "--seed", "42", "--baseline"])
+        .arg(&r1)
+        .arg("--check")
+        .output()
+        .expect("runs");
+    // Timing noise can trip the threshold on a loaded machine; accept
+    // either verdict but require the gate to have *evaluated*.
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("bench check passed") || text.contains("bench regressions"),
+        "gate did not run:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,8 +11,12 @@
 
 use dnsttl_core::{Centricity, ResolverPolicy};
 use dnsttl_netsim::{SimDuration, SimTime};
+use dnsttl_telemetry::{CacheOp, EventKind, Telemetry, Value};
 use dnsttl_wire::{Name, RRset, Rcode, RecordType, Ttl};
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+use crate::ledger::{rank_token, CacheStats, Ledger, Provenance, RecordOrigin, StoreContext};
 
 /// Trustworthiness of cached data, descending (RFC 2181 §5.4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,14 +33,20 @@ pub enum Credibility {
 
 /// One positive cache entry.
 #[derive(Debug, Clone)]
-struct Entry {
-    rrset: RRset,
-    stored_at: SimTime,
-    expires_at: SimTime,
-    rank: Credibility,
+pub(crate) struct Entry {
+    pub(crate) rrset: RRset,
+    pub(crate) stored_at: SimTime,
+    pub(crate) expires_at: SimTime,
+    pub(crate) rank: Credibility,
     /// True for entries a local-root (RFC 7706) resolver treats as a
     /// mirrored copy: served at full TTL, never expiring.
-    pinned: bool,
+    pub(crate) pinned: bool,
+    /// Where the entry came from (installing transaction, server,
+    /// origin, bailiwick, published vs effective TTL).
+    pub(crate) provenance: Provenance,
+    /// TTL-excluded fingerprint of the RRset data — refresh vs
+    /// overwrite detection, and the snapshot diff anchor.
+    pub(crate) fingerprint: u64,
 }
 
 /// One negative cache entry (RFC 2308).
@@ -56,6 +66,20 @@ pub struct CachedAnswer {
     pub rank: Credibility,
     /// True if the entry had expired and was served stale.
     pub stale: bool,
+    /// Why this entry is in the cache: installing transaction, source
+    /// server, parent/child origin, bailiwick class, published vs
+    /// effective TTL.
+    pub provenance: Provenance,
+}
+
+/// Always-on accounting plus the opt-in provenance ledger, behind a
+/// `RefCell` so the `&self` read path ([`Cache::get`]) can record
+/// serves. The simulator is single-threaded; the borrow is never
+/// contended.
+#[derive(Debug, Default)]
+struct CacheMeta {
+    stats: CacheStats,
+    ledger: Option<Box<Ledger>>,
 }
 
 /// The cache proper.
@@ -84,7 +108,7 @@ pub struct CachedAnswer {
 /// ```
 #[derive(Debug, Default)]
 pub struct Cache {
-    entries: HashMap<(Name, RecordType), Entry>,
+    pub(crate) entries: HashMap<(Name, RecordType), Entry>,
     negatives: HashMap<(Name, RecordType), NegEntry>,
     /// Maximum positive entries; `None` = unbounded. Real caches are
     /// bounded, and under pressure the *effective* TTL is the eviction
@@ -93,6 +117,10 @@ pub struct Cache {
     capacity: Option<usize>,
     /// Entries evicted due to capacity pressure.
     evictions: u64,
+    /// Stats (always) + provenance ledger (opt-in).
+    meta: RefCell<CacheMeta>,
+    /// Typed cache-transaction events land here when enabled.
+    telemetry: Telemetry,
 }
 
 impl Cache {
@@ -116,6 +144,77 @@ impl Cache {
         self.evictions
     }
 
+    /// Routes the cache's typed transaction events into `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Turns on the provenance ledger: every transaction from here on
+    /// is journalled and aggregated per attribution cell. Off by
+    /// default — the always-on path keeps only [`CacheStats`].
+    pub fn enable_ledger(&mut self) {
+        let mut meta = self.meta.borrow_mut();
+        if meta.ledger.is_none() {
+            meta.ledger = Some(Box::new(Ledger::new()));
+        }
+    }
+
+    /// Whether the provenance ledger is recording.
+    pub fn ledger_enabled(&self) -> bool {
+        self.meta.borrow().ledger.is_some()
+    }
+
+    /// Runs `f` against the ledger, if enabled.
+    pub fn with_ledger<T>(&self, f: impl FnOnce(&Ledger) -> T) -> Option<T> {
+        self.meta.borrow().ledger.as_deref().map(f)
+    }
+
+    /// The always-on transaction counts.
+    pub fn stats(&self) -> CacheStats {
+        self.meta.borrow().stats
+    }
+
+    /// Records one ledger transaction: journal + cell (when the ledger
+    /// is on) and a typed trace event (when telemetry is on). The
+    /// caller has already updated [`CacheStats`].
+    #[allow(clippy::too_many_arguments)]
+    fn note(
+        &self,
+        now: SimTime,
+        op: CacheOp,
+        rrset: &RRset,
+        rank: Credibility,
+        prov: Provenance,
+        residency_ms: Option<u64>,
+        fingerprint: u64,
+    ) {
+        {
+            let mut meta = self.meta.borrow_mut();
+            if let Some(ledger) = meta.ledger.as_mut() {
+                ledger.record(now, op, rrset, rank, &prov, residency_ms, fingerprint);
+            }
+        }
+        self.telemetry.event(now.as_millis(), event_kind(op), || {
+            let mut fields: Vec<(&'static str, Value)> = vec![
+                ("qname", rrset.name.to_string().into()),
+                ("qtype", rrset.rtype.to_string().into()),
+                ("rank", rank_token(rank).into()),
+                ("origin", prov.origin.as_str().into()),
+                ("bailiwick", prov.bailiwick.as_str().into()),
+                ("ttl", (prov.effective_ttl.as_secs() as u64).into()),
+                ("txn", prov.txn.into()),
+                ("fp", format!("{fingerprint:016x}").into()),
+            ];
+            if let Some(server) = prov.server {
+                fields.push(("server", server.to_string().into()));
+            }
+            if let Some(res) = residency_ms {
+                fields.push(("residency_ms", res.into()));
+            }
+            fields
+        });
+    }
+
     /// Makes room for one more entry when at capacity.
     fn evict_if_full(&mut self, incoming: &(Name, RecordType), now: SimTime) {
         let Some(cap) = self.capacity else { return };
@@ -124,22 +223,35 @@ impl Cache {
         }
         // Prefer dropping already-expired entries; otherwise the entry
         // with the least remaining lifetime. Pinned entries are
-        // mirrored zone data and are never evicted.
+        // mirrored zone data and are never evicted. Ties break on the
+        // key, not HashMap iteration order, so the ledger is identical
+        // across reruns.
         let victim = self
             .entries
             .iter()
             .filter(|(_, e)| !e.pinned)
-            .min_by_key(|(_, e)| {
-                if e.expires_at <= now {
+            .min_by_key(|(k, e)| {
+                let horizon = if e.expires_at <= now {
                     SimTime::ZERO
                 } else {
                     e.expires_at
-                }
+                };
+                (horizon, k.0.to_string(), k.1.code())
             })
             .map(|(k, _)| k.clone());
         if let Some(victim) = victim {
-            self.entries.remove(&victim);
+            let e = self.entries.remove(&victim).expect("victim just seen");
             self.evictions += 1;
+            self.meta.borrow_mut().stats.evictions += 1;
+            self.note(
+                now,
+                CacheOp::Evict,
+                &e.rrset,
+                e.rank,
+                e.provenance,
+                Some(now.since(e.stored_at).as_millis()),
+                e.fingerprint,
+            );
         }
     }
 
@@ -171,35 +283,111 @@ impl Cache {
         policy: &ResolverPolicy,
         pinned: bool,
     ) {
+        self.store_with(rrset, rank, now, policy, pinned, StoreContext::default());
+    }
+
+    /// [`Cache::store`] with provenance: the installing transaction id,
+    /// the responding server, and the bailiwick class the resolution
+    /// loop computed against the queried zone. Each accepted store is
+    /// classified as an *insert* (key empty, or old entry removed with
+    /// its own cause), a *refresh* (identical data — only the clock
+    /// restarts; §4.2's NS-coupled glue refresh), or an *overwrite*
+    /// (different data — e.g. a renumbering becoming visible).
+    pub fn store_with(
+        &mut self,
+        rrset: RRset,
+        rank: Credibility,
+        now: SimTime,
+        policy: &ResolverPolicy,
+        pinned: bool,
+        ctx: StoreContext,
+    ) {
         let key = (rrset.name.clone(), rrset.rtype);
         self.negatives.remove(&key);
+        let original_ttl = rrset.ttl;
         let ttl = policy.clamp_ttl(rrset.ttl);
         if ttl.is_zero() {
+            self.meta.borrow_mut().stats.rejected_stores += 1;
             return;
         }
+        // Removal cause for the entry currently under the key, if any.
+        let mut displaced: Option<(CacheOp, Entry)> = None;
+        let mut refresh = false;
+        let fingerprint = rrset.fingerprint();
         if let Some(existing) = self.entries.get(&key) {
             let fresh = existing.pinned || existing.expires_at > now;
             if fresh {
-                if existing.rank > rank {
-                    return; // lower-ranked data never displaces higher
+                let rejected = existing.rank > rank // lower rank never displaces higher
+                    || (policy.centricity == Centricity::ParentCentric
+                        && existing.rank <= Credibility::ReferralAuthority
+                        && rank >= Credibility::AuthAuthority) // referral data wins
+                    || (!policy.link_inbailiwick_glue
+                        && existing.rank == Credibility::ReferralAdditional
+                        && rank == Credibility::ReferralAdditional); // keep cached glue
+                if rejected {
+                    self.meta.borrow_mut().stats.rejected_stores += 1;
+                    return;
                 }
-                if policy.centricity == Centricity::ParentCentric
-                    && existing.rank <= Credibility::ReferralAuthority
-                    && rank >= Credibility::AuthAuthority
-                {
-                    return; // parent-centric: referral data wins
+                if existing.fingerprint == fingerprint {
+                    refresh = true;
+                } else {
+                    displaced = Some((CacheOp::Overwrite, existing.clone()));
                 }
-                if !policy.link_inbailiwick_glue
-                    && existing.rank == Credibility::ReferralAdditional
-                    && rank == Credibility::ReferralAdditional
-                {
-                    return; // keep cached glue until it expires itself
-                }
+            } else {
+                // Past its TTL: whatever replaces it, the old entry
+                // died of expiry.
+                displaced = Some((CacheOp::Expire, existing.clone()));
             }
+        }
+        let origin = if ctx.txn == 0 && ctx.server.is_none() {
+            RecordOrigin::Seed
+        } else {
+            RecordOrigin::from_rank(rank)
+        };
+        let prov = Provenance {
+            txn: ctx.txn,
+            server: ctx.server,
+            origin,
+            bailiwick: ctx.bailiwick,
+            original_ttl,
+            effective_ttl: ttl,
+        };
+        if let Some((cause, old)) = displaced {
+            match cause {
+                CacheOp::Overwrite => self.meta.borrow_mut().stats.overwrites += 1,
+                _ => self.meta.borrow_mut().stats.expiries += 1,
+            }
+            self.note(
+                now,
+                cause,
+                &old.rrset,
+                old.rank,
+                old.provenance,
+                Some(now.since(old.stored_at).as_millis()),
+                old.fingerprint,
+            );
         }
         let mut rrset = rrset;
         rrset.ttl = ttl;
         self.evict_if_full(&key, now);
+        if refresh {
+            self.meta.borrow_mut().stats.refreshes += 1;
+        } else {
+            self.meta.borrow_mut().stats.inserts += 1;
+        }
+        self.note(
+            now,
+            if refresh {
+                CacheOp::Refresh
+            } else {
+                CacheOp::Insert
+            },
+            &rrset,
+            rank,
+            prov,
+            None,
+            fingerprint,
+        );
         self.entries.insert(
             key,
             Entry {
@@ -208,31 +396,78 @@ impl Cache {
                 rrset,
                 rank,
                 pinned,
+                provenance: prov,
+                fingerprint,
             },
         );
+    }
+
+    /// Removes the entry under `(name, rtype)`, attributing the
+    /// removal to an explicit invalidation — what an operator's cache
+    /// flush after a renumbering does. Returns true if present.
+    pub fn invalidate(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> bool {
+        match self.entries.remove(&(name.clone(), rtype)) {
+            Some(e) => {
+                self.meta.borrow_mut().stats.invalidations += 1;
+                self.note(
+                    now,
+                    CacheOp::Invalidate,
+                    &e.rrset,
+                    e.rank,
+                    e.provenance,
+                    Some(now.since(e.stored_at).as_millis()),
+                    e.fingerprint,
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates every positive entry at or below `apex` (the
+    /// `rndc flushtree` analogue). Returns how many entries died.
+    pub fn invalidate_zone(&mut self, apex: &Name, now: SimTime) -> usize {
+        let mut victims: Vec<(Name, RecordType)> = self
+            .entries
+            .keys()
+            .filter(|(n, _)| n.is_subdomain_of(apex))
+            .cloned()
+            .collect();
+        // Deterministic ledger order regardless of HashMap layout.
+        victims.sort_by_key(|a| (a.0.to_string(), a.1.code()));
+        for (name, rtype) in &victims {
+            self.invalidate(name, *rtype, now);
+        }
+        victims.len()
     }
 
     /// Fetches a fresh entry, decrementing TTLs by age. Pinned entries
     /// are served at full TTL (an RFC 7706 mirror is always fresh).
     pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<CachedAnswer> {
         let e = self.entries.get(&(name.clone(), rtype))?;
-        if e.pinned {
-            return Some(CachedAnswer {
-                rrset: e.rrset.clone(),
-                rank: e.rank,
-                stale: false,
-            });
-        }
-        if e.expires_at <= now {
+        if !e.pinned && e.expires_at <= now {
             return None;
         }
-        let age = now.secs_since(e.stored_at) as u32;
+        self.meta.borrow_mut().stats.hits += 1;
+        self.note(
+            now,
+            CacheOp::Serve,
+            &e.rrset,
+            e.rank,
+            e.provenance,
+            Some(now.since(e.stored_at).as_millis()),
+            e.fingerprint,
+        );
         let mut rrset = e.rrset.clone();
-        rrset.ttl = rrset.ttl.saturating_sub_secs(age);
+        if !e.pinned {
+            let age = now.secs_since(e.stored_at) as u32;
+            rrset.ttl = rrset.ttl.saturating_sub_secs(age);
+        }
         Some(CachedAnswer {
             rrset,
             rank: e.rank,
             stale: false,
+            provenance: e.provenance,
         })
     }
 
@@ -292,12 +527,23 @@ impl Cache {
         if staleness > max_stale.as_secs() as u64 {
             return None;
         }
+        self.meta.borrow_mut().stats.stale_hits += 1;
+        self.note(
+            now,
+            CacheOp::Serve,
+            &e.rrset,
+            e.rank,
+            e.provenance,
+            Some(now.since(e.stored_at).as_millis()),
+            e.fingerprint,
+        );
         let mut rrset = e.rrset.clone();
         rrset.ttl = Ttl::from_secs(30);
         Some(CachedAnswer {
             rrset,
             rank: e.rank,
             stale: true,
+            provenance: e.provenance,
         })
     }
 
@@ -344,16 +590,53 @@ impl Cache {
     }
 
     /// Drops expired, unpinned entries. Not required for correctness
-    /// (reads check freshness) but keeps long simulations lean.
+    /// (reads check freshness) but keeps long simulations lean. Each
+    /// drop is a ledger `expire` transaction.
     pub fn purge_expired(&mut self, now: SimTime) {
-        self.entries.retain(|_, e| e.pinned || e.expires_at > now);
+        let mut dead: Vec<(Name, RecordType)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned && e.expires_at <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        // Deterministic ledger order regardless of HashMap layout.
+        dead.sort_by_key(|a| (a.0.to_string(), a.1.code()));
+        for key in dead {
+            let e = self.entries.remove(&key).expect("key just seen");
+            self.meta.borrow_mut().stats.expiries += 1;
+            self.note(
+                now,
+                CacheOp::Expire,
+                &e.rrset,
+                e.rank,
+                e.provenance,
+                Some(now.since(e.stored_at).as_millis()),
+                e.fingerprint,
+            );
+        }
         self.negatives.retain(|_, e| e.expires_at > now);
     }
 
-    /// Removes every entry (used between experiment phases).
+    /// Removes every entry (used between experiment phases). Counted
+    /// as `clears` in the stats; no per-entry ledger records — a phase
+    /// boundary is not a cache event the paper cares about.
     pub fn clear(&mut self) {
+        self.meta.borrow_mut().stats.clears += self.entries.len() as u64;
         self.entries.clear();
         self.negatives.clear();
+    }
+}
+
+/// The trace-event kind for a ledger op.
+fn event_kind(op: CacheOp) -> EventKind {
+    match op {
+        CacheOp::Insert => EventKind::CacheInsert,
+        CacheOp::Refresh => EventKind::CacheRefresh,
+        CacheOp::Overwrite => EventKind::CacheOverwrite,
+        CacheOp::Serve => EventKind::CacheServe,
+        CacheOp::Expire => EventKind::CacheExpiredDrop,
+        CacheOp::Evict => EventKind::CacheEvict,
+        CacheOp::Invalidate => EventKind::CacheInvalidate,
     }
 }
 

@@ -29,9 +29,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod ledger;
 pub mod resolver;
+pub mod snapshot;
 pub mod stub;
 
 pub use cache::{Cache, CachedAnswer, Credibility};
+pub use ledger::{
+    parse_rank_token, rank_token, BailiwickClass, CacheStats, Ledger, LedgerCell, LedgerKey,
+    Provenance, RecordOrigin, StoreContext,
+};
 pub use resolver::{RecursiveResolver, ResolutionOutcome, ResolverStats, RootHint};
+pub use snapshot::{CacheSnapshot, SnapshotDiff, SnapshotEntry};
 pub use stub::{HostLookup, StubConfig, StubError, StubResolver};

@@ -9,6 +9,7 @@
 //! servers, and accounting the RTT of every exchange.
 
 use crate::cache::{Cache, Credibility};
+use crate::ledger::{BailiwickClass, StoreContext};
 use dnsttl_core::{Centricity, ResolverPolicy};
 use dnsttl_netsim::{ExchangeOutcome, Network, Region, SimDuration, SimRng, SimTime, Transport};
 use dnsttl_telemetry::{EventKind, SpanId, Telemetry};
@@ -152,8 +153,10 @@ impl RecursiveResolver {
     }
 
     /// Attaches a telemetry handle; events and metrics from this
-    /// resolver land in it. The default handle is disabled (no-op).
+    /// resolver — and typed cache-transaction events from its cache —
+    /// land in it. The default handle is disabled (no-op).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.cache.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
 
@@ -180,6 +183,18 @@ impl RecursiveResolver {
     /// Read access to the cache (tests and analyses).
     pub fn cache(&self) -> &Cache {
         &self.cache
+    }
+
+    /// Write access to the cache (forensics harnesses: snapshots,
+    /// explicit invalidations, ledger control).
+    pub fn cache_mut(&mut self) -> &mut Cache {
+        &mut self.cache
+    }
+
+    /// Turns on the cache's provenance ledger (see
+    /// [`Cache::enable_ledger`]).
+    pub fn enable_cache_ledger(&mut self) {
+        self.cache.enable_ledger();
     }
 
     /// Drops all cached state (between experiment phases).
@@ -437,15 +452,15 @@ impl RecursiveResolver {
                 None => (current.clone(), qtype),
             };
 
-            let Some((response, from_root)) =
+            let Some((response, from_root, server)) =
                 self.query_candidates(&zone, &candidates, &send_name, send_type, now, net, ctx)
             else {
                 return self.fail_or_stale(qname, qtype, now);
             };
 
             // Cache everything the response taught us, with ranks by
-            // section and AA status.
-            self.ingest(&response, now, from_root);
+            // section and AA status, and provenance from this exchange.
+            self.ingest(&response, now, from_root, &zone, server);
 
             if response.is_referral() {
                 self.telemetry
@@ -817,7 +832,7 @@ impl RecursiveResolver {
         now: SimTime,
         net: &mut Network,
         ctx: &mut Ctx,
-    ) -> Option<(Message, bool)> {
+    ) -> Option<(Message, bool, IpAddr)> {
         let from_root = zone.is_root();
         for (_, addr) in candidates {
             for attempt in 0..=self.policy.retries {
@@ -882,7 +897,7 @@ impl RecursiveResolver {
                                 if self.policy.sticky {
                                     self.sticky_server.insert(zone.clone(), *addr);
                                 }
-                                return Some((message, from_root));
+                                return Some((message, from_root, *addr));
                             }
                             // REFUSED / SERVFAIL / …: try the next server.
                             _ => break,
@@ -909,11 +924,24 @@ impl RecursiveResolver {
     }
 
     /// Stores every RRset of a response into the cache with the rank
-    /// its section and the AA bit dictate. `from_root` pins data for
+    /// its section and the AA bit dictate, carrying provenance: the
+    /// response's message id as the installing transaction, the
+    /// responding `server`, and each RRset's bailiwick class relative
+    /// to `zone` (the cut the server was answering for — owner names
+    /// under it are in-bailiwick, everything else is the
+    /// out-of-bailiwick data of §4.2). `from_root` pins data for
     /// RFC 7706 local-root policies.
-    fn ingest(&mut self, response: &Message, now: SimTime, from_root: bool) {
+    fn ingest(
+        &mut self,
+        response: &Message,
+        now: SimTime,
+        from_root: bool,
+        zone: &Name,
+        server: IpAddr,
+    ) {
         let pinned = from_root && self.policy.local_root;
         let aa = response.header.authoritative;
+        let txn = response.header.id as u64;
         for (records, rank) in [
             (
                 &response.answers,
@@ -937,7 +965,23 @@ impl RecursiveResolver {
                 if rrset.rtype == RecordType::SOA {
                     continue; // negative-caching SOAs are handled separately
                 }
-                self.cache.store(rrset, rank, now, &self.policy, pinned);
+                let bailiwick = if rrset.name.is_subdomain_of(zone) {
+                    BailiwickClass::In
+                } else {
+                    BailiwickClass::Out
+                };
+                self.cache.store_with(
+                    rrset,
+                    rank,
+                    now,
+                    &self.policy,
+                    pinned,
+                    StoreContext {
+                        txn,
+                        server: Some(server),
+                        bailiwick,
+                    },
+                );
             }
         }
     }

@@ -210,6 +210,180 @@ impl Default for ObjectWriter {
     }
 }
 
+/// A scalar read back from a flat JSON object. Numbers are kept as the
+/// raw text plus a parsed `f64` so callers can choose integer or float
+/// interpretation without loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A string, unescaped.
+    Str(String),
+    /// A number; the raw source text is preserved alongside its value.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload truncated to `u64`, if this is a
+    /// non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::Num(v) if *v >= 0.0 && *v == v.trunc() => Some(*v as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one *flat* JSON object — scalars only, no nesting — as
+/// produced by [`ObjectWriter`]. Returns the fields in source order.
+/// This is the read half of the workspace's serde substitute: ledger
+/// lines, bench baselines and trace lines are all flat objects.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    let err = |what: &str, at: usize| format!("{what} at byte {at} in {s:?}");
+    let mut out = Vec::new();
+
+    fn skip_ws(it: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(it.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            it.next();
+        }
+    }
+
+    fn parse_string(
+        it: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        let mut buf = String::new();
+        loop {
+            match it.next() {
+                Some((_, '"')) => return Ok(buf),
+                Some((at, '\\')) => match it.next() {
+                    Some((_, '"')) => buf.push('"'),
+                    Some((_, '\\')) => buf.push('\\'),
+                    Some((_, '/')) => buf.push('/'),
+                    Some((_, 'n')) => buf.push('\n'),
+                    Some((_, 'r')) => buf.push('\r'),
+                    Some((_, 't')) => buf.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = it
+                                .next()
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {h:?}"))?;
+                        }
+                        buf.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {at}")),
+                },
+                Some((_, c)) => buf.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err(err("expected '{'", 0)),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, '"')) => {}
+            Some((at, _)) => return Err(err("expected key", at)),
+            None => return Err(err("expected key", s.len())),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            Some((at, _)) => return Err(err("expected ':'", at)),
+            None => return Err(err("expected ':'", s.len())),
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek().copied() {
+            Some((_, '"')) => {
+                chars.next();
+                JsonScalar::Str(parse_string(&mut chars)?)
+            }
+            Some((at, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = at;
+                while matches!(
+                    chars.peek(),
+                    Some((_, c)) if c.is_ascii_digit()
+                        || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                ) {
+                    let (i, c) = chars.next().unwrap();
+                    end = i + c.len_utf8();
+                }
+                let raw = &s[at..end];
+                JsonScalar::Num(raw.parse::<f64>().map_err(|_| err("bad number", at))?)
+            }
+            Some((at, 't' | 'f' | 'n')) => {
+                let rest = &s[at..];
+                let (word, v) = if rest.starts_with("true") {
+                    ("true", JsonScalar::Bool(true))
+                } else if rest.starts_with("false") {
+                    ("false", JsonScalar::Bool(false))
+                } else if rest.starts_with("null") {
+                    ("null", JsonScalar::Null)
+                } else {
+                    return Err(err("bad literal", at));
+                };
+                for _ in 0..word.len() {
+                    chars.next();
+                }
+                v
+            }
+            Some((at, _)) => return Err(err("unsupported value (nested?)", at)),
+            None => return Err(err("expected value", s.len())),
+        };
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            Some((at, _)) => return Err(err("expected ',' or '}'", at)),
+            None => return Err(err("unterminated object", s.len())),
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience lookup over [`parse_flat_object`] output.
+pub fn flat_get<'a>(fields: &'a [(String, JsonScalar)], key: &str) -> Option<&'a JsonScalar> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +413,35 @@ mod tests {
             .field("a", &Value::Str("x".into()))
             .field_str_array("list", &["p".into(), "q".into()]);
         assert_eq!(w.finish(), r#"{"b":2,"a":"x","list":["p","q"]}"#);
+    }
+
+    #[test]
+    fn flat_parser_round_trips_writer_output() {
+        let mut w = ObjectWriter::new();
+        w.field("name", &Value::Str("a\"b\\c\nd".into()))
+            .field("count", &Value::U64(42))
+            .field("ratio", &Value::F64(0.25))
+            .field("neg", &Value::I64(-7))
+            .field("ok", &Value::Bool(true));
+        let line = w.finish();
+        let fields = parse_flat_object(&line).unwrap();
+        assert_eq!(fields.len(), 5);
+        assert_eq!(
+            flat_get(&fields, "name").unwrap().as_str(),
+            Some("a\"b\\c\nd")
+        );
+        assert_eq!(flat_get(&fields, "count").unwrap().as_u64(), Some(42));
+        assert_eq!(flat_get(&fields, "ratio").unwrap().as_f64(), Some(0.25));
+        assert_eq!(flat_get(&fields, "neg").unwrap().as_f64(), Some(-7.0));
+        assert_eq!(flat_get(&fields, "ok"), Some(&JsonScalar::Bool(true)));
+    }
+
+    #[test]
+    fn flat_parser_handles_empty_and_rejects_nesting() {
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+        assert!(parse_flat_object(r#"{"a":{"b":1}}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1"#).is_err());
+        let fields = parse_flat_object(" {\"u\":\"\\u0041\"} ").unwrap();
+        assert_eq!(flat_get(&fields, "u").unwrap().as_str(), Some("A"));
     }
 }

@@ -30,11 +30,13 @@
 //! ```
 
 mod json;
+mod ledger;
 mod manifest;
 mod registry;
 mod trace;
 
-pub use json::{ObjectWriter, Value};
+pub use json::{flat_get, parse_flat_object, JsonScalar, ObjectWriter, Value};
+pub use ledger::{CacheOp, Journal, LedgerRecord, DEFAULT_JOURNAL_CAPACITY};
 pub use manifest::RunManifest;
 pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
 pub use trace::{EventKind, SpanId, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};

@@ -10,7 +10,25 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::json::{escape_into, fmt_f64};
+use crate::json::fmt_f64;
+
+/// Escapes a label value per the Prometheus text exposition format.
+///
+/// The exposition format recognises exactly three escapes inside label
+/// values — `\\`, `\"` and `\n` — unlike JSON, which also escapes tabs,
+/// carriage returns and other control characters. Reusing the JSON
+/// escaper here would emit sequences like `\t` that Prometheus parsers
+/// reject, so label values get their own escaper.
+fn escape_prometheus_label_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
 
 /// A metric series identifier: a name plus its label pairs.
 ///
@@ -50,7 +68,7 @@ impl MetricId {
                 }
                 out.push_str(k);
                 out.push_str("=\"");
-                escape_into(&mut out, v);
+                escape_prometheus_label_into(&mut out, v);
                 out.push('"');
             }
             out.push('}');
@@ -399,6 +417,21 @@ mod tests {
         r.counter_add(MetricId::new("q", &[("a", "1"), ("b", "2")]), 1);
         r.counter_add(MetricId::new("q", &[("b", "2"), ("a", "1")]), 1);
         assert_eq!(r.counter(&MetricId::new("q", &[("a", "1"), ("b", "2")])), 2);
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_per_exposition_format() {
+        let mut r = Registry::new();
+        r.counter_add(
+            MetricId::new("q", &[("zone", "evil\"zone\\with\nnewline\tand tab")]),
+            1,
+        );
+        let text = r.to_prometheus_text();
+        // `"` → `\"`, `\` → `\\`, newline → `\n`; a raw tab stays raw —
+        // the exposition format has no `\t` escape.
+        assert!(text.contains("q{zone=\"evil\\\"zone\\\\with\\nnewline\tand tab\"} 1"));
+        assert!(!text.contains("\\t"));
+        assert!(!text.contains("\\u"));
     }
 
     #[test]

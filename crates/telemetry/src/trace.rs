@@ -52,6 +52,22 @@ pub enum EventKind {
     Query,
     /// An Atlas-style measurement was discarded as invalid.
     Discard,
+    /// A fresh RRset entered the cache (dnstap-style ledger event).
+    CacheInsert,
+    /// A cached RRset was re-stored with identical data (TTL refresh).
+    CacheRefresh,
+    /// A cached RRset was replaced by one with different data.
+    CacheOverwrite,
+    /// A cached entry was served to a client (ledger-level hit).
+    CacheServe,
+    /// A cached entry was dropped because it was full and something
+    /// had to go (capacity eviction).
+    CacheEvict,
+    /// A cached entry was removed because its TTL had passed.
+    CacheExpiredDrop,
+    /// A cached entry was removed by an explicit invalidation (e.g.
+    /// after an authoritative renumbering).
+    CacheInvalidate,
     /// Anything else; the string is the event name.
     Custom(&'static str),
 }
@@ -78,6 +94,13 @@ impl EventKind {
             EventKind::ValidationFailure => "validation_failure",
             EventKind::Query => "query",
             EventKind::Discard => "discard",
+            EventKind::CacheInsert => "cache_insert",
+            EventKind::CacheRefresh => "cache_refresh",
+            EventKind::CacheOverwrite => "cache_overwrite",
+            EventKind::CacheServe => "cache_serve",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::CacheExpiredDrop => "cache_expired_drop",
+            EventKind::CacheInvalidate => "cache_invalidate",
             EventKind::Custom(name) => name,
         }
     }

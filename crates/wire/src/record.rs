@@ -94,6 +94,37 @@ impl Record {
             ..self.clone()
         }
     }
+
+    /// A stable 64-bit fingerprint of the record's identity and data —
+    /// everything except the TTL.
+    ///
+    /// Two records with the same owner, class, type and data always
+    /// fingerprint identically, whatever their TTLs: caches use this to
+    /// distinguish a *refresh* (same data re-learned, clock restarts)
+    /// from an *overwrite* (different data — e.g. an authoritative
+    /// renumbering becoming visible). FNV-1a over the canonical
+    /// presentation form; stable across runs and platforms, not
+    /// collision-resistant against adversaries.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(
+            FNV_OFFSET,
+            self.name.to_string().to_ascii_lowercase().as_bytes(),
+        );
+        h = fnv1a(h, &self.class.code().to_be_bytes());
+        h = fnv1a(h, &self.record_type().code().to_be_bytes());
+        fnv1a(h, self.rdata.to_string().as_bytes())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl fmt::Display for Record {
@@ -166,6 +197,28 @@ impl RRset {
     pub fn is_empty(&self) -> bool {
         self.rdatas.is_empty()
     }
+
+    /// A stable, TTL-excluded, member-order-insensitive fingerprint of
+    /// the whole set.
+    ///
+    /// The member data are rendered to canonical presentation form,
+    /// sorted, and hashed in that order, so `{a, b}` and `{b, a}`
+    /// fingerprint identically — RRset semantics are set semantics.
+    /// See [`Record::fingerprint`] for what caches use this for.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(
+            FNV_OFFSET,
+            self.name.to_string().to_ascii_lowercase().as_bytes(),
+        );
+        h = fnv1a(h, &self.rtype.code().to_be_bytes());
+        let mut datas: Vec<String> = self.rdatas.iter().map(|rd| rd.to_string()).collect();
+        datas.sort();
+        for d in &datas {
+            h = fnv1a(h, d.as_bytes());
+            h = fnv1a(h, b"\x00"); // member separator: no concatenation aliasing
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +273,45 @@ mod tests {
         for r in set.to_records() {
             assert_eq!(r.ttl.as_secs(), 300);
         }
+    }
+
+    #[test]
+    fn fingerprints_ignore_ttl_but_see_data() {
+        let rr = a("x.example", 300, [1, 2, 3, 4]);
+        assert_eq!(
+            rr.fingerprint(),
+            rr.with_ttl(Ttl::from_secs(17)).fingerprint()
+        );
+        let other = a("x.example", 300, [1, 2, 3, 5]);
+        assert_ne!(rr.fingerprint(), other.fingerprint());
+        let other_name = a("y.example", 300, [1, 2, 3, 4]);
+        assert_ne!(rr.fingerprint(), other_name.fingerprint());
+    }
+
+    #[test]
+    fn rrset_fingerprint_is_order_insensitive_and_ttl_free() {
+        let fwd = RRset::from_records(&[
+            a("ns.example", 3600, [1, 1, 1, 1]),
+            a("ns.example", 3600, [2, 2, 2, 2]),
+        ])
+        .unwrap();
+        let rev = RRset::from_records(&[
+            a("ns.example", 60, [2, 2, 2, 2]),
+            a("ns.example", 60, [1, 1, 1, 1]),
+        ])
+        .unwrap();
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+        let grown = RRset::from_records(&[
+            a("ns.example", 3600, [1, 1, 1, 1]),
+            a("ns.example", 3600, [2, 2, 2, 2]),
+            a("ns.example", 3600, [3, 3, 3, 3]),
+        ])
+        .unwrap();
+        assert_ne!(fwd.fingerprint(), grown.fingerprint());
+        // A single record's set fingerprint differs from the record
+        // fingerprint (different domains), but both are stable.
+        let single = RRset::from_records(&[a("ns.example", 5, [1, 1, 1, 1])]).unwrap();
+        assert_eq!(single.fingerprint(), single.clone().fingerprint());
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! * [`core`] — the paper's contribution distilled into an analytic
 //!   model: effective TTLs, cache-hit/latency trade-offs, and the §6
 //!   operator recommendations;
-//! * [`experiments`] — one module per table and figure.
+//! * [`experiments`] — one module per table and figure;
+//! * [`telemetry`] — metrics, simulation-time tracing, run manifests,
+//!   and the cache-ledger JSONL codec;
+//! * [`bench`] — the headless benchmark trajectory behind
+//!   `repro bench` and its schema-versioned report.
 //!
 //! ## Quickstart
 //!
@@ -44,9 +48,11 @@
 pub use dnsttl_analysis as analysis;
 pub use dnsttl_atlas as atlas;
 pub use dnsttl_auth as auth;
+pub use dnsttl_bench as bench;
 pub use dnsttl_core as core;
 pub use dnsttl_crawl as crawl;
 pub use dnsttl_experiments as experiments;
 pub use dnsttl_netsim as netsim;
 pub use dnsttl_resolver as resolver;
+pub use dnsttl_telemetry as telemetry;
 pub use dnsttl_wire as wire;

@@ -92,6 +92,90 @@ fn zone_round_trips_through_render_and_parse() {
 }
 
 #[test]
+fn cache_forensics_snapshot_and_ledger_through_the_facade() {
+    use dnsttl::core::ResolverPolicy as Policy;
+    use dnsttl::netsim::SimTime;
+    use dnsttl::resolver::{
+        cache::Cache, BailiwickClass, CacheSnapshot, Credibility, StoreContext,
+    };
+    use dnsttl::wire::{RData, RRset, RecordType};
+
+    let policy = Policy::default();
+    let mut cache = Cache::new();
+    cache.enable_ledger();
+    let rrset = RRset {
+        name: Name::parse("www.example").unwrap(),
+        rtype: RecordType::A,
+        ttl: Ttl::from_secs(600),
+        rdatas: vec![RData::A("203.0.113.7".parse().unwrap())],
+    };
+    let ctx = StoreContext {
+        txn: 77,
+        server: Some("192.0.2.53".parse().unwrap()),
+        bailiwick: BailiwickClass::In,
+    };
+    cache.store_with(
+        rrset.clone(),
+        Credibility::AuthAnswer,
+        SimTime::ZERO,
+        &policy,
+        false,
+        ctx,
+    );
+
+    // Snapshot round-trips through the JSONL codec with provenance.
+    let before = cache.snapshot(SimTime::ZERO);
+    let back = CacheSnapshot::parse_jsonl(&before.to_jsonl()).unwrap();
+    assert_eq!(back.len(), 1);
+    assert_eq!(back.entries[0].txn, 77);
+    assert_eq!(back.entries[0].origin, "child");
+
+    // A renumber shows up as a changed fingerprint in the diff.
+    let renumbered = RRset {
+        rdatas: vec![RData::A("203.0.113.8".parse().unwrap())],
+        ..rrset
+    };
+    cache.store_with(
+        renumbered,
+        Credibility::AuthAnswer,
+        SimTime::from_secs(60),
+        &policy,
+        false,
+        ctx,
+    );
+    let diff = before.diff(&cache.snapshot(SimTime::from_secs(60)));
+    assert_eq!(diff.changed.len(), 1);
+    assert!(diff.render().contains("www.example."));
+
+    // The ledger journal serialises to JSONL and parses back losslessly.
+    let jsonl = cache
+        .with_ledger(|l| l.journal().to_jsonl())
+        .expect("ledger enabled");
+    let records = dnsttl::telemetry::Journal::parse_jsonl(&jsonl).unwrap();
+    assert_eq!(records.len(), 3, "insert + overwrite + re-insert: {jsonl}");
+    assert_eq!(records[1].op, dnsttl::telemetry::CacheOp::Overwrite);
+    assert_eq!(records[1].residency_ms, Some(60_000));
+    assert_eq!(records[2].op, dnsttl::telemetry::CacheOp::Insert);
+    assert_ne!(
+        records[2].fingerprint, records[1].fingerprint,
+        "renumber changed the rdata"
+    );
+}
+
+#[test]
+fn bench_report_schema_round_trips_through_the_facade() {
+    let report = dnsttl::bench::runner::run(dnsttl::bench::BenchConfig {
+        seed: 3,
+        quick: true,
+    });
+    let text = report.render();
+    assert!(text.starts_with("{\"schema\":\"dnsttl-bench-report/1\""));
+    let back = dnsttl::bench::BenchReport::parse(&text).unwrap();
+    assert_eq!(back.counters.len(), report.counters.len());
+    assert_eq!(back.timings.len(), report.timings.len());
+}
+
+#[test]
 fn classifier_matches_known_behaviours() {
     // Series shaped like the paper's Figure 1 regions.
     assert_eq!(
