@@ -39,10 +39,22 @@ pub struct ResolverPolicy {
     /// **in-bailiwick** name server is discarded when its covering NS
     /// record expires — the dominant behaviour in §4.2.
     pub link_inbailiwick_glue: bool,
-    /// Serve-stale: maximum extra lifetime during which expired records
-    /// are served when all authoritative servers are unreachable
-    /// (draft-ietf-dnsop-serve-stale).
+    /// Serve-stale: maximum extra lifetime (RFC 8767's `max-stale`)
+    /// during which expired records are served when all authoritative
+    /// servers are unreachable. A refresh is always attempted first;
+    /// stale data only bridges failures.
     pub serve_stale: Option<Ttl>,
+    /// RFC 2308 §7 / RFC 8767 §5 failure caching: when resolution fails
+    /// with every server dead, cache the failure for this long (capped
+    /// at 5 minutes per RFC 2308) and answer follow-up queries from it
+    /// — stale data if serve-stale allows, SERVFAIL otherwise — instead
+    /// of re-hammering dead servers on every client query.
+    pub upstream_failure_ttl: Option<Ttl>,
+    /// Exponential backoff on dead servers: after a server times out
+    /// on every retry, skip it for `base × 2^(consecutive failures − 1)`
+    /// seconds (capped at 64× base). `None` disables the memory — every
+    /// resolution probes every candidate again.
+    pub server_backoff: Option<Ttl>,
     /// RFC 7706 / LocalRoot: the resolver mirrors the root zone locally
     /// and never queries the roots; root-zone data (including TLD glue)
     /// behaves parent-centrically with full parent TTLs.
@@ -83,6 +95,8 @@ impl Default for ResolverPolicy {
             ttl_floor: None,
             link_inbailiwick_glue: true,
             serve_stale: None,
+            upstream_failure_ttl: None,
+            server_backoff: None,
             local_root: false,
             sticky: false,
             retries: 2,
@@ -152,6 +166,19 @@ impl ResolverPolicy {
     pub fn serve_stale_like() -> ResolverPolicy {
         ResolverPolicy {
             serve_stale: Some(Ttl::DAY),
+            ..ResolverPolicy::default()
+        }
+    }
+
+    /// A fully hardened resolver, the RFC 8767 + RFC 2308 §7 resilience
+    /// stack: one-day serve-stale, 30 s failure caching (RFC 8767's
+    /// recommended failure recheck interval), and exponential backoff
+    /// on dead servers starting at 1 s.
+    pub fn hardened() -> ResolverPolicy {
+        ResolverPolicy {
+            serve_stale: Some(Ttl::DAY),
+            upstream_failure_ttl: Some(Ttl::from_secs(30)),
+            server_backoff: Some(Ttl::from_secs(1)),
             ..ResolverPolicy::default()
         }
     }

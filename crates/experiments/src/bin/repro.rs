@@ -4,7 +4,8 @@
 //! repro all                  # everything, paper order
 //! repro fig1 fig2 table2     # a subset
 //! repro --paper-scale all    # full population sizes (slow)
-//! repro --quick fig6         # tiny populations (CI smoke)
+//! repro --quick fig6         # tiny populations (CI smoke), no CSVs
+//! repro --smoke resilience   # tiny populations, CSVs kept
 //! repro --seed 7 fig10       # different random world
 //! repro --metrics fig6       # + metrics dashboard and Prometheus text
 //! repro --list               # show available artifact ids
@@ -20,8 +21,8 @@
 //! (`<module>_trace.jsonl`) next to its CSVs, unless `--no-csv`.
 
 use dnsttl_experiments::{
-    bailiwick_exp, centricity, controlled, crawl_exp, extensions, insight, passive_nl, table1,
-    uy_latency, ExpConfig, Report,
+    bailiwick_exp, centricity, controlled, crawl_exp, extensions, insight, passive_nl, resilience,
+    table1, uy_latency, ExpConfig, Report,
 };
 use dnsttl_telemetry::{RunManifest, Telemetry};
 
@@ -73,6 +74,10 @@ const ARTIFACTS: &[(&str, &str)] = &[
         "cache-report",
         "cache forensics: Tables 3–4 lifetimes from the provenance ledger",
     ),
+    (
+        "resilience",
+        "failure rate vs TTL under a scripted 1 h outage (§6.2, chaos)",
+    ),
 ];
 
 /// Which experiment module regenerates an artifact. Artifacts sharing
@@ -89,6 +94,7 @@ fn module_of(id: &str) -> &'static str {
         "ext-offline" | "ext-dnssec" | "ext-ddos" | "ext-hitrate" | "ext-loadbalance"
         | "ext-negttl" | "ext-secondary" => "extensions",
         "cache-report" => "insight",
+        "resilience" => "resilience",
         other => {
             eprintln!("unknown artifact {other:?}; try --list");
             std::process::exit(2);
@@ -107,6 +113,7 @@ fn produce(module: &str, cfg: &ExpConfig) -> Vec<Report> {
         "controlled" => controlled::run(cfg),
         "extensions" => extensions::run(cfg),
         "insight" => insight::run(cfg),
+        "resilience" => resilience::run(cfg),
         _ => unreachable!("module_of only returns known modules"),
     }
 }
@@ -136,6 +143,11 @@ fn write_observability(module: &str, cfg: &ExpConfig, telemetry: &Telemetry, rep
     manifest.policy("mix", "paper_population");
     telemetry.fill_manifest(&mut manifest);
     manifest.artifact(&trace_name);
+    for report in reports {
+        for artifact in &report.artifacts {
+            manifest.artifact(artifact);
+        }
+    }
     let ids: Vec<String> = reports.iter().map(|r| r.id.clone()).collect();
     manifest.note("reports", ids.join(","));
     let manifest_name = format!("{module}_manifest.json");
@@ -294,7 +306,14 @@ fn main() {
                 return;
             }
             "--paper-scale" => cfg = ExpConfig::paper_scale(),
+            // `--smoke` is `--quick` for CI smoke stages: tiny
+            // populations, CSVs still written for schema checks.
             "--quick" => cfg = ExpConfig::quick(),
+            "--smoke" => {
+                let out_dir = cfg.out_dir.clone();
+                cfg = ExpConfig::quick();
+                cfg.out_dir = out_dir;
+            }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| {
                     eprintln!("--seed needs a value");
@@ -323,7 +342,7 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--paper-scale|--quick] [--seed N] [--probes N] [--no-csv] [--metrics] <artifact…|all>");
+        eprintln!("usage: repro [--paper-scale|--quick|--smoke] [--seed N] [--probes N] [--no-csv] [--metrics] <artifact…|all>");
         eprintln!("       repro --list");
         std::process::exit(2);
     }

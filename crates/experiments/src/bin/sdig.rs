@@ -18,7 +18,7 @@
 
 use dnsttl_core::ResolverPolicy;
 use dnsttl_experiments::worlds;
-use dnsttl_netsim::{Network, Region, SimRng, SimTime};
+use dnsttl_netsim::{FaultPlan, Network, Region, SimRng, SimTime};
 use dnsttl_resolver::{RecursiveResolver, RootHint};
 use dnsttl_telemetry::{EventKind, Telemetry, Value};
 use dnsttl_wire::{Name, RecordType, Ttl};
@@ -35,6 +35,7 @@ struct Options {
     trace_json: bool,
     cache_dump: bool,
     cache_dump_json: Option<String>,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn usage() -> ! {
@@ -42,7 +43,7 @@ fn usage() -> ! {
         "usage: sdig [--world uy|uy-after|google-co|cachetest|cachetest-out|nl]\n\
          \x20           [--parent-centric|--google|--opendns|--validating|--serve-stale]\n\
          \x20           [--at SECONDS] [--repeat N] [--every SECONDS] [--trace] [--trace-json]\n\
-         \x20           [--cache-dump] [--cache-dump-json FILE] <name> [type]"
+         \x20           [--cache-dump] [--cache-dump-json FILE] [--fault-plan FILE] <name> [type]"
     );
     std::process::exit(2);
 }
@@ -60,6 +61,7 @@ fn parse_args() -> Options {
         trace_json: false,
         cache_dump: false,
         cache_dump_json: None,
+        fault_plan: None,
     };
     let mut args = std::env::args().skip(1);
     let mut saw_type = false;
@@ -94,6 +96,20 @@ fn parse_args() -> Options {
             "--cache-dump" => opts.cache_dump = true,
             "--cache-dump-json" => {
                 opts.cache_dump_json = Some(args.next().unwrap_or_else(|| usage()))
+            }
+            "--fault-plan" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read fault plan {path}: {e}");
+                    std::process::exit(2);
+                });
+                match FaultPlan::parse(&text) {
+                    Ok(plan) => opts.fault_plan = Some(plan),
+                    Err(e) => {
+                        eprintln!("bad fault plan {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),
@@ -211,10 +227,23 @@ fn main() {
     };
     resolver.set_telemetry(telemetry.clone());
     net.set_telemetry(telemetry.clone());
+    if let Some(plan) = &opts.fault_plan {
+        println!(";; fault plan: {}", plan.summary());
+        net.set_faults(plan.clone());
+    }
     let mut seen_seq = 0u64;
+    let mut flushed_upto = SimTime::ZERO;
 
     for i in 0..opts.repeat {
         let at = SimTime::from_secs(opts.at + i as u64 * opts.every);
+        // Scheduled cache flushes land on the resolver, not the fabric:
+        // apply any that fired since the previous repeat.
+        let flushes = net.fault_plan().flushes_between(flushed_upto, at);
+        if flushes > 0 {
+            println!(";; fault plan: cache flush applied before t={at}");
+            resolver.apply_flush(at);
+        }
+        flushed_upto = at;
         let out = resolver.resolve(&qname, opts.qtype, at, &mut net);
         if opts.trace || opts.trace_json {
             seen_seq = print_walkthrough(&telemetry, seen_seq, opts.trace_json);

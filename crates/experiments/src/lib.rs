@@ -34,6 +34,7 @@ pub mod extensions;
 pub mod insight;
 pub mod passive_nl;
 pub mod report;
+pub mod resilience;
 pub mod table1;
 pub mod uy_latency;
 pub mod worlds;

@@ -15,6 +15,10 @@ pub struct Report {
     pub text: String,
     /// Named scalar results (fractions, medians, counts).
     pub metrics: BTreeMap<String, f64>,
+    /// File names (relative to the experiment out-dir) this run wrote
+    /// beyond the standard CSV series — journalled into the run
+    /// manifest so provenance covers them (e.g. a fault-plan script).
+    pub artifacts: Vec<String>,
 }
 
 impl Report {
@@ -25,7 +29,14 @@ impl Report {
             title: title.to_owned(),
             text: String::new(),
             metrics: BTreeMap::new(),
+            artifacts: Vec::new(),
         }
+    }
+
+    /// Records a written artifact file (relative to the out-dir).
+    pub fn artifact(&mut self, name: &str) -> &mut Report {
+        self.artifacts.push(name.to_owned());
+        self
     }
 
     /// Appends a line (or block) of text.

@@ -1,0 +1,245 @@
+//! `resilience` — user-visible failure rate vs TTL under scripted
+//! faults (paper §6.2, the dnsttl-chaos tentpole).
+//!
+//! The paper's closing argument is that long TTLs are a resilience
+//! mechanism: during the 2016 Dyn DDoS, "users of Twitter could still
+//! reach the site if its DNS records were cached". The
+//! [`ddos_resilience`](crate::extensions::ddos_resilience) extension
+//! approximates that with a manual online/offline toggle; this module
+//! reproduces it as a measurable curve on the scripted
+//! [`FaultPlan`](dnsttl_netsim::FaultPlan) machinery instead, so the
+//! exact outage script is plain data — journalled into the run
+//! manifest, replayable byte-for-byte from the same seed, and shared
+//! with `sdig --fault-plan`.
+//!
+//! Design: a population of clients each re-resolves one cached name
+//! every two minutes. A one-hour hard outage of the only authoritative
+//! server is scripted 45 minutes in. The failure rate (answers with
+//! rcode ≠ NoError during the outage) is measured along two axes:
+//!
+//! * **TTL** — 60 s / 3600 s / 86400 s. A 60 s TTL drains caches almost
+//!   immediately, a 1-day TTL carries every client through untouched.
+//! * **serve-stale** — off (RFC-faithful expiry) vs on (RFC 8767 with
+//!   the hardened-profile failure caching and server backoff). With
+//!   stale answers allowed, even a 60 s TTL bridges the outage.
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use crate::worlds;
+use dnsttl_analysis::{CsvWriter, Table};
+use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};
+use dnsttl_core::ResolverPolicy;
+use dnsttl_netsim::{
+    EventQueue, FaultPlan, LatencyModel, Network, Region, SimDuration, SimRng, SimTime,
+};
+use dnsttl_resolver::RecursiveResolver;
+use dnsttl_wire::{Name, Rcode, RecordType, Ttl};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn n(s: &str) -> Name {
+    Name::parse(s).expect("static experiment name")
+}
+
+/// When the scripted outage starts (45 simulated minutes in — long
+/// enough for every client to have the name cached).
+const OUTAGE_START_S: u64 = 2_700;
+/// How long the authoritative server stays dark.
+const OUTAGE_SECS: u64 = 3_600;
+/// How often each client re-resolves the name.
+const QUERY_GAP_S: u64 = 120;
+
+/// The scripted fault plan every cell of the matrix runs under: a hard
+/// one-hour outage of the sole authoritative server. Public so tests
+/// and `repro` can journal the identical script.
+pub fn outage_plan() -> FaultPlan {
+    let victim: std::net::IpAddr = "192.0.2.53".parse().expect("static addr");
+    FaultPlan::new().outage(
+        victim,
+        SimTime::from_secs(OUTAGE_START_S),
+        SimTime::from_secs(OUTAGE_START_S + OUTAGE_SECS),
+    )
+}
+
+/// One cell of the matrix: failure rate during the outage for a client
+/// population resolving a name published at `ttl`, under `policy`.
+struct CellResult {
+    queries: u64,
+    failures: u64,
+}
+
+impl CellResult {
+    fn rate(&self) -> f64 {
+        self.failures as f64 / self.queries.max(1) as f64
+    }
+}
+
+fn run_cell(cfg: &ExpConfig, ttl: Ttl, policy: ResolverPolicy, seed_tag: &str) -> CellResult {
+    // Constant latency, no background loss: the only failure mode is
+    // the scripted outage, so the curve isolates the TTL effect.
+    let mut net = Network::new(LatencyModel::constant(5.0)).with_faults(outage_plan());
+    net.set_telemetry(cfg.telemetry.clone());
+    let root = AuthoritativeServer::new("root").with_zone(
+        ZoneBuilder::new(".")
+            .ns("example", "ns.example", Ttl::TWO_DAYS)
+            .a("ns.example", "192.0.2.53", Ttl::TWO_DAYS)
+            .build(),
+    );
+    let victim_addr: std::net::IpAddr = "192.0.2.53".parse().expect("static addr");
+    let child = AuthoritativeServer::new("ns.example").with_zone(
+        ZoneBuilder::new("example")
+            .ns("example", "ns.example", ttl)
+            .a("ns.example", "192.0.2.53", ttl)
+            .a("www.example", "203.0.113.1", ttl)
+            .build(),
+    );
+    net.register(worlds::addrs::ROOT, Region::Eu, Rc::new(RefCell::new(root)));
+    net.register(victim_addr, Region::Eu, Rc::new(RefCell::new(child)));
+    let roots = worlds::root_hints();
+
+    let clients = (cfg.probes / 20).max(20);
+    let mut rng = SimRng::seed_from(cfg.seed_for(seed_tag) ^ ttl.as_secs() as u64);
+    let mut resolvers: Vec<RecursiveResolver> = (0..clients)
+        .map(|i| {
+            RecursiveResolver::new(
+                format!("c{i}"),
+                policy.clone(),
+                Region::ALL[rng.weighted_index(&Region::atlas_weights())],
+                i as u64,
+                roots.clone(),
+                rng.fork(i as u64),
+            )
+        })
+        .collect();
+
+    struct Tick {
+        client: usize,
+    }
+    let query_gap = SimDuration::from_secs(QUERY_GAP_S);
+    let outage_start = SimTime::from_secs(OUTAGE_START_S);
+    let outage_end = SimTime::from_secs(OUTAGE_START_S + OUTAGE_SECS);
+    let mut queue = EventQueue::new();
+    for i in 0..clients {
+        queue.schedule(
+            SimTime::from_millis(rng.below(query_gap.as_millis())),
+            Tick { client: i },
+        );
+    }
+    let end = outage_end + SimDuration::from_secs(600);
+    let mut cell = CellResult {
+        queries: 0,
+        failures: 0,
+    };
+    // Apply scheduled resolver cache flushes (none in this plan, but
+    // the polling contract is the same one chaos tests rely on).
+    let mut flushed_upto = SimTime::ZERO;
+    while let Some((now, tick)) = queue.pop() {
+        if now >= end {
+            continue;
+        }
+        if net.fault_plan().flushes_between(flushed_upto, now) > 0 {
+            for r in &mut resolvers {
+                r.apply_flush(now);
+            }
+        }
+        flushed_upto = now;
+        let out = resolvers[tick.client].resolve(&n("www.example"), RecordType::A, now, &mut net);
+        if now >= outage_start && now < outage_end {
+            cell.queries += 1;
+            cell.failures += (out.answer.header.rcode != Rcode::NoError) as u64;
+        }
+        queue.schedule(now + query_gap, tick);
+    }
+    cell
+}
+
+/// Runs the failure-rate-vs-TTL matrix and renders the report.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let ttls = [60u32, 3_600, 86_400];
+    let plan = outage_plan();
+
+    let mut report = Report::new(
+        "resilience",
+        "User-visible failure rate vs TTL under a scripted 1 h authoritative outage (§6.2)",
+    );
+    report.push(format!(
+        "fault plan: {} — outage of 192.0.2.53 over [{}s, {}s)",
+        plan.summary(),
+        OUTAGE_START_S,
+        OUTAGE_START_S + OUTAGE_SECS
+    ));
+
+    let mut table = Table::new(vec![
+        "TTL",
+        "serve-stale",
+        "queries in outage",
+        "failures",
+        "failure rate",
+    ]);
+    let mut rows: Vec<(u32, bool, CellResult)> = Vec::new();
+    for ttl in ttls {
+        for stale in [false, true] {
+            let policy = if stale {
+                ResolverPolicy::hardened()
+            } else {
+                ResolverPolicy::default()
+            };
+            let tag = if stale {
+                "resilience-stale"
+            } else {
+                "resilience"
+            };
+            let cell = run_cell(cfg, Ttl::from_secs(ttl), policy, tag);
+            let stale_label = if stale { "on" } else { "off" };
+            table.row(vec![
+                format!("{ttl}s"),
+                stale_label.into(),
+                cell.queries.to_string(),
+                cell.failures.to_string(),
+                format!("{:.3}", cell.rate()),
+            ]);
+            report.metric(
+                &format!("failrate_ttl_{ttl}_stale_{stale_label}"),
+                cell.rate(),
+            );
+            rows.push((ttl, stale, cell));
+        }
+    }
+    report.push(table.render());
+    report.push(
+        "paper §6.2: longer TTLs keep users online through authoritative outages\n\
+         (the Dyn-attack argument); RFC 8767 serve-stale extends that protection\n\
+         to short TTLs by bridging the outage with stale answers.",
+    );
+
+    if let Some(dir) = &cfg.out_dir {
+        let mut w = CsvWriter::new(
+            dir.join("resilience_failure_rate.csv"),
+            &[
+                "ttl_s",
+                "serve_stale",
+                "queries",
+                "failures",
+                "failure_rate",
+            ],
+        );
+        for (ttl, stale, cell) in &rows {
+            w.row(&[
+                ttl.to_string(),
+                if *stale { "on" } else { "off" }.into(),
+                cell.queries.to_string(),
+                cell.failures.to_string(),
+                format!("{:.6}", cell.rate()),
+            ]);
+        }
+        let _ = w.finish();
+        // Journal the exact outage script next to the CSVs; the run
+        // manifest lists it as an artifact.
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(dir.join("resilience_fault_plan.txt"), plan.to_text());
+        report.artifact("resilience_failure_rate.csv");
+        report.artifact("resilience_fault_plan.txt");
+    }
+
+    vec![report]
+}

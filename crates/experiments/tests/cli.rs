@@ -178,3 +178,134 @@ fn repro_bench_deterministic_section_is_byte_identical_across_reruns() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn repro_resilience_is_deterministic_and_writes_schema_csv() {
+    let base = std::env::temp_dir().join(format!("dnsttl-resil-{}", std::process::id()));
+    let mut outputs = Vec::new();
+    for run in ["r1", "r2"] {
+        let dir = base.join(run);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let out = repro()
+            .args(["--smoke", "--seed", "7", "resilience"])
+            .current_dir(&dir)
+            .output()
+            .expect("runs");
+        outputs.push(stdout_of(out));
+
+        let csv =
+            std::fs::read_to_string(dir.join("target/experiments/resilience_failure_rate.csv"))
+                .expect("resilience CSV written");
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("ttl_s,serve_stale,queries,failures,failure_rate"),
+            "CSV schema changed"
+        );
+        // 3 TTLs x serve-stale on/off.
+        assert_eq!(lines.count(), 6, "one row per matrix cell:\n{csv}");
+
+        // The exact outage script is journalled next to the CSVs and
+        // round-trips through the fault-plan codec.
+        let plan_text =
+            std::fs::read_to_string(dir.join("target/experiments/resilience_fault_plan.txt"))
+                .expect("fault plan journalled");
+        let plan = dnsttl_netsim::FaultPlan::parse(&plan_text).expect("parseable plan");
+        assert_eq!(plan.len(), 1, "one scripted outage");
+        let manifest =
+            std::fs::read_to_string(dir.join("target/experiments/resilience_manifest.json"))
+                .expect("manifest written");
+        assert!(
+            manifest.contains("resilience_fault_plan.txt"),
+            "manifest must list the fault plan artifact:\n{manifest}"
+        );
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "same-seed resilience reruns must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sdig_fault_plan_outage_causes_servfail() {
+    let dir = std::env::temp_dir().join(format!("dnsttl-plan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let plan = dir.join("outage.txt");
+    // All three .uy authoritatives dark for the first two hours.
+    std::fs::write(
+        &plan,
+        "# dnsttl-fault-plan/1\n\
+         outage 200.40.241.1 0 7200000\n\
+         outage 200.40.241.2 0 7200000\n\
+         outage 204.61.216.40 0 7200000\n",
+    )
+    .expect("plan written");
+    let out = stdout_of(
+        sdig()
+            .args(["www.gub.uy", "A", "--fault-plan"])
+            .arg(&plan)
+            .output()
+            .expect("runs"),
+    );
+    assert!(
+        out.contains(";; fault plan: 3 outage(s)"),
+        "plan summary missing:\n{out}"
+    );
+    let session = out
+        .lines()
+        .find(|l| l.starts_with(";; session:"))
+        .expect("session line");
+    assert!(
+        session.contains("1 servfails"),
+        "an outage of every child server must SERVFAIL the query: {session}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sdig_fault_plan_flush_forces_refetch() {
+    let dir = std::env::temp_dir().join(format!("dnsttl-flush-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let plan = dir.join("flush.txt");
+    std::fs::write(&plan, "flush 30000\n").expect("plan written");
+    // Two queries 60 s apart: without the flush the second is a cache
+    // hit (the .uy NS TTL is 300 s); the scripted flush at t=30 s
+    // forces a refetch instead.
+    let out = stdout_of(
+        sdig()
+            .args(["uy", "NS", "--repeat", "2", "--every", "60", "--fault-plan"])
+            .arg(&plan)
+            .output()
+            .expect("runs"),
+    );
+    assert!(
+        out.contains("cache flush applied"),
+        "flush must be reported:\n{out}"
+    );
+    assert_eq!(
+        out.matches("cache miss").count(),
+        2,
+        "the flush must turn the second query into a miss:\n{out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sdig_rejects_malformed_fault_plan() {
+    let dir = std::env::temp_dir().join(format!("dnsttl-badplan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let plan = dir.join("bad.txt");
+    std::fs::write(&plan, "outage not-an-ip 0\n").expect("plan written");
+    let out = sdig()
+        .args(["uy", "NS", "--fault-plan"])
+        .arg(&plan)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "malformed plan must be rejected");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bad fault plan"),
+        "stderr must explain the rejection"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

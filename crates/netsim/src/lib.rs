@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{parse_region, Degradation, Fault, FaultKind, FaultPlan};
 pub use latency::{LatencyModel, Region};
 pub use network::{
     ClientId, DnsService, ExchangeOutcome, Network, ServiceAddr, ServiceHandle, Transport,

@@ -12,6 +12,7 @@
 //! Queries and responses pass through the real wire codec on every
 //! exchange, so anything a server emits must be a legal DNS packet.
 
+use crate::fault::FaultPlan;
 use crate::latency::{LatencyModel, Region};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -126,6 +127,7 @@ pub struct Network {
     /// How long a client waits for a lost packet before retrying.
     pub query_timeout: SimDuration,
     telemetry: Telemetry,
+    faults: FaultPlan,
 }
 
 impl Network {
@@ -137,7 +139,28 @@ impl Network {
             latency,
             query_timeout: SimDuration::from_secs(2),
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Attaches a scripted [`FaultPlan`]; every exchange consults it by
+    /// simulation time. An empty plan (the default) injects nothing.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Network {
+        self.faults = plan;
+        self
+    }
+
+    /// Replaces the fault plan on an already-built network.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The fault plan in force (empty when none was attached). Drivers
+    /// poll [`FaultPlan::flushes_between`] through this to learn about
+    /// scheduled resolver cache flushes, which the fabric cannot apply
+    /// itself.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Attaches a telemetry handle; packet counters, loss events, and
@@ -287,12 +310,23 @@ impl Network {
     ) -> ExchangeOutcome {
         let timeout = self.query_timeout;
         self.telemetry.count("net_packets_sent", 1);
+        let degradation = self.faults.degradation(server, now);
         let Some(ep) = self.endpoints.get_mut(&server) else {
             self.telemetry.count("net_unknown_address", 1);
             return ExchangeOutcome::Timeout { elapsed: timeout };
         };
         if !ep.online {
             self.telemetry.count("net_server_offline", 1);
+            return ExchangeOutcome::Timeout { elapsed: timeout };
+        }
+        if self.faults.outage_active(server, now) {
+            self.telemetry.count("net_fault_outage", 1);
+            self.telemetry.event(now.as_millis(), EventKind::Fault, || {
+                vec![
+                    ("fault", "outage".into()),
+                    ("server", server.to_string().into()),
+                ]
+            });
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
         if self.latency.sample_loss(rng) {
@@ -306,17 +340,42 @@ impl Network {
                 });
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
+        // DDoS-style degradation: extra loss on top of the base model.
+        if let Some(deg) = degradation {
+            if deg.loss > 0.0 && rng.chance(deg.loss) {
+                self.telemetry.count("net_fault_degraded_drop", 1);
+                self.telemetry.event(now.as_millis(), EventKind::Fault, || {
+                    vec![
+                        ("fault", "degrade".into()),
+                        ("server", server.to_string().into()),
+                    ]
+                });
+                return ExchangeOutcome::Timeout { elapsed: timeout };
+            }
+        }
         // Anycast: BGP-like stable routing to the site with the lowest
-        // median RTT from the client's region.
+        // median RTT from the client's region. Sites in blacked-out
+        // regions are unreachable; anycast fails over around them,
+        // unicast goes dark.
         let site = ep
             .sites
             .iter()
+            .filter(|s| !self.faults.blackout_active(s.region, now))
             .min_by(|a, b| {
                 self.latency
                     .median_ms(client_region, a.region)
                     .total_cmp(&self.latency.median_ms(client_region, b.region))
-            })
-            .expect("endpoint has at least one site");
+            });
+        let Some(site) = site else {
+            self.telemetry.count("net_fault_blackout", 1);
+            self.telemetry.event(now.as_millis(), EventKind::Fault, || {
+                vec![
+                    ("fault", "blackout".into()),
+                    ("server", server.to_string().into()),
+                ]
+            });
+            return ExchangeOutcome::Timeout { elapsed: timeout };
+        };
         ep.queries_received += 1;
         ep.sources.insert((client_region, client_tag));
         if self.telemetry.is_enabled() && ep.sites.len() > 1 {
@@ -355,6 +414,10 @@ impl Network {
         if transport == Transport::Tcp {
             // Handshake before the query round trip.
             rtt = rtt + self.latency.sample_rtt(client_region, site.region, rng);
+        }
+        if let Some(deg) = degradation {
+            // Congested paths: inflate the sampled RTT.
+            rtt = SimDuration::from_millis((rtt.as_millis() as f64 * deg.latency_factor) as u64);
         }
         if self.telemetry.is_enabled() {
             self.telemetry.count("net_responses", 1);
@@ -512,7 +575,118 @@ mod tests {
             })
             .count();
         let rate = timeouts as f64 / n as f64;
-        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        // Binomial confidence bound, not a point assertion: the seeded
+        // stream still shifts when upstream draws are added (e.g. fault
+        // hooks), and a hard ±0.02 window flakes. 4.5σ on Bin(n, p)
+        // bounds the false-failure probability below 1e-5 for any
+        // stream the seed produces.
+        let p = 0.25;
+        let sigma = (p * (1.0 - p) / n as f64).sqrt();
+        let bound = 4.5 * sigma;
+        assert!(
+            (rate - p).abs() < bound,
+            "rate {rate} outside {p} ± {bound:.4} (4.5σ binomial bound, n={n})"
+        );
+    }
+
+    #[test]
+    fn scripted_outage_window_times_out_and_recovers() {
+        let plan =
+            FaultPlan::new().outage(addr(1), SimTime::from_secs(100), SimTime::from_secs(200));
+        let mut net = Network::new(LatencyModel::constant(5.0)).with_faults(plan);
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register(addr(1), Region::Eu, svc);
+        let mut rng = SimRng::seed_from(11);
+        let mut at = |secs: u64, rng: &mut SimRng| {
+            net.exchange(
+                Region::Eu,
+                0,
+                addr(1),
+                &query(),
+                SimTime::from_secs(secs),
+                rng,
+            )
+            .response()
+            .is_some()
+        };
+        assert!(at(99, &mut rng), "before the window the server answers");
+        assert!(!at(100, &mut rng), "window start: outage");
+        assert!(!at(199, &mut rng), "still inside the window");
+        assert!(at(200, &mut rng), "window end: recovered");
+        // Outage drops never reach the service.
+        assert_eq!(net.queries_received(addr(1)), 2);
+    }
+
+    #[test]
+    fn degradation_elevates_loss_and_inflates_rtt() {
+        let window_end = SimTime::from_secs(1_000_000);
+        let plan = FaultPlan::new().degrade(Some(addr(1)), SimTime::ZERO, window_end, 0.9, 4.0);
+        let mut net = Network::new(LatencyModel::constant(5.0)).with_faults(plan);
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register(addr(1), Region::Eu, svc);
+        let mut rng = SimRng::seed_from(12);
+        let n = 2_000;
+        let mut failures = 0usize;
+        for _ in 0..n {
+            match net.exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng) {
+                ExchangeOutcome::Response { rtt, .. } => {
+                    assert_eq!(
+                        rtt,
+                        SimDuration::from_millis(20),
+                        "4x the 5 ms constant RTT"
+                    );
+                }
+                ExchangeOutcome::Timeout { .. } => failures += 1,
+            }
+        }
+        let rate = failures as f64 / n as f64;
+        let sigma = (0.9f64 * 0.1 / n as f64).sqrt();
+        assert!(
+            (rate - 0.9).abs() < 4.5 * sigma,
+            "degraded loss rate {rate} outside 0.9 ± 4.5σ"
+        );
+        // Outside the window the path is clean again.
+        let out = net.exchange(Region::Eu, 0, addr(1), &query(), window_end, &mut rng);
+        assert_eq!(out.elapsed(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn blackout_darkens_unicast_but_anycast_fails_over() {
+        let plan = FaultPlan::new().blackout(Region::Eu, SimTime::ZERO, SimTime::from_secs(60));
+        let mut net =
+            Network::new(LatencyModel::internet().with_loss(0.0).with_sigma(0.0)).with_faults(plan);
+        let svc = Rc::new(RefCell::new(Fixed {
+            answer: Ipv4Addr::LOCALHOST,
+        }));
+        net.register(addr(1), Region::Eu, svc.clone());
+        net.register_anycast(addr(2), &[Region::Eu, Region::Na], svc);
+        let mut rng = SimRng::seed_from(13);
+        // Unicast in the blacked-out region: dark.
+        assert!(net
+            .exchange(Region::Eu, 0, addr(1), &query(), SimTime::ZERO, &mut rng)
+            .response()
+            .is_none());
+        // Anycast: the EU client reroutes to the surviving NA site.
+        let out = net.exchange(Region::Eu, 0, addr(2), &query(), SimTime::ZERO, &mut rng);
+        assert!(out.response().is_some());
+        let ms = out.elapsed().as_millis();
+        assert!(ms > 50, "EU→NA failover path, not the intra-EU {ms} ms one");
+        // After the blackout the unicast server answers again.
+        assert!(net
+            .exchange(
+                Region::Eu,
+                0,
+                addr(1),
+                &query(),
+                SimTime::from_secs(60),
+                &mut rng
+            )
+            .response()
+            .is_some());
     }
 
     /// A server whose answers exceed the UDP limit.

@@ -530,7 +530,7 @@ impl Cache {
         self.meta.borrow_mut().stats.stale_hits += 1;
         self.note(
             now,
-            CacheOp::Serve,
+            CacheOp::StaleServe,
             &e.rrset,
             e.rank,
             e.provenance,
@@ -568,6 +568,47 @@ impl Cache {
             (name, rtype),
             NegEntry {
                 rcode,
+                expires_at: now + ttl_span(ttl),
+            },
+        );
+    }
+
+    /// Caches an *upstream failure* (SERVFAIL / every server dead) for
+    /// `ttl`, per RFC 2308 §7: subsequent queries for the key are
+    /// answered from this entry instead of hammering dead servers —
+    /// RFC 8767's "failure recheck timer". Journalled as a
+    /// [`CacheOp::NegCache`] transaction so provenance forensics see
+    /// the outage response, even though no RRset is held.
+    pub fn store_failure(&mut self, name: Name, rtype: RecordType, ttl: Ttl, now: SimTime) {
+        if ttl.is_zero() {
+            return;
+        }
+        // RFC 2308 §7: failures must not be cached for longer than
+        // five minutes.
+        let ttl = ttl.min(Ttl::from_secs(300));
+        let shell = RRset {
+            name: name.clone(),
+            rtype,
+            ttl,
+            rdatas: vec![],
+        };
+        self.note(
+            now,
+            CacheOp::NegCache,
+            &shell,
+            Credibility::AuthAuthority,
+            Provenance {
+                original_ttl: ttl,
+                effective_ttl: ttl,
+                ..Provenance::default()
+            },
+            None,
+            0,
+        );
+        self.negatives.insert(
+            (name, rtype),
+            NegEntry {
+                rcode: Rcode::ServFail,
                 expires_at: now + ttl_span(ttl),
             },
         );
@@ -637,6 +678,8 @@ fn event_kind(op: CacheOp) -> EventKind {
         CacheOp::Expire => EventKind::CacheExpiredDrop,
         CacheOp::Evict => EventKind::CacheEvict,
         CacheOp::Invalidate => EventKind::CacheInvalidate,
+        CacheOp::StaleServe => EventKind::CacheStaleServe,
+        CacheOp::NegCache => EventKind::NegCache,
     }
 }
 
@@ -1139,5 +1182,126 @@ mod tests {
         assert!(c
             .get(&n("b.example"), RecordType::A, SimTime::from_secs(120))
             .is_some());
+    }
+
+    /// Seeded property test: across random insert / time-advance /
+    /// stale-query sequences, an answer's effective age never exceeds
+    /// its original TTL + max-stale, and the fresh/stale/gone regimes
+    /// match a shadow model exactly.
+    #[test]
+    fn stale_serving_never_exceeds_ttl_plus_max_stale() {
+        let max_stale = Ttl::from_secs(300);
+        for seed in 0..16u64 {
+            let mut rng = dnsttl_netsim::SimRng::seed_from(0xC4A0_5000 + seed);
+            let mut c = Cache::new();
+            let mut now = SimTime::ZERO;
+            // Shadow model: when the single tracked name was last
+            // stored, and with what TTL.
+            let mut shadow: Option<(SimTime, u64)> = None;
+            for _ in 0..400 {
+                match rng.below(3) {
+                    0 => {
+                        let ttl = 60 + rng.below(540) as u32;
+                        c.store(
+                            a_rrset("p.example", ttl, 1),
+                            Credibility::AuthAnswer,
+                            now,
+                            &policy(),
+                            false,
+                        );
+                        shadow = Some((now, ttl as u64));
+                    }
+                    1 => {
+                        now += SimDuration::from_secs(1 + rng.below(200));
+                    }
+                    _ => {
+                        let got = c.get_stale(&n("p.example"), RecordType::A, now, max_stale);
+                        match shadow {
+                            None => assert!(got.is_none(), "seed {seed}: answer before insert"),
+                            Some((stored, ttl)) => {
+                                let age = now.secs_since(stored);
+                                if let Some(ans) = &got {
+                                    assert!(
+                                        age <= ttl + max_stale.as_secs() as u64,
+                                        "seed {seed}: served at age {age}s, ttl {ttl}s \
+                                         + max-stale {}s exceeded",
+                                        max_stale.as_secs()
+                                    );
+                                    assert_eq!(ans.stale, age >= ttl, "seed {seed}: regime");
+                                }
+                                if age < ttl {
+                                    assert!(got.is_some(), "seed {seed}: fresh entry unserved");
+                                } else if age > ttl + max_stale.as_secs() as u64 {
+                                    assert!(got.is_none(), "seed {seed}: over-stale served");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seeded property test: however stale an entry has become, a
+    /// successful refresh (re-store) always resets staleness — the next
+    /// lookup is fresh with the full new TTL.
+    #[test]
+    fn refresh_always_resets_staleness() {
+        let max_stale = Ttl::DAY;
+        for seed in 0..16u64 {
+            let mut rng = dnsttl_netsim::SimRng::seed_from(0x5EED_0000 + seed);
+            let mut c = Cache::new();
+            let ttl = 60 + rng.below(540) as u32;
+            c.store(
+                a_rrset("r.example", ttl, 1),
+                Credibility::AuthAnswer,
+                SimTime::ZERO,
+                &policy(),
+                false,
+            );
+            // Let it go stale by a random margin inside the window.
+            let stale_by = 1 + rng.below(max_stale.as_secs() as u64 - ttl as u64);
+            let when = SimTime::from_secs(ttl as u64 + stale_by);
+            let before = c
+                .get_stale(&n("r.example"), RecordType::A, when, max_stale)
+                .expect("inside max-stale window");
+            assert!(before.stale, "seed {seed}: expected a stale answer");
+            assert_eq!(before.rrset.ttl.as_secs(), 30, "stale answers carry 30 s");
+            // Refresh with new data at the same instant.
+            let new_ttl = 60 + rng.below(540) as u32;
+            c.store(
+                a_rrset("r.example", new_ttl, 2),
+                Credibility::AuthAnswer,
+                when,
+                &policy(),
+                false,
+            );
+            let after = c
+                .get_stale(&n("r.example"), RecordType::A, when, max_stale)
+                .expect("just refreshed");
+            assert!(!after.stale, "seed {seed}: refresh must reset staleness");
+            assert_eq!(after.rrset.ttl.as_secs(), new_ttl, "full TTL after refresh");
+            assert_eq!(after.rrset.rdatas, a_rrset("r.example", 0, 2).rdatas);
+        }
+    }
+
+    #[test]
+    fn failure_caching_is_capped_at_five_minutes() {
+        let mut c = Cache::new();
+        c.enable_ledger();
+        c.store_failure(n("down.example"), RecordType::A, Ttl::HOUR, SimTime::ZERO);
+        // RFC 2308 §7: upstream-failure entries live at most 5 minutes.
+        assert_eq!(
+            c.get_negative(&n("down.example"), RecordType::A, SimTime::from_secs(299)),
+            Some(Rcode::ServFail)
+        );
+        assert_eq!(
+            c.get_negative(&n("down.example"), RecordType::A, SimTime::from_secs(300)),
+            None
+        );
+        let neg_caches = c
+            .with_ledger(|l| l.cells().map(|(_, cell)| cell.neg_caches).sum::<u64>())
+            .unwrap();
+        assert_eq!(neg_caches, 1);
     }
 }

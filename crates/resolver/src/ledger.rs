@@ -198,6 +198,11 @@ pub struct LedgerCell {
     pub evictions: u64,
     /// Explicit deaths.
     pub invalidations: u64,
+    /// Serve-stale answers: expired entries served past TTL while the
+    /// authoritatives were unreachable (RFC 8767).
+    pub stale_serves: u64,
+    /// Upstream failures negatively cached (RFC 2308 §7).
+    pub neg_caches: u64,
     /// Residency at death, milliseconds — one sample per removal.
     /// Feeding these to an ECDF reproduces the effective-lifetime
     /// distributions of Figures 5–8.
@@ -214,6 +219,8 @@ impl LedgerCell {
             CacheOp::Expire => self.expiries += 1,
             CacheOp::Evict => self.evictions += 1,
             CacheOp::Invalidate => self.invalidations += 1,
+            CacheOp::StaleServe => self.stale_serves += 1,
+            CacheOp::NegCache => self.neg_caches += 1,
         }
         if op.is_removal() {
             if let Some(res) = residency_ms {

@@ -56,6 +56,12 @@ pub struct ResolverStats {
     pub prefetches: u64,
     /// Truncated UDP responses retried over TCP.
     pub tcp_fallbacks: u64,
+    /// Candidate servers skipped because they were in exponential
+    /// backoff after repeated failures.
+    pub backoff_skips: u64,
+    /// Upstream failures cached per RFC 2308 §7 (and answered from the
+    /// failure cache without re-probing dead servers).
+    pub failure_caches: u64,
 }
 
 /// What one client question cost and produced.
@@ -74,6 +80,18 @@ pub struct ResolutionOutcome {
     pub served_stale: bool,
     /// Upstream queries sent for this question.
     pub upstream_queries: u32,
+}
+
+/// Per-server exponential-backoff state (the "dead server" memory of
+/// BIND/Unbound): after a server times out on every retry, it is
+/// skipped for a growing interval instead of being re-probed by every
+/// client question.
+#[derive(Debug, Clone, Copy)]
+struct BackoffState {
+    /// Consecutive all-retries-failed episodes.
+    failures: u32,
+    /// Do not contact the server again before this instant.
+    until: SimTime,
 }
 
 /// Per-question bookkeeping threaded through recursion.
@@ -113,6 +131,9 @@ pub struct RecursiveResolver {
     /// Zone apex → server address that answered for it last
     /// (sticky-resolver state, §4.4).
     sticky_server: HashMap<Name, IpAddr>,
+    /// Server address → backoff state (only populated when the policy
+    /// enables `server_backoff`).
+    backoff: HashMap<IpAddr, BackoffState>,
     stats: ResolverStats,
     telemetry: Telemetry,
     next_id: u16,
@@ -146,6 +167,7 @@ impl RecursiveResolver {
             roots,
             rng,
             sticky_server: HashMap::new(),
+            backoff: HashMap::new(),
             stats: ResolverStats::default(),
             telemetry: Telemetry::disabled(),
             next_id: 1,
@@ -201,6 +223,21 @@ impl RecursiveResolver {
     pub fn clear_cache(&mut self) {
         self.cache.clear();
         self.sticky_server.clear();
+    }
+
+    /// Applies a scheduled cache-flush fault
+    /// ([`FaultKind::Flush`](dnsttl_netsim::FaultKind::Flush)): wipes
+    /// positive, negative, sticky and backoff state the way an operator
+    /// `rndc flush` or a resolver restart would, and journals the event.
+    pub fn apply_flush(&mut self, now: SimTime) {
+        let label = self.label.clone();
+        self.telemetry.event(now.as_millis(), EventKind::Fault, || {
+            vec![("fault", "flush".into()), ("resolver", label.into())]
+        });
+        self.telemetry.count("resolver_fault_flushes", 1);
+        self.cache.clear();
+        self.sticky_server.clear();
+        self.backoff.clear();
     }
 
     /// Accumulated counters.
@@ -260,6 +297,31 @@ impl RecursiveResolver {
             span,
         };
         let resolved = self.resolve_inner(qname, qtype, now, net, &mut ctx, 0);
+
+        // RFC 2308 §7 / RFC 8767 §5: a resolution that ended in failure
+        // or had to fall back to stale data means the authoritatives
+        // are unreachable — cache that fact so follow-up queries inside
+        // the recheck window answer immediately (stale or SERVFAIL)
+        // instead of re-probing dead servers.
+        if let Some(failure_ttl) = self.policy.upstream_failure_ttl {
+            let upstream_dead = matches!(
+                &resolved,
+                Resolved::Fail | Resolved::Answer { stale: true, .. }
+            );
+            // `ctx.elapsed > 0` ⇔ servers were actually probed this
+            // question (timeouts count toward elapsed but not toward
+            // `ctx.upstream`); answers straight from the failure cache
+            // must not refresh the failure TTL forever.
+            if upstream_dead && ctx.elapsed > SimDuration::ZERO {
+                self.cache
+                    .store_failure(qname.clone(), qtype, failure_ttl, now);
+                bump(
+                    &mut self.stats.failure_caches,
+                    &self.telemetry,
+                    "resolver_failure_caches",
+                );
+            }
+        }
 
         let mut answer = Message::query(self.next_msg_id(), qname.clone(), qtype);
         answer.header.response = true;
@@ -387,6 +449,12 @@ impl RecursiveResolver {
             return Resolved::Fail;
         }
         if let Some(rcode) = self.cache.get_negative(qname, qtype, now) {
+            if rcode == Rcode::ServFail {
+                // A cached upstream failure (RFC 2308 §7): answer
+                // without touching the dead servers — stale data if
+                // serve-stale allows, SERVFAIL otherwise.
+                return self.fail_or_stale(qname, qtype, now);
+            }
             return Resolved::Negative(rcode);
         }
         let bypass = ctx.refresh_target.as_ref() == Some(&(qname.clone(), qtype));
@@ -835,6 +903,10 @@ impl RecursiveResolver {
     ) -> Option<(Message, bool, IpAddr)> {
         let from_root = zone.is_root();
         for (_, addr) in candidates {
+            if self.in_backoff(*addr, now, ctx) {
+                continue;
+            }
+            let mut responded = false;
             for attempt in 0..=self.policy.retries {
                 if attempt > 0 {
                     self.telemetry
@@ -886,6 +958,8 @@ impl RecursiveResolver {
                 }
                 match outcome {
                     ExchangeOutcome::Response { message, .. } => {
+                        responded = true;
+                        self.backoff.remove(addr);
                         ctx.upstream += 1;
                         bump(
                             &mut self.stats.upstream_queries,
@@ -919,8 +993,57 @@ impl RecursiveResolver {
                     }
                 }
             }
+            if !responded {
+                self.record_server_failure(*addr, now);
+            }
         }
         None
+    }
+
+    /// Whether `addr` is inside its exponential-backoff window; the
+    /// skip is journalled so a trace shows which servers a resolution
+    /// declined to probe.
+    fn in_backoff(&mut self, addr: IpAddr, now: SimTime, ctx: &Ctx) -> bool {
+        if self.policy.server_backoff.is_none() {
+            return false;
+        }
+        let Some(b) = self.backoff.get(&addr) else {
+            return false;
+        };
+        if now >= b.until {
+            return false;
+        }
+        let until_ms = b.until.as_millis();
+        bump(
+            &mut self.stats.backoff_skips,
+            &self.telemetry,
+            "resolver_backoff_skips",
+        );
+        self.telemetry
+            .span_event(ctx.span, now.as_millis(), EventKind::Backoff, || {
+                vec![
+                    ("server", addr.to_string().into()),
+                    ("until_ms", until_ms.into()),
+                ]
+            });
+        true
+    }
+
+    /// Marks `addr` dead for an exponentially growing interval (base ×
+    /// 2^(failures−1), capped at 64× base) after it timed out on every
+    /// retry of one exchange episode.
+    fn record_server_failure(&mut self, addr: IpAddr, now: SimTime) {
+        let Some(base) = self.policy.server_backoff else {
+            return;
+        };
+        let entry = self.backoff.entry(addr).or_insert(BackoffState {
+            failures: 0,
+            until: SimTime::ZERO,
+        });
+        entry.failures = entry.failures.saturating_add(1);
+        let exponent = (entry.failures - 1).min(6);
+        let delay = SimDuration::from_secs(base.as_secs() as u64).saturating_mul(1 << exponent);
+        entry.until = now + delay;
     }
 
     /// Stores every RRset of a response into the cache with the rank

@@ -1,0 +1,248 @@
+//! Seeded chaos matrix: {outage, DDoS degradation, flush} ×
+//! {serve-stale on/off} × 3 TTLs, from fixed seeds.
+//!
+//! Each cell drives one recursive resolver through a scripted
+//! [`FaultPlan`] and checks the dnsttl-chaos invariants:
+//!
+//! * **staleness bound** — no answer is ever served past
+//!   `original TTL + max-stale` of the last fresh answer (RFC 8767);
+//! * **ledger conservation** — `inserts == removals + live entries`
+//!   still holds when expiry and flushes are injected mid-run;
+//! * **TTL monotonicity** — during an outage the user-visible failure
+//!   rate strictly decreases as the published TTL grows.
+
+use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};
+use dnsttl_core::ResolverPolicy;
+use dnsttl_netsim::{FaultPlan, LatencyModel, Network, Region, ServiceHandle, SimRng, SimTime};
+use dnsttl_resolver::{RecursiveResolver, RootHint};
+use dnsttl_wire::{Name, Rcode, RecordType, Ttl};
+use std::cell::RefCell;
+use std::net::IpAddr;
+use std::rc::Rc;
+
+const ROOT_ADDR: &str = "198.41.0.4";
+const CHILD_ADDR: &str = "192.0.2.53";
+/// Fault window shared by the outage and degradation scenarios.
+const FAULT_FROM_S: u64 = 2_700;
+const FAULT_UNTIL_S: u64 = 6_300;
+/// One query per minute until 25 min past the fault window.
+const QUERY_GAP_S: u64 = 60;
+const HORIZON_S: u64 = 7_800;
+/// The serve-stale window configured on the hardened arm.
+const MAX_STALE: Ttl = Ttl::from_secs(7_200);
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Scenario {
+    Outage,
+    Ddos,
+    Flush,
+}
+
+impl Scenario {
+    fn plan(self) -> FaultPlan {
+        let child: IpAddr = CHILD_ADDR.parse().unwrap();
+        let from = SimTime::from_secs(FAULT_FROM_S);
+        let until = SimTime::from_secs(FAULT_UNTIL_S);
+        match self {
+            Scenario::Outage => FaultPlan::new().outage(child, from, until),
+            Scenario::Ddos => FaultPlan::new().degrade(Some(child), from, until, 0.9, 4.0),
+            Scenario::Flush => FaultPlan::new()
+                .flush_at(SimTime::from_secs(1_000))
+                .flush_at(SimTime::from_secs(3_000))
+                .flush_at(SimTime::from_secs(5_000)),
+        }
+    }
+}
+
+fn world(ttl: Ttl) -> (Network, Vec<RootHint>) {
+    let root_addr: IpAddr = ROOT_ADDR.parse().unwrap();
+    let child_addr: IpAddr = CHILD_ADDR.parse().unwrap();
+    let root = AuthoritativeServer::new("root").with_zone(
+        ZoneBuilder::new(".")
+            .ns("example", "ns.example", Ttl::TWO_DAYS)
+            .a("ns.example", CHILD_ADDR, Ttl::TWO_DAYS)
+            .build(),
+    );
+    let child = AuthoritativeServer::new("ns.example").with_zone(
+        ZoneBuilder::new("example")
+            .ns("example", "ns.example", ttl)
+            .a("ns.example", CHILD_ADDR, ttl)
+            .a("www.example", "203.0.113.1", ttl)
+            .build(),
+    );
+    let mut net = Network::new(LatencyModel::constant(5.0));
+    let root: ServiceHandle = Rc::new(RefCell::new(root));
+    let child: ServiceHandle = Rc::new(RefCell::new(child));
+    net.register(root_addr, Region::Eu, root);
+    net.register(child_addr, Region::Eu, child);
+    let hints = vec![RootHint {
+        ns_name: Name::parse("root").unwrap(),
+        addr: root_addr,
+    }];
+    (net, hints)
+}
+
+fn policy(serve_stale: bool) -> ResolverPolicy {
+    if serve_stale {
+        ResolverPolicy {
+            serve_stale: Some(MAX_STALE),
+            ..ResolverPolicy::hardened()
+        }
+    } else {
+        ResolverPolicy::default()
+    }
+}
+
+struct CellOutcome {
+    in_window_queries: u64,
+    in_window_failures: u64,
+}
+
+impl CellOutcome {
+    fn rate(&self) -> f64 {
+        self.in_window_failures as f64 / self.in_window_queries.max(1) as f64
+    }
+}
+
+/// Runs one cell of the matrix and checks the per-query staleness
+/// bound plus the ledger conservation law.
+fn run_cell(scenario: Scenario, ttl: Ttl, serve_stale: bool, seed: u64) -> CellOutcome {
+    let (mut net, hints) = world(ttl);
+    net.set_faults(scenario.plan());
+    let mut resolver = RecursiveResolver::new(
+        "chaos",
+        policy(serve_stale),
+        Region::Eu,
+        7,
+        hints,
+        SimRng::seed_from(seed),
+    );
+    resolver.enable_cache_ledger();
+    let qname = Name::parse("www.example").unwrap();
+
+    let mut out_cell = CellOutcome {
+        in_window_queries: 0,
+        in_window_failures: 0,
+    };
+    let mut last_fresh: Option<SimTime> = None;
+    let mut flushed_upto = SimTime::ZERO;
+    let mut t = 0u64;
+    while t < HORIZON_S {
+        let now = SimTime::from_secs(t);
+        if net.fault_plan().flushes_between(flushed_upto, now) > 0 {
+            resolver.apply_flush(now);
+        }
+        flushed_upto = now;
+        let out = resolver.resolve(&qname, RecordType::A, now, &mut net);
+        let ok = out.answer.header.rcode == Rcode::NoError && !out.answer.answers.is_empty();
+        if out.served_stale {
+            // RFC 8767: a stale answer's effective age can never exceed
+            // the record's TTL + max-stale. `last_fresh` is at or after
+            // the store time, so this bound is implied by the cache's.
+            let anchor = last_fresh.expect("stale answers need a prior fresh one");
+            let age = now.secs_since(anchor);
+            assert!(
+                age <= ttl.as_secs() as u64 + MAX_STALE.as_secs() as u64,
+                "{scenario:?} ttl={} stale={serve_stale}: stale answer at +{age}s \
+                 exceeds ttl+max-stale",
+                ttl.as_secs(),
+            );
+        } else if ok {
+            last_fresh = Some(now);
+        }
+        let in_window = (FAULT_FROM_S..FAULT_UNTIL_S).contains(&t);
+        if in_window {
+            out_cell.in_window_queries += 1;
+            out_cell.in_window_failures += (!ok) as u64;
+        }
+        t += QUERY_GAP_S;
+    }
+
+    // Conservation law: every insert is still live or attributed to
+    // exactly one removal cause, flushes and injected expiry included.
+    let stats = resolver.cache().stats();
+    let live = resolver.cache().len() as u64;
+    assert_eq!(
+        stats.inserts,
+        stats.removals() + live,
+        "{scenario:?} ttl={} stale={serve_stale}: conservation violated \
+         (inserts={} removals={} live={live})",
+        ttl.as_secs(),
+        stats.inserts,
+        stats.removals(),
+    );
+    out_cell
+}
+
+const TTLS: [u32; 3] = [60, 3_600, 86_400];
+
+#[test]
+fn outage_failure_rate_strictly_decreases_with_ttl() {
+    for (stale, seed) in [(false, 0xC4A0_0001u64), (true, 0xC4A0_0002)] {
+        let rates: Vec<f64> = TTLS
+            .iter()
+            .map(|&ttl| run_cell(Scenario::Outage, Ttl::from_secs(ttl), stale, seed).rate())
+            .collect();
+        if stale {
+            // Serve-stale bridges the whole outage at every TTL.
+            for (ttl, rate) in TTLS.iter().zip(&rates) {
+                assert_eq!(
+                    *rate, 0.0,
+                    "serve-stale should erase outage failures at ttl={ttl}"
+                );
+            }
+        } else {
+            assert!(
+                rates[0] > rates[1] && rates[1] > rates[2],
+                "failure rate must strictly decrease with TTL, got {rates:?}"
+            );
+            assert_eq!(rates[2], 0.0, "a 1-day TTL rides out a 1-hour outage");
+        }
+    }
+}
+
+#[test]
+fn ddos_degradation_failures_shrink_with_ttl_and_vanish_with_stale() {
+    let seed = 0xC4A0_0003u64;
+    let off: Vec<f64> = TTLS
+        .iter()
+        .map(|&ttl| run_cell(Scenario::Ddos, Ttl::from_secs(ttl), false, seed).rate())
+        .collect();
+    assert!(
+        off[0] >= off[1] && off[1] >= off[2] && off[0] > off[2],
+        "degradation failures must shrink with TTL, got {off:?}"
+    );
+    let on: Vec<f64> = TTLS
+        .iter()
+        .map(|&ttl| run_cell(Scenario::Ddos, Ttl::from_secs(ttl), true, seed).rate())
+        .collect();
+    for (ttl, (rate_on, rate_off)) in TTLS.iter().zip(on.iter().zip(&off)) {
+        assert!(
+            rate_on <= rate_off,
+            "serve-stale must not increase failures (ttl={ttl}: {rate_on} > {rate_off})"
+        );
+    }
+}
+
+#[test]
+fn scheduled_flushes_keep_the_ledger_conserved() {
+    // No outage: flushes force refetches but never user-visible
+    // failures, and `run_cell` asserts conservation after the clears.
+    for (stale, seed) in [(false, 0xC4A0_0004u64), (true, 0xC4A0_0005)] {
+        for ttl in TTLS {
+            let cell = run_cell(Scenario::Flush, Ttl::from_secs(ttl), stale, seed);
+            assert_eq!(
+                cell.in_window_failures, 0,
+                "flushes alone must not fail queries (ttl={ttl} stale={stale})"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_cells_are_seed_deterministic() {
+    let a = run_cell(Scenario::Ddos, Ttl::from_secs(60), true, 0xC4A0_0006);
+    let b = run_cell(Scenario::Ddos, Ttl::from_secs(60), true, 0xC4A0_0006);
+    assert_eq!(a.in_window_queries, b.in_window_queries);
+    assert_eq!(a.in_window_failures, b.in_window_failures);
+}

@@ -41,6 +41,16 @@ pub enum CacheOp {
     /// An entry was removed by explicit invalidation (e.g. the
     /// authoritative side renumbered and the harness flushed the name).
     Invalidate,
+    /// An *expired* entry answered a client query past its TTL because
+    /// every authoritative server was unreachable (RFC 8767
+    /// serve-stale). Not a removal: the entry stays resident until its
+    /// stale window also lapses.
+    StaleServe,
+    /// An upstream failure (SERVFAIL / all-servers-dead) was negatively
+    /// cached per RFC 2308 §7, shielding the servers from retry storms.
+    /// Tracked in the ledger because it shapes what clients observe,
+    /// but it never holds an RRset, so it is not a residency event.
+    NegCache,
 }
 
 impl CacheOp {
@@ -54,6 +64,8 @@ impl CacheOp {
             CacheOp::Expire => "expire",
             CacheOp::Evict => "evict",
             CacheOp::Invalidate => "invalidate",
+            CacheOp::StaleServe => "stale_serve",
+            CacheOp::NegCache => "neg_cache",
         }
     }
 
@@ -67,6 +79,8 @@ impl CacheOp {
             "expire" => CacheOp::Expire,
             "evict" => CacheOp::Evict,
             "invalidate" => CacheOp::Invalidate,
+            "stale_serve" => CacheOp::StaleServe,
+            "neg_cache" => CacheOp::NegCache,
             _ => return None,
         })
     }
@@ -81,7 +95,7 @@ impl CacheOp {
     }
 
     /// All ops, in codec order.
-    pub const ALL: [CacheOp; 7] = [
+    pub const ALL: [CacheOp; 9] = [
         CacheOp::Insert,
         CacheOp::Refresh,
         CacheOp::Overwrite,
@@ -89,6 +103,8 @@ impl CacheOp {
         CacheOp::Expire,
         CacheOp::Evict,
         CacheOp::Invalidate,
+        CacheOp::StaleServe,
+        CacheOp::NegCache,
     ];
 }
 

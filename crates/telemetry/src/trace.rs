@@ -68,6 +68,18 @@ pub enum EventKind {
     /// A cached entry was removed by an explicit invalidation (e.g.
     /// after an authoritative renumbering).
     CacheInvalidate,
+    /// An expired cached entry answered a client past its TTL
+    /// (RFC 8767 serve-stale; ledger-level counterpart of
+    /// [`EventKind::CacheStale`]).
+    CacheStaleServe,
+    /// An upstream failure was negatively cached (RFC 2308 §7).
+    NegCache,
+    /// A candidate server was skipped because it is in exponential
+    /// backoff after repeated failures.
+    Backoff,
+    /// A scripted fault (outage, degradation, blackout) affected an
+    /// exchange or a cache flush fired.
+    Fault,
     /// Anything else; the string is the event name.
     Custom(&'static str),
 }
@@ -101,6 +113,10 @@ impl EventKind {
             EventKind::CacheEvict => "cache_evict",
             EventKind::CacheExpiredDrop => "cache_expired_drop",
             EventKind::CacheInvalidate => "cache_invalidate",
+            EventKind::CacheStaleServe => "cache_stale_serve",
+            EventKind::NegCache => "neg_cache",
+            EventKind::Backoff => "backoff",
+            EventKind::Fault => "fault",
             EventKind::Custom(name) => name,
         }
     }

@@ -2,8 +2,8 @@
 //! experiment suite. Each test names the claim it guards.
 
 use dnsttl::experiments::{
-    bailiwick_exp, centricity, controlled, crawl_exp, passive_nl, table1, uy_latency, ExpConfig,
-    Report,
+    bailiwick_exp, centricity, controlled, crawl_exp, passive_nl, resilience, table1, uy_latency,
+    ExpConfig, Report,
 };
 
 fn cfg() -> ExpConfig {
@@ -108,4 +108,38 @@ fn finding_caching_beats_anycast_at_the_median() {
     let fig11b = by_id(&reports, "fig11b");
     assert!(fig11b.get("median_ttl86400_s") < fig11b.get("median_anycast"));
     assert!(fig11b.get("p95_anycast") < fig11b.get("p95_ttl60_s"));
+}
+
+#[test]
+fn finding_long_ttls_ride_out_authoritative_outages() {
+    // §6.2 (the Dyn-attack argument): under a scheduled 1 h outage of
+    // the authoritative server, a 1-day TTL keeps the user-visible
+    // failure rate at least an order of magnitude below a 60 s TTL —
+    // and RFC 8767 serve-stale drives it to ~0 for cached names.
+    let reports = resilience::run(&cfg());
+    let r = by_id(&reports, "resilience");
+    let short = r.get("failrate_ttl_60_stale_off");
+    let long = r.get("failrate_ttl_86400_stale_off");
+    assert!(
+        long * 10.0 <= short,
+        "TTL=86400 must fail at least 10x less than TTL=60: {long} vs {short}"
+    );
+    assert!(
+        short > 0.5,
+        "a 60 s TTL cannot bridge a 1 h outage: {short}"
+    );
+    for ttl in [60, 3_600, 86_400] {
+        let stale = r.get(&format!("failrate_ttl_{ttl}_stale_on"));
+        assert!(
+            stale < 0.01,
+            "serve-stale must erase outage failures at ttl={ttl}: {stale}"
+        );
+    }
+    // Same-seed reruns are byte-identical, rendered metrics included.
+    let again = resilience::run(&cfg());
+    assert_eq!(
+        r.render(),
+        by_id(&again, "resilience").render(),
+        "resilience runs must be deterministic for a fixed seed"
+    );
 }

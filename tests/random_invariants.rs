@@ -35,6 +35,8 @@ fn gen_policy(rng: &mut SimRng) -> ResolverPolicy {
             .then(|| Ttl::from_secs(rng.range_u64(1, 601) as u32)),
         link_inbailiwick_glue: rng.chance(0.5),
         serve_stale: rng.chance(0.5).then_some(Ttl::DAY),
+        upstream_failure_ttl: rng.chance(0.5).then_some(Ttl::from_secs(30)),
+        server_backoff: rng.chance(0.5).then_some(Ttl::from_secs(1)),
         local_root: false,
         sticky: rng.chance(0.5),
         retries: 1,
