@@ -5,14 +5,18 @@
 //! examining per-group query counts (Figure 3) and minimum interarrival
 //! times (Figure 4). These helpers implement that pipeline generically.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Groups `(key, time)` events into per-key sorted time lists.
-pub fn group_by<K: Eq + Hash + Clone>(
+///
+/// Returns an ordered map so that iterating the groups feeds downstream
+/// emission (CSV rows, counters) in key order — consumers must never
+/// inherit hash-map iteration order, which would vary run to run and
+/// break byte-identical output.
+pub fn group_by<K: Ord + Clone>(
     events: impl IntoIterator<Item = (K, u64)>,
-) -> HashMap<K, Vec<u64>> {
-    let mut groups: HashMap<K, Vec<u64>> = HashMap::new();
+) -> BTreeMap<K, Vec<u64>> {
+    let mut groups: BTreeMap<K, Vec<u64>> = BTreeMap::new();
     for (k, t) in events {
         groups.entry(k).or_default().push(t);
     }
@@ -46,6 +50,13 @@ mod tests {
         let groups = group_by(vec![("a", 30u64), ("b", 5), ("a", 10), ("a", 20)]);
         assert_eq!(groups["a"], vec![10, 20, 30]);
         assert_eq!(groups["b"], vec![5]);
+    }
+
+    #[test]
+    fn grouping_iterates_in_key_order() {
+        let groups = group_by(vec![("z", 1u64), ("a", 2), ("m", 3), ("a", 4)]);
+        let keys: Vec<&str> = groups.keys().copied().collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
     }
 
     #[test]

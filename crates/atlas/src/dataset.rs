@@ -123,8 +123,8 @@ impl Dataset {
 
     /// Distinct probes whose results were all valid.
     pub fn distinct_valid_probes(&self) -> usize {
-        use std::collections::HashMap;
-        let mut by_probe: HashMap<u32, bool> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut by_probe: BTreeMap<u32, bool> = BTreeMap::new();
         for r in &self.results {
             *by_probe.entry(r.probe_id).or_insert(true) &= r.valid;
         }
@@ -153,14 +153,37 @@ impl Dataset {
 
     /// Per-VP iterator over result indices, for behavioural
     /// classification (sticky detection in Table 4). The key is
-    /// (probe index, resolver slot).
-    pub fn by_vp(&self) -> std::collections::HashMap<(usize, usize), Vec<&MeasurementResult>> {
-        let mut map: std::collections::HashMap<(usize, usize), Vec<&MeasurementResult>> =
-            std::collections::HashMap::new();
+    /// (probe index, resolver slot). Ordered so that iteration feeds
+    /// downstream aggregation in a deterministic key order.
+    pub fn by_vp(&self) -> std::collections::BTreeMap<(usize, usize), Vec<&MeasurementResult>> {
+        let mut map: std::collections::BTreeMap<(usize, usize), Vec<&MeasurementResult>> =
+            std::collections::BTreeMap::new();
         for r in &self.results {
             map.entry((r.probe_idx, r.vp_slot)).or_default().push(r);
         }
         map
+    }
+
+    /// Merges per-shard datasets into one global dataset.
+    ///
+    /// Each element is `(dataset, probe_base, resolver_base)`: the
+    /// shard's results plus the global index offsets of its first probe
+    /// and first resolver. Probe/resolver indices are rebased so VPs
+    /// stay distinct across shards, then results are re-ordered by
+    /// simulation time with a stable sort — ties keep shard order, then
+    /// within-shard arrival order — so the merged dataset is identical
+    /// no matter how many workers produced the parts.
+    pub fn merge_shards(parts: Vec<(Dataset, usize, usize)>) -> Dataset {
+        let mut results = Vec::with_capacity(parts.iter().map(|(d, _, _)| d.len()).sum());
+        for (part, probe_base, resolver_base) in parts {
+            for mut r in part.results {
+                r.probe_idx += probe_base;
+                r.resolver_idx += resolver_base;
+                results.push(r);
+            }
+        }
+        results.sort_by_key(|r| r.at);
+        Dataset { results }
     }
 }
 
@@ -209,6 +232,43 @@ mod tests {
         assert_eq!(ds.distinct_probes(), 2);
         assert_eq!(ds.distinct_valid_probes(), 1);
         assert_eq!(ds.distinct_vps(), 2);
+    }
+
+    #[test]
+    fn merge_shards_rebases_indices_and_orders_by_time() {
+        let at = |ms| SimTime::from_millis(ms);
+        let mut shard0 = Dataset::new();
+        let mut r = result(1, true, Some(10), 1);
+        r.at = at(100);
+        shard0.push(r);
+        let mut r = result(1, true, Some(20), 1);
+        r.at = at(300);
+        shard0.push(r);
+        let mut shard1 = Dataset::new();
+        let mut r = result(2, true, Some(30), 1);
+        r.at = at(100); // ties with shard 0's first result
+        r.probe_idx = 0;
+        r.resolver_idx = 0;
+        shard1.push(r);
+        let mut r = result(2, true, Some(40), 1);
+        r.at = at(200);
+        r.probe_idx = 0;
+        r.resolver_idx = 0;
+        shard1.push(r);
+
+        let merged = Dataset::merge_shards(vec![(shard0, 0, 0), (shard1, 5, 7)]);
+        assert_eq!(
+            merged.ttls(),
+            vec![10, 30, 40, 20],
+            "time order, shard order on ties"
+        );
+        let idx: Vec<(usize, usize)> = merged
+            .results()
+            .iter()
+            .map(|r| (r.probe_idx, r.resolver_idx))
+            .collect();
+        assert_eq!(idx, vec![(1, 0), (5, 7), (5, 7), (1, 0)]);
+        assert_eq!(merged.distinct_vps(), 2);
     }
 
     #[test]

@@ -27,9 +27,11 @@
 pub mod dataset;
 pub mod measurement;
 pub mod population;
+pub mod shard;
 
 pub use dataset::{Dataset, MeasurementResult};
 pub use measurement::{
     run_measurement, run_measurement_with_hooks, Hook, MeasurementSpec, QueryName,
 };
 pub use population::{Population, PopulationConfig, Probe, ResolverRef, VantagePoint};
+pub use shard::{partition, partition_bases, run_cells, LOGICAL_SHARDS};

@@ -75,6 +75,10 @@ pub struct PopulationConfig {
     pub policy_mix: PolicyMix,
     /// Fraction of probes with hijacked/broken DNS (discarded).
     pub hijacked_fraction: f64,
+    /// Offset added to probe ids (`id = 10_000 + probe_id_base + pid`).
+    /// Sharded runs give each shard a base so per-probe query names stay
+    /// globally unique; zero reproduces the unsharded numbering exactly.
+    pub probe_id_base: u32,
 }
 
 impl Default for PopulationConfig {
@@ -87,6 +91,7 @@ impl Default for PopulationConfig {
             public_fraction: 0.18,
             policy_mix: PolicyMix::paper_population(),
             hijacked_fraction: 0.011,
+            probe_id_base: 0,
         }
     }
 }
@@ -185,7 +190,7 @@ impl Population {
                 link_rtt_ms.push(1 + rng.below(8));
             }
             probes.push(Probe {
-                id: 10_000 + pid as u32,
+                id: 10_000 + config.probe_id_base + pid as u32,
                 region,
                 resolvers: slots,
                 link_rtt_ms,

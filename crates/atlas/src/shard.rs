@@ -1,0 +1,122 @@
+//! The sharded execution harness.
+//!
+//! A sharded run partitions a population into [`LOGICAL_SHARDS`]
+//! fixed-size cells. Each cell is a self-contained simulation — its own
+//! `Network`, resolver caches, and RNG stream seeded from
+//! `shard_seed(run_seed, cell_id)` — so cells can execute in any order
+//! on any number of worker threads and still produce identical output.
+//! The worker count is purely a throughput knob: it is **not** part of
+//! the experiment's identity, which is what the differential harness
+//! (`tests/shard_equivalence.rs`) enforces byte-for-byte.
+//!
+//! The simulator's service handles are `Rc`-backed and therefore not
+//! `Send`; [`run_cells`] works around that by constructing each cell's
+//! world *inside* its worker thread and returning only plain-data
+//! results (datasets, drained telemetry parts, counters) to the
+//! coordinating thread, which merges them in fixed cell order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of logical shards a sharded run is partitioned into.
+///
+/// Fixed and independent of the worker-thread count (`--shards N` picks
+/// workers, not cells): results depend only on the cell partition, so a
+/// laptop run with one worker and a 16-core run with eight workers
+/// replay the exact same cells and merge to the same bytes.
+pub const LOGICAL_SHARDS: usize = 16;
+
+/// Splits `total` items into `cells` contiguous partition sizes.
+///
+/// The first `total % cells` cells get one extra item, so sizes differ
+/// by at most one and the mapping from item to cell is deterministic.
+pub fn partition(total: usize, cells: usize) -> Vec<usize> {
+    let cells = cells.max(1);
+    let base = total / cells;
+    let extra = total % cells;
+    (0..cells).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Prefix sums of a partition: the global index where each cell starts.
+pub fn partition_bases(sizes: &[usize]) -> Vec<usize> {
+    let mut bases = Vec::with_capacity(sizes.len());
+    let mut acc = 0;
+    for size in sizes {
+        bases.push(acc);
+        acc += size;
+    }
+    bases
+}
+
+/// Runs `job(cell)` for every cell on `workers` scoped threads and
+/// returns the results in cell order.
+///
+/// Workers pull cell indices from a shared counter, so scheduling is
+/// dynamic, but results land in per-cell slots: the returned vector is
+/// always `[job(0), job(1), …]` regardless of which worker ran what.
+/// With one worker (or one cell) the jobs run inline on the calling
+/// thread — the sequential reference the differential harness compares
+/// multi-worker runs against.
+pub fn run_cells<T, F>(workers: usize, cells: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || cells <= 1 {
+        return (0..cells).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells) {
+            scope.spawn(|| loop {
+                let cell = next.fetch_add(1, Ordering::Relaxed);
+                if cell >= cells {
+                    break;
+                }
+                let result = job(cell);
+                *slots[cell].lock().expect("no other use of this slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("workers joined")
+                .expect("every cell index below `cells` was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_spreads_remainder_over_leading_cells() {
+        assert_eq!(partition(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(partition(3, 16).iter().sum::<usize>(), 3);
+        assert_eq!(partition(0, 4), vec![0, 0, 0, 0]);
+        assert_eq!(partition(5, 1), vec![5]);
+        assert_eq!(partition_bases(&[3, 3, 2, 2]), vec![0, 3, 6, 8]);
+    }
+
+    #[test]
+    fn results_are_in_cell_order_for_any_worker_count() {
+        let expected: Vec<usize> = (0..LOGICAL_SHARDS).map(|c| c * c).collect();
+        for workers in [1, 2, 4, 8, 32] {
+            let got = run_cells(workers, LOGICAL_SHARDS, |cell| cell * cell);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cells_run_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        run_cells(4, 8, |cell| counts[cell].fetch_add(1, Ordering::SeqCst));
+        for (cell, count) in counts.iter().enumerate() {
+            assert_eq!(count.load(Ordering::SeqCst), 1, "cell {cell}");
+        }
+    }
+}

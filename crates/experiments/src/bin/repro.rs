@@ -7,6 +7,7 @@
 //! repro --quick fig6         # tiny populations (CI smoke), no CSVs
 //! repro --smoke resilience   # tiny populations, CSVs kept
 //! repro --seed 7 fig10       # different random world
+//! repro --shards 4 fig1      # sharded engine on 4 worker threads
 //! repro --metrics fig6       # + metrics dashboard and Prometheus text
 //! repro --list               # show available artifact ids
 //!
@@ -331,6 +332,21 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            // Worker threads for the sharded engine. Output is
+            // byte-identical for every N (DESIGN.md §10): the shard
+            // count is a throughput knob, not part of the experiment.
+            "--shards" => {
+                let v = args.next().unwrap_or_default();
+                let n: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--shards needs an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("--shards needs at least 1 worker");
+                    std::process::exit(2);
+                }
+                cfg.shards = Some(n);
+            }
             "--no-csv" => cfg.out_dir = None,
             "--metrics" => show_metrics = true,
             "all" => wanted.extend(ARTIFACTS.iter().map(|(id, _)| id.to_string())),
@@ -342,7 +358,7 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--paper-scale|--quick|--smoke] [--seed N] [--probes N] [--no-csv] [--metrics] <artifact…|all>");
+        eprintln!("usage: repro [--paper-scale|--quick|--smoke] [--seed N] [--probes N] [--shards N] [--no-csv] [--metrics] <artifact…|all>");
         eprintln!("       repro --list");
         std::process::exit(2);
     }

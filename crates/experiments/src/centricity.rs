@@ -12,7 +12,7 @@
 
 use crate::config::ExpConfig;
 use crate::report::Report;
-use crate::worlds;
+use crate::sharded::{self, WorldSpec};
 use dnsttl_analysis::{ascii_cdf_log, BehaviorCensus, CsvWriter, Ecdf, Table};
 use dnsttl_atlas::{
     run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName,
@@ -29,21 +29,29 @@ struct Campaign {
 fn campaign(
     cfg: &ExpConfig,
     tag: &str,
-    world: (dnsttl_netsim::Network, Vec<dnsttl_resolver::RootHint>),
+    world: WorldSpec,
     qname: &str,
     qtype: RecordType,
     hours: u64,
 ) -> Campaign {
-    let (mut net, roots) = world;
-    net.set_telemetry(cfg.telemetry.clone());
-    let mut rng = SimRng::seed_from(cfg.seed_for(tag));
-    let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
-    pop.set_telemetry(&cfg.telemetry);
     let spec = MeasurementSpec::every_600s(
         QueryName::Fixed(Name::parse(qname).expect("static name")),
         qtype,
         hours,
     );
+    if let Some(workers) = cfg.shards {
+        let out = sharded::measurement_campaign(cfg, tag, world, &spec, workers);
+        return Campaign {
+            dataset: out.dataset,
+            vps: out.vps,
+            probes: out.probes,
+        };
+    }
+    let (mut net, roots, _) = world.build();
+    net.set_telemetry(cfg.telemetry.clone());
+    let mut rng = SimRng::seed_from(cfg.seed_for(tag));
+    let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
+    pop.set_telemetry(&cfg.telemetry);
     let dataset = run_measurement(&spec, &mut pop, &mut net, &mut rng);
     Campaign {
         dataset,
@@ -56,33 +64,17 @@ fn campaign(
 /// table2.
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     // Figure 1 inputs: .uy before the change (§3.2 values).
-    let uy_ns = campaign(
-        cfg,
-        "fig1-ns",
-        worlds::uy_world(
-            dnsttl_wire::Ttl::from_secs(300),
-            dnsttl_wire::Ttl::from_secs(120),
-        ),
-        "uy",
-        RecordType::NS,
-        2,
-    );
-    let uy_a = campaign(
-        cfg,
-        "fig1-a",
-        worlds::uy_world(
-            dnsttl_wire::Ttl::from_secs(300),
-            dnsttl_wire::Ttl::from_secs(120),
-        ),
-        "a.nic.uy",
-        RecordType::A,
-        3,
-    );
+    let uy_before = WorldSpec::Uy {
+        ns_ttl: dnsttl_wire::Ttl::from_secs(300),
+        a_ttl: dnsttl_wire::Ttl::from_secs(120),
+    };
+    let uy_ns = campaign(cfg, "fig1-ns", uy_before, "uy", RecordType::NS, 2);
+    let uy_a = campaign(cfg, "fig1-a", uy_before, "a.nic.uy", RecordType::A, 3);
     // Figure 2 input: google.co.
     let gco = campaign(
         cfg,
         "fig2",
-        worlds::google_co_world(),
+        WorldSpec::GoogleCo,
         "google.co",
         RecordType::NS,
         1,
@@ -255,5 +247,27 @@ mod tests {
         let table2 = &reports[2];
         assert!(table2.get("uy_ns_queries") > 0.0);
         assert!(table2.get("discard_fraction") < 0.2);
+    }
+
+    #[test]
+    fn centricity_shapes_survive_sharding() {
+        let cfg = ExpConfig {
+            shards: Some(2),
+            ..ExpConfig::quick()
+        };
+        let reports = run(&cfg);
+        let fig1 = &reports[0];
+        assert!(
+            fig1.get("frac_ns_child") > 0.75,
+            "{}",
+            fig1.get("frac_ns_child")
+        );
+        assert!(fig1.get("frac_ns_child") < 0.99);
+        let fig2 = &reports[1];
+        assert!(
+            fig2.get("frac_above_parent") > 0.7,
+            "{}",
+            fig2.get("frac_above_parent")
+        );
     }
 }

@@ -25,6 +25,11 @@ pub struct ExpConfig {
     pub nl_hours: u64,
     /// Where to write CSV series; `None` disables file output.
     pub out_dir: Option<PathBuf>,
+    /// Worker threads for the sharded engine. `None` keeps the legacy
+    /// single-population engine; `Some(n)` partitions measurement
+    /// campaigns into fixed logical shards executed on `n` workers —
+    /// output is byte-identical for every `n` (see DESIGN.md §10).
+    pub shards: Option<usize>,
     /// Observability handle experiments attach to the worlds they
     /// build. Disabled by default; `repro` swaps in an enabled handle
     /// per module to collect metrics, traces, and manifests.
@@ -40,6 +45,7 @@ impl Default for ExpConfig {
             nl_resolvers: 6_000,
             nl_hours: 48,
             out_dir: Some(PathBuf::from("target/experiments")),
+            shards: None,
             telemetry: Telemetry::disabled(),
         }
     }

@@ -16,7 +16,7 @@
 
 use crate::config::ExpConfig;
 use crate::report::Report;
-use crate::worlds;
+use crate::sharded::{self, WorldSpec};
 use dnsttl_analysis::{ascii_cdf_multi, CsvWriter, Ecdf, Table};
 use dnsttl_atlas::{
     run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName,
@@ -40,11 +40,6 @@ fn campaign(
     anycast: bool,
     unique_names: bool,
 ) -> Campaign {
-    let (mut net, roots, test_addr) = worlds::controlled_world(ttl, anycast);
-    net.set_telemetry(cfg.telemetry.clone());
-    let mut rng = SimRng::seed_from(cfg.seed_for(tag));
-    let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
-    pop.set_telemetry(&cfg.telemetry);
     let query = if unique_names {
         QueryName::PerProbe {
             suffix: Name::parse("mapache-de-madrid.co").expect("static"),
@@ -59,6 +54,26 @@ fn campaign(
         duration: SimDuration::from_mins(65),
         start: SimTime::ZERO,
     };
+    let world = WorldSpec::Controlled {
+        aaaa_ttl: ttl,
+        anycast,
+    };
+    if let Some(workers) = cfg.shards {
+        let out = sharded::measurement_campaign(cfg, tag, world, &spec, workers);
+        return Campaign {
+            label,
+            dataset: out.dataset,
+            auth_queries: out.auth_queries,
+            auth_sources: out.auth_sources,
+            vps: out.vps,
+        };
+    }
+    let (mut net, roots, test_addr) = world.build();
+    let test_addr = test_addr.expect("controlled world exposes its test address");
+    net.set_telemetry(cfg.telemetry.clone());
+    let mut rng = SimRng::seed_from(cfg.seed_for(tag));
+    let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
+    pop.set_telemetry(&cfg.telemetry);
     let dataset = run_measurement(&spec, &mut pop, &mut net, &mut rng);
     Campaign {
         label,
@@ -273,5 +288,22 @@ mod tests {
         // …anycast beats short-TTL unicast at the median and in the tail.
         assert!(fig11b.get("median_anycast") <= fig11b.get("median_ttl60_s"));
         assert!(fig11b.get("p95_anycast") < fig11b.get("p95_ttl60_s"));
+    }
+
+    #[test]
+    fn table10_reduction_survives_sharding() {
+        let cfg = ExpConfig {
+            shards: Some(2),
+            ..ExpConfig::quick()
+        };
+        let reports = run(&cfg);
+        let table10 = reports.iter().find(|r| r.id == "table10").unwrap();
+        assert!(
+            table10.get("reduction_unique") > 0.55,
+            "unique reduction {}",
+            table10.get("reduction_unique")
+        );
+        let fig11a = reports.iter().find(|r| r.id == "fig11a").unwrap();
+        assert!(fig11a.get("median_ttl86400_u") * 2.0 < fig11a.get("median_ttl60_u"));
     }
 }

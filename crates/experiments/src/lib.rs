@@ -35,6 +35,7 @@ pub mod insight;
 pub mod passive_nl;
 pub mod report;
 pub mod resilience;
+pub mod sharded;
 pub mod table1;
 pub mod uy_latency;
 pub mod worlds;

@@ -75,10 +75,67 @@ impl CellResult {
 }
 
 fn run_cell(cfg: &ExpConfig, ttl: Ttl, policy: ResolverPolicy, seed_tag: &str) -> CellResult {
+    let clients = (cfg.probes / 20).max(20);
+    let seed = cfg.seed_for(seed_tag) ^ ttl.as_secs() as u64;
+    if let Some(workers) = cfg.shards {
+        // Sharded: split the client population into fixed logical
+        // cells, each with its own network + outage script + RNG
+        // stream, and sum the outage accounting. The fault plan is
+        // plain data, so every cell evaluates an identical script.
+        let sizes = dnsttl_atlas::partition(clients, dnsttl_atlas::LOGICAL_SHARDS);
+        let bases = dnsttl_atlas::partition_bases(&sizes);
+        let enabled = cfg.telemetry.is_enabled();
+        let cells = dnsttl_atlas::run_cells(workers, dnsttl_atlas::LOGICAL_SHARDS, |cell| {
+            let telemetry = if enabled {
+                dnsttl_telemetry::Telemetry::new()
+            } else {
+                dnsttl_telemetry::Telemetry::disabled()
+            };
+            let result = simulate_clients(
+                &telemetry,
+                dnsttl_netsim::shard_seed(seed, cell as u64),
+                sizes[cell],
+                bases[cell],
+                ttl,
+                &policy,
+            );
+            (result, telemetry.take_parts())
+        });
+        let mut total = CellResult {
+            queries: 0,
+            failures: 0,
+        };
+        let mut parts = Vec::with_capacity(cells.len());
+        for (cell, part) in cells {
+            total.queries += cell.queries;
+            total.failures += cell.failures;
+            parts.push(part);
+        }
+        if enabled {
+            cfg.telemetry.absorb_shards(parts);
+        }
+        return total;
+    }
+    simulate_clients(&cfg.telemetry, seed, clients, 0, ttl, &policy)
+}
+
+/// Simulates `clients` clients (globally numbered from `client_base`)
+/// re-resolving the test name through the scripted outage. Both the
+/// legacy path (`client_base` 0, all clients) and every sharded cell go
+/// through this one function, so the two engines share the simulation
+/// code verbatim.
+fn simulate_clients(
+    telemetry: &dnsttl_telemetry::Telemetry,
+    seed: u64,
+    clients: usize,
+    client_base: usize,
+    ttl: Ttl,
+    policy: &ResolverPolicy,
+) -> CellResult {
     // Constant latency, no background loss: the only failure mode is
     // the scripted outage, so the curve isolates the TTL effect.
     let mut net = Network::new(LatencyModel::constant(5.0)).with_faults(outage_plan());
-    net.set_telemetry(cfg.telemetry.clone());
+    net.set_telemetry(telemetry.clone());
     let root = AuthoritativeServer::new("root").with_zone(
         ZoneBuilder::new(".")
             .ns("example", "ns.example", Ttl::TWO_DAYS)
@@ -97,17 +154,17 @@ fn run_cell(cfg: &ExpConfig, ttl: Ttl, policy: ResolverPolicy, seed_tag: &str) -
     net.register(victim_addr, Region::Eu, Rc::new(RefCell::new(child)));
     let roots = worlds::root_hints();
 
-    let clients = (cfg.probes / 20).max(20);
-    let mut rng = SimRng::seed_from(cfg.seed_for(seed_tag) ^ ttl.as_secs() as u64);
+    let mut rng = SimRng::seed_from(seed);
     let mut resolvers: Vec<RecursiveResolver> = (0..clients)
         .map(|i| {
+            let global = client_base + i;
             RecursiveResolver::new(
-                format!("c{i}"),
+                format!("c{global}"),
                 policy.clone(),
                 Region::ALL[rng.weighted_index(&Region::atlas_weights())],
-                i as u64,
+                global as u64,
                 roots.clone(),
-                rng.fork(i as u64),
+                rng.fork(global as u64),
             )
         })
         .collect();

@@ -9,7 +9,7 @@
 
 use crate::config::ExpConfig;
 use crate::report::Report;
-use crate::worlds;
+use crate::sharded::{self, WorldSpec};
 use dnsttl_analysis::{ascii_cdf_multi, CsvWriter, Ecdf, Table};
 use dnsttl_atlas::{
     run_measurement, Dataset, MeasurementSpec, Population, PopulationConfig, QueryName,
@@ -18,16 +18,23 @@ use dnsttl_netsim::{Region, SimRng};
 use dnsttl_wire::{Name, RecordType, Ttl};
 
 fn measure(cfg: &ExpConfig, tag: &str, child_ns: Ttl, child_a: Ttl) -> Dataset {
-    let (mut net, roots) = worlds::uy_world(child_ns, child_a);
-    net.set_telemetry(cfg.telemetry.clone());
-    let mut rng = SimRng::seed_from(cfg.seed_for(tag));
-    let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
-    pop.set_telemetry(&cfg.telemetry);
     let spec = MeasurementSpec::every_600s(
         QueryName::Fixed(Name::parse("uy").expect("static")),
         RecordType::NS,
         2,
     );
+    let world = WorldSpec::Uy {
+        ns_ttl: child_ns,
+        a_ttl: child_a,
+    };
+    if let Some(workers) = cfg.shards {
+        return sharded::measurement_campaign(cfg, tag, world, &spec, workers).dataset;
+    }
+    let (mut net, roots, _) = world.build();
+    net.set_telemetry(cfg.telemetry.clone());
+    let mut rng = SimRng::seed_from(cfg.seed_for(tag));
+    let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
+    pop.set_telemetry(&cfg.telemetry);
     run_measurement(&spec, &mut pop, &mut net, &mut rng)
 }
 
@@ -189,5 +196,21 @@ mod tests {
 
         let fig10b = &reports[1];
         assert_eq!(fig10b.get("all_regions_improved"), 1.0);
+    }
+
+    #[test]
+    fn latency_gain_survives_sharding() {
+        let cfg = ExpConfig {
+            shards: Some(2),
+            ..ExpConfig::quick()
+        };
+        let reports = run(&cfg);
+        let fig10a = &reports[0];
+        assert!(
+            fig10a.get("median_after_ms") < fig10a.get("median_before_ms") / 2.0,
+            "before {} after {}",
+            fig10a.get("median_before_ms"),
+            fig10a.get("median_after_ms")
+        );
     }
 }

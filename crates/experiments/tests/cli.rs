@@ -309,3 +309,53 @@ fn sdig_rejects_malformed_fault_plan() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn repro_shards_flag_matches_the_sequential_oracle() {
+    // The full CLI path of the determinism contract (DESIGN.md §10):
+    // `repro --shards 1` is the reference oracle and `--shards 4` must
+    // reproduce its stdout and every CSV byte for byte. The resilience
+    // module exercises the sharded client simulation plus CSV, fault
+    // plan, and manifest emission in one run.
+    let base = std::env::temp_dir().join(format!("dnsttl-shards-{}", std::process::id()));
+    let mut captures = Vec::new();
+    for workers in ["1", "4"] {
+        let dir = base.join(format!("w{workers}"));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let out = repro()
+            .args(["--smoke", "--seed", "7", "--shards", workers, "resilience"])
+            .current_dir(&dir)
+            .output()
+            .expect("runs");
+        let mut capture = stdout_of(out);
+
+        let exp = dir.join("target/experiments");
+        let mut files: Vec<_> = std::fs::read_dir(&exp)
+            .expect("artifact dir written")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        files.sort();
+        assert!(
+            !files.is_empty(),
+            "no artifacts written for --shards {workers}"
+        );
+        for f in &files {
+            capture.push_str(&f.file_name().expect("name").to_string_lossy());
+            capture.push('\n');
+            capture.push_str(&std::fs::read_to_string(f).expect("artifact readable"));
+        }
+        captures.push(capture);
+    }
+    assert_eq!(
+        captures[0], captures[1],
+        "--shards 4 must be byte-identical to the sequential oracle"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+
+    // And the flag rejects a zero worker count.
+    let out = repro()
+        .args(["--shards", "0", "resilience"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "--shards 0 must be rejected");
+}

@@ -43,5 +43,5 @@ pub use network::{
     ClientId, DnsService, ExchangeOutcome, Network, ServiceAddr, ServiceHandle, Transport,
     UDP_PAYLOAD_LIMIT,
 };
-pub use rng::SimRng;
+pub use rng::{shard_seed, SimRng};
 pub use time::{SimDuration, SimTime};

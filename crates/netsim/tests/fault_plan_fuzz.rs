@@ -1,0 +1,204 @@
+//! Seeded fuzz for the `# dnsttl-fault-plan/1` text codec.
+//!
+//! The fault-plan script is journalled into run manifests and handed to
+//! `sdig --fault-plan`, so the codec must (a) round-trip every plan the
+//! builders can produce and (b) reject mangled input with an error
+//! instead of panicking or silently mis-parsing. Cases are drawn from a
+//! local deterministic generator with fixed seeds, mirroring the wire
+//! codec's property suite.
+
+use dnsttl_netsim::{FaultPlan, Region, SimTime};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Minimal deterministic RNG (xorshift64*), independent of any crate.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn gen_addr(rng: &mut Rng) -> IpAddr {
+    if rng.bool() {
+        IpAddr::V4(Ipv4Addr::new(
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+        ))
+    } else {
+        IpAddr::V6(Ipv6Addr::new(
+            rng.next_u64() as u16,
+            rng.next_u64() as u16,
+            0, // zero runs exercise the `::` display compression
+            0,
+            rng.next_u64() as u16,
+            0,
+            rng.next_u64() as u16,
+            rng.next_u64() as u16,
+        ))
+    }
+}
+
+fn gen_plan(rng: &mut Rng) -> FaultPlan {
+    const REGIONS: [Region; 6] = [
+        Region::Af,
+        Region::As,
+        Region::Eu,
+        Region::Na,
+        Region::Oc,
+        Region::Sa,
+    ];
+    let mut plan = FaultPlan::new();
+    for _ in 0..rng.below(12) {
+        let from = SimTime::from_millis(rng.below(1_000_000_000));
+        let until = from + dnsttl_netsim::SimDuration::from_millis(rng.below(1_000_000_000));
+        plan = match rng.below(4) {
+            0 => plan.outage(gen_addr(rng), from, until),
+            1 => {
+                let server = rng.bool().then(|| gen_addr(rng));
+                // Loss within [0,1] and factor ≥ 0, so the builder's
+                // clamping is the identity and round-trip equality is
+                // exact (f64 Display is shortest-round-trip).
+                plan.degrade(
+                    server,
+                    from,
+                    until,
+                    rng.unit_f64(),
+                    1.0 + 8.0 * rng.unit_f64(),
+                )
+            }
+            2 => plan.blackout(REGIONS[rng.below(6) as usize], from, until),
+            _ => plan.flush_at(from),
+        };
+    }
+    plan
+}
+
+#[test]
+fn random_plans_round_trip_through_the_text_codec() {
+    let mut rng = Rng::new(1);
+    for case in 0..256 {
+        let plan = gen_plan(&mut rng);
+        let text = plan.to_text();
+        assert!(text.starts_with("# dnsttl-fault-plan/1\n"), "case {case}");
+        let back = FaultPlan::parse(&text).expect("own output must parse");
+        assert_eq!(back, plan, "case {case}:\n{text}");
+        // And the codec is a fixed point: text → plan → text is stable.
+        assert_eq!(back.to_text(), text, "case {case}");
+    }
+}
+
+#[test]
+fn dropping_the_last_field_of_any_fault_line_is_rejected() {
+    // Every verb has a fixed arity, so a line missing its final field
+    // must produce an error — this is what catches a script truncated
+    // mid-line in transit.
+    let mut rng = Rng::new(2);
+    let mut checked = 0;
+    for _ in 0..64 {
+        let plan = gen_plan(&mut rng);
+        let text = plan.to_text();
+        for (idx, line) in text.lines().enumerate() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let without_last = line
+                .rsplit_once(' ')
+                .expect("every fault line has fields")
+                .0;
+            let mut mangled: Vec<&str> = text.lines().collect();
+            mangled[idx] = without_last;
+            assert!(
+                FaultPlan::parse(&mangled.join("\n")).is_err(),
+                "line {line:?} truncated to {without_last:?} still parsed"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "generator produced too few fault lines");
+}
+
+#[test]
+fn corrupt_fields_are_rejected_without_panicking() {
+    let mut rng = Rng::new(3);
+    for _ in 0..64 {
+        let plan = gen_plan(&mut rng);
+        let text = plan.to_text();
+        for (idx, line) in text.lines().enumerate() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(' ').collect();
+            for victim in 0..fields.len() {
+                let mut mangled_fields = fields.clone();
+                let noise = format!("{}x", fields[victim]);
+                mangled_fields[victim] = &noise;
+                let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+                lines[idx] = mangled_fields.join(" ");
+                // Appending a junk character to any field must break the
+                // parse: verbs become unknown, addresses/regions/numbers
+                // and key=value fields all stop matching their grammar.
+                assert!(
+                    FaultPlan::parse(&lines.join("\n")).is_err(),
+                    "corrupting field {victim} of {line:?} still parsed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arbitrary_noise_never_panics() {
+    let mut rng = Rng::new(4);
+    const ALPHABET: &[u8] =
+        b"outage degrade blackout flush loss=latency_x=*.:0123456789abcdef\n\t #";
+    for _ in 0..512 {
+        let len = rng.below(400) as usize;
+        let noise: String = (0..len)
+            .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
+            .collect();
+        // Ok or Err are both fine; the property is the absence of panic
+        // (and any Ok parse must re-serialize without panicking too).
+        if let Ok(plan) = FaultPlan::parse(&noise) {
+            let _ = plan.to_text();
+        }
+    }
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored_everywhere() {
+    let mut rng = Rng::new(5);
+    for _ in 0..64 {
+        let plan = gen_plan(&mut rng);
+        let mut interleaved = String::new();
+        for line in plan.to_text().lines() {
+            interleaved.push_str("  \n# noise comment\n");
+            interleaved.push_str(line);
+            interleaved.push('\n');
+        }
+        assert_eq!(FaultPlan::parse(&interleaved).unwrap(), plan);
+    }
+}

@@ -168,6 +168,23 @@ impl CacheStats {
     pub fn removals(&self) -> u64 {
         self.overwrites + self.expiries + self.evictions + self.invalidations + self.clears
     }
+
+    /// Folds another cache's counters into this one. Sharded runs use
+    /// this to merge per-shard accounting: every field is a sum, so the
+    /// conservation law (`inserts − removals() == live entries`) holds
+    /// for the merged totals exactly when it holds per shard.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.inserts += other.inserts;
+        self.refreshes += other.refreshes;
+        self.overwrites += other.overwrites;
+        self.expiries += other.expiries;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.clears += other.clears;
+        self.hits += other.hits;
+        self.stale_hits += other.stale_hits;
+        self.rejected_stores += other.rejected_stores;
+    }
 }
 
 /// An attribution cell: one `(record type, origin, bailiwick)` bucket.

@@ -170,6 +170,90 @@ fn randomized_workload_conserves_entries_across_causes() {
         .expect("ledger enabled");
 }
 
+/// The sharded engine's accounting claim: conservation holds on the
+/// *merged* ledger, not just per shard. Each shard runs the randomized
+/// workload against its own cache (seeded via `shard_seed`, as the
+/// sharded engine does), the per-shard stats are folded together with
+/// `CacheStats::absorb`, and the law must hold for the totals with the
+/// summed live-entry count.
+#[test]
+fn merged_multi_shard_ledger_conserves_entries() {
+    let policy = ResolverPolicy::default();
+    let run_shard = |seed: u64| -> (CacheStats, usize) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut cache = Cache::with_capacity(32);
+        cache.enable_ledger();
+        let mut now = SimTime::ZERO;
+        for step in 0..4_000u64 {
+            now += dnsttl_netsim::SimDuration::from_secs(rng.below(40));
+            match rng.below(100) {
+                0..=69 => {
+                    let host = rng.below(128);
+                    let ttl = 1 + rng.below(600) as u32;
+                    let data = if rng.chance(0.5) { 1 } else { 2 };
+                    let ctx = StoreContext {
+                        txn: step + 1,
+                        server: Some("198.51.100.7".parse().unwrap()),
+                        bailiwick: BailiwickClass::In,
+                    };
+                    cache.store_with(
+                        rrset(host, ttl, data),
+                        Credibility::AuthAnswer,
+                        now,
+                        &policy,
+                        false,
+                        ctx,
+                    );
+                }
+                70..=89 => {
+                    let host = rng.below(128);
+                    let name = Name::parse(&format!("h{host}.workload.example")).unwrap();
+                    let _ = cache.get(&name, RecordType::A, now);
+                }
+                90..=95 => cache.purge_expired(now),
+                _ => {
+                    let host = rng.below(128);
+                    let name = Name::parse(&format!("h{host}.workload.example")).unwrap();
+                    cache.invalidate(&name, RecordType::A, now);
+                }
+            }
+        }
+        check_conservation(&cache.stats(), cache.len(), &format!("shard seed {seed}"));
+        (cache.stats(), cache.len())
+    };
+
+    let run_seed = 0xD15C0;
+    let mut merged = CacheStats::default();
+    let mut live = 0usize;
+    for shard in 0..8u64 {
+        let (stats, len) = run_shard(dnsttl_netsim::shard_seed(run_seed, shard));
+        merged.absorb(&stats);
+        live += len;
+    }
+    check_conservation(&merged, live, "merged 8-shard ledger");
+    // The merge must not lose any cause bucket.
+    assert!(
+        merged.inserts > 1_000,
+        "merged workload too small: {merged:?}"
+    );
+    assert!(merged.overwrites > 0 && merged.expiries > 0, "{merged:?}");
+    assert!(
+        merged.evictions > 0 && merged.invalidations > 0,
+        "{merged:?}"
+    );
+
+    // Worker-order independence: absorbing the same shard stats in
+    // reverse order gives the same totals (field sums commute).
+    let stats: Vec<(CacheStats, usize)> = (0..8u64)
+        .map(|s| run_shard(dnsttl_netsim::shard_seed(run_seed, s)))
+        .collect();
+    let mut reversed = CacheStats::default();
+    for (s, _) in stats.iter().rev() {
+        reversed.absorb(s);
+    }
+    assert_eq!(reversed, merged);
+}
+
 #[test]
 fn same_seed_workloads_produce_identical_journals() {
     let run = |seed: u64| -> String {

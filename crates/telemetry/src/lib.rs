@@ -233,6 +233,41 @@ impl Telemetry {
         }
     }
 
+    // ── sharded runs ────────────────────────────────────────────────
+
+    /// Drains this handle's registry and tracer, leaving both empty.
+    ///
+    /// Used by shard worker threads: a shard records into its own
+    /// `Telemetry`, then hands the plain-data parts (both are `Send`,
+    /// the handle itself is not) back to the coordinating thread for a
+    /// deterministic merge via [`Telemetry::absorb_shards`].
+    pub fn take_parts(&self) -> (Registry, Tracer) {
+        (
+            self.inner.registry.replace(Registry::new()),
+            self.inner.tracer.replace(Tracer::default()),
+        )
+    }
+
+    /// Merges per-shard registries and tracers into this handle.
+    ///
+    /// `parts` must be in logical-shard order (shard 0 first) — the
+    /// order is part of the determinism contract: registries merge
+    /// sequentially (counters and histograms sum; a later shard's
+    /// gauges win) and trace events interleave by
+    /// `(t_ms, shard index, seq)`, so the merged exports are identical
+    /// for any worker-thread count.
+    pub fn absorb_shards(&self, parts: Vec<(Registry, Tracer)>) {
+        let mut tracers = Vec::with_capacity(parts.len());
+        {
+            let mut registry = self.inner.registry.borrow_mut();
+            for (shard_registry, shard_tracer) in parts {
+                registry.merge(&shard_registry);
+                tracers.push(shard_tracer);
+            }
+        }
+        self.inner.tracer.borrow_mut().absorb(tracers);
+    }
+
     // ── exports ─────────────────────────────────────────────────────
 
     /// All metrics in the Prometheus text exposition format.
@@ -321,6 +356,41 @@ mod tests {
         let mut m = RunManifest::new("test", 7);
         t.fill_manifest(&mut m);
         assert_eq!(m.event_counts, vec![("cache_expiry".to_string(), 2)]);
+    }
+
+    #[test]
+    fn shard_parts_round_trip_through_take_and_absorb() {
+        let shard_work = |shard: u64| {
+            let t = Telemetry::new();
+            t.count("q", shard + 1);
+            t.observe("lat_ms", shard * 10);
+            let span = t.span_start(shard, |_| vec![]);
+            t.span_end(span, shard + 5, std::vec::Vec::new);
+            t.take_parts()
+        };
+        let merged = Telemetry::new();
+        merged.count("q", 100); // pre-existing sequential activity
+        merged.absorb_shards(vec![shard_work(0), shard_work(1), shard_work(2)]);
+        assert_eq!(merged.counter_value("q", &[]), 100 + 1 + 2 + 3);
+        assert_eq!(merged.events_recorded(), 6);
+        // The merged trace is byte-stable regardless of how shards ran.
+        let again = Telemetry::new();
+        again.count("q", 100);
+        again.absorb_shards(vec![shard_work(0), shard_work(1), shard_work(2)]);
+        assert_eq!(merged.trace_jsonl(), again.trace_jsonl());
+        assert_eq!(merged.prometheus_text(), again.prometheus_text());
+    }
+
+    #[test]
+    fn take_parts_leaves_the_handle_empty() {
+        let t = Telemetry::new();
+        t.count("q", 3);
+        t.event(1, EventKind::Query, std::vec::Vec::new);
+        let (registry, tracer) = t.take_parts();
+        assert_eq!(registry.counter(&MetricId::new("q", &[])), 3);
+        assert_eq!(tracer.len(), 1);
+        assert_eq!(t.counter_value("q", &[]), 0);
+        assert!(t.trace_jsonl().is_empty());
     }
 
     #[test]

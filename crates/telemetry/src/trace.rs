@@ -248,6 +248,55 @@ impl Tracer {
         self.per_kind.iter().map(|(k, v)| (*k, *v))
     }
 
+    /// Merges per-shard tracers into this one, deterministically.
+    ///
+    /// Shard events are interleaved by `(t_ms, shard index, shard seq)`
+    /// — the merge ordering key of the sharded engine's determinism
+    /// contract — then re-sequenced into this tracer's stream. Span ids
+    /// allocated independently by each shard are remapped to fresh
+    /// global ids in merged-stream order, so the merged trace is
+    /// identical no matter how many worker threads produced the shards.
+    /// Per-kind totals and drop counts carry over; the ring capacity
+    /// still applies to the merged stream.
+    pub fn absorb(&mut self, shards: Vec<Tracer>) {
+        for shard in &shards {
+            for (kind, count) in shard.kind_counts() {
+                *self.per_kind.entry(kind).or_insert(0) += count;
+            }
+            self.dropped += shard.dropped;
+        }
+        let mut events: Vec<(usize, TraceEvent)> = Vec::new();
+        for (shard_idx, shard) in shards.into_iter().enumerate() {
+            // Events dropped inside the shard still consumed sequence
+            // numbers there; account for them so `total_recorded`
+            // remains the true event count after the merge.
+            self.next_seq += shard.dropped;
+            for ev in shard.ring {
+                events.push((shard_idx, ev));
+            }
+        }
+        events.sort_by_key(|(shard_idx, ev)| (ev.t_ms, *shard_idx, ev.seq));
+        let mut span_map: std::collections::BTreeMap<(usize, u64), SpanId> =
+            std::collections::BTreeMap::new();
+        for (shard_idx, mut ev) in events {
+            if let Some(SpanId(old)) = ev.span {
+                let mapped = *span_map.entry((shard_idx, old)).or_insert_with(|| {
+                    let id = SpanId(self.next_span);
+                    self.next_span += 1;
+                    id
+                });
+                ev.span = Some(mapped);
+            }
+            ev.seq = self.next_seq;
+            self.next_seq += 1;
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+                self.dropped += 1;
+            }
+            self.ring.push_back(ev);
+        }
+    }
+
     /// Renders all buffered events as JSON Lines (one event per line,
     /// trailing newline included when non-empty).
     pub fn to_jsonl(&self) -> String {
@@ -289,6 +338,58 @@ mod tests {
         let mut t = Tracer::with_capacity(8);
         assert_eq!(t.new_span(), SpanId(0));
         assert_eq!(t.new_span(), SpanId(1));
+    }
+
+    #[test]
+    fn absorb_merges_by_time_then_shard_and_remaps_spans() {
+        let mut shard0 = Tracer::with_capacity(8);
+        let s0 = shard0.new_span();
+        shard0.record(10, EventKind::SpanStart, Some(s0), vec![]);
+        shard0.record(30, EventKind::SpanEnd, Some(s0), vec![]);
+        let mut shard1 = Tracer::with_capacity(8);
+        let s1 = shard1.new_span();
+        shard1.record(10, EventKind::SpanStart, Some(s1), vec![]);
+        shard1.record(20, EventKind::CacheHit, Some(s1), vec![]);
+
+        let mut merged = Tracer::with_capacity(16);
+        merged.absorb(vec![shard0, shard1]);
+        let events: Vec<(u64, u64, Option<SpanId>)> =
+            merged.events().map(|e| (e.t_ms, e.seq, e.span)).collect();
+        // Interleaved by (t_ms, shard, seq); seq reassigned contiguously;
+        // the two shard-local span 0s became distinct global ids.
+        assert_eq!(
+            events,
+            vec![
+                (10, 0, Some(SpanId(0))), // shard 0 span
+                (10, 1, Some(SpanId(1))), // shard 1 span
+                (20, 2, Some(SpanId(1))),
+                (30, 3, Some(SpanId(0))),
+            ]
+        );
+        assert_eq!(merged.total_recorded(), 4);
+        assert_eq!(
+            merged.kind_counts().collect::<Vec<_>>(),
+            vec![("cache_hit", 1), ("span_end", 1), ("span_start", 2)]
+        );
+    }
+
+    #[test]
+    fn absorb_is_worker_order_independent_and_carries_drops() {
+        let make_shard = |base: u64| {
+            let mut t = Tracer::with_capacity(2);
+            for i in 0..4u64 {
+                t.record(base + i, EventKind::Query, None, vec![]);
+            }
+            t // 2 buffered, 2 dropped
+        };
+        let mut a = Tracer::with_capacity(16);
+        a.absorb(vec![make_shard(100), make_shard(200)]);
+        let mut b = Tracer::with_capacity(16);
+        b.absorb(vec![make_shard(100), make_shard(200)]);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.dropped(), 4);
+        assert_eq!(a.total_recorded(), 8);
+        assert_eq!(a.len(), 4);
     }
 
     #[test]

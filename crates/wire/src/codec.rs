@@ -291,6 +291,12 @@ impl<'a> Decoder<'a> {
                         expected: "name label",
                         at: pos + 1,
                     })?;
+                // Labels live in `String`s, so only ASCII bytes survive
+                // an encode round-trip unchanged; reject the rest
+                // rather than accept a name we cannot re-encode.
+                if let Some(&b) = bytes.iter().find(|b| !b.is_ascii()) {
+                    return Err(WireError::InvalidCharacter(b as char));
+                }
                 let label: String = bytes.iter().map(|&b| b as char).collect();
                 labels.push(label);
                 pos += 1 + len;
@@ -377,6 +383,12 @@ impl<'a> Decoder<'a> {
                 while self.pos < end {
                     let n = self.u8("TXT length")? as usize;
                     let chunk = self.bytes(n, "TXT chunk")?;
+                    // Same ASCII restriction as name labels: a `String`
+                    // re-encodes non-ASCII chars as multi-byte UTF-8,
+                    // which would change the wire form.
+                    if let Some(&b) = chunk.iter().find(|b| !b.is_ascii()) {
+                        return Err(WireError::InvalidCharacter(b as char));
+                    }
                     text.extend(chunk.iter().map(|&b| b as char));
                 }
                 RData::Txt(text)

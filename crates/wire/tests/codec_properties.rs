@@ -173,6 +173,49 @@ fn decoder_never_panics_on_mutated_valid_messages() {
 }
 
 #[test]
+fn truncated_messages_error_and_never_panic() {
+    // Every strict prefix of a valid encoding must be rejected (not
+    // panic, not silently succeed): the cut always lands inside the
+    // header, a name, or an rdata whose declared length is now a lie.
+    let mut rng = Rng::new(7);
+    for case in 0..128 {
+        let msg = gen_message(&mut rng);
+        let wire = encode_message(&msg).unwrap();
+        for cut in 0..wire.len() {
+            assert!(
+                decode_message(&wire[..cut]).is_err(),
+                "case {case}: prefix of {cut}/{} bytes decoded successfully",
+                wire.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics_and_decodes_consistently() {
+    // Exhaustive single-byte corruption (all positions, a few XOR
+    // masks): decode may accept or reject, but whatever it accepts must
+    // re-encode and decode to the same message (no internally
+    // inconsistent parses).
+    let mut rng = Rng::new(8);
+    for case in 0..32 {
+        let msg = gen_message(&mut rng);
+        let wire = encode_message(&msg).unwrap();
+        for i in 0..wire.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = wire.clone();
+                corrupt[i] ^= mask;
+                if let Ok(decoded) = decode_message(&corrupt) {
+                    let rewire = encode_message(&decoded).unwrap();
+                    let redecoded = decode_message(&rewire).unwrap();
+                    assert_eq!(redecoded, decoded, "case {case}, byte {i}, mask {mask:#x}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn reencoding_decoded_message_is_stable() {
     let mut rng = Rng::new(4);
     for case in 0..256 {

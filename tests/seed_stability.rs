@@ -1,6 +1,13 @@
 //! Seed robustness: the paper's qualitative findings must hold for
 //! *any* seed, not just the default 42 — otherwise the reproduction
 //! would be an artifact of one random world.
+//!
+//! Ordering audit (sharded-engine PR): these assertions read scalar
+//! report values only, so they are immune to row ordering; the
+//! collections feeding them (`Dataset::by_vp`, `analysis::group_by`)
+//! are BTreeMap-backed and emit in key order. Worker-count invariance
+//! of the same pipelines is asserted separately in
+//! `tests/shard_equivalence.rs`.
 
 use dnsttl::experiments::{centricity, controlled, uy_latency, ExpConfig};
 

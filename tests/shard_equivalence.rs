@@ -1,0 +1,114 @@
+//! The sharded engine's determinism contract, asserted end to end.
+//!
+//! `--shards 1` is the reference oracle: the same logical shard cells
+//! run inline on the calling thread. Higher worker counts execute the
+//! identical cells on `std::thread::scope` workers and merge the
+//! results deterministically. The contract (DESIGN.md §10) is that
+//! every exported byte — report renders, Prometheus text, trace JSONL,
+//! and CSV series — is identical for any worker count on the same
+//! seed, across every repro module that runs measurement campaigns.
+//!
+//! Function names end in `_worker_count_invariant` so CI can route
+//! this suite to its own matrix partition.
+
+use dnsttl::experiments::{centricity, controlled, resilience, uy_latency, ExpConfig, Report};
+use dnsttl_telemetry::Telemetry;
+use std::path::PathBuf;
+
+type RunFn = fn(&ExpConfig) -> Vec<Report>;
+
+const SEEDS: [u64; 3] = [3, 17, 2024];
+const WORKERS: [usize; 2] = [4, 8];
+
+fn temp_out_dir(module: &str, seed: u64, workers: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dnsttl-shardeq-{module}-{seed}-{workers}-{}",
+        std::process::id()
+    ))
+}
+
+/// Runs one module with the sharded engine on `workers` worker threads
+/// and concatenates every exported artifact into a single fingerprint
+/// string: report renders, metrics, traces, and each CSV (in file-name
+/// order) prefixed by its name.
+fn fingerprint(module: &str, run: RunFn, seed: u64, workers: usize) -> String {
+    let out_dir = temp_out_dir(module, seed, workers);
+    std::fs::create_dir_all(&out_dir).expect("create temp out_dir");
+    let telemetry = Telemetry::new();
+    let cfg = ExpConfig {
+        seed,
+        probes: 240,
+        out_dir: Some(out_dir.clone()),
+        shards: Some(workers),
+        telemetry: telemetry.clone(),
+        ..ExpConfig::quick()
+    };
+    let reports = run(&cfg);
+    assert!(!reports.is_empty(), "{module}: no reports produced");
+
+    let mut fp = String::new();
+    for r in &reports {
+        fp.push_str(&r.render());
+        fp.push('\n');
+    }
+    fp.push_str(&telemetry.prometheus_text());
+    fp.push_str(&telemetry.trace_jsonl());
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&out_dir)
+        .expect("read temp out_dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    files.sort();
+    for f in &files {
+        fp.push_str(&f.file_name().expect("file name").to_string_lossy());
+        fp.push('\n');
+        fp.push_str(&std::fs::read_to_string(f).expect("read CSV"));
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+    fp
+}
+
+/// The shared assertion: for each seed, every parallel worker count
+/// reproduces the sequential oracle byte for byte.
+fn assert_worker_count_invariant(module: &str, run: RunFn) {
+    for seed in SEEDS {
+        let oracle = fingerprint(module, run, seed, 1);
+        for workers in WORKERS {
+            let parallel = fingerprint(module, run, seed, workers);
+            assert_eq!(
+                oracle, parallel,
+                "{module}: seed {seed} diverged between 1 and {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn centricity_output_is_worker_count_invariant() {
+    assert_worker_count_invariant("centricity", centricity::run);
+}
+
+#[test]
+fn uy_latency_output_is_worker_count_invariant() {
+    assert_worker_count_invariant("uy_latency", uy_latency::run);
+}
+
+#[test]
+fn controlled_output_is_worker_count_invariant() {
+    assert_worker_count_invariant("controlled", controlled::run);
+}
+
+#[test]
+fn resilience_output_is_worker_count_invariant() {
+    assert_worker_count_invariant("resilience", resilience::run);
+}
+
+#[test]
+fn different_seeds_produce_different_fingerprints() {
+    // Sanity check that the fingerprint actually captures the run:
+    // byte-identity across worker counts would be vacuous if every
+    // seed fingerprinted the same.
+    let a = fingerprint("centricity-seed-a", centricity::run, 3, 4);
+    let b = fingerprint("centricity-seed-b", centricity::run, 17, 4);
+    assert_ne!(a, b);
+}

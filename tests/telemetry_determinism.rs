@@ -4,6 +4,13 @@
 //! This is the observability counterpart of the simulator's own
 //! determinism guarantee: traces are evidence, and evidence must not
 //! wobble between reruns.
+//!
+//! Ordering audit (sharded-engine PR): `prometheus_text` renders from
+//! a BTreeMap-keyed registry and `trace_jsonl` from a seq-ordered ring
+//! buffer, so neither inherits hash-map iteration order. The merged
+//! multi-shard variants of these guarantees live in
+//! `tests/shard_equivalence.rs` (same exports, byte-identical across
+//! worker counts).
 
 use dnsttl_atlas::{run_measurement, MeasurementSpec, Population, PopulationConfig, QueryName};
 use dnsttl_experiments::worlds;
