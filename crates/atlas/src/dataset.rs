@@ -55,6 +55,14 @@ impl Dataset {
         Dataset::default()
     }
 
+    /// An empty dataset pre-sized for `n` results, so a measurement
+    /// loop with a known query volume never re-grows the buffer.
+    pub fn with_capacity(n: usize) -> Dataset {
+        Dataset {
+            results: Vec::with_capacity(n),
+        }
+    }
+
     /// Appends one result.
     pub fn push(&mut self, r: MeasurementResult) {
         self.results.push(r);
@@ -174,15 +182,49 @@ impl Dataset {
     /// within-shard arrival order — so the merged dataset is identical
     /// no matter how many workers produced the parts.
     pub fn merge_shards(parts: Vec<(Dataset, usize, usize)>) -> Dataset {
-        let mut results = Vec::with_capacity(parts.iter().map(|(d, _, _)| d.len()).sum());
+        let total = parts.iter().map(|(d, _, _)| d.len()).sum();
+        let mut lists: Vec<Vec<MeasurementResult>> = Vec::with_capacity(parts.len());
         for (part, probe_base, resolver_base) in parts {
-            for mut r in part.results {
+            let mut results = part.results;
+            for r in &mut results {
                 r.probe_idx += probe_base;
                 r.resolver_idx += resolver_base;
-                results.push(r);
             }
+            lists.push(results);
         }
-        results.sort_by_key(|r| r.at);
+        // Each cell's measurement loop emits results in sim-time order,
+        // so the parts are already sorted and an O(k·n) k-way merge
+        // replaces the old full-dataset stable re-sort. Picking the
+        // strictly-smallest head (earliest part index on ties) yields
+        // exactly the stable sort's order, so the output is bit-for-bit
+        // what the re-sort produced. The sortedness check keeps the
+        // stable sort as a correctness fallback for hand-built parts.
+        let sorted = lists
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0].at <= w[1].at));
+        if !sorted {
+            let mut results: Vec<MeasurementResult> = Vec::with_capacity(total);
+            results.extend(lists.into_iter().flatten());
+            results.sort_by_key(|r| r.at);
+            return Dataset { results };
+        }
+        let mut iters: Vec<_> = lists
+            .into_iter()
+            .map(|l| l.into_iter().peekable())
+            .collect();
+        let mut results = Vec::with_capacity(total);
+        loop {
+            let mut best: Option<(SimTime, usize)> = None;
+            for (i, it) in iters.iter_mut().enumerate() {
+                if let Some(r) = it.peek() {
+                    if best.is_none_or(|(t, _)| r.at < t) {
+                        best = Some((r.at, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            results.push(iters[i].next().expect("head just peeked"));
+        }
         Dataset { results }
     }
 }

@@ -10,7 +10,7 @@
 use crate::dataset::{Dataset, MeasurementResult};
 use crate::population::Population;
 use dnsttl_netsim::{EventQueue, Network, SimDuration, SimRng, SimTime};
-use dnsttl_telemetry::{EventKind, Telemetry};
+use dnsttl_telemetry::{EventKind, Telemetry, Value};
 use dnsttl_wire::{Name, RData, Rcode, RecordType};
 
 /// How query names are formed.
@@ -114,7 +114,14 @@ pub fn run_measurement_with_hooks(
         queue.schedule(spec.start + phase, Tick { vp_index });
     }
     let end = spec.start + spec.duration;
-    let mut dataset = Dataset::new();
+    // Every VP fires ceil(duration / frequency) times (phase shifts keep
+    // each VP's full tick count inside the campaign window), so the
+    // result volume is known up front.
+    let ticks_per_vp = spec
+        .duration
+        .as_millis()
+        .div_ceil(spec.frequency.as_millis().max(1)) as usize;
+    let mut dataset = Dataset::with_capacity(vps.len() * ticks_per_vp);
 
     while let Some((now, tick)) = queue.pop() {
         while hooks.peek().map(|h| h.at <= now).unwrap_or(false) {
@@ -174,12 +181,10 @@ pub fn run_measurement_with_hooks(
                 "empty_answer"
             };
             telemetry.count_with("atlas_measurements_discarded", &[("reason", reason)], 1);
-            telemetry.event(now.as_millis(), EventKind::Discard, || {
-                vec![
-                    ("probe_id", u64::from(probe_id).into()),
-                    ("qname", qname.to_string().into()),
-                    ("reason", reason.into()),
-                ]
+            telemetry.event(now.as_millis(), EventKind::Discard, |f| {
+                f.push("probe_id", u64::from(probe_id));
+                f.push("qname", qname.shared_str());
+                f.push("reason", Value::literal(reason));
             });
         }
 

@@ -57,11 +57,22 @@ pub fn partition_bases(sizes: &[usize]) -> Vec<usize> {
 /// With one worker (or one cell) the jobs run inline on the calling
 /// thread — the sequential reference the differential harness compares
 /// multi-worker runs against.
+///
+/// The requested worker count is capped at the machine's available
+/// parallelism: cells are CPU-bound with no blocking I/O, so threads
+/// beyond the core count only add scheduling overhead (on a one-core
+/// host, `--shards 8` used to run *slower* than the sequential oracle).
+/// Output is unaffected — the worker count is not part of the
+/// experiment's identity.
 pub fn run_cells<T, F>(workers: usize, cells: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = workers.min(hw);
     if workers <= 1 || cells <= 1 {
         return (0..cells).map(job).collect();
     }

@@ -112,12 +112,10 @@ impl SecondaryServer {
             self.telemetry
                 .count_with("auth_zone_transfers", &[("server", &self.name)], 1);
             self.telemetry
-                .event(now.as_millis(), EventKind::ZoneTransfer, || {
-                    vec![
-                        ("server", self.name.as_str().into()),
-                        ("zone", self.origin.to_string().into()),
-                        ("serial", serial.into()),
-                    ]
+                .event(now.as_millis(), EventKind::ZoneTransfer, |f| {
+                    f.push("server", self.name.as_str());
+                    f.push("zone", self.origin.to_string());
+                    f.push("serial", serial);
                 });
         }
     }

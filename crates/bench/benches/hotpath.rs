@@ -1,0 +1,112 @@
+//! Hot-path micro-benchmarks for the structures the churn profile is
+//! dominated by: `Name` comparison/hashing (cache keys, expiry-index
+//! ordering) and bounded-cache eviction at realistic capacities.
+//!
+//! `name_compare`/`name_hash` run on deep names (six labels, mixed
+//! case) because that is where the old per-label `Vec<String>`
+//! representation paid one allocation per label per operation; the
+//! compact representation must make both allocation-free.
+//! `cache_evict` stores a rolling working set twice the cache capacity,
+//! so every store past warm-up evicts — the worst case the expiry index
+//! turns from an O(n) scan into an O(log n) pop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnsttl_core::ResolverPolicy;
+use dnsttl_netsim::SimTime;
+use dnsttl_resolver::{Cache, Credibility};
+use dnsttl_wire::{Name, RData, RRset, RecordType, Ttl};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+
+/// Deep, mixed-case names: equality and order must case-fold every
+/// label, so these are the expensive comparisons, not `uy.` vs `uy.`.
+fn deep_names() -> Vec<Name> {
+    (0..64)
+        .map(|i| {
+            Name::parse(&format!("host{i:03}.Rack7.Pod-B.dc2.Example-Cloud.net"))
+                .expect("valid deep name")
+        })
+        .collect()
+}
+
+fn name_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    let names = deep_names();
+    let near_equal = Name::parse("HOST000.rack7.pod-b.DC2.example-cloud.net").unwrap();
+
+    group.bench_function(BenchmarkId::from_parameter("name_compare"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 63;
+            black_box(names[i].cmp(&names[(i + 17) & 63]))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("name_eq_folded"), |b| {
+        // Same name, different case: the worst equality case — the hash
+        // filter matches and every byte must be folded and compared.
+        b.iter(|| black_box(names[0] == near_equal))
+    });
+    group.bench_function(BenchmarkId::from_parameter("name_hash"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 63;
+            let mut h = DefaultHasher::new();
+            names[i].hash(&mut h);
+            black_box(h.finish())
+        })
+    });
+    group.finish();
+}
+
+fn a_rrset(name: &Name, ttl: u32, last: u8) -> RRset {
+    RRset {
+        name: name.clone(),
+        rtype: RecordType::A,
+        ttl: Ttl::from_secs(ttl),
+        rdatas: vec![RData::A(std::net::Ipv4Addr::new(192, 0, 2, last))],
+    }
+}
+
+/// Sustained eviction churn: the working set is twice the capacity, so
+/// once warm every store displaces the soonest-to-expire entry.
+fn cache_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    let policy = ResolverPolicy::default();
+    for capacity in [512usize, 4_096, 32_768] {
+        let names: Vec<Name> = (0..capacity * 2)
+            .map(|i| Name::parse(&format!("w{i:06}.churn.example")).expect("valid"))
+            .collect();
+        let mut cache = Cache::with_capacity(capacity);
+        // Warm to capacity so the measured loop is pure evict+insert.
+        for (i, name) in names.iter().take(capacity).enumerate() {
+            cache.store(
+                a_rrset(name, 60 + (i % 540) as u32, 1),
+                Credibility::AuthAnswer,
+                SimTime::ZERO,
+                &policy,
+                false,
+            );
+        }
+        let mut i = capacity;
+        let mut t = 0u64;
+        group.bench_function(BenchmarkId::new("cache_evict", capacity), |b| {
+            b.iter(|| {
+                i = (i + 1) % names.len();
+                t += 1;
+                cache.store(
+                    a_rrset(&names[i], 60 + (i % 540) as u32, 1),
+                    Credibility::AuthAnswer,
+                    SimTime::from_millis(t),
+                    &policy,
+                    false,
+                );
+                black_box(cache.evictions())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, name_ops, cache_evict);
+criterion_main!(benches);

@@ -73,8 +73,9 @@ fn primitives(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1;
-            enabled.event(t, EventKind::CacheHit, || {
-                vec![("qname", "uy.".into()), ("t", t.into())]
+            enabled.event(t, EventKind::CacheHit, |f| {
+                f.push("qname", "uy.");
+                f.push("t", t);
             })
         })
     });

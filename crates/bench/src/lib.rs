@@ -20,7 +20,8 @@
 pub mod runner;
 
 pub use runner::{
-    BenchConfig, BenchReport, Counter, Timing, BENCH_SCHEMA, REGRESSION_THRESHOLD, TIMINGS_MARKER,
+    BenchConfig, BenchReport, Counter, Timing, BENCH_SCHEMA, FANOUT_TOLERANCE,
+    REGRESSION_THRESHOLD, TIMINGS_MARKER,
 };
 
 use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};

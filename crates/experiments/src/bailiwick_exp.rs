@@ -87,13 +87,11 @@ fn run_config(cfg: &ExpConfig, out_of_bailiwick: bool) -> RunOutput {
                 dnsttl_wire::Ttl::TWO_DAYS,
             );
             telemetry.count("experiment_renumbers", 1);
-            telemetry.event(RENUMBER_AT.as_millis(), EventKind::Renumber, || {
-                vec![
-                    ("zone", "com".into()),
-                    ("host", "ns1.zurrundedu.com".into()),
-                    ("new_addr", worlds::addrs::SUB_NEW.to_string().into()),
-                    ("bailiwick", "out".into()),
-                ]
+            telemetry.event(RENUMBER_AT.as_millis(), EventKind::Renumber, |f| {
+                f.push("zone", "com");
+                f.push("host", "ns1.zurrundedu.com");
+                f.push("new_addr", worlds::addrs::SUB_NEW.to_string());
+                f.push("bailiwick", "out");
             });
         })
     } else {
@@ -111,13 +109,11 @@ fn run_config(cfg: &ExpConfig, out_of_bailiwick: bool) -> RunOutput {
                 dnsttl_wire::Ttl::from_secs(7_200),
             );
             telemetry.count("experiment_renumbers", 1);
-            telemetry.event(RENUMBER_AT.as_millis(), EventKind::Renumber, || {
-                vec![
-                    ("zone", "cachetest.net".into()),
-                    ("host", "ns1.sub.cachetest.net".into()),
-                    ("new_addr", worlds::addrs::SUB_NEW.to_string().into()),
-                    ("bailiwick", "in".into()),
-                ]
+            telemetry.event(RENUMBER_AT.as_millis(), EventKind::Renumber, |f| {
+                f.push("zone", "cachetest.net");
+                f.push("host", "ns1.sub.cachetest.net");
+                f.push("new_addr", worlds::addrs::SUB_NEW.to_string());
+                f.push("bailiwick", "in");
             });
         })
     };

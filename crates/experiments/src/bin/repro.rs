@@ -161,7 +161,7 @@ fn write_observability(module: &str, cfg: &ExpConfig, telemetry: &Telemetry, rep
 /// schema-versioned report, and optionally gate on a committed
 /// baseline.
 fn run_bench(args: &[String]) -> ! {
-    use dnsttl_bench::{BenchConfig, BenchReport, REGRESSION_THRESHOLD};
+    use dnsttl_bench::{BenchConfig, BenchReport, FANOUT_TOLERANCE, REGRESSION_THRESHOLD};
 
     let mut seed = 42u64;
     let mut quick = false;
@@ -248,6 +248,21 @@ fn run_bench(args: &[String]) -> ! {
         } else {
             eprintln!("bench regressions vs {}:", path.display());
             for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        // Self-check, independent of the baseline: the multi-worker
+        // sharded run must not lose to its own sequential oracle.
+        let fanout = report.fanout_failures(FANOUT_TOLERANCE);
+        if fanout.is_empty() {
+            println!(
+                "fanout check passed: sharded_population_w8 within {:.0}% of w1",
+                FANOUT_TOLERANCE * 100.0
+            );
+        } else {
+            eprintln!("fanout check failed:");
+            for f in &fanout {
                 eprintln!("  {f}");
             }
             std::process::exit(1);

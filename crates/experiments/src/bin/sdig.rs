@@ -183,16 +183,15 @@ fn print_walkthrough(telemetry: &Telemetry, from_seq: u64, json: bool) -> u64 {
         for e in tracer.events().filter(|e| e.seq >= from_seq) {
             next = e.seq + 1;
             if json {
-                println!("{}", e.to_json());
+                println!("{}", tracer.event_json(e));
                 continue;
             }
             let indent = match e.kind {
                 EventKind::SpanStart | EventKind::SpanEnd => "",
                 _ => "  ",
             };
-            let fields: Vec<String> = e
-                .fields
-                .iter()
+            let fields: Vec<String> = tracer
+                .fields_of(e)
                 .map(|(k, v): &(&'static str, Value)| format!("{k}={v}"))
                 .collect();
             println!(

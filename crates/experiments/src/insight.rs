@@ -114,7 +114,7 @@ fn run_scenario(
             let mut residency = None;
             let mut original = None;
             for rec in ledger.journal().records() {
-                if rec.rtype == "A" && rec.name == ns_host_fqdn {
+                if rec.rtype == "A" && rec.name.as_ref() == ns_host_fqdn {
                     original = Some(rec.original_ttl as u64);
                     if let Some(res) = rec.residency_ms {
                         let res_s = res / 1_000;

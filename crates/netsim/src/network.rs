@@ -122,6 +122,9 @@ impl ExchangeOutcome {
 
 /// The network fabric for one experiment.
 pub struct Network {
+    /// Keyed service endpoints. Lookup-only — exchanges address a
+    /// specific server and the accounting getters take an address, so
+    /// the map is never iterated and its order cannot affect output.
     endpoints: HashMap<ServiceAddr, Endpoint>,
     latency: LatencyModel,
     /// How long a client waits for a lost packet before retrying.
@@ -321,22 +324,19 @@ impl Network {
         }
         if self.faults.outage_active(server, now) {
             self.telemetry.count("net_fault_outage", 1);
-            self.telemetry.event(now.as_millis(), EventKind::Fault, || {
-                vec![
-                    ("fault", "outage".into()),
-                    ("server", server.to_string().into()),
-                ]
-            });
+            self.telemetry
+                .event(now.as_millis(), EventKind::Fault, |f| {
+                    f.push("fault", "outage");
+                    f.push("server", server.to_string());
+                });
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
         if self.latency.sample_loss(rng) {
             self.telemetry.count("net_packets_lost", 1);
             self.telemetry
-                .event(now.as_millis(), EventKind::PacketLoss, || {
-                    vec![
-                        ("server", server.to_string().into()),
-                        ("client_region", client_region.to_string().into()),
-                    ]
+                .event(now.as_millis(), EventKind::PacketLoss, |f| {
+                    f.push("server", server.to_string());
+                    f.push("client_region", client_region.to_string());
                 });
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
@@ -344,12 +344,11 @@ impl Network {
         if let Some(deg) = degradation {
             if deg.loss > 0.0 && rng.chance(deg.loss) {
                 self.telemetry.count("net_fault_degraded_drop", 1);
-                self.telemetry.event(now.as_millis(), EventKind::Fault, || {
-                    vec![
-                        ("fault", "degrade".into()),
-                        ("server", server.to_string().into()),
-                    ]
-                });
+                self.telemetry
+                    .event(now.as_millis(), EventKind::Fault, |f| {
+                        f.push("fault", "degrade");
+                        f.push("server", server.to_string());
+                    });
                 return ExchangeOutcome::Timeout { elapsed: timeout };
             }
         }
@@ -368,12 +367,11 @@ impl Network {
             });
         let Some(site) = site else {
             self.telemetry.count("net_fault_blackout", 1);
-            self.telemetry.event(now.as_millis(), EventKind::Fault, || {
-                vec![
-                    ("fault", "blackout".into()),
-                    ("server", server.to_string().into()),
-                ]
-            });
+            self.telemetry
+                .event(now.as_millis(), EventKind::Fault, |f| {
+                    f.push("fault", "blackout");
+                    f.push("server", server.to_string());
+                });
             return ExchangeOutcome::Timeout { elapsed: timeout };
         };
         ep.queries_received += 1;

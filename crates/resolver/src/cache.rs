@@ -14,7 +14,7 @@ use dnsttl_netsim::{SimDuration, SimTime};
 use dnsttl_telemetry::{CacheOp, EventKind, Telemetry, Value};
 use dnsttl_wire::{Name, RRset, Rcode, RecordType, Ttl};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::ledger::{rank_token, CacheStats, Ledger, Provenance, RecordOrigin, StoreContext};
 
@@ -109,6 +109,14 @@ struct CacheMeta {
 #[derive(Debug, Default)]
 pub struct Cache {
     pub(crate) entries: HashMap<(Name, RecordType), Entry>,
+    /// Expiry-ordered index over the *unpinned* entries of `entries`:
+    /// `(expires_at, name, rtype code)`. Kept in lockstep with every
+    /// insert/remove so eviction and expiry purges are ordered-set pops
+    /// instead of full-table scans, with the same deterministic
+    /// tie-break the scans used (canonical `Name` order, then type
+    /// code) — no per-candidate string formatting. Pinned entries never
+    /// expire and are never evicted, so they are not indexed.
+    expiry: BTreeSet<(SimTime, Name, u16)>,
     negatives: HashMap<(Name, RecordType), NegEntry>,
     /// Maximum positive entries; `None` = unbounded. Real caches are
     /// bounded, and under pressure the *effective* TTL is the eviction
@@ -194,24 +202,36 @@ impl Cache {
                 ledger.record(now, op, rrset, rank, &prov, residency_ms, fingerprint);
             }
         }
-        self.telemetry.event(now.as_millis(), event_kind(op), || {
-            let mut fields: Vec<(&'static str, Value)> = vec![
-                ("qname", rrset.name.to_string().into()),
-                ("qtype", rrset.rtype.to_string().into()),
-                ("rank", rank_token(rank).into()),
-                ("origin", prov.origin.as_str().into()),
-                ("bailiwick", prov.bailiwick.as_str().into()),
-                ("ttl", (prov.effective_ttl.as_secs() as u64).into()),
-                ("txn", prov.txn.into()),
-                ("fp", format!("{fingerprint:016x}").into()),
-            ];
+        self.telemetry.event(now.as_millis(), event_kind(op), |f| {
+            // Shared/Static/Hex64/Addr values straight into the trace
+            // arena: recording a cache transaction allocates nothing —
+            // hex and address rendering are deferred to export time.
+            f.push("qname", rrset.name.shared_str());
+            f.push("qtype", Value::literal(rrset.rtype.as_str()));
+            f.push("fp", Value::Hex64(fingerprint));
+            if op == CacheOp::Serve {
+                // Serve is the hot path: a warm hit fires one of these
+                // per client query. The full provenance (rank, origin,
+                // bailiwick, server, ttl, txn) was already traced on
+                // insert under the same fingerprint and is recorded on
+                // every ledger line, so the trace carries just enough
+                // to join against those.
+                if let Some(res) = residency_ms {
+                    f.push("residency_ms", res);
+                }
+                return;
+            }
+            f.push("rank", Value::literal(rank_token(rank)));
+            f.push("origin", Value::literal(prov.origin.as_str()));
+            f.push("bailiwick", Value::literal(prov.bailiwick.as_str()));
+            f.push("ttl", prov.effective_ttl.as_secs() as u64);
+            f.push("txn", prov.txn);
             if let Some(server) = prov.server {
-                fields.push(("server", server.to_string().into()));
+                f.push("server", server);
             }
             if let Some(res) = residency_ms {
-                fields.push(("residency_ms", res.into()));
+                f.push("residency_ms", res);
             }
-            fields
         });
     }
 
@@ -221,26 +241,19 @@ impl Cache {
         if self.entries.len() < cap || self.entries.contains_key(incoming) {
             return;
         }
-        // Prefer dropping already-expired entries; otherwise the entry
-        // with the least remaining lifetime. Pinned entries are
-        // mirrored zone data and are never evicted. Ties break on the
-        // key, not HashMap iteration order, so the ledger is identical
-        // across reruns.
-        let victim = self
-            .entries
-            .iter()
-            .filter(|(_, e)| !e.pinned)
-            .min_by_key(|(k, e)| {
-                let horizon = if e.expires_at <= now {
-                    SimTime::ZERO
-                } else {
-                    e.expires_at
-                };
-                (horizon, k.0.to_string(), k.1.code())
-            })
-            .map(|(k, _)| k.clone());
-        if let Some(victim) = victim {
-            let e = self.entries.remove(&victim).expect("victim just seen");
+        // The victim is the index minimum: the entry with the earliest
+        // expiry (already-expired entries sort first by construction),
+        // ties broken by canonical name order then type code — never by
+        // HashMap iteration order, so the ledger is identical across
+        // reruns. Pinned entries are mirrored zone data, never indexed,
+        // never evicted. One ordered-set pop replaces the old
+        // O(n)-scan-with-string-formatting victim search.
+        if let Some((_, name, code)) = self.expiry.pop_first() {
+            let rtype = RecordType::from_code(code).expect("index holds valid type codes");
+            let e = self
+                .entries
+                .remove(&(name, rtype))
+                .expect("index entry has a backing cache entry");
             self.evictions += 1;
             self.meta.borrow_mut().stats.evictions += 1;
             self.note(
@@ -313,6 +326,9 @@ impl Cache {
         // Removal cause for the entry currently under the key, if any.
         let mut displaced: Option<(CacheOp, Entry)> = None;
         let mut refresh = false;
+        // Index key of the entry this store replaces (refreshes move an
+        // entry's expiry too, so the stale key must go either way).
+        let mut old_index: Option<(SimTime, Name, u16)> = None;
         let fingerprint = rrset.fingerprint();
         if let Some(existing) = self.entries.get(&key) {
             let fresh = existing.pinned || existing.expires_at > now;
@@ -337,6 +353,9 @@ impl Cache {
                 // Past its TTL: whatever replaces it, the old entry
                 // died of expiry.
                 displaced = Some((CacheOp::Expire, existing.clone()));
+            }
+            if !existing.pinned {
+                old_index = Some((existing.expires_at, key.0.clone(), key.1.code()));
             }
         }
         let origin = if ctx.txn == 0 && ctx.server.is_none() {
@@ -369,6 +388,9 @@ impl Cache {
         }
         let mut rrset = rrset;
         rrset.ttl = ttl;
+        if let Some(stale_key) = old_index {
+            self.expiry.remove(&stale_key);
+        }
         self.evict_if_full(&key, now);
         if refresh {
             self.meta.borrow_mut().stats.refreshes += 1;
@@ -388,10 +410,15 @@ impl Cache {
             None,
             fingerprint,
         );
+        let expires_at = now + ttl_span(ttl);
+        if !pinned {
+            self.expiry
+                .insert((expires_at, key.0.clone(), key.1.code()));
+        }
         self.entries.insert(
             key,
             Entry {
-                expires_at: now + ttl_span(ttl),
+                expires_at,
                 stored_at: now,
                 rrset,
                 rank,
@@ -408,6 +435,10 @@ impl Cache {
     pub fn invalidate(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> bool {
         match self.entries.remove(&(name.clone(), rtype)) {
             Some(e) => {
+                if !e.pinned {
+                    self.expiry
+                        .remove(&(e.expires_at, name.clone(), rtype.code()));
+                }
                 self.meta.borrow_mut().stats.invalidations += 1;
                 self.note(
                     now,
@@ -433,8 +464,9 @@ impl Cache {
             .filter(|(n, _)| n.is_subdomain_of(apex))
             .cloned()
             .collect();
-        // Deterministic ledger order regardless of HashMap layout.
-        victims.sort_by_key(|a| (a.0.to_string(), a.1.code()));
+        // Deterministic ledger order regardless of HashMap layout —
+        // canonical name order directly, no string formatting.
+        victims.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.code().cmp(&b.1.code())));
         for (name, rtype) in &victims {
             self.invalidate(name, *rtype, now);
         }
@@ -482,6 +514,14 @@ impl Cache {
         rtype: RecordType,
         now: SimTime,
     ) -> Option<SimDuration> {
+        // The expiry index is ordered and covers every unpinned entry,
+        // so its minimum answers "is anything expired at all?" without
+        // touching the entry table. Resolvers probe this on *every*
+        // query; in the common all-fresh cache the probe ends here.
+        match self.expiry.first() {
+            Some((earliest, _, _)) if *earliest <= now => {}
+            _ => return None,
+        }
         let e = self.entries.get(&(name.clone(), rtype))?;
         if e.pinned || e.expires_at > now {
             return None;
@@ -634,16 +674,20 @@ impl Cache {
     /// (reads check freshness) but keeps long simulations lean. Each
     /// drop is a ledger `expire` transaction.
     pub fn purge_expired(&mut self, now: SimTime) {
-        let mut dead: Vec<(Name, RecordType)> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| !e.pinned && e.expires_at <= now)
-            .map(|(k, _)| k.clone())
-            .collect();
-        // Deterministic ledger order regardless of HashMap layout.
-        dead.sort_by_key(|a| (a.0.to_string(), a.1.code()));
-        for key in dead {
-            let e = self.entries.remove(&key).expect("key just seen");
+        // Expired entries are exactly the index prefix up to `now`:
+        // ordered-set pops replace the old full scan + string sort.
+        // Ledger order is (expires_at, name, type code) — deterministic
+        // regardless of HashMap layout.
+        while let Some((expires_at, _, _)) = self.expiry.first() {
+            if *expires_at > now {
+                break;
+            }
+            let (_, name, code) = self.expiry.pop_first().expect("first just seen");
+            let rtype = RecordType::from_code(code).expect("index holds valid type codes");
+            let e = self
+                .entries
+                .remove(&(name, rtype))
+                .expect("index entry has a backing cache entry");
             self.meta.borrow_mut().stats.expiries += 1;
             self.note(
                 now,
@@ -664,6 +708,7 @@ impl Cache {
     pub fn clear(&mut self) {
         self.meta.borrow_mut().stats.clears += self.entries.len() as u64;
         self.entries.clear();
+        self.expiry.clear();
         self.negatives.clear();
     }
 }

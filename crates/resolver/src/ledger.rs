@@ -10,6 +10,7 @@
 //! `(record type, origin, bailiwick)` cell, so the effective-lifetime
 //! claims can be audited from cache state alone.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::net::IpAddr;
 
@@ -292,16 +293,19 @@ impl Ledger {
             bailiwick: prov.bailiwick,
         };
         self.cells.entry(key).or_default().apply(op, residency_ms);
+        // Every field below is either shared (the name buffer), borrowed
+        // from a `'static` mnemonic table, or plain data — recording a
+        // transaction allocates nothing beyond the journal slot.
         self.journal.push(LedgerRecord {
             t_ms: now.as_millis(),
             op,
-            name: rrset.name.to_string(),
-            rtype: rrset.rtype.to_string(),
+            name: rrset.name.shared_str(),
+            rtype: Cow::Borrowed(rrset.rtype.as_str()),
             txn: prov.txn,
-            server: prov.server.map(|s| s.to_string()).unwrap_or_default(),
-            origin: prov.origin.as_str().to_string(),
-            bailiwick: prov.bailiwick.as_str().to_string(),
-            rank: rank_token(rank).to_string(),
+            server: prov.server,
+            origin: Cow::Borrowed(prov.origin.as_str()),
+            bailiwick: Cow::Borrowed(prov.bailiwick.as_str()),
+            rank: Cow::Borrowed(rank_token(rank)),
             original_ttl: prov.original_ttl.as_secs(),
             effective_ttl: prov.effective_ttl.as_secs(),
             residency_ms,

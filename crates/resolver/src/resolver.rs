@@ -12,7 +12,7 @@ use crate::cache::{Cache, Credibility};
 use crate::ledger::{BailiwickClass, StoreContext};
 use dnsttl_core::{Centricity, ResolverPolicy};
 use dnsttl_netsim::{ExchangeOutcome, Network, Region, SimDuration, SimRng, SimTime, Transport};
-use dnsttl_telemetry::{EventKind, SpanId, Telemetry};
+use dnsttl_telemetry::{EventKind, MetricKey, SpanId, Telemetry, Value};
 use dnsttl_wire::{Message, Name, RData, RRset, Rcode, Record, RecordType, Ttl};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
@@ -120,8 +120,9 @@ enum Resolved {
 
 /// A recursive resolver with one cache and one policy.
 pub struct RecursiveResolver {
-    /// Diagnostic label, e.g. `"resolver-193"`.
-    pub label: String,
+    /// Diagnostic label, e.g. `"resolver-193"`. Shared so per-query
+    /// trace events attach it without allocating.
+    pub label: std::sync::Arc<str>,
     policy: ResolverPolicy,
     region: Region,
     tag: u64,
@@ -129,10 +130,11 @@ pub struct RecursiveResolver {
     roots: Vec<RootHint>,
     rng: SimRng,
     /// Zone apex → server address that answered for it last
-    /// (sticky-resolver state, §4.4).
+    /// (sticky-resolver state, §4.4). Lookup-only: never iterated, so
+    /// HashMap order cannot leak into resolution output.
     sticky_server: HashMap<Name, IpAddr>,
     /// Server address → backoff state (only populated when the policy
-    /// enables `server_backoff`).
+    /// enables `server_backoff`). Lookup-only, like `sticky_server`.
     backoff: HashMap<IpAddr, BackoffState>,
     stats: ResolverStats,
     telemetry: Telemetry,
@@ -159,7 +161,7 @@ impl RecursiveResolver {
             None => Cache::new(),
         };
         RecursiveResolver {
-            label: label.into(),
+            label: label.into().into(),
             policy,
             region,
             tag,
@@ -231,10 +233,12 @@ impl RecursiveResolver {
     /// `rndc flush` or a resolver restart would, and journals the event.
     pub fn apply_flush(&mut self, now: SimTime) {
         let label = self.label.clone();
-        self.telemetry.event(now.as_millis(), EventKind::Fault, || {
-            vec![("fault", "flush".into()), ("resolver", label.into())]
-        });
-        self.telemetry.count("resolver_fault_flushes", 1);
+        self.telemetry
+            .event(now.as_millis(), EventKind::Fault, |f| {
+                f.push("fault", Value::literal("flush"));
+                f.push("resolver", label);
+            });
+        self.telemetry.count_keyed(&metrics::FAULT_FLUSHES, 1);
         self.cache.clear();
         self.sticky_server.clear();
         self.backoff.clear();
@@ -262,16 +266,14 @@ impl RecursiveResolver {
         bump(
             &mut self.stats.client_queries,
             &self.telemetry,
-            "resolver_client_queries",
+            &metrics::CLIENT_QUERIES,
         );
         let span = {
-            let label = self.label.as_str();
-            self.telemetry.span_start(now.as_millis(), |_| {
-                vec![
-                    ("resolver", label.into()),
-                    ("qname", qname.to_string().into()),
-                    ("qtype", qtype.to_string().into()),
-                ]
+            let label = self.label.clone();
+            self.telemetry.span_start(now.as_millis(), |_, f| {
+                f.push("resolver", label);
+                f.push("qname", qname.shared_str());
+                f.push("qtype", Value::literal(qtype.as_str()));
             })
         };
         // Expiry probe: the entry was cached and the TTL ran out — this
@@ -279,14 +281,12 @@ impl RecursiveResolver {
         if self.telemetry.is_enabled() {
             if let Some(expired_for) = self.cache.expired_since(qname, qtype, now) {
                 self.telemetry
-                    .span_event(span, now.as_millis(), EventKind::CacheExpiry, || {
-                        vec![
-                            ("qname", qname.to_string().into()),
-                            ("qtype", qtype.to_string().into()),
-                            ("expired_for_ms", expired_for.as_millis().into()),
-                        ]
+                    .span_event(span, now.as_millis(), EventKind::CacheExpiry, |f| {
+                        f.push("qname", qname.shared_str());
+                        f.push("qtype", Value::literal(qtype.as_str()));
+                        f.push("expired_for_ms", expired_for.as_millis());
                     });
-                self.telemetry.count("resolver_cache_expiries", 1);
+                self.telemetry.count_keyed(&metrics::CACHE_EXPIRIES, 1);
             }
         }
         let mut ctx = Ctx {
@@ -318,7 +318,7 @@ impl RecursiveResolver {
                 bump(
                     &mut self.stats.failure_caches,
                     &self.telemetry,
-                    "resolver_failure_caches",
+                    &metrics::FAILURE_CACHES,
                 );
             }
         }
@@ -336,11 +336,11 @@ impl RecursiveResolver {
                     bump(
                         &mut self.stats.stale_answers,
                         &self.telemetry,
-                        "resolver_stale_answers",
+                        &metrics::STALE_ANSWERS,
                     );
                     self.telemetry
-                        .span_event(span, now.as_millis(), EventKind::CacheStale, || {
-                            vec![("qname", qname.to_string().into())]
+                        .span_event(span, now.as_millis(), EventKind::CacheStale, |f| {
+                            f.push("qname", qname.shared_str());
                         });
                 }
             }
@@ -352,11 +352,11 @@ impl RecursiveResolver {
                 bump(
                     &mut self.stats.servfails,
                     &self.telemetry,
-                    "resolver_servfails",
+                    &metrics::SERVFAILS,
                 );
                 self.telemetry
-                    .span_event(span, now.as_millis(), EventKind::ServFail, || {
-                        vec![("qname", qname.to_string().into())]
+                    .span_event(span, now.as_millis(), EventKind::ServFail, |f| {
+                        f.push("qname", qname.shared_str());
                     });
             }
         }
@@ -365,26 +365,26 @@ impl RecursiveResolver {
             bump(
                 &mut self.stats.cache_hits,
                 &self.telemetry,
-                "resolver_cache_hits",
+                &metrics::CACHE_HITS,
             );
         }
         if self.telemetry.is_enabled() {
-            let kind = if cache_hit {
-                EventKind::CacheHit
-            } else {
-                EventKind::CacheMiss
-            };
-            self.telemetry.span_event(span, now.as_millis(), kind, || {
-                vec![("qname", qname.to_string().into())]
-            });
+            // The hit/miss verdict travels as the `cache_hit` field on
+            // span_end (below) rather than as a separate span event —
+            // one arena record fewer on the warm hot path.
             self.telemetry
-                .observe("resolver_latency_ms", ctx.elapsed.as_millis());
+                .observe_keyed(&metrics::LATENCY_MS, ctx.elapsed.as_millis());
             for r in &answer.answers {
                 self.telemetry
-                    .observe("resolver_answer_ttl_s", r.ttl.as_secs() as u64);
+                    .observe_keyed(&metrics::ANSWER_TTL_S, r.ttl.as_secs() as u64);
             }
-            self.telemetry
-                .gauge("resolver_cache_entries", self.cache.len() as f64);
+            if !cache_hit {
+                // A warm hit cannot change the entry count (inserts,
+                // and therefore evictions, only happen on the upstream
+                // path), so the gauge only needs refreshing on misses.
+                self.telemetry
+                    .gauge_keyed(&metrics::CACHE_ENTRIES, self.cache.len() as f64);
+            }
         }
         // Prefetch: a cache hit on a nearly-expired entry triggers a
         // background refresh. Its latency is NOT charged to this
@@ -396,11 +396,11 @@ impl RecursiveResolver {
                     bump(
                         &mut self.stats.prefetches,
                         &self.telemetry,
-                        "resolver_prefetches",
+                        &metrics::PREFETCHES,
                     );
                     self.telemetry
-                        .span_event(span, now.as_millis(), EventKind::Prefetch, || {
-                            vec![("qname", qname.to_string().into())]
+                        .span_event(span, now.as_millis(), EventKind::Prefetch, |f| {
+                            f.push("qname", qname.shared_str());
                         });
                     let mut refresh_ctx = Ctx {
                         elapsed: SimDuration::ZERO,
@@ -414,14 +414,12 @@ impl RecursiveResolver {
             }
         }
         self.telemetry
-            .span_end(span, (now + ctx.elapsed).as_millis(), || {
-                vec![
-                    ("rcode", answer.header.rcode.to_string().into()),
-                    ("cache_hit", cache_hit.into()),
-                    ("stale", served_stale.into()),
-                    ("upstream_queries", (ctx.upstream as u64).into()),
-                    ("elapsed_ms", ctx.elapsed.as_millis().into()),
-                ]
+            .span_end(span, (now + ctx.elapsed).as_millis(), |f| {
+                f.push("rcode", Value::literal(answer.header.rcode.as_str()));
+                f.push("cache_hit", cache_hit);
+                f.push("stale", served_stale);
+                f.push("upstream_queries", ctx.upstream as u64);
+                f.push("elapsed_ms", ctx.elapsed.as_millis());
             });
         ResolutionOutcome {
             answer,
@@ -532,14 +530,15 @@ impl RecursiveResolver {
 
             if response.is_referral() {
                 self.telemetry
-                    .span_event(ctx.span, now.as_millis(), EventKind::Referral, || {
+                    .span_event(ctx.span, now.as_millis(), EventKind::Referral, |f| {
                         let cut = response
                             .authorities
                             .iter()
                             .find(|r| r.record_type() == RecordType::NS)
-                            .map(|r| r.name.to_string())
-                            .unwrap_or_default();
-                        vec![("zone", zone.to_string().into()), ("cut", cut.into())]
+                            .map(|r| Value::from(r.name.shared_str()))
+                            .unwrap_or_else(|| Value::literal(""));
+                        f.push("zone", zone.shared_str());
+                        f.push("cut", cut);
                     });
             }
 
@@ -591,7 +590,7 @@ impl RecursiveResolver {
                             ctx.span,
                             now.as_millis(),
                             EventKind::ValidationFailure,
-                            || vec![("qname", current.to_string().into())],
+                            |f| f.push("qname", current.shared_str()),
                         );
                         return Resolved::Fail; // bogus data ⇒ SERVFAIL
                     }
@@ -684,14 +683,14 @@ impl RecursiveResolver {
             bump(
                 &mut self.stats.validations,
                 &self.telemetry,
-                "resolver_validations",
+                &metrics::VALIDATIONS,
             );
             true
         } else {
             bump(
                 &mut self.stats.validation_failures,
                 &self.telemetry,
-                "resolver_validation_failures",
+                &metrics::VALIDATION_FAILURES,
             );
             false
         }
@@ -910,11 +909,9 @@ impl RecursiveResolver {
             for attempt in 0..=self.policy.retries {
                 if attempt > 0 {
                     self.telemetry
-                        .span_event(ctx.span, now.as_millis(), EventKind::Retry, || {
-                            vec![
-                                ("server", addr.to_string().into()),
-                                ("attempt", (attempt as u64).into()),
-                            ]
+                        .span_event(ctx.span, now.as_millis(), EventKind::Retry, |f| {
+                            f.push("server", *addr);
+                            f.push("attempt", attempt as u64);
                         });
                 }
                 let query = Message::iterative_query(self.next_msg_id(), qname.clone(), qtype);
@@ -928,19 +925,19 @@ impl RecursiveResolver {
                         bump(
                             &mut self.stats.tcp_fallbacks,
                             &self.telemetry,
-                            "resolver_tcp_fallbacks",
+                            &metrics::TCP_FALLBACKS,
                         );
                         self.telemetry.span_event(
                             ctx.span,
                             now.as_millis(),
                             EventKind::TcFallback,
-                            || vec![("server", addr.to_string().into())],
+                            |f| f.push("server", *addr),
                         );
                         ctx.upstream += 1;
                         bump(
                             &mut self.stats.upstream_queries,
                             &self.telemetry,
-                            "resolver_upstream_queries",
+                            &metrics::UPSTREAM_QUERIES,
                         );
                         let retry =
                             Message::iterative_query(self.next_msg_id(), qname.clone(), qtype);
@@ -964,7 +961,7 @@ impl RecursiveResolver {
                         bump(
                             &mut self.stats.upstream_queries,
                             &self.telemetry,
-                            "resolver_upstream_queries",
+                            &metrics::UPSTREAM_QUERIES,
                         );
                         match message.header.rcode {
                             Rcode::NoError | Rcode::NxDomain => {
@@ -981,13 +978,13 @@ impl RecursiveResolver {
                         bump(
                             &mut self.stats.timeouts,
                             &self.telemetry,
-                            "resolver_timeouts",
+                            &metrics::TIMEOUTS,
                         );
                         self.telemetry.span_event(
                             ctx.span,
                             now.as_millis(),
                             EventKind::Timeout,
-                            || vec![("server", addr.to_string().into())],
+                            |f| f.push("server", *addr),
                         );
                         // Retry the same server up to `retries` times.
                     }
@@ -1017,14 +1014,12 @@ impl RecursiveResolver {
         bump(
             &mut self.stats.backoff_skips,
             &self.telemetry,
-            "resolver_backoff_skips",
+            &metrics::BACKOFF_SKIPS,
         );
         self.telemetry
-            .span_event(ctx.span, now.as_millis(), EventKind::Backoff, || {
-                vec![
-                    ("server", addr.to_string().into()),
-                    ("until_ms", until_ms.into()),
-                ]
+            .span_event(ctx.span, now.as_millis(), EventKind::Backoff, |f| {
+                f.push("server", addr);
+                f.push("until_ms", until_ms);
             });
         true
     }
@@ -1142,9 +1137,33 @@ impl RecursiveResolver {
 /// Increments a [`ResolverStats`] cell and mirrors it onto the metrics
 /// registry: the struct stays the zero-cost compatibility view, the
 /// registry is the exported series.
-fn bump(field: &mut u64, telemetry: &Telemetry, metric: &'static str) {
+fn bump(field: &mut u64, telemetry: &Telemetry, metric: &MetricKey) {
     *field += 1;
-    telemetry.count(metric, 1);
+    telemetry.count_keyed(metric, 1);
+}
+
+/// Pre-hashed keys for every resolver metric series, so the per-query
+/// path never re-hashes a metric name.
+mod metrics {
+    use dnsttl_telemetry::MetricKey;
+
+    pub const FAULT_FLUSHES: MetricKey = MetricKey::new("resolver_fault_flushes");
+    pub const CLIENT_QUERIES: MetricKey = MetricKey::new("resolver_client_queries");
+    pub const CACHE_EXPIRIES: MetricKey = MetricKey::new("resolver_cache_expiries");
+    pub const FAILURE_CACHES: MetricKey = MetricKey::new("resolver_failure_caches");
+    pub const STALE_ANSWERS: MetricKey = MetricKey::new("resolver_stale_answers");
+    pub const SERVFAILS: MetricKey = MetricKey::new("resolver_servfails");
+    pub const CACHE_HITS: MetricKey = MetricKey::new("resolver_cache_hits");
+    pub const LATENCY_MS: MetricKey = MetricKey::new("resolver_latency_ms");
+    pub const ANSWER_TTL_S: MetricKey = MetricKey::new("resolver_answer_ttl_s");
+    pub const CACHE_ENTRIES: MetricKey = MetricKey::new("resolver_cache_entries");
+    pub const PREFETCHES: MetricKey = MetricKey::new("resolver_prefetches");
+    pub const VALIDATIONS: MetricKey = MetricKey::new("resolver_validations");
+    pub const VALIDATION_FAILURES: MetricKey = MetricKey::new("resolver_validation_failures");
+    pub const TCP_FALLBACKS: MetricKey = MetricKey::new("resolver_tcp_fallbacks");
+    pub const UPSTREAM_QUERIES: MetricKey = MetricKey::new("resolver_upstream_queries");
+    pub const TIMEOUTS: MetricKey = MetricKey::new("resolver_timeouts");
+    pub const BACKOFF_SKIPS: MetricKey = MetricKey::new("resolver_backoff_skips");
 }
 
 /// Groups a section's records into RRsets (name+type runs).

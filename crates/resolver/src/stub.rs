@@ -103,7 +103,7 @@ impl StubResolver {
             for suffix in &self.config.search {
                 let mut combined = suffix.clone();
                 // Prepend the host's labels onto the suffix.
-                for label in as_is.labels().iter().rev() {
+                for label in as_is.labels().rev() {
                     combined = match combined.child(label) {
                         Ok(c) => c,
                         Err(_) => continue,

@@ -1,0 +1,229 @@
+//! Differential harness for the expiry-indexed eviction path.
+//!
+//! The cache's victim selection used to be a linear scan over the whole
+//! entry table; it is now an ordered-index pop (`BTreeSet::pop_first`).
+//! This test retains the linear scan as a *shadow oracle* and drives
+//! both through 20k-step seeded workloads of stores, clock advances,
+//! purges and invalidations, asserting that
+//!
+//! * the indexed cache evicts the **identical victim sequence** the
+//!   linear scan selects — same keys, same order, for every seed — and
+//! * after the full workload the surviving key set matches the oracle's
+//!   exactly.
+//!
+//! The oracle implements the victim spec directly: the unpinned entry
+//! minimising `(expires_at, name, rtype code)` under canonical `Name`
+//! order. Any divergence in the incremental index maintenance
+//! (store/refresh moving an expiry, invalidation dropping one, purge
+//! popping a prefix) shows up as a sequence mismatch here.
+
+use dnsttl_core::ResolverPolicy;
+use dnsttl_netsim::{SimDuration, SimRng, SimTime};
+use dnsttl_resolver::{Cache, Credibility};
+use dnsttl_telemetry::CacheOp;
+use dnsttl_wire::{Name, RData, RRset, RecordType, Ttl};
+
+const CAPACITY: usize = 32;
+const STEPS: usize = 20_000;
+const SEEDS: u64 = 4;
+
+/// Shadow cache entry: just enough state to replay victim selection.
+#[derive(Debug, Clone)]
+struct ShadowEntry {
+    name: Name,
+    rtype: RecordType,
+    expires_at: SimTime,
+    pinned: bool,
+}
+
+/// The retained linear-scan model of the bounded cache.
+#[derive(Debug, Default)]
+struct Oracle {
+    entries: Vec<ShadowEntry>,
+    evicted: Vec<(String, String)>,
+}
+
+impl Oracle {
+    fn position(&self, name: &Name, rtype: RecordType) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.name == *name && e.rtype == rtype)
+    }
+
+    /// The old victim search, verbatim in spirit: scan every entry,
+    /// keep the unpinned minimum by `(expires_at, name, type code)`.
+    fn linear_scan_victim(&self) -> Option<usize> {
+        let mut best: Option<(usize, (SimTime, Name, u16))> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.pinned {
+                continue;
+            }
+            let key = (e.expires_at, e.name.clone(), e.rtype.code());
+            if best.as_ref().map(|(_, b)| key < *b).unwrap_or(true) {
+                best = Some((i, key));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn store(&mut self, name: &Name, rtype: RecordType, ttl: u32, now: SimTime, pinned: bool) {
+        let expires_at = now + SimDuration::from_secs(ttl as u64);
+        if let Some(i) = self.position(name, rtype) {
+            self.entries[i].expires_at = expires_at;
+            self.entries[i].pinned = pinned;
+            return;
+        }
+        if self.entries.len() >= CAPACITY {
+            if let Some(victim) = self.linear_scan_victim() {
+                let v = self.entries.remove(victim);
+                self.evicted.push((v.name.to_string(), v.rtype.to_string()));
+            }
+        }
+        self.entries.push(ShadowEntry {
+            name: name.clone(),
+            rtype,
+            expires_at,
+            pinned,
+        });
+    }
+
+    fn invalidate(&mut self, name: &Name, rtype: RecordType) {
+        if let Some(i) = self.position(name, rtype) {
+            self.entries.remove(i);
+        }
+    }
+
+    fn purge_expired(&mut self, now: SimTime) {
+        self.entries.retain(|e| e.pinned || e.expires_at > now);
+    }
+}
+
+fn rrset(name: &Name, rtype: RecordType, ttl: u32, variant: u8) -> RRset {
+    let rdata = match rtype {
+        RecordType::A => RData::A(std::net::Ipv4Addr::new(192, 0, 2, variant)),
+        RecordType::NS => {
+            RData::Ns(Name::parse(&format!("ns{variant}.example")).expect("valid ns host"))
+        }
+        other => panic!("workload does not use {other:?}"),
+    };
+    RRset {
+        name: name.clone(),
+        rtype,
+        ttl: Ttl::from_secs(ttl),
+        rdatas: vec![rdata],
+    }
+}
+
+#[test]
+fn indexed_eviction_matches_linear_scan_oracle() {
+    let policy = ResolverPolicy::default();
+    // A name pool with depth and case variety so the canonical-order
+    // tie-break actually gets exercised (equal expiry is common: TTLs
+    // are drawn from a small set and the clock moves in whole steps).
+    let names: Vec<Name> = (0..48)
+        .map(|i| {
+            let s = match i % 4 {
+                0 => format!("h{i:02}.example"),
+                1 => format!("H{i:02}.Example"),
+                2 => format!("deep.h{i:02}.sub.example"),
+                _ => format!("h{i:02}.other-zone.test"),
+            };
+            Name::parse(&s).expect("pool name is valid")
+        })
+        .collect();
+    let rtypes = [RecordType::A, RecordType::NS];
+    let ttls = [30u32, 60, 60, 300, 300, 3_600];
+
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::seed_from(0xE71C_7000 + seed);
+        let mut cache = Cache::with_capacity(CAPACITY);
+        cache.enable_ledger();
+        let mut oracle = Oracle::default();
+        let mut now = SimTime::ZERO;
+
+        for step in 0..STEPS {
+            match rng.below(10) {
+                0..=5 => {
+                    let name = &names[rng.below(names.len() as u64) as usize];
+                    let rtype = rtypes[rng.below(2) as usize];
+                    let ttl = ttls[rng.below(ttls.len() as u64) as usize];
+                    let variant = rng.below(4) as u8 + 1;
+                    // A small pinned population that must never be
+                    // selected by either victim search.
+                    let pinned = rng.below(40) == 0;
+                    cache.store(
+                        rrset(name, rtype, ttl, variant),
+                        Credibility::AuthAnswer,
+                        now,
+                        &policy,
+                        pinned,
+                    );
+                    oracle.store(name, rtype, ttl, now, pinned);
+                }
+                6..=7 => {
+                    now += SimDuration::from_secs(1 + rng.below(90));
+                }
+                8 => {
+                    cache.purge_expired(now);
+                    oracle.purge_expired(now);
+                }
+                _ => {
+                    let name = &names[rng.below(names.len() as u64) as usize];
+                    let rtype = rtypes[rng.below(2) as usize];
+                    cache.invalidate(name, rtype, now);
+                    oracle.invalidate(name, rtype);
+                }
+            }
+            assert_eq!(
+                cache.len(),
+                oracle.entries.len(),
+                "seed {seed} step {step}: live entry counts diverged"
+            );
+        }
+
+        // The ledger journal is the cache's own record of who was
+        // evicted, in order. It must not have wrapped, or the
+        // comparison below would silently skip early victims.
+        let (evicts, dropped) = cache
+            .with_ledger(|l| {
+                let evicts: Vec<(String, String)> = l
+                    .journal()
+                    .records()
+                    .filter(|r| r.op == CacheOp::Evict)
+                    .map(|r| (r.name.to_string(), r.rtype.to_string()))
+                    .collect();
+                (evicts, l.journal().dropped())
+            })
+            .expect("ledger enabled");
+        assert_eq!(dropped, 0, "seed {seed}: journal wrapped; grow it");
+        assert_eq!(
+            cache.evictions(),
+            oracle.evicted.len() as u64,
+            "seed {seed}: eviction counts diverged"
+        );
+        assert!(
+            !oracle.evicted.is_empty(),
+            "seed {seed}: workload never filled the cache — not a useful run"
+        );
+        assert_eq!(
+            evicts, oracle.evicted,
+            "seed {seed}: indexed eviction picked a different victim sequence \
+             than the linear-scan oracle"
+        );
+
+        // Full surviving-key-set equivalence, probed through the public
+        // read API: an entry is present iff it serves fresh or reports
+        // an expiry age (pinned entries always serve).
+        for name in &names {
+            for rtype in rtypes {
+                let in_cache = cache.get(name, rtype, now).is_some()
+                    || cache.expired_since(name, rtype, now).is_some();
+                let in_oracle = oracle.position(name, rtype).is_some();
+                assert_eq!(
+                    in_cache, in_oracle,
+                    "seed {seed}: presence of ({name}, {rtype:?}) diverged"
+                );
+            }
+        }
+    }
+}

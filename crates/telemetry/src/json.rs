@@ -10,10 +10,30 @@
 use std::fmt::Write as _;
 
 /// A JSON-serialisable scalar used in trace fields and manifests.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The three string variants render identically and compare equal by
+/// content; they differ only in ownership. `Shared` and `Static` exist
+/// for the resolver hot path, which emits the same qname/qtype/rcode
+/// strings on every event — `Shared` bumps a refcount (e.g. a `Name`'s
+/// internal buffer) and `Static` copies a pointer, where `Str` would
+/// allocate.
+#[derive(Debug, Clone)]
 pub enum Value {
-    /// A string (escaped on output).
+    /// An owned string (escaped on output).
     Str(String),
+    /// A reference-counted shared string — clone is a refcount bump.
+    Shared(std::sync::Arc<str>),
+    /// A `'static` string literal — clone is free.
+    Static(&'static str),
+    /// A `u64` rendered as a 16-digit zero-padded hex *string* — what a
+    /// fingerprint field looks like on the wire — but stored as the raw
+    /// integer so the hot path never formats. Hex keeps fingerprints
+    /// out of JSON numbers, whose readers go through `f64` and would
+    /// lose the high bits.
+    Hex64(u64),
+    /// An IP address, rendered as its display *string* lazily at export
+    /// time instead of allocating per event.
+    Addr(std::net::IpAddr),
     /// An unsigned integer.
     U64(u64),
     /// A signed integer.
@@ -24,15 +44,65 @@ pub enum Value {
     Bool(bool),
 }
 
+impl Value {
+    /// Wraps a `'static` literal without allocating. This is a named
+    /// constructor rather than a `From<&'static str>` impl because the
+    /// blanket `From<&str>` (which must keep allocating for borrowed
+    /// strings) would conflict with it.
+    pub fn literal(s: &'static str) -> Value {
+        Value::Static(s)
+    }
+
+    /// The string payload, if any variant of one.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Shared(s) => Some(s),
+            Value::Static(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// String variants compare by content regardless of ownership flavour.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Hex64(a), Value::Hex64(b)) => a == b,
+            (Value::Addr(a), Value::Addr(b)) => a == b,
+            _ => match (self.as_text(), other.as_text()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
 impl From<&str> for Value {
     fn from(s: &str) -> Value {
         Value::Str(s.to_owned())
     }
 }
 
+impl From<std::sync::Arc<str>> for Value {
+    fn from(s: std::sync::Arc<str>) -> Value {
+        Value::Shared(s)
+    }
+}
+
 impl From<String> for Value {
     fn from(s: String) -> Value {
         Value::Str(s)
+    }
+}
+
+impl From<std::net::IpAddr> for Value {
+    fn from(a: std::net::IpAddr) -> Value {
+        Value::Addr(a)
     }
 }
 
@@ -78,6 +148,10 @@ impl std::fmt::Display for Value {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Value::Str(s) => f.write_str(s),
+            Value::Shared(s) => f.write_str(s),
+            Value::Static(s) => f.write_str(s),
+            Value::Hex64(v) => write!(f, "{v:016x}"),
+            Value::Addr(a) => write!(f, "{a}"),
             Value::U64(v) => write!(f, "{v}"),
             Value::I64(v) => write!(f, "{v}"),
             Value::F64(v) => {
@@ -128,6 +202,24 @@ pub fn write_value(out: &mut String, value: &Value) {
             out.push('"');
             escape_into(out, s);
             out.push('"');
+        }
+        Value::Shared(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::Static(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::Hex64(v) => {
+            // Nothing to escape in hex digits.
+            let _ = write!(out, "\"{v:016x}\"");
+        }
+        Value::Addr(a) => {
+            // Nothing to escape in an address's display form.
+            let _ = write!(out, "\"{a}\"");
         }
         Value::U64(v) => {
             let _ = write!(out, "{v}");

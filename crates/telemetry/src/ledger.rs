@@ -14,7 +14,9 @@
 //! strings; `dnsttl-resolver` is responsible for rendering them
 //! consistently.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::json::{flat_get, parse_flat_object, JsonScalar, ObjectWriter, Value};
 
@@ -128,23 +130,28 @@ pub struct LedgerRecord {
     pub t_ms: u64,
     /// The transaction kind.
     pub op: CacheOp,
-    /// Owner name of the cached RRset (presentation form).
-    pub name: String,
-    /// Record type mnemonic (`A`, `NS`, …).
-    pub rtype: String,
+    /// Owner name of the cached RRset (presentation form). `Arc<str>`
+    /// so the hot path shares the name's buffer instead of copying it
+    /// once per transaction.
+    pub name: Arc<str>,
+    /// Record type mnemonic (`A`, `NS`, …). `Cow` so the recorder
+    /// borrows the `'static` mnemonic table and only the parser
+    /// allocates.
+    pub rtype: Cow<'static, str>,
     /// Id of the resolution transaction that installed the entry.
     pub txn: u64,
-    /// The server the installing response came from (empty if unknown,
-    /// e.g. a pre-seeded root hint).
-    pub server: String,
+    /// The server the installing response came from (`None` if unknown,
+    /// e.g. a pre-seeded root hint). Stored as the address, rendered
+    /// lazily by the codec.
+    pub server: Option<std::net::IpAddr>,
     /// `parent`, `child`, or `none` — which side of the zone cut the
     /// installing record came from.
-    pub origin: String,
+    pub origin: Cow<'static, str>,
     /// `in`, `out`, or `none` — bailiwick class relative to the
     /// responding zone.
-    pub bailiwick: String,
+    pub bailiwick: Cow<'static, str>,
     /// Credibility rank token (RFC 2181 §5.4.1 ladder).
-    pub rank: String,
+    pub rank: Cow<'static, str>,
     /// TTL as published in the installing response, seconds.
     pub original_ttl: u32,
     /// TTL after resolver policy (caps/floors/coupling), seconds.
@@ -161,16 +168,16 @@ impl LedgerRecord {
     pub fn to_line(&self) -> String {
         let mut w = ObjectWriter::new();
         w.field("t", &Value::U64(self.t_ms));
-        w.field("op", &Value::Str(self.op.as_str().to_string()));
-        w.field("n", &Value::Str(self.name.clone()));
-        w.field("ty", &Value::Str(self.rtype.clone()));
+        w.field("op", &Value::Static(self.op.as_str()));
+        w.field("n", &Value::Shared(self.name.clone()));
+        w.field("ty", &Value::Str(self.rtype.to_string()));
         w.field("tx", &Value::U64(self.txn));
-        if !self.server.is_empty() {
-            w.field("sv", &Value::Str(self.server.clone()));
+        if let Some(server) = self.server {
+            w.field("sv", &Value::Addr(server));
         }
-        w.field("or", &Value::Str(self.origin.clone()));
-        w.field("bw", &Value::Str(self.bailiwick.clone()));
-        w.field("rk", &Value::Str(self.rank.clone()));
+        w.field("or", &Value::Str(self.origin.to_string()));
+        w.field("bw", &Value::Str(self.bailiwick.to_string()));
+        w.field("rk", &Value::Str(self.rank.to_string()));
         w.field("ot", &Value::U64(self.original_ttl as u64));
         w.field("et", &Value::U64(self.effective_ttl as u64));
         if let Some(res) = self.residency_ms {
@@ -178,7 +185,7 @@ impl LedgerRecord {
         }
         // Hex, not a JSON number: u64 fingerprints exceed f64's exact
         // integer range, and the parser reads numbers through f64.
-        w.field("fp", &Value::Str(format!("{:016x}", self.fingerprint)));
+        w.field("fp", &Value::Hex64(self.fingerprint));
         w.finish()
     }
 
@@ -199,16 +206,23 @@ impl LedgerRecord {
         };
         let op_token = str_field("op")?;
         let fp_hex = str_field("fp")?;
+        let server = match flat_get(&fields, "sv").and_then(JsonScalar::as_str) {
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|_| format!("bad server address {s:?} in {line:?}"))?,
+            ),
+            None => None,
+        };
         Ok(LedgerRecord {
             t_ms: u64_field("t")?,
             op: CacheOp::parse(&op_token).ok_or_else(|| format!("unknown op {op_token:?}"))?,
-            name: str_field("n")?,
-            rtype: str_field("ty")?,
+            name: str_field("n")?.into(),
+            rtype: str_field("ty")?.into(),
             txn: u64_field("tx")?,
-            server: str_field("sv").unwrap_or_default(),
-            origin: str_field("or")?,
-            bailiwick: str_field("bw")?,
-            rank: str_field("rk")?,
+            server,
+            origin: str_field("or")?.into(),
+            bailiwick: str_field("bw")?.into(),
+            rank: str_field("rk")?.into(),
             original_ttl: u64_field("ot")? as u32,
             effective_ttl: u64_field("et")? as u32,
             residency_ms: flat_get(&fields, "res").and_then(JsonScalar::as_u64),
@@ -312,13 +326,13 @@ mod tests {
         LedgerRecord {
             t_ms,
             op,
-            name: "ns1.sub.cachetest.net.".to_string(),
-            rtype: "A".to_string(),
+            name: "ns1.sub.cachetest.net.".into(),
+            rtype: Cow::Borrowed("A"),
             txn: 7,
-            server: "192.0.2.53".to_string(),
-            origin: "child".to_string(),
-            bailiwick: "in".to_string(),
-            rank: "auth_answer".to_string(),
+            server: Some("192.0.2.53".parse().unwrap()),
+            origin: Cow::Borrowed("child"),
+            bailiwick: Cow::Borrowed("in"),
+            rank: Cow::Borrowed("auth_answer"),
             original_ttl: 7200,
             effective_ttl: 3600,
             residency_ms: op.is_removal().then_some(3_600_000),
@@ -344,12 +358,12 @@ mod tests {
     }
 
     #[test]
-    fn empty_server_is_omitted_and_parses_back_empty() {
+    fn missing_server_is_omitted_and_parses_back_none() {
         let mut rec = sample(CacheOp::Insert, 5);
-        rec.server = String::new();
+        rec.server = None;
         let line = rec.to_line();
         assert!(!line.contains("\"sv\""));
-        assert_eq!(LedgerRecord::parse_line(&line).unwrap().server, "");
+        assert_eq!(LedgerRecord::parse_line(&line).unwrap().server, None);
     }
 
     #[test]

@@ -21,9 +21,9 @@
 //! let tel = Telemetry::new();
 //! tel.count("resolver_cache_hits", 1);
 //! tel.observe("resolver_latency_ms", 23);
-//! let span = tel.span_start(1_000, |_| vec![("qname", "example.".into())]);
-//! tel.span_event(span, 1_023, EventKind::CacheHit, || vec![]);
-//! tel.span_end(span, 1_023, || vec![("rcode", "NOERROR".into())]);
+//! let span = tel.span_start(1_000, |_, f| f.push("qname", "example."));
+//! tel.span_event(span, 1_023, EventKind::CacheHit, |_| {});
+//! tel.span_end(span, 1_023, |f| f.push("rcode", "NOERROR"));
 //!
 //! assert!(tel.prometheus_text().contains("resolver_cache_hits 1"));
 //! assert_eq!(tel.trace_jsonl().lines().count(), 3);
@@ -38,8 +38,8 @@ mod trace;
 pub use json::{flat_get, parse_flat_object, JsonScalar, ObjectWriter, Value};
 pub use ledger::{CacheOp, Journal, LedgerRecord, DEFAULT_JOURNAL_CAPACITY};
 pub use manifest::RunManifest;
-pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
-pub use trace::{EventKind, SpanId, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use registry::{Histogram, MetricId, MetricKey, Registry, HISTOGRAM_BUCKETS};
+pub use trace::{EventKind, FieldSink, SpanId, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -98,12 +98,28 @@ impl Telemetry {
     // ── metrics ─────────────────────────────────────────────────────
 
     /// Adds `delta` to the unlabelled counter `name`.
+    ///
+    /// All recording methods take the registry's borrowed fast path: no
+    /// `MetricId` (and hence no `String`) is built once a series
+    /// exists, so per-event cost is a hash + slot lookup.
     pub fn count(&self, name: &str, delta: u64) {
         if self.is_enabled() {
             self.inner
                 .registry
                 .borrow_mut()
-                .counter_add(MetricId::new(name, &[]), delta);
+                .counter_add_fast(name, &[], delta);
+        }
+    }
+
+    /// Adds `delta` to the unlabelled counter behind a pre-hashed
+    /// [`MetricKey`] — the cheapest recording call; hot sites keep the
+    /// key in a `const`.
+    pub fn count_keyed(&self, key: &MetricKey, delta: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .counter_add_keyed(key, delta);
         }
     }
 
@@ -113,7 +129,7 @@ impl Telemetry {
             self.inner
                 .registry
                 .borrow_mut()
-                .counter_add(MetricId::new(name, labels), delta);
+                .counter_add_fast(name, labels, delta);
         }
     }
 
@@ -123,7 +139,14 @@ impl Telemetry {
             self.inner
                 .registry
                 .borrow_mut()
-                .gauge_set(MetricId::new(name, &[]), value);
+                .gauge_set_fast(name, &[], value);
+        }
+    }
+
+    /// Sets the unlabelled gauge behind a pre-hashed [`MetricKey`].
+    pub fn gauge_keyed(&self, key: &MetricKey, value: f64) {
+        if self.is_enabled() {
+            self.inner.registry.borrow_mut().gauge_set_keyed(key, value);
         }
     }
 
@@ -133,7 +156,7 @@ impl Telemetry {
             self.inner
                 .registry
                 .borrow_mut()
-                .gauge_set(MetricId::new(name, labels), value);
+                .gauge_set_fast(name, labels, value);
         }
     }
 
@@ -143,7 +166,15 @@ impl Telemetry {
             self.inner
                 .registry
                 .borrow_mut()
-                .observe(MetricId::new(name, &[]), value);
+                .observe_fast(name, &[], value);
+        }
+    }
+
+    /// Records `value` into the unlabelled histogram behind a
+    /// pre-hashed [`MetricKey`].
+    pub fn observe_keyed(&self, key: &MetricKey, value: u64) {
+        if self.is_enabled() {
+            self.inner.registry.borrow_mut().observe_keyed(key, value);
         }
     }
 
@@ -153,7 +184,7 @@ impl Telemetry {
             self.inner
                 .registry
                 .borrow_mut()
-                .observe(MetricId::new(name, labels), value);
+                .observe_fast(name, labels, value);
         }
     }
 
@@ -173,31 +204,23 @@ impl Telemetry {
     // ── tracing ─────────────────────────────────────────────────────
 
     /// Opens a span at simulation time `t_ms`. The closure receives the
-    /// fresh [`SpanId`] and produces the start event's fields; it only
-    /// runs when recording is enabled. Disabled handles return a dummy
-    /// id that later calls ignore.
-    pub fn span_start(
-        &self,
-        t_ms: u64,
-        fields: impl FnOnce(SpanId) -> Vec<(&'static str, Value)>,
-    ) -> SpanId {
+    /// fresh [`SpanId`] and a [`FieldSink`] for the start event's
+    /// fields; it only runs when recording is enabled. Disabled handles
+    /// return a dummy id that later calls ignore.
+    pub fn span_start(&self, t_ms: u64, fields: impl FnOnce(SpanId, &mut FieldSink)) -> SpanId {
         if !self.is_enabled() {
             return SpanId(u64::MAX);
         }
         let mut tracer = self.inner.tracer.borrow_mut();
         let span = tracer.new_span();
-        let fields = fields(span);
-        tracer.record(t_ms, EventKind::SpanStart, Some(span), fields);
+        tracer.record(t_ms, EventKind::SpanStart, Some(span), |sink| {
+            fields(span, sink)
+        });
         span
     }
 
     /// Closes `span` at simulation time `t_ms`.
-    pub fn span_end(
-        &self,
-        span: SpanId,
-        t_ms: u64,
-        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
-    ) {
+    pub fn span_end(&self, span: SpanId, t_ms: u64, fields: impl FnOnce(&mut FieldSink)) {
         self.span_event(span, t_ms, EventKind::SpanEnd, fields);
     }
 
@@ -208,28 +231,23 @@ impl Telemetry {
         span: SpanId,
         t_ms: u64,
         kind: EventKind,
-        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
+        fields: impl FnOnce(&mut FieldSink),
     ) {
         if self.is_enabled() {
             self.inner
                 .tracer
                 .borrow_mut()
-                .record(t_ms, kind, Some(span), fields());
+                .record(t_ms, kind, Some(span), fields);
         }
     }
 
     /// Records a span-less event at simulation time `t_ms`.
-    pub fn event(
-        &self,
-        t_ms: u64,
-        kind: EventKind,
-        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
-    ) {
+    pub fn event(&self, t_ms: u64, kind: EventKind, fields: impl FnOnce(&mut FieldSink)) {
         if self.is_enabled() {
             self.inner
                 .tracer
                 .borrow_mut()
-                .record(t_ms, kind, None, fields());
+                .record(t_ms, kind, None, fields);
         }
     }
 
@@ -339,8 +357,8 @@ mod tests {
     fn disabled_records_nothing_and_skips_field_closures() {
         let t = Telemetry::disabled();
         t.count("q", 1);
-        let span = t.span_start(0, |_| panic!("must not run when disabled"));
-        t.span_event(span, 1, EventKind::CacheHit, || {
+        let span = t.span_start(0, |_, _| panic!("must not run when disabled"));
+        t.span_event(span, 1, EventKind::CacheHit, |_| {
             panic!("must not run when disabled")
         });
         assert_eq!(t.counter_value("q", &[]), 0);
@@ -351,8 +369,8 @@ mod tests {
     #[test]
     fn manifest_gets_event_counts() {
         let t = Telemetry::new();
-        t.event(5, EventKind::CacheExpiry, std::vec::Vec::new);
-        t.event(9, EventKind::CacheExpiry, std::vec::Vec::new);
+        t.event(5, EventKind::CacheExpiry, |_| {});
+        t.event(9, EventKind::CacheExpiry, |_| {});
         let mut m = RunManifest::new("test", 7);
         t.fill_manifest(&mut m);
         assert_eq!(m.event_counts, vec![("cache_expiry".to_string(), 2)]);
@@ -364,8 +382,8 @@ mod tests {
             let t = Telemetry::new();
             t.count("q", shard + 1);
             t.observe("lat_ms", shard * 10);
-            let span = t.span_start(shard, |_| vec![]);
-            t.span_end(span, shard + 5, std::vec::Vec::new);
+            let span = t.span_start(shard, |_, _| {});
+            t.span_end(span, shard + 5, |_| {});
             t.take_parts()
         };
         let merged = Telemetry::new();
@@ -385,7 +403,7 @@ mod tests {
     fn take_parts_leaves_the_handle_empty() {
         let t = Telemetry::new();
         t.count("q", 3);
-        t.event(1, EventKind::Query, std::vec::Vec::new);
+        t.event(1, EventKind::Query, |_| {});
         let (registry, tracer) = t.take_parts();
         assert_eq!(registry.counter(&MetricId::new("q", &[])), 3);
         assert_eq!(tracer.len(), 1);
@@ -400,7 +418,7 @@ mod tests {
             for i in 0..100u64 {
                 t.count_with("q", &[("policy", "default")], 1);
                 t.observe("lat_ms", i * 7 % 256);
-                t.event(i, EventKind::CacheMiss, || vec![("i", i.into())]);
+                t.event(i, EventKind::CacheMiss, |f| f.push("i", i));
             }
             (t.prometheus_text(), t.trace_jsonl())
         };

@@ -7,10 +7,83 @@
 //! label set, stored in `BTreeMap`s so every export (Prometheus text,
 //! JSON snapshot, dashboard) lists series in a stable order.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use crate::json::fmt_f64;
+
+/// FNV-1a over the byte stream `name, 0xFF, k₁, 0, v₁, 0, …` with the
+/// label pairs in sorted order — the interning key shared by the
+/// [`MetricId`] path and the borrowed fast path, so both address the
+/// same bucket.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+#[inline]
+const fn fnv_step(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(FNV_PRIME)
+}
+
+#[inline]
+const fn fnv_str(mut h: u64, s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        h = fnv_step(h, bytes[i]);
+        i += 1;
+    }
+    h
+}
+
+/// A pre-hashed handle for an *unlabelled* metric series.
+///
+/// The FNV interning hash is computed in a `const` context, so hot call
+/// sites that bump the same counter on every simulated query can store
+/// the key in a `const` and skip both the per-call name hash and the
+/// sorted-label dance — the registry lookup becomes one identity-hash
+/// table probe plus a name compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricKey {
+    name: &'static str,
+    hash: u64,
+}
+
+impl MetricKey {
+    /// Builds the key for the unlabelled series `name`. Usable in
+    /// `const` position; the hash matches what [`MetricId`] interning
+    /// computes for the same series.
+    pub const fn new(name: &'static str) -> MetricKey {
+        MetricKey {
+            name,
+            hash: fnv_step(fnv_str(FNV_OFFSET, name), 0xFF),
+        }
+    }
+
+    /// The metric name this key addresses.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Hasher for the interning fast map: the keys are already FNV-mixed
+/// 64-bit hashes, so re-hashing them through SipHash per metric op
+/// would only burn cycles. `write_u64` passes the key through.
+#[derive(Debug, Default, Clone, Copy)]
+struct PrehashedId(u64);
+
+impl std::hash::Hasher for PrehashedId {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fast map keys are u64");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type PrehashedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PrehashedId>>;
 
 /// Escapes a label value per the Prometheus text exposition format.
 ///
@@ -209,12 +282,139 @@ impl Default for Histogram {
     }
 }
 
+/// Most label sets on the hot path have 1–3 pairs; anything beyond this
+/// falls back to the allocating [`MetricId`] path.
+const MAX_FAST_LABELS: usize = 8;
+
+/// Interned storage for one metric kind.
+///
+/// Series are append-only slots. `ordered` gives deterministic
+/// export/iteration order (canonical `MetricId` ordering, exactly what
+/// the old `BTreeMap` storage produced); `fast` maps the FNV hash of a
+/// *borrowed* `(name, sorted labels)` key to candidate slots so the hot
+/// path can find an existing series without building a `MetricId` — no
+/// `String` allocation after a series' first touch.
+#[derive(Debug, Default)]
+struct SeriesMap<T> {
+    ids: Vec<MetricId>,
+    values: Vec<T>,
+    ordered: BTreeMap<MetricId, usize>,
+    fast: PrehashedMap<Vec<usize>>,
+}
+
+/// The interning hash of an already-sorted `MetricId`.
+fn hash_id(id: &MetricId) -> u64 {
+    let mut h = fnv_step(fnv_str(FNV_OFFSET, &id.name), 0xFF);
+    for (k, v) in &id.labels {
+        h = fnv_step(fnv_str(h, k), 0);
+        h = fnv_step(fnv_str(h, v), 0);
+    }
+    h
+}
+
+/// The same hash computed from borrowed labels visited in `order`.
+fn hash_borrowed(name: &str, labels: &[(&str, &str)], order: &[usize]) -> u64 {
+    let mut h = fnv_step(fnv_str(FNV_OFFSET, name), 0xFF);
+    for &i in order {
+        let (k, v) = labels[i];
+        h = fnv_step(fnv_str(h, k), 0);
+        h = fnv_step(fnv_str(h, v), 0);
+    }
+    h
+}
+
+impl<T: Default> SeriesMap<T> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn keys(&self) -> impl Iterator<Item = &MetricId> {
+        self.ordered.keys()
+    }
+
+    fn get(&self, id: &MetricId) -> Option<&T> {
+        self.ordered.get(id).map(|&s| &self.values[s])
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&MetricId, &T)> {
+        self.ordered.iter().map(|(id, &s)| (id, &self.values[s]))
+    }
+
+    fn insert_new(&mut self, id: MetricId, hash: u64) -> usize {
+        let slot = self.ids.len();
+        self.ordered.insert(id.clone(), slot);
+        self.ids.push(id);
+        self.values.push(T::default());
+        self.fast.entry(hash).or_default().push(slot);
+        slot
+    }
+
+    /// Slot for `id`, interning it on first sight.
+    fn slot_of(&mut self, id: MetricId) -> usize {
+        if let Some(&s) = self.ordered.get(&id) {
+            return s;
+        }
+        let hash = hash_id(&id);
+        self.insert_new(id, hash)
+    }
+
+    /// Slot for a borrowed key — the allocation-free hot path. Falls
+    /// back to [`SeriesMap::slot_of`] only on first sight of a series
+    /// (or for oversized label sets).
+    fn slot_fast(&mut self, name: &str, labels: &[(&str, &str)]) -> usize {
+        if labels.len() > MAX_FAST_LABELS {
+            return self.slot_of(MetricId::new(name, labels));
+        }
+        // Sort label *indices* on the stack; the pairs stay borrowed.
+        let mut order = [0usize; MAX_FAST_LABELS];
+        for (i, o) in order.iter_mut().enumerate().take(labels.len()) {
+            *o = i;
+        }
+        let order = &mut order[..labels.len()];
+        order.sort_unstable_by(|&a, &b| labels[a].cmp(&labels[b]));
+        let hash = hash_borrowed(name, labels, order);
+        if let Some(slots) = self.fast.get(&hash) {
+            for &s in slots {
+                let id = &self.ids[s];
+                if id.name == name
+                    && id.labels.len() == labels.len()
+                    && order
+                        .iter()
+                        .zip(id.labels.iter())
+                        .all(|(&i, (k, v))| labels[i].0 == k && labels[i].1 == v)
+                {
+                    return s;
+                }
+            }
+        }
+        self.insert_new(MetricId::new(name, labels), hash)
+    }
+
+    /// Slot for a pre-hashed unlabelled key — the hottest path: one
+    /// identity-hash probe and a name compare, no per-call hashing.
+    fn slot_keyed(&mut self, key: &MetricKey) -> usize {
+        if let Some(slots) = self.fast.get(&key.hash) {
+            for &s in slots {
+                let id = &self.ids[s];
+                if id.labels.is_empty() && id.name == key.name {
+                    return s;
+                }
+            }
+        }
+        self.insert_new(MetricId::new(key.name, &[]), key.hash)
+    }
+
+    fn value_mut(&mut self, slot: usize) -> &mut T {
+        &mut self.values[slot]
+    }
+}
+
 /// The registry holding every metric series of a run.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: BTreeMap<MetricId, u64>,
-    gauges: BTreeMap<MetricId, f64>,
-    histograms: BTreeMap<MetricId, Histogram>,
+    counters: SeriesMap<u64>,
+    gauges: SeriesMap<f64>,
+    histograms: SeriesMap<Histogram>,
 }
 
 impl Registry {
@@ -225,7 +425,21 @@ impl Registry {
 
     /// Adds `delta` to a counter, creating it at zero first.
     pub fn counter_add(&mut self, id: MetricId, delta: u64) {
-        *self.counters.entry(id).or_insert(0) += delta;
+        let slot = self.counters.slot_of(id);
+        *self.counters.value_mut(slot) += delta;
+    }
+
+    /// Adds `delta` to a counter addressed by borrowed name/labels —
+    /// allocation-free once the series exists.
+    pub fn counter_add_fast(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let slot = self.counters.slot_fast(name, labels);
+        *self.counters.value_mut(slot) += delta;
+    }
+
+    /// Adds `delta` to the unlabelled counter behind a pre-hashed key.
+    pub fn counter_add_keyed(&mut self, key: &MetricKey, delta: u64) {
+        let slot = self.counters.slot_keyed(key);
+        *self.counters.value_mut(slot) += delta;
     }
 
     /// Reads a counter (zero if never touched).
@@ -235,7 +449,20 @@ impl Registry {
 
     /// Sets a gauge.
     pub fn gauge_set(&mut self, id: MetricId, value: f64) {
-        self.gauges.insert(id, value);
+        let slot = self.gauges.slot_of(id);
+        *self.gauges.value_mut(slot) = value;
+    }
+
+    /// Sets a gauge addressed by borrowed name/labels.
+    pub fn gauge_set_fast(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let slot = self.gauges.slot_fast(name, labels);
+        *self.gauges.value_mut(slot) = value;
+    }
+
+    /// Sets the unlabelled gauge behind a pre-hashed key.
+    pub fn gauge_set_keyed(&mut self, key: &MetricKey, value: f64) {
+        let slot = self.gauges.slot_keyed(key);
+        *self.gauges.value_mut(slot) = value;
     }
 
     /// Reads a gauge, if set.
@@ -245,7 +472,21 @@ impl Registry {
 
     /// Records an observation into a histogram, creating it if needed.
     pub fn observe(&mut self, id: MetricId, value: u64) {
-        self.histograms.entry(id).or_default().observe(value);
+        let slot = self.histograms.slot_of(id);
+        self.histograms.value_mut(slot).observe(value);
+    }
+
+    /// Records an observation addressed by borrowed name/labels.
+    pub fn observe_fast(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let slot = self.histograms.slot_fast(name, labels);
+        self.histograms.value_mut(slot).observe(value);
+    }
+
+    /// Records an observation into the unlabelled histogram behind a
+    /// pre-hashed key.
+    pub fn observe_keyed(&mut self, key: &MetricKey, value: u64) {
+        let slot = self.histograms.slot_keyed(key);
+        self.histograms.value_mut(slot).observe(value);
     }
 
     /// Reads a histogram, if it exists.
@@ -272,13 +513,16 @@ impl Registry {
     /// histograms; `other`'s gauges win on key collisions).
     pub fn merge(&mut self, other: &Registry) {
         for (id, v) in other.counters.iter() {
-            *self.counters.entry(id.clone()).or_insert(0) += v;
+            let slot = self.counters.slot_of(id.clone());
+            *self.counters.value_mut(slot) += v;
         }
         for (id, v) in other.gauges.iter() {
-            self.gauges.insert(id.clone(), *v);
+            let slot = self.gauges.slot_of(id.clone());
+            *self.gauges.value_mut(slot) = *v;
         }
         for (id, h) in other.histograms.iter() {
-            self.histograms.entry(id.clone()).or_default().merge(h);
+            let slot = self.histograms.slot_of(id.clone());
+            self.histograms.value_mut(slot).merge(h);
         }
     }
 

@@ -120,14 +120,90 @@ impl EventKind {
             EventKind::Custom(name) => name,
         }
     }
+
+    /// Dense index for the non-`Custom` variants, used by the tracer's
+    /// array-backed per-kind totals so the event hot path increments a
+    /// slot instead of walking a string-keyed map.
+    fn index(&self) -> Option<usize> {
+        Some(match self {
+            EventKind::SpanStart => 0,
+            EventKind::SpanEnd => 1,
+            EventKind::CacheHit => 2,
+            EventKind::CacheMiss => 3,
+            EventKind::CacheExpiry => 4,
+            EventKind::CacheStale => 5,
+            EventKind::Prefetch => 6,
+            EventKind::Referral => 7,
+            EventKind::Retry => 8,
+            EventKind::Timeout => 9,
+            EventKind::TcFallback => 10,
+            EventKind::ServFail => 11,
+            EventKind::Renumber => 12,
+            EventKind::ZoneTransfer => 13,
+            EventKind::PacketLoss => 14,
+            EventKind::ValidationFailure => 15,
+            EventKind::Query => 16,
+            EventKind::Discard => 17,
+            EventKind::CacheInsert => 18,
+            EventKind::CacheRefresh => 19,
+            EventKind::CacheOverwrite => 20,
+            EventKind::CacheServe => 21,
+            EventKind::CacheEvict => 22,
+            EventKind::CacheExpiredDrop => 23,
+            EventKind::CacheInvalidate => 24,
+            EventKind::CacheStaleServe => 25,
+            EventKind::NegCache => 26,
+            EventKind::Backoff => 27,
+            EventKind::Fault => 28,
+            EventKind::Custom(_) => return None,
+        })
+    }
+
+    /// Number of non-`Custom` variants (the per-kind array length).
+    const COUNT: usize = 29;
+
+    /// All non-`Custom` variants, in [`EventKind::index`] order.
+    const INDEXED: [EventKind; EventKind::COUNT] = [
+        EventKind::SpanStart,
+        EventKind::SpanEnd,
+        EventKind::CacheHit,
+        EventKind::CacheMiss,
+        EventKind::CacheExpiry,
+        EventKind::CacheStale,
+        EventKind::Prefetch,
+        EventKind::Referral,
+        EventKind::Retry,
+        EventKind::Timeout,
+        EventKind::TcFallback,
+        EventKind::ServFail,
+        EventKind::Renumber,
+        EventKind::ZoneTransfer,
+        EventKind::PacketLoss,
+        EventKind::ValidationFailure,
+        EventKind::Query,
+        EventKind::Discard,
+        EventKind::CacheInsert,
+        EventKind::CacheRefresh,
+        EventKind::CacheOverwrite,
+        EventKind::CacheServe,
+        EventKind::CacheEvict,
+        EventKind::CacheExpiredDrop,
+        EventKind::CacheInvalidate,
+        EventKind::CacheStaleServe,
+        EventKind::NegCache,
+        EventKind::Backoff,
+        EventKind::Fault,
+    ];
 }
 
 /// Identifies one span (one recursive resolution) within a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpanId(pub u64);
 
-/// One trace record.
-#[derive(Debug, Clone)]
+/// One trace record. Field payloads live in the tracer's shared arena
+/// (see [`Tracer::fields_of`]), so recording an event never allocates:
+/// the event itself is a fixed-size slot naming an arena range.
+#[derive(Debug, Clone, Copy)]
 pub struct TraceEvent {
     /// Simulation time in milliseconds.
     pub t_ms: u64,
@@ -137,24 +213,24 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// The span this event belongs to, if any.
     pub span: Option<SpanId>,
-    /// Free-form structured payload, in insertion order.
-    pub fields: Vec<(&'static str, Value)>,
+    /// Logical arena offset of this event's first field.
+    fields_start: u64,
+    /// Number of fields.
+    fields_len: u32,
 }
 
-impl TraceEvent {
-    /// Renders the event as one JSON line (no trailing newline).
-    pub fn to_json(&self) -> String {
-        let mut w = ObjectWriter::new();
-        w.field("t_ms", &Value::U64(self.t_ms));
-        w.field("seq", &Value::U64(self.seq));
-        w.field("event", &Value::Str(self.kind.as_str().to_string()));
-        if let Some(SpanId(id)) = self.span {
-            w.field("span", &Value::U64(id));
-        }
-        for (k, v) in &self.fields {
-            w.field(k, v);
-        }
-        w.finish()
+/// The write handle a field closure receives: appends key/value pairs
+/// to the event being recorded, straight into the tracer's arena.
+pub struct FieldSink<'a> {
+    arena: &'a mut VecDeque<(&'static str, Value)>,
+    pushed: u32,
+}
+
+impl FieldSink<'_> {
+    /// Appends one field to the event under construction.
+    pub fn push(&mut self, key: &'static str, value: impl Into<Value>) {
+        self.arena.push_back((key, value.into()));
+        self.pushed += 1;
     }
 }
 
@@ -167,10 +243,21 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
 pub struct Tracer {
     capacity: usize,
     ring: VecDeque<TraceEvent>,
+    /// Field storage for every buffered event. Events and their fields
+    /// are both FIFO, so evicting the oldest event reclaims its fields
+    /// from the arena front — steady state records allocate nothing.
+    fields: VecDeque<(&'static str, Value)>,
+    /// Logical offset of `fields.front()`: events address their fields
+    /// as `fields_start - fields_base` so eviction never rewrites them.
+    fields_base: u64,
     next_seq: u64,
     next_span: u64,
     dropped: u64,
-    per_kind: std::collections::BTreeMap<&'static str, u64>,
+    /// Totals for the built-in kinds, indexed by [`EventKind::index`];
+    /// `Custom` events fall back to the string-keyed map. Split so the
+    /// record hot path is an array increment, not a map walk.
+    per_kind: [u64; EventKind::COUNT],
+    per_custom: std::collections::BTreeMap<&'static str, u64>,
 }
 
 impl Tracer {
@@ -179,10 +266,13 @@ impl Tracer {
         Tracer {
             capacity: capacity.max(1),
             ring: VecDeque::new(),
+            fields: VecDeque::new(),
+            fields_base: 0,
             next_seq: 0,
             next_span: 0,
             dropped: 0,
-            per_kind: std::collections::BTreeMap::new(),
+            per_kind: [0; EventKind::COUNT],
+            per_custom: std::collections::BTreeMap::new(),
         }
     }
 
@@ -193,28 +283,76 @@ impl Tracer {
         id
     }
 
-    /// Records an event; evicts the oldest if the ring is full.
+    /// Drops the oldest event and reclaims its arena fields.
+    fn evict_oldest(&mut self) {
+        if let Some(ev) = self.ring.pop_front() {
+            for _ in 0..ev.fields_len {
+                self.fields.pop_front();
+            }
+            self.fields_base += ev.fields_len as u64;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records an event; evicts the oldest if the ring is full. The
+    /// closure receives a [`FieldSink`] and pushes the event's fields
+    /// directly into the tracer's arena.
     pub fn record(
         &mut self,
         t_ms: u64,
         kind: EventKind,
         span: Option<SpanId>,
-        fields: Vec<(&'static str, Value)>,
+        fill: impl FnOnce(&mut FieldSink),
     ) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        *self.per_kind.entry(kind.as_str()).or_insert(0) += 1;
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-            self.dropped += 1;
+        match kind.index() {
+            Some(i) => self.per_kind[i] += 1,
+            None => *self.per_custom.entry(kind.as_str()).or_insert(0) += 1,
         }
+        if self.ring.len() == self.capacity {
+            self.evict_oldest();
+        }
+        let fields_start = self.fields_base + self.fields.len() as u64;
+        let mut sink = FieldSink {
+            arena: &mut self.fields,
+            pushed: 0,
+        };
+        fill(&mut sink);
+        let fields_len = sink.pushed;
         self.ring.push_back(TraceEvent {
             t_ms,
             seq,
             kind,
             span,
-            fields,
+            fields_start,
+            fields_len,
         });
+    }
+
+    /// The fields of a buffered event, in insertion order. `ev` must
+    /// come from this tracer's [`Tracer::events`].
+    pub fn fields_of<'a>(
+        &'a self,
+        ev: &TraceEvent,
+    ) -> impl Iterator<Item = &'a (&'static str, Value)> {
+        let start = (ev.fields_start - self.fields_base) as usize;
+        self.fields.range(start..start + ev.fields_len as usize)
+    }
+
+    /// Renders one buffered event as a JSON line (no trailing newline).
+    pub fn event_json(&self, ev: &TraceEvent) -> String {
+        let mut w = ObjectWriter::new();
+        w.field("t_ms", &Value::U64(ev.t_ms));
+        w.field("seq", &Value::U64(ev.seq));
+        w.field("event", &Value::Static(ev.kind.as_str()));
+        if let Some(SpanId(id)) = ev.span {
+            w.field("span", &Value::U64(id));
+        }
+        for (k, v) in self.fields_of(ev) {
+            w.field(k, v);
+        }
+        w.finish()
     }
 
     /// Events currently buffered, oldest first.
@@ -242,10 +380,19 @@ impl Tracer {
         self.next_seq
     }
 
-    /// Per-kind event totals (counting dropped events too), in
-    /// deterministic order.
+    /// Per-kind event totals (counting dropped events too), sorted by
+    /// kind name — the same deterministic order the old string-keyed
+    /// storage produced. Built on demand; this is an export path.
     pub fn kind_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.per_kind.iter().map(|(k, v)| (*k, *v))
+        let mut counts: Vec<(&'static str, u64)> = EventKind::INDEXED
+            .iter()
+            .zip(self.per_kind.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(kind, &n)| (kind.as_str(), n))
+            .chain(self.per_custom.iter().map(|(k, v)| (*k, *v)))
+            .collect();
+        counts.sort_unstable();
+        counts.into_iter()
     }
 
     /// Merges per-shard tracers into this one, deterministically.
@@ -260,12 +407,25 @@ impl Tracer {
     /// still applies to the merged stream.
     pub fn absorb(&mut self, shards: Vec<Tracer>) {
         for shard in &shards {
-            for (kind, count) in shard.kind_counts() {
-                *self.per_kind.entry(kind).or_insert(0) += count;
+            for (total, n) in self.per_kind.iter_mut().zip(shard.per_kind.iter()) {
+                *total += n;
+            }
+            for (kind, count) in shard.per_custom.iter() {
+                *self.per_custom.entry(kind).or_insert(0) += count;
             }
             self.dropped += shard.dropped;
         }
-        let mut events: Vec<(usize, TraceEvent)> = Vec::new();
+        // Shard-local span ids are dense (0..next_span), so the remap
+        // table is a flat per-shard Vec instead of a keyed map — one
+        // index per event rather than a tree walk.
+        let mut span_maps: Vec<Vec<Option<SpanId>>> = shards
+            .iter()
+            .map(|s| vec![None; s.next_span as usize])
+            .collect();
+        let total: usize = shards.iter().map(|s| s.ring.len()).sum();
+        let mut events: Vec<(usize, TraceEvent)> = Vec::with_capacity(total);
+        let mut arenas: Vec<(VecDeque<(&'static str, Value)>, u64)> =
+            Vec::with_capacity(span_maps.len());
         for (shard_idx, shard) in shards.into_iter().enumerate() {
             // Events dropped inside the shard still consumed sequence
             // numbers there; account for them so `total_recorded`
@@ -274,13 +434,13 @@ impl Tracer {
             for ev in shard.ring {
                 events.push((shard_idx, ev));
             }
+            arenas.push((shard.fields, shard.fields_base));
         }
         events.sort_by_key(|(shard_idx, ev)| (ev.t_ms, *shard_idx, ev.seq));
-        let mut span_map: std::collections::BTreeMap<(usize, u64), SpanId> =
-            std::collections::BTreeMap::new();
         for (shard_idx, mut ev) in events {
             if let Some(SpanId(old)) = ev.span {
-                let mapped = *span_map.entry((shard_idx, old)).or_insert_with(|| {
+                let cell = &mut span_maps[shard_idx][old as usize];
+                let mapped = *cell.get_or_insert_with(|| {
                     let id = SpanId(self.next_span);
                     self.next_span += 1;
                     id
@@ -290,8 +450,15 @@ impl Tracer {
             ev.seq = self.next_seq;
             self.next_seq += 1;
             if self.ring.len() == self.capacity {
-                self.ring.pop_front();
-                self.dropped += 1;
+                self.evict_oldest();
+            }
+            // Re-home the event's fields from the shard arena into this
+            // tracer's arena.
+            let (arena, base) = &arenas[shard_idx];
+            let start = (ev.fields_start - base) as usize;
+            ev.fields_start = self.fields_base + self.fields.len() as u64;
+            for field in arena.range(start..start + ev.fields_len as usize) {
+                self.fields.push_back(field.clone());
             }
             self.ring.push_back(ev);
         }
@@ -302,7 +469,7 @@ impl Tracer {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for ev in self.ring.iter() {
-            out.push_str(&ev.to_json());
+            out.push_str(&self.event_json(ev));
             out.push('\n');
         }
         out
@@ -323,7 +490,7 @@ mod tests {
     fn ring_wraps_and_counts_drops() {
         let mut t = Tracer::with_capacity(3);
         for i in 0..5u64 {
-            t.record(i, EventKind::CacheHit, None, vec![]);
+            t.record(i, EventKind::CacheHit, None, |_| {});
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);
@@ -344,12 +511,12 @@ mod tests {
     fn absorb_merges_by_time_then_shard_and_remaps_spans() {
         let mut shard0 = Tracer::with_capacity(8);
         let s0 = shard0.new_span();
-        shard0.record(10, EventKind::SpanStart, Some(s0), vec![]);
-        shard0.record(30, EventKind::SpanEnd, Some(s0), vec![]);
+        shard0.record(10, EventKind::SpanStart, Some(s0), |_| {});
+        shard0.record(30, EventKind::SpanEnd, Some(s0), |_| {});
         let mut shard1 = Tracer::with_capacity(8);
         let s1 = shard1.new_span();
-        shard1.record(10, EventKind::SpanStart, Some(s1), vec![]);
-        shard1.record(20, EventKind::CacheHit, Some(s1), vec![]);
+        shard1.record(10, EventKind::SpanStart, Some(s1), |_| {});
+        shard1.record(20, EventKind::CacheHit, Some(s1), |_| {});
 
         let mut merged = Tracer::with_capacity(16);
         merged.absorb(vec![shard0, shard1]);
@@ -378,7 +545,7 @@ mod tests {
         let make_shard = |base: u64| {
             let mut t = Tracer::with_capacity(2);
             for i in 0..4u64 {
-                t.record(base + i, EventKind::Query, None, vec![]);
+                t.record(base + i, EventKind::Query, None, |_| {});
             }
             t // 2 buffered, 2 dropped
         };
@@ -396,13 +563,10 @@ mod tests {
     fn jsonl_lines_are_valid_and_ordered() {
         let mut t = Tracer::with_capacity(8);
         let span = t.new_span();
-        t.record(
-            10,
-            EventKind::SpanStart,
-            Some(span),
-            vec![("qname", "example.".into())],
-        );
-        t.record(15, EventKind::CacheMiss, Some(span), vec![]);
+        t.record(10, EventKind::SpanStart, Some(span), |f| {
+            f.push("qname", "example.")
+        });
+        t.record(15, EventKind::CacheMiss, Some(span), |_| {});
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -21,7 +21,10 @@ pub const MAX_MESSAGE_LEN: usize = 65_535;
 
 struct Encoder {
     buf: Vec<u8>,
-    /// Canonical name → offset of an earlier occurrence, for compression.
+    /// Canonical name → offset of an earlier occurrence, for
+    /// compression. Lookup-only (never iterated): pointer targets
+    /// depend on encounter order in the message, not map order, so the
+    /// encoded bytes stay deterministic.
     name_offsets: HashMap<String, usize>,
 }
 
@@ -51,23 +54,31 @@ impl Encoder {
     /// occurrence or emit the label and remember the offset (offsets must
     /// fit in 14 bits to be pointer targets).
     fn name(&mut self, name: &Name) {
-        let labels = name.labels();
-        for i in 0..labels.len() {
-            let suffix_key: String = labels[i..]
-                .iter()
-                .map(|l| format!("{}.", l.to_ascii_lowercase()))
-                .collect();
-            if let Some(&off) = self.name_offsets.get(&suffix_key) {
-                self.u16(0xC000 | off as u16);
+        if name.is_root() {
+            self.u8(0);
+            return;
+        }
+        // One case-folded copy per name; every suffix key below is a
+        // borrowed slice of it (the old code allocated a fresh String
+        // per suffix per name).
+        let canon = name.canonical();
+        let repr = name.as_str();
+        let mut off = 0;
+        while off < repr.len() {
+            let suffix = &canon[off..];
+            if let Some(&prior) = self.name_offsets.get(suffix) {
+                self.u16(0xC000 | prior as u16);
                 return;
             }
             let here = self.buf.len();
             if here < 0x3FFF {
-                self.name_offsets.insert(suffix_key, here);
+                self.name_offsets.insert(suffix.to_owned(), here);
             }
-            let label = &labels[i];
-            self.u8(label.len() as u8);
+            let label_len = repr[off..].find('.').expect("repr is dot-terminated");
+            let label = &repr[off..off + label_len];
+            self.u8(label_len as u8);
             self.buf.extend_from_slice(label.as_bytes());
+            off += label_len + 1;
         }
         self.u8(0); // root terminator
     }
@@ -252,7 +263,7 @@ impl<'a> Decoder<'a> {
     /// Pointers must point strictly backwards, which also bounds the
     /// number of jumps and rules out loops.
     fn name(&mut self) -> Result<Name, WireError> {
-        let mut labels: Vec<String> = Vec::new();
+        let mut repr = String::new();
         let mut pos = self.pos;
         let mut followed_pointer = false;
         let mut end_after_first_pointer = self.pos;
@@ -291,14 +302,16 @@ impl<'a> Decoder<'a> {
                         expected: "name label",
                         at: pos + 1,
                     })?;
-                // Labels live in `String`s, so only ASCII bytes survive
-                // an encode round-trip unchanged; reject the rest
-                // rather than accept a name we cannot re-encode.
-                if let Some(&b) = bytes.iter().find(|b| !b.is_ascii()) {
+                // Labels live in a text buffer, so only ASCII bytes
+                // survive an encode round-trip unchanged, and a dot
+                // inside a label would blur the label boundaries in
+                // presentation form; reject both rather than accept a
+                // name we cannot re-encode faithfully.
+                if let Some(&b) = bytes.iter().find(|&&b| !b.is_ascii() || b == b'.') {
                     return Err(WireError::InvalidCharacter(b as char));
                 }
-                let label: String = bytes.iter().map(|&b| b as char).collect();
-                labels.push(label);
+                repr.push_str(std::str::from_utf8(bytes).expect("checked ASCII"));
+                repr.push('.');
                 pos += 1 + len;
             }
         }
@@ -307,7 +320,7 @@ impl<'a> Decoder<'a> {
         } else {
             pos
         };
-        Name::from_labels(labels)
+        Name::from_wire_repr(repr)
     }
 
     fn question(&mut self) -> Result<Question, WireError> {

@@ -92,16 +92,24 @@ impl Rcode {
     }
 }
 
-impl fmt::Display for Rcode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Rcode {
+    /// The mnemonic as a static string — the allocation-free spelling
+    /// of `to_string()` for telemetry labels and trace fields.
+    pub fn as_str(&self) -> &'static str {
+        match self {
             Rcode::NoError => "NOERROR",
             Rcode::FormErr => "FORMERR",
             Rcode::ServFail => "SERVFAIL",
             Rcode::NxDomain => "NXDOMAIN",
             Rcode::NotImp => "NOTIMP",
             Rcode::Refused => "REFUSED",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

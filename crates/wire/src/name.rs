@@ -5,9 +5,29 @@
 //! ("is `ns1.example.org` *inside* the zone `example.org`?"). The type
 //! here keeps labels in their original case but compares and hashes
 //! case-insensitively, as RFC 1035 §2.3.3 requires.
+//!
+//! # Representation
+//!
+//! A `Name` is a single shared byte buffer: the presentation form with a
+//! trailing dot (`"a.nic.uy."`, root `"."`) behind an `Arc<str>`, plus a
+//! precomputed case-folded FNV-1a hash. Labels never contain `.` (the
+//! parser and the wire decoder both reject it), so label boundaries are
+//! exactly the dots and every label view is a subslice — no per-label
+//! `String`s. The consequences the resolver hot path depends on:
+//!
+//! * `Clone` is a reference-count bump (names are cache keys, ledger
+//!   fields and trace fields; the resolve path used to deep-copy a
+//!   `Vec<String>` dozens of times per query);
+//! * `Eq` is a hash compare plus one `eq_ignore_ascii_case` over the
+//!   buffer — no allocation, no per-label pointer chasing;
+//! * `Hash` writes the cached 64-bit value — map lookups do not rescan
+//!   the name;
+//! * `Ord` is the RFC 4034 §6.1 canonical order, computed label-wise
+//!   from the root downward over borrowed subslices.
 
 use crate::WireError;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Maximum length of a single label, RFC 1035 §2.3.4.
 pub const MAX_LABEL_LEN: usize = 63;
@@ -16,8 +36,10 @@ pub const MAX_NAME_LEN: usize = 255;
 
 /// A fully-qualified domain name.
 ///
-/// Internally a sequence of labels, most-specific first; the root is the
-/// empty sequence. Comparison, ordering, and hashing are case-insensitive.
+/// Internally a shared presentation-form buffer (labels in their
+/// original case, dot-terminated); the root is `"."`. Comparison,
+/// ordering, and hashing are case-insensitive and allocation-free, and
+/// clones share the buffer.
 ///
 /// ```
 /// use dnsttl_wire::Name;
@@ -26,15 +48,41 @@ pub const MAX_NAME_LEN: usize = 255;
 /// assert!(ns.is_subdomain_of(&zone));      // in bailiwick
 /// assert_eq!(ns, Name::parse("NS1.cachetest.NET").unwrap());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Name {
-    labels: Vec<String>,
+    /// Presentation form with a trailing dot, original case.
+    repr: Arc<str>,
+    /// FNV-1a over the ASCII-lowercased `repr` bytes, fixed at
+    /// construction (names are immutable).
+    hash: u64,
+}
+
+/// FNV-1a over case-folded bytes — the cached `Name::hash` value.
+fn folded_fnv(repr: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in repr.as_bytes() {
+        h ^= b.to_ascii_lowercase() as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
 }
 
 impl Name {
-    /// The root name (`.`).
+    /// The root name (`.`). Shares one global buffer.
     pub fn root() -> Name {
-        Name { labels: Vec::new() }
+        static ROOT: OnceLock<Arc<str>> = OnceLock::new();
+        let repr = ROOT.get_or_init(|| Arc::from(".")).clone();
+        let hash = folded_fnv(".");
+        Name { repr, hash }
+    }
+
+    /// Builds a name from an already-validated dot-terminated buffer.
+    fn from_valid_repr(repr: String) -> Name {
+        let hash = folded_fnv(&repr);
+        Name {
+            repr: Arc::from(repr),
+            hash,
+        }
     }
 
     /// Parses a presentation-format name such as `"a.nic.uy"` or `"."`.
@@ -48,7 +96,6 @@ impl Name {
         if s.is_empty() {
             return Ok(Name::root());
         }
-        let mut labels = Vec::new();
         for label in s.split('.') {
             if label.is_empty() {
                 return Err(WireError::EmptyLabel);
@@ -62,72 +109,132 @@ impl Name {
             {
                 return Err(WireError::InvalidCharacter(c));
             }
-            labels.push(label.to_owned());
         }
-        let name = Name { labels };
-        let wire = name.wire_len();
-        if wire > MAX_NAME_LEN {
-            return Err(WireError::NameTooLong(wire));
+        // wire form: one length octet per label plus the terminator =
+        // presentation length (labels + dots) + 1.
+        if s.len() + 2 > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(s.len() + 2));
         }
-        Ok(name)
+        let mut repr = String::with_capacity(s.len() + 1);
+        repr.push_str(s);
+        repr.push('.');
+        Ok(Name::from_valid_repr(repr))
     }
 
     /// Builds a name from raw labels, most-specific first.
+    ///
+    /// Labels must be non-empty ASCII without dots and at most
+    /// [`MAX_LABEL_LEN`] bytes. This is deliberately more permissive than
+    /// [`Name::parse`] (any non-dot ASCII byte is allowed): it is the
+    /// entry point for labels decoded from wire format, where RFC 1035
+    /// imposes no alphabet.
     pub fn from_labels<I, S>(labels: I) -> Result<Name, WireError>
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: AsRef<str>,
     {
-        let mut out = Vec::new();
+        let mut repr = String::new();
         for l in labels {
-            let l = l.into();
+            let l = l.as_ref();
             if l.is_empty() {
                 return Err(WireError::EmptyLabel);
             }
             if l.len() > MAX_LABEL_LEN {
                 return Err(WireError::LabelTooLong(l.len()));
             }
-            out.push(l);
+            if let Some(c) = l.chars().find(|&c| !c.is_ascii() || c == '.') {
+                return Err(WireError::InvalidCharacter(c));
+            }
+            repr.push_str(l);
+            repr.push('.');
         }
-        let name = Name { labels: out };
-        let wire = name.wire_len();
-        if wire > MAX_NAME_LEN {
-            return Err(WireError::NameTooLong(wire));
+        if repr.is_empty() {
+            return Ok(Name::root());
         }
-        Ok(name)
+        if repr.len() + 1 > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(repr.len() + 1));
+        }
+        Ok(Name::from_valid_repr(repr))
     }
 
-    /// The labels of this name, most-specific first.
-    pub fn labels(&self) -> &[String] {
-        &self.labels
+    /// Crate-internal: builds a name from a dot-terminated buffer whose
+    /// labels the wire decoder has already validated (non-empty ASCII, no
+    /// dots, each ≤ [`MAX_LABEL_LEN`]). Only the total length remains to
+    /// be checked here.
+    pub(crate) fn from_wire_repr(repr: String) -> Result<Name, WireError> {
+        if repr.is_empty() {
+            return Ok(Name::root());
+        }
+        if repr.len() + 1 > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(repr.len() + 1));
+        }
+        Ok(Name::from_valid_repr(repr))
+    }
+
+    /// The presentation form with its trailing dot (`"a.nic.uy."`,
+    /// `"."` for the root). Borrowed, original case.
+    pub fn as_str(&self) -> &str {
+        &self.repr
+    }
+
+    /// A clone of the shared presentation buffer — the zero-copy way to
+    /// hand the name to telemetry fields and other consumers that need
+    /// an owned string.
+    pub fn shared_str(&self) -> Arc<str> {
+        Arc::clone(&self.repr)
+    }
+
+    /// The labels of this name, most-specific first, as borrowed slices.
+    pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> {
+        let body = &self.repr[..self.repr.len() - 1];
+        body.split('.').filter(|l| !l.is_empty())
+    }
+
+    /// The labels from the root downward (`a.nic.uy` → `uy`, `nic`,
+    /// `a`) — the iteration order of canonical comparison.
+    fn labels_root_down(&self) -> impl Iterator<Item = &str> {
+        let body = &self.repr[..self.repr.len() - 1];
+        body.rsplit('.').filter(|l| !l.is_empty())
     }
 
     /// Number of labels; the root has zero.
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        if self.is_root() {
+            0
+        } else {
+            self.repr.as_bytes().iter().filter(|&&b| b == b'.').count()
+        }
     }
 
     /// True for the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.repr.len() == 1
     }
 
     /// Length of the name in uncompressed wire format (labels plus length
     /// octets plus the terminating zero octet).
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+        if self.is_root() {
+            1
+        } else {
+            // Each dot stands for a length octet; +1 for the terminator.
+            self.repr.len() + 1
+        }
     }
 
     /// The name with the leftmost label removed; `None` for the root.
     ///
     /// `a.nic.uy` → `nic.uy` → `uy` → `.` → `None`.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
-            None
+        if self.is_root() {
+            return None;
+        }
+        let cut = self.repr.find('.').expect("non-root names contain a dot");
+        let rest = &self.repr[cut + 1..];
+        if rest.is_empty() {
+            Some(Name::root())
         } else {
-            Some(Name {
-                labels: self.labels[1..].to_vec(),
-            })
+            Some(Name::from_valid_repr(rest.to_owned()))
         }
     }
 
@@ -139,15 +246,19 @@ impl Name {
         if label.len() > MAX_LABEL_LEN {
             return Err(WireError::LabelTooLong(label.len()));
         }
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(label.to_owned());
-        labels.extend_from_slice(&self.labels);
-        let name = Name { labels };
-        let wire = name.wire_len();
-        if wire > MAX_NAME_LEN {
-            return Err(WireError::NameTooLong(wire));
+        if let Some(c) = label.chars().find(|&c| !c.is_ascii() || c == '.') {
+            return Err(WireError::InvalidCharacter(c));
         }
-        Ok(name)
+        let mut repr = String::with_capacity(label.len() + 1 + self.repr.len());
+        repr.push_str(label);
+        repr.push('.');
+        if !self.is_root() {
+            repr.push_str(&self.repr);
+        }
+        if repr.len() + 1 > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(repr.len() + 1));
+        }
+        Ok(Name::from_valid_repr(repr))
     }
 
     /// True if `self` equals `zone` or sits below it in the tree.
@@ -155,20 +266,25 @@ impl Name {
     /// This is the *bailiwick* test: a server name is in bailiwick of the
     /// zone it serves exactly when `server.is_subdomain_of(zone)`
     /// (RFC 8499). Every name is a subdomain of the root.
+    ///
+    /// With the flat representation this is one case-folded suffix
+    /// compare plus a label-boundary check — no label walk.
     pub fn is_subdomain_of(&self, zone: &Name) -> bool {
-        if zone.labels.len() > self.labels.len() {
+        if zone.is_root() {
+            return true;
+        }
+        let s = self.repr.as_bytes();
+        let z = zone.repr.as_bytes();
+        if z.len() > s.len() {
             return false;
         }
-        let offset = self.labels.len() - zone.labels.len();
-        self.labels[offset..]
-            .iter()
-            .zip(&zone.labels)
-            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        let tail = &s[s.len() - z.len()..];
+        tail.eq_ignore_ascii_case(z) && (s.len() == z.len() || s[s.len() - z.len() - 1] == b'.')
     }
 
     /// True if `self` is *strictly* below `zone`.
     pub fn is_strict_subdomain_of(&self, zone: &Name) -> bool {
-        self.labels.len() > zone.labels.len() && self.is_subdomain_of(zone)
+        self.repr.len() > zone.repr.len() && self.is_subdomain_of(zone)
     }
 
     /// All ancestor names from the root down to `self` inclusive.
@@ -176,38 +292,43 @@ impl Name {
     /// For `a.nic.uy`: `.`, `uy`, `nic.uy`, `a.nic.uy`. Resolvers walk
     /// this chain when hunting for the deepest cached delegation.
     pub fn ancestry(&self) -> Vec<Name> {
-        let mut out = Vec::with_capacity(self.labels.len() + 1);
-        for i in (0..=self.labels.len()).rev() {
-            out.push(Name {
-                labels: self.labels[i..].to_vec(),
-            });
+        let mut out = Vec::with_capacity(self.label_count() + 1);
+        out.push(Name::root());
+        if self.is_root() {
+            return out;
+        }
+        // Label start offsets, rightmost (shallowest) suffix first.
+        let bytes = self.repr.as_bytes();
+        let mut starts: Vec<usize> = Vec::with_capacity(self.label_count());
+        starts.push(0);
+        for (i, &b) in bytes[..bytes.len() - 1].iter().enumerate() {
+            if b == b'.' {
+                starts.push(i + 1);
+            }
+        }
+        for &start in starts.iter().rev() {
+            if start == 0 {
+                out.push(self.clone());
+            } else {
+                out.push(Name::from_valid_repr(self.repr[start..].to_owned()));
+            }
         }
         out
     }
 
-    /// A canonical lowercase key for use in maps.
+    /// A canonical lowercase key for use in maps and codecs: the
+    /// presentation form lowercased (`"a.nic.uy."`, root `"."`).
     pub fn canonical(&self) -> String {
-        if self.labels.is_empty() {
-            ".".to_owned()
-        } else {
-            let mut s = String::new();
-            for l in &self.labels {
-                s.push_str(&l.to_ascii_lowercase());
-                s.push('.');
-            }
-            s
-        }
+        self.repr.to_ascii_lowercase()
     }
 }
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels.len() == other.labels.len()
-            && self
-                .labels
-                .iter()
-                .zip(&other.labels)
-                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        // The cached case-folded hash screens out almost every mismatch
+        // before the buffer compare runs. Dots are label boundaries in
+        // both buffers, so whole-buffer equality is label-wise equality.
+        self.hash == other.hash && self.repr.eq_ignore_ascii_case(&other.repr)
     }
 }
 
@@ -215,12 +336,7 @@ impl Eq for Name {}
 
 impl std::hash::Hash for Name {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for l in &self.labels {
-            for b in l.bytes() {
-                state.write_u8(b.to_ascii_lowercase());
-            }
-            state.write_u8(0);
-        }
+        state.write_u64(self.hash);
     }
 }
 
@@ -234,9 +350,10 @@ impl Ord for Name {
     /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
     /// from the root downward, case-insensitively.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a = self.labels.iter().rev();
-        let b = other.labels.iter().rev();
-        for (la, lb) in a.zip(b) {
+        if self.hash == other.hash && self.repr.eq_ignore_ascii_case(&other.repr) {
+            return std::cmp::Ordering::Equal;
+        }
+        for (la, lb) in self.labels_root_down().zip(other.labels_root_down()) {
             let ord = la
                 .bytes()
                 .map(|c| c.to_ascii_lowercase())
@@ -245,19 +362,19 @@ impl Ord for Name {
                 return ord;
             }
         }
-        self.labels.len().cmp(&other.labels.len())
+        self.label_count().cmp(&other.label_count())
     }
 }
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
-            return write!(f, ".");
-        }
-        for l in &self.labels {
-            write!(f, "{l}.")?;
-        }
-        Ok(())
+        f.write_str(&self.repr)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({:?})", &*self.repr)
     }
 }
 
@@ -302,12 +419,44 @@ mod tests {
     }
 
     #[test]
+    fn from_labels_rejects_dots_and_non_ascii() {
+        assert_eq!(
+            Name::from_labels(["a.b"]),
+            Err(WireError::InvalidCharacter('.'))
+        );
+        assert_eq!(
+            Name::from_labels(["café"]),
+            Err(WireError::InvalidCharacter('é'))
+        );
+        // Wire-permissive: odd ASCII is allowed through this entry point.
+        let odd = Name::from_labels(["a b!", "example"]).unwrap();
+        assert_eq!(odd.label_count(), 2);
+        assert_eq!(odd.labels().next(), Some("a b!"));
+    }
+
+    #[test]
     fn case_insensitive_equality_and_hash() {
         use std::collections::HashSet;
         assert_eq!(n("A.NIC.UY"), n("a.nic.uy"));
         let mut set = HashSet::new();
         set.insert(n("Example.ORG"));
         assert!(set.contains(&n("example.org")));
+    }
+
+    #[test]
+    fn label_boundaries_matter_for_equality() {
+        assert_ne!(
+            Name::from_labels(["ab", "c"]).unwrap(),
+            Name::from_labels(["a", "bc"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let a = n("deep.label.chain.example");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -332,6 +481,8 @@ mod tests {
         // Suffix coincidence is not subdomain-ness.
         assert!(!n("evilcachetest.net").is_subdomain_of(&zone));
         assert!(n("anything.example").is_subdomain_of(&Name::root()));
+        // Case-insensitive across the boundary.
+        assert!(n("NS1.CACHETEST.NET").is_subdomain_of(&zone));
     }
 
     #[test]
@@ -342,6 +493,7 @@ mod tests {
             .map(|x| x.to_string())
             .collect();
         assert_eq!(chain, [".", "uy.", "nic.uy.", "a.nic.uy."]);
+        assert_eq!(Name::root().ancestry().len(), 1);
     }
 
     #[test]
@@ -349,6 +501,8 @@ mod tests {
         let zone = n("cachetest.net");
         assert_eq!(zone.child("ns1").unwrap(), n("ns1.cachetest.net"));
         assert!(zone.child("").is_err());
+        assert!(zone.child("a.b").is_err());
+        assert_eq!(Name::root().child("uy").unwrap(), n("uy"));
     }
 
     #[test]
@@ -368,9 +522,28 @@ mod tests {
     }
 
     #[test]
+    fn ordering_is_case_insensitive() {
+        assert_eq!(
+            n("A.Example").cmp(&n("a.example")),
+            std::cmp::Ordering::Equal
+        );
+        assert!(n("a.example") < n("B.example"));
+    }
+
+    #[test]
     fn wire_len_counts_length_octets_and_terminator() {
         assert_eq!(Name::root().wire_len(), 1);
         assert_eq!(n("uy").wire_len(), 4); // 1 len + 2 + root 1
         assert_eq!(n("a.nic.uy").wire_len(), 10);
+    }
+
+    #[test]
+    fn labels_iterate_both_ways() {
+        let name = n("a.nic.uy");
+        let fwd: Vec<&str> = name.labels().collect();
+        assert_eq!(fwd, ["a", "nic", "uy"]);
+        let rev: Vec<&str> = name.labels().rev().collect();
+        assert_eq!(rev, ["uy", "nic", "a"]);
+        assert_eq!(Name::root().labels().count(), 0);
     }
 }

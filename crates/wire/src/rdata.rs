@@ -91,9 +91,11 @@ impl RecordType {
     }
 }
 
-impl fmt::Display for RecordType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl RecordType {
+    /// The mnemonic as a static string — the allocation-free spelling
+    /// of `to_string()` for telemetry labels and trace fields.
+    pub fn as_str(&self) -> &'static str {
+        match self {
             RecordType::A => "A",
             RecordType::NS => "NS",
             RecordType::CNAME => "CNAME",
@@ -104,8 +106,13 @@ impl fmt::Display for RecordType {
             RecordType::DNSKEY => "DNSKEY",
             RecordType::RRSIG => "RRSIG",
             RecordType::OPT => "OPT",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

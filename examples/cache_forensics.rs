@@ -69,7 +69,7 @@ fn main() {
         .with_ledger(|ledger| {
             println!("\nledger transactions for the glue record:");
             for rec in ledger.journal().records() {
-                if rec.name == "ns1.sub.cachetest.net." && rec.rtype == "A" {
+                if rec.name.as_ref() == "ns1.sub.cachetest.net." && rec.rtype == "A" {
                     let residency = rec
                         .residency_ms
                         .map(|ms| format!(" after {} s in cache", ms / 1_000))
