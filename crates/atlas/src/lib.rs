@@ -34,4 +34,6 @@ pub use measurement::{
     run_measurement, run_measurement_with_hooks, Hook, MeasurementSpec, QueryName,
 };
 pub use population::{Population, PopulationConfig, Probe, ResolverRef, VantagePoint};
-pub use shard::{partition, partition_bases, run_cells, LOGICAL_SHARDS};
+pub use shard::{
+    partition, partition_bases, run_cells, run_cells_profiled, ShardProfile, LOGICAL_SHARDS,
+};

@@ -17,6 +17,76 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Wall-clock profile of one sharded fan-out: where the parallel time
+/// actually went, so a flat w8-over-w1 speedup can be attributed to
+/// imbalance, merge cost, or contention instead of guessed at.
+///
+/// Everything here is wall-clock and therefore **must never enter a
+/// deterministic artifact** (DESIGN.md §10). Callers route it to stderr
+/// and to the bench report's timings section only.
+#[derive(Debug, Clone, Default)]
+pub struct ShardProfile {
+    /// Per-cell busy time: how long `job(cell)` ran, in cell order.
+    pub cell_busy: Vec<Duration>,
+    /// Cells processed by each worker thread, in worker order.
+    pub worker_cells: Vec<u64>,
+    /// Total busy time per worker thread.
+    pub worker_busy: Vec<Duration>,
+    /// Idle time per worker: the span between the worker finishing its
+    /// last cell and the slowest worker finishing (join-wait skew).
+    pub worker_idle: Vec<Duration>,
+}
+
+impl ShardProfile {
+    /// Max-over-mean cell cost: 1.0 means perfectly uniform cells; the
+    /// higher the ratio, the more one straggler cell bounds the whole
+    /// fan-out's wall-clock.
+    pub fn imbalance(&self) -> f64 {
+        if self.cell_busy.is_empty() {
+            return 1.0;
+        }
+        let max = self.cell_busy.iter().max().copied().unwrap_or_default();
+        let total: Duration = self.cell_busy.iter().sum();
+        let mean = total.as_secs_f64() / self.cell_busy.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        max.as_secs_f64() / mean
+    }
+
+    /// Mean worker utilization: busy time over (busy + idle), in
+    /// `0.0..=1.0`. 1.0 when idle time was not observable (inline run).
+    pub fn utilization(&self) -> f64 {
+        let busy: Duration = self.worker_busy.iter().sum();
+        let idle: Duration = self.worker_idle.iter().sum();
+        let denom = (busy + idle).as_secs_f64();
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        busy.as_secs_f64() / denom
+    }
+
+    /// One-line human summary for stderr.
+    pub fn summary(&self) -> String {
+        let busiest = self
+            .cell_busy
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| **d)
+            .map(|(i, d)| format!("cell {} at {:.1}ms", i, d.as_secs_f64() * 1e3))
+            .unwrap_or_else(|| "n/a".to_string());
+        format!(
+            "workers={} cells={} imbalance={:.2} utilization={:.0}% busiest {}",
+            self.worker_cells.len(),
+            self.cell_busy.len(),
+            self.imbalance(),
+            self.utilization() * 100.0,
+            busiest,
+        )
+    }
+}
 
 /// Number of logical shards a sharded run is partitioned into.
 ///
@@ -69,35 +139,97 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_cells_profiled(workers, cells, job).0
+}
+
+/// [`run_cells`] plus a wall-clock [`ShardProfile`]: per-cell busy
+/// time, per-worker cells-processed/busy/idle, and the derived
+/// imbalance and utilization figures.
+///
+/// The profile is measurement-only — the results vector is identical to
+/// what [`run_cells`] returns, and the clock reads (two per cell) are
+/// noise next to a cell's simulation work. Profiles go to stderr and
+/// the bench timings section, never into deterministic artifacts.
+pub fn run_cells_profiled<T, F>(workers: usize, cells: usize, job: F) -> (Vec<T>, ShardProfile)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let workers = workers.min(hw);
     if workers <= 1 || cells <= 1 {
-        return (0..cells).map(job).collect();
+        let mut profile = ShardProfile::default();
+        let results: Vec<T> = (0..cells)
+            .map(|cell| {
+                let start = Instant::now();
+                let result = job(cell);
+                profile.cell_busy.push(start.elapsed());
+                result
+            })
+            .collect();
+        profile.worker_cells = vec![cells as u64];
+        profile.worker_busy = vec![profile.cell_busy.iter().sum()];
+        profile.worker_idle = vec![Duration::ZERO];
+        return (results, profile);
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(T, Duration)>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    let spawned = workers.min(cells);
+    // (cells processed, busy time, finish instant) per worker thread.
+    let worker_stats: Vec<Mutex<(u64, Duration, Option<Instant>)>> = (0..spawned)
+        .map(|_| Mutex::new((0, Duration::ZERO, None)))
+        .collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(cells) {
-            scope.spawn(|| loop {
-                let cell = next.fetch_add(1, Ordering::Relaxed);
-                if cell >= cells {
-                    break;
+        for stats in &worker_stats {
+            scope.spawn(|| {
+                let mut processed = 0u64;
+                let mut busy = Duration::ZERO;
+                loop {
+                    let cell = next.fetch_add(1, Ordering::Relaxed);
+                    if cell >= cells {
+                        break;
+                    }
+                    let start = Instant::now();
+                    let result = job(cell);
+                    let elapsed = start.elapsed();
+                    processed += 1;
+                    busy += elapsed;
+                    *slots[cell].lock().expect("no other use of this slot") =
+                        Some((result, elapsed));
                 }
-                let result = job(cell);
-                *slots[cell].lock().expect("no other use of this slot") = Some(result);
+                *stats.lock().expect("worker stats slot") = (processed, busy, Some(Instant::now()));
             });
         }
     });
-    slots
+    let mut profile = ShardProfile::default();
+    let results = slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
+            let (result, busy) = slot
+                .into_inner()
                 .expect("workers joined")
-                .expect("every cell index below `cells` was claimed and completed")
+                .expect("every cell index below `cells` was claimed and completed");
+            profile.cell_busy.push(busy);
+            result
         })
-        .collect()
+        .collect();
+    let stats: Vec<(u64, Duration, Option<Instant>)> = worker_stats
+        .into_iter()
+        .map(|m| m.into_inner().expect("workers joined"))
+        .collect();
+    let last_finish = stats.iter().filter_map(|(_, _, at)| *at).max();
+    for (processed, busy, finished_at) in stats {
+        profile.worker_cells.push(processed);
+        profile.worker_busy.push(busy);
+        let idle = match (finished_at, last_finish) {
+            (Some(at), Some(last)) => last.duration_since(at),
+            _ => Duration::ZERO,
+        };
+        profile.worker_idle.push(idle);
+    }
+    (results, profile)
 }
 
 #[cfg(test)]
@@ -119,6 +251,22 @@ mod tests {
         for workers in [1, 2, 4, 8, 32] {
             let got = run_cells(workers, LOGICAL_SHARDS, |cell| cell * cell);
             assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn profile_accounts_for_every_cell_and_worker() {
+        for workers in [1, 4] {
+            let (results, profile) = run_cells_profiled(workers, 8, |cell| cell + 1);
+            assert_eq!(results, (1..=8).collect::<Vec<_>>());
+            assert_eq!(profile.cell_busy.len(), 8);
+            assert_eq!(profile.worker_cells.iter().sum::<u64>(), 8);
+            assert_eq!(profile.worker_cells.len(), profile.worker_busy.len());
+            assert_eq!(profile.worker_cells.len(), profile.worker_idle.len());
+            assert!(profile.imbalance() >= 1.0 || profile.imbalance() == 1.0);
+            let u = profile.utilization();
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+            assert!(!profile.summary().is_empty());
         }
     }
 

@@ -129,6 +129,15 @@ fn run_config(cfg: &ExpConfig, out_of_bailiwick: bool) -> RunOutput {
         }],
     );
     let timeouts: u64 = pop.resolvers.iter().map(|r| r.stats().timeouts).sum();
+    crate::flightdeck::record_latency_quantiles(
+        &cfg.telemetry,
+        if out_of_bailiwick {
+            "bailiwick-out"
+        } else {
+            "bailiwick-in"
+        },
+        &dataset,
+    );
     RunOutput {
         vps: pop.vp_count(),
         probes: pop.probe_count(),

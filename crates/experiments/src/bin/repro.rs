@@ -15,6 +15,8 @@
 //! repro cache-report --diff A B    # diff two cache snapshots (JSONL)
 //! repro bench --quick              # headless bench trajectory
 //! repro bench --out BENCH_report.json --baseline BENCH_report.json --check
+//! repro flame RUN_DIR_OR_TRACE     # collapsed stacks from sim-time spans
+//! repro doctor RUN_DIR             # audit manifests, traces, ledgers
 //! ```
 //!
 //! Every module run writes a provenance manifest
@@ -22,8 +24,8 @@
 //! (`<module>_trace.jsonl`) next to its CSVs, unless `--no-csv`.
 
 use dnsttl_experiments::{
-    bailiwick_exp, centricity, controlled, crawl_exp, extensions, insight, passive_nl, resilience,
-    table1, uy_latency, ExpConfig, Report,
+    bailiwick_exp, centricity, controlled, crawl_exp, extensions, flightdeck, insight, passive_nl,
+    resilience, table1, uy_latency, ExpConfig, Report,
 };
 use dnsttl_telemetry::{RunManifest, Telemetry};
 
@@ -295,10 +297,116 @@ fn run_snapshot_diff(a: &str, b: &str) -> ! {
     std::process::exit(0);
 }
 
+/// `repro flame`: fold the sim-time span trees of one or more trace
+/// files into collapsed-stack lines (flamegraph.pl / inferno input).
+fn run_flame(args: &[String]) -> ! {
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| {
+                            eprintln!("--out needs a path");
+                            std::process::exit(2);
+                        })
+                        .into(),
+                );
+            }
+            other => inputs.push(other.into()),
+        }
+        i += 1;
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: repro flame [--out FILE] TRACE.jsonl…|RUN_DIR…");
+        std::process::exit(2);
+    }
+    // A directory stands for every *_trace.jsonl inside it.
+    let mut traces: Vec<std::path::PathBuf> = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let mut found: Vec<std::path::PathBuf> = std::fs::read_dir(&input)
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok().map(|e| e.path()))
+                        .filter(|p| {
+                            p.file_name()
+                                .and_then(|n| n.to_str())
+                                .is_some_and(|n| n.ends_with("_trace.jsonl"))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            found.sort();
+            if found.is_empty() {
+                eprintln!("no *_trace.jsonl in {}", input.display());
+                std::process::exit(1);
+            }
+            traces.extend(found);
+        } else {
+            traces.push(input);
+        }
+    }
+    let mut rendered = String::new();
+    for path in &traces {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let lines = flightdeck::parse_trace_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let forest = flightdeck::build_span_forest(&lines);
+        let stacks = flightdeck::collapsed_stacks(&forest);
+        eprintln!(
+            "{}: {} spans, {} stacks",
+            path.display(),
+            forest.nodes.len(),
+            stacks.len()
+        );
+        for line in stacks {
+            rendered.push_str(&line);
+            rendered.push('\n');
+        }
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("collapsed stacks written to {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
+    std::process::exit(0);
+}
+
+/// `repro doctor`: audit a run directory's manifests, traces, and
+/// ledgers. Exits nonzero when any check fails.
+fn run_doctor(args: &[String]) -> ! {
+    let [dir] = args else {
+        eprintln!("usage: repro doctor RUN_DIR");
+        std::process::exit(2);
+    };
+    let report = flightdeck::doctor_dir(std::path::Path::new(dir));
+    print!("{}", report.render());
+    std::process::exit(i32::from(!report.failures.is_empty()));
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("bench") {
         run_bench(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("flame") {
+        run_flame(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("doctor") {
+        run_doctor(&argv[1..]);
     }
     if let Some(pos) = argv.iter().position(|a| a == "--diff") {
         if argv.first().map(String::as_str) != Some("cache-report") || argv.len() != pos + 3 {

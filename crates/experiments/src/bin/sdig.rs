@@ -8,6 +8,7 @@
 //! sdig uy NS --repeat 3 --every 600   # watch the cache age
 //! sdig uy NS --trace                  # resolution walkthrough
 //! sdig uy NS --trace-json             # walkthrough as JSONL events
+//! sdig uy NS --explain                # causal span tree (who queried whom, and why)
 //! sdig uy NS --cache-dump             # dump cache state afterwards
 //! sdig uy NS --cache-dump-json snap.jsonl   # snapshot for --diff
 //! ```
@@ -17,7 +18,7 @@
 //! `cachetest-out`, `nl`.
 
 use dnsttl_core::ResolverPolicy;
-use dnsttl_experiments::worlds;
+use dnsttl_experiments::{flightdeck, worlds};
 use dnsttl_netsim::{FaultPlan, Network, Region, SimRng, SimTime};
 use dnsttl_resolver::{RecursiveResolver, RootHint};
 use dnsttl_telemetry::{EventKind, Telemetry, Value};
@@ -33,6 +34,7 @@ struct Options {
     every: u64,
     trace: bool,
     trace_json: bool,
+    explain: bool,
     cache_dump: bool,
     cache_dump_json: Option<String>,
     fault_plan: Option<FaultPlan>,
@@ -43,6 +45,7 @@ fn usage() -> ! {
         "usage: sdig [--world uy|uy-after|google-co|cachetest|cachetest-out|nl]\n\
          \x20           [--parent-centric|--google|--opendns|--validating|--serve-stale]\n\
          \x20           [--at SECONDS] [--repeat N] [--every SECONDS] [--trace] [--trace-json]\n\
+         \x20           [--explain]\n\
          \x20           [--cache-dump] [--cache-dump-json FILE] [--fault-plan FILE] <name> [type]"
     );
     std::process::exit(2);
@@ -59,6 +62,7 @@ fn parse_args() -> Options {
         every: 600,
         trace: false,
         trace_json: false,
+        explain: false,
         cache_dump: false,
         cache_dump_json: None,
         fault_plan: None,
@@ -93,6 +97,7 @@ fn parse_args() -> Options {
             }
             "--trace" => opts.trace = true,
             "--trace-json" => opts.trace_json = true,
+            "--explain" => opts.explain = true,
             "--cache-dump" => opts.cache_dump = true,
             "--cache-dump-json" => {
                 opts.cache_dump_json = Some(args.next().unwrap_or_else(|| usage()))
@@ -219,7 +224,7 @@ fn main() {
         roots,
         SimRng::seed_from(1),
     );
-    let telemetry = if opts.trace || opts.trace_json {
+    let telemetry = if opts.trace || opts.trace_json || opts.explain {
         Telemetry::new()
     } else {
         Telemetry::disabled()
@@ -267,6 +272,20 @@ fn main() {
             },
         );
         print!("{}", out.answer);
+        println!();
+    }
+    if opts.explain {
+        // Same path the doctor uses on trace files: render the trace
+        // to JSONL, parse it back, link spans into causal trees.
+        let lines = flightdeck::parse_trace_jsonl(&telemetry.trace_jsonl())
+            .expect("tracer emits parseable JSONL");
+        let forest = flightdeck::build_span_forest(&lines);
+        println!(
+            ";; causal span tree ({} spans, {} roots):",
+            forest.nodes.len(),
+            forest.roots.len()
+        );
+        print!("{}", flightdeck::render_tree(&forest));
         println!();
     }
     let end = SimTime::from_secs(opts.at + opts.repeat.saturating_sub(1) as u64 * opts.every);

@@ -53,6 +53,7 @@ fn campaign(
     let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
     pop.set_telemetry(&cfg.telemetry);
     let dataset = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+    crate::flightdeck::record_latency_quantiles(&cfg.telemetry, tag, &dataset);
     Campaign {
         dataset,
         vps: pop.vp_count(),

@@ -31,6 +31,7 @@ pub mod config;
 pub mod controlled;
 pub mod crawl_exp;
 pub mod extensions;
+pub mod flightdeck;
 pub mod insight;
 pub mod passive_nl;
 pub mod report;

@@ -175,6 +175,10 @@ pub fn measurement_campaign(
         cfg.telemetry.absorb_shards(telemetry_parts);
     }
     outcome.dataset = Dataset::merge_shards(dataset_parts);
+    // Record latency quantiles over the *merged* dataset, never per
+    // cell: the sketches then depend only on the dataset rows and stay
+    // byte-identical across worker counts.
+    crate::flightdeck::record_latency_quantiles(&cfg.telemetry, tag, &outcome.dataset);
     outcome
 }
 

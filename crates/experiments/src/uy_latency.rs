@@ -35,7 +35,9 @@ fn measure(cfg: &ExpConfig, tag: &str, child_ns: Ttl, child_a: Ttl) -> Dataset {
     let mut rng = SimRng::seed_from(cfg.seed_for(tag));
     let mut pop = Population::build(&PopulationConfig::small(cfg.probes), &roots, &mut rng);
     pop.set_telemetry(&cfg.telemetry);
-    run_measurement(&spec, &mut pop, &mut net, &mut rng)
+    let dataset = run_measurement(&spec, &mut pop, &mut net, &mut rng);
+    crate::flightdeck::record_latency_quantiles(&cfg.telemetry, tag, &dataset);
+    dataset
 }
 
 /// Runs the before/after comparison; returns fig10a and fig10b.

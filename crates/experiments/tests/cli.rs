@@ -311,6 +311,139 @@ fn sdig_rejects_malformed_fault_plan() {
 }
 
 #[test]
+fn sdig_explain_prints_causal_tree_for_multi_hop_resolution() {
+    // cachetest-out delegates sub.cachetest.net to an out-of-bailiwick
+    // NS, so the resolution recurses: the tree must show the ns_lookup
+    // child span nested under the client resolve span.
+    let out = stdout_of(
+        sdig()
+            .args([
+                "--world",
+                "cachetest-out",
+                "p1.sub.cachetest.net",
+                "AAAA",
+                "--explain",
+            ])
+            .output()
+            .expect("runs"),
+    );
+    assert!(out.contains(";; causal span tree"), "{out}");
+    assert!(
+        out.contains("resolve:p1.sub.cachetest.net.:AAAA"),
+        "root span frame missing:\n{out}"
+    );
+    let child = out
+        .lines()
+        .find(|l| l.contains("ns_lookup:"))
+        .unwrap_or_else(|| panic!("no ns_lookup child span in tree:\n{out}"));
+    assert!(
+        child.trim_start().starts_with("├─") || child.trim_start().starts_with("└─"),
+        "child span must be indented under its parent: {child}"
+    );
+}
+
+#[test]
+fn repro_flame_emits_collapsed_stack_lines() {
+    let dir = std::env::temp_dir().join(format!("dnsttl-flame-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    // A real run writes the trace; flame folds it.
+    let out = repro()
+        .args(["--smoke", "--seed", "7", "fig10"])
+        .current_dir(&dir)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = dir.join("target/experiments/uy_latency_trace.jsonl");
+    let folded = stdout_of(repro().arg("flame").arg(&trace).output().expect("runs"));
+    assert!(!folded.trim().is_empty(), "no collapsed stacks emitted");
+    for line in folded.lines() {
+        // flamegraph.pl input: `frame;frame count` — exactly one space,
+        // an integer weight, no whitespace inside frames.
+        let (stack, weight) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed collapsed-stack line: {line:?}"));
+        assert!(!stack.is_empty(), "empty stack: {line:?}");
+        assert!(
+            !stack.contains(' '),
+            "frames must not contain spaces: {line:?}"
+        );
+        weight
+            .parse::<u64>()
+            .unwrap_or_else(|e| panic!("weight not an integer in {line:?}: {e}"));
+    }
+    assert!(
+        folded.lines().any(|l| l.starts_with("resolve:")),
+        "resolution frames missing:\n{folded}"
+    );
+    // Pointing flame at the run directory folds the same trace.
+    let from_dir = stdout_of(
+        repro()
+            .arg("flame")
+            .arg(dir.join("target/experiments"))
+            .output()
+            .expect("runs"),
+    );
+    assert_eq!(folded, from_dir, "directory mode must fold the same trace");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_doctor_passes_healthy_runs_and_flags_corruption() {
+    let dir = std::env::temp_dir().join(format!("dnsttl-doctor-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = repro()
+        .args(["--smoke", "--seed", "7", "--shards", "4", "resilience"])
+        .current_dir(&dir)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let exp = dir.join("target/experiments");
+
+    // Healthy run: every check passes, exit code 0. This is also the
+    // CI assertion that the trace ring dropped nothing in a smoke run.
+    let verdict = repro().arg("doctor").arg(&exp).output().expect("runs");
+    let report = String::from_utf8_lossy(&verdict.stdout).to_string();
+    assert!(
+        verdict.status.success(),
+        "doctor must pass a healthy run:\n{report}"
+    );
+    assert!(report.contains("trace ring dropped nothing"), "{report}");
+    assert!(report.contains(", 0 failed"), "{report}");
+
+    // Corrupt the manifest (claim a missing artifact and a drop) and
+    // the audit must fail with a nonzero exit.
+    let manifest_path = exp.join("resilience_manifest.json");
+    let manifest = std::fs::read_to_string(&manifest_path).expect("manifest");
+    std::fs::write(
+        &manifest_path,
+        manifest
+            .replace("\"trace_dropped\":0", "\"trace_dropped\":5")
+            .replace(
+                "resilience_fault_plan.txt",
+                "resilience_fault_plan_gone.txt",
+            ),
+    )
+    .expect("rewrite manifest");
+    let verdict = repro().arg("doctor").arg(&exp).output().expect("runs");
+    let report = String::from_utf8_lossy(&verdict.stdout).to_string();
+    assert!(
+        !verdict.status.success(),
+        "doctor must fail a corrupted run:\n{report}"
+    );
+    assert!(report.contains("dropped 5 events"), "{report}");
+    assert!(report.contains("is missing"), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn repro_shards_flag_matches_the_sequential_oracle() {
     // The full CLI path of the determinism contract (DESIGN.md §10):
     // `repro --shards 1` is the reference oracle and `--shards 4` must

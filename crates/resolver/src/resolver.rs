@@ -374,6 +374,11 @@ impl RecursiveResolver {
             // one arena record fewer on the warm hot path.
             self.telemetry
                 .observe_keyed(&metrics::LATENCY_MS, ctx.elapsed.as_millis());
+            // Same observation into the quantile sketch: the log2
+            // histogram keeps its coarse buckets for dashboards, the
+            // sketch reports p50/p90/p99/p999 at 1.6 % relative error.
+            self.telemetry
+                .sketch_keyed(&metrics::LATENCY_SKETCH_MS, ctx.elapsed.as_millis());
             for r in &answer.answers {
                 self.telemetry
                     .observe_keyed(&metrics::ANSWER_TTL_S, r.ttl.as_secs() as u64);
@@ -390,6 +395,13 @@ impl RecursiveResolver {
         // background refresh. Its latency is NOT charged to this
         // client (real prefetchers refresh asynchronously), but its
         // upstream queries are real and counted in the stats.
+        //
+        // The client span stays open until every child span it caused
+        // has closed (the refresh can outlive the client answer), so
+        // the causal tree keeps children nested inside their parent's
+        // sim-time interval; `elapsed_ms` still carries the
+        // client-observed latency.
+        let mut span_close_ms = (now + ctx.elapsed).as_millis();
         if self.policy.prefetch && cache_hit {
             if let Some(freshness) = self.cache.freshness(qname, qtype, now) {
                 if freshness < 0.10 {
@@ -402,25 +414,41 @@ impl RecursiveResolver {
                         .span_event(span, now.as_millis(), EventKind::Prefetch, |f| {
                             f.push("qname", qname.shared_str());
                         });
+                    // The background refresh is its own span, caused by
+                    // the client query: `sdig --explain` shows it as a
+                    // child branch instead of folding its upstream
+                    // exchanges into the client's timeline.
+                    let refresh_span =
+                        self.telemetry
+                            .child_span_start(span, now.as_millis(), |_, f| {
+                                f.push("cause", Value::literal("prefetch"));
+                                f.push("qname", qname.shared_str());
+                                f.push("qtype", Value::literal(qtype.as_str()));
+                            });
                     let mut refresh_ctx = Ctx {
                         elapsed: SimDuration::ZERO,
                         upstream: 0,
                         in_flight: HashSet::new(),
                         refresh_target: Some((qname.clone(), qtype)),
-                        span,
+                        span: refresh_span,
                     };
                     let _ = self.resolve_inner(qname, qtype, now, net, &mut refresh_ctx, 0);
+                    let refresh_end_ms = (now + refresh_ctx.elapsed).as_millis();
+                    span_close_ms = span_close_ms.max(refresh_end_ms);
+                    self.telemetry.span_end(refresh_span, refresh_end_ms, |f| {
+                        f.push("upstream_queries", refresh_ctx.upstream as u64);
+                        f.push("elapsed_ms", refresh_ctx.elapsed.as_millis());
+                    });
                 }
             }
         }
-        self.telemetry
-            .span_end(span, (now + ctx.elapsed).as_millis(), |f| {
-                f.push("rcode", Value::literal(answer.header.rcode.as_str()));
-                f.push("cache_hit", cache_hit);
-                f.push("stale", served_stale);
-                f.push("upstream_queries", ctx.upstream as u64);
-                f.push("elapsed_ms", ctx.elapsed.as_millis());
-            });
+        self.telemetry.span_end(span, span_close_ms, |f| {
+            f.push("rcode", Value::literal(answer.header.rcode.as_str()));
+            f.push("cache_hit", cache_hit);
+            f.push("stale", served_stale);
+            f.push("upstream_queries", ctx.upstream as u64);
+            f.push("elapsed_ms", ctx.elapsed.as_millis());
+        });
         ResolutionOutcome {
             answer,
             elapsed: ctx.elapsed,
@@ -810,7 +838,27 @@ impl RecursiveResolver {
                         continue;
                     }
                     ctx.in_flight.insert(key.clone());
+                    // The address lookup is a separate resolution the
+                    // client query caused: give it a child span so the
+                    // causal tree shows the NS chase as its own branch.
+                    let parent_span = ctx.span;
+                    let elapsed_before = ctx.elapsed.as_millis();
+                    let sub_span = self.telemetry.child_span_start(
+                        parent_span,
+                        (now + ctx.elapsed).as_millis(),
+                        |_, f| {
+                            f.push("cause", Value::literal("ns_lookup"));
+                            f.push("qname", target.shared_str());
+                            f.push("qtype", Value::literal(RecordType::A.as_str()));
+                        },
+                    );
+                    ctx.span = sub_span;
                     let sub = self.resolve_inner(target, RecordType::A, now, net, ctx, depth + 1);
+                    ctx.span = parent_span;
+                    self.telemetry
+                        .span_end(sub_span, (now + ctx.elapsed).as_millis(), |f| {
+                            f.push("elapsed_ms", ctx.elapsed.as_millis() - elapsed_before);
+                        });
                     ctx.in_flight.remove(&key);
                     if let Resolved::Answer { records, .. } = sub {
                         for r in records {
@@ -1155,6 +1203,7 @@ mod metrics {
     pub const SERVFAILS: MetricKey = MetricKey::new("resolver_servfails");
     pub const CACHE_HITS: MetricKey = MetricKey::new("resolver_cache_hits");
     pub const LATENCY_MS: MetricKey = MetricKey::new("resolver_latency_ms");
+    pub const LATENCY_SKETCH_MS: MetricKey = MetricKey::new("resolver_latency_quantiles_ms");
     pub const ANSWER_TTL_S: MetricKey = MetricKey::new("resolver_answer_ttl_s");
     pub const CACHE_ENTRIES: MetricKey = MetricKey::new("resolver_cache_entries");
     pub const PREFETCHES: MetricKey = MetricKey::new("resolver_prefetches");

@@ -33,12 +33,14 @@ mod json;
 mod ledger;
 mod manifest;
 mod registry;
+mod sketch;
 mod trace;
 
 pub use json::{flat_get, parse_flat_object, JsonScalar, ObjectWriter, Value};
 pub use ledger::{CacheOp, Journal, LedgerRecord, DEFAULT_JOURNAL_CAPACITY};
 pub use manifest::RunManifest;
-pub use registry::{Histogram, MetricId, MetricKey, Registry, HISTOGRAM_BUCKETS};
+pub use registry::{Histogram, MetricId, MetricKey, Registry, HISTOGRAM_BUCKETS, SKETCH_QUANTILES};
+pub use sketch::{QuantileSketch, SKETCH_RELATIVE_ERROR, SKETCH_SUB_BITS};
 pub use trace::{EventKind, FieldSink, SpanId, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::{Cell, RefCell};
@@ -188,6 +190,37 @@ impl Telemetry {
         }
     }
 
+    /// Records `value` into the unlabelled quantile sketch `name`.
+    pub fn sketch(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .sketch_observe_fast(name, &[], value);
+        }
+    }
+
+    /// Records `value` into the unlabelled quantile sketch behind a
+    /// pre-hashed [`MetricKey`].
+    pub fn sketch_keyed(&self, key: &MetricKey, value: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .sketch_observe_keyed(key, value);
+        }
+    }
+
+    /// Records `value` into the quantile sketch `name` with `labels`.
+    pub fn sketch_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .sketch_observe_fast(name, labels, value);
+        }
+    }
+
     /// Reads a counter's current value (zero when untouched/disabled).
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         self.inner
@@ -214,6 +247,31 @@ impl Telemetry {
         let mut tracer = self.inner.tracer.borrow_mut();
         let span = tracer.new_span();
         tracer.record(t_ms, EventKind::SpanStart, Some(span), |sink| {
+            fields(span, sink)
+        });
+        span
+    }
+
+    /// Opens a span caused by `parent` — a prefetch refresh, an
+    /// out-of-bailiwick NS address lookup, or any other sub-resolution
+    /// a client query triggers. The start event carries the parent id,
+    /// which makes the flat trace a walkable causal tree
+    /// (`sdig --explain`, `repro flame`).
+    pub fn child_span_start(
+        &self,
+        parent: SpanId,
+        t_ms: u64,
+        fields: impl FnOnce(SpanId, &mut FieldSink),
+    ) -> SpanId {
+        if !self.is_enabled() {
+            return SpanId(u64::MAX);
+        }
+        let mut tracer = self.inner.tracer.borrow_mut();
+        let span = tracer.new_span();
+        // A parent recorded by a disabled handle (the dummy id) must
+        // not leak into the trace as a dangling reference.
+        let parent = (parent != SpanId(u64::MAX)).then_some(parent);
+        tracer.record_caused(t_ms, EventKind::SpanStart, Some(span), parent, |sink| {
             fields(span, sink)
         });
         span
@@ -288,9 +346,34 @@ impl Telemetry {
 
     // ── exports ─────────────────────────────────────────────────────
 
-    /// All metrics in the Prometheus text exposition format.
+    /// All metrics in the Prometheus text exposition format, plus the
+    /// trace ring's drop accounting (total and per evicted kind) so
+    /// silent trace loss is visible to scrapers and to `repro doctor`.
+    /// Rendered from the tracer on the fly — never written back into
+    /// the registry — so repeated exports cannot double-count.
     pub fn prometheus_text(&self) -> String {
-        self.inner.registry.borrow().to_prometheus_text()
+        let mut out = self.inner.registry.borrow().to_prometheus_text();
+        let tracer = self.inner.tracer.borrow();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "# HELP trace_dropped_total Trace events evicted from the bounded ring"
+        );
+        let _ = writeln!(out, "# TYPE trace_dropped_total counter");
+        let _ = writeln!(out, "trace_dropped_total {}", tracer.dropped());
+        let mut emitted_family = false;
+        for (kind, n) in tracer.dropped_counts() {
+            if !emitted_family {
+                let _ = writeln!(
+                    out,
+                    "# HELP trace_dropped_events Trace events evicted from the bounded ring, by kind"
+                );
+                let _ = writeln!(out, "# TYPE trace_dropped_events counter");
+                emitted_family = true;
+            }
+            let _ = writeln!(out, "trace_dropped_events{{kind=\"{kind}\"}} {n}");
+        }
+        out
     }
 
     /// An ASCII dashboard of all metrics.
@@ -313,7 +396,7 @@ impl Telemetry {
         self.inner.tracer.borrow().total_recorded()
     }
 
-    /// Copies trace statistics (per-kind totals, drop count) into a
+    /// Copies trace statistics (per-kind totals, drop counts) into a
     /// manifest.
     pub fn fill_manifest(&self, manifest: &mut RunManifest) {
         let tracer = self.inner.tracer.borrow();
@@ -322,6 +405,10 @@ impl Telemetry {
             .map(|(k, v)| (k.to_string(), v))
             .collect();
         manifest.trace_dropped = tracer.dropped();
+        manifest.trace_dropped_by_kind = tracer
+            .dropped_counts()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
     }
 }
 
@@ -409,6 +496,63 @@ mod tests {
         assert_eq!(tracer.len(), 1);
         assert_eq!(t.counter_value("q", &[]), 0);
         assert!(t.trace_jsonl().is_empty());
+    }
+
+    #[test]
+    fn child_spans_record_parent_links() {
+        let t = Telemetry::new();
+        let root = t.span_start(100, |_, f| f.push("qname", "example."));
+        let child = t.child_span_start(root, 110, |_, f| f.push("cause", "prefetch"));
+        t.span_end(child, 120, |_| {});
+        t.span_end(root, 130, |_| {});
+        let jsonl = t.trace_jsonl();
+        assert!(jsonl.contains("\"span\":1,\"parent\":0"));
+        // Disabled parents must not leak the dummy id into the trace.
+        let d = Telemetry::disabled();
+        let dummy = d.span_start(0, |_, _| {});
+        d.set_enabled(true);
+        d.child_span_start(dummy, 5, |_, _| {});
+        assert!(!d.trace_jsonl().contains("parent"));
+    }
+
+    #[test]
+    fn sketches_merge_through_absorb_shards() {
+        let shard_work = |shard: u64| {
+            let t = Telemetry::new();
+            for i in 0..100u64 {
+                t.sketch_with(
+                    "resolution_latency_ms",
+                    &[("scenario", "s")],
+                    shard * 100 + i,
+                );
+            }
+            t.take_parts()
+        };
+        let merged = Telemetry::new();
+        merged.absorb_shards(vec![shard_work(0), shard_work(1), shard_work(2)]);
+        let other = Telemetry::new();
+        other.absorb_shards(vec![shard_work(0), shard_work(1), shard_work(2)]);
+        assert_eq!(merged.prometheus_text(), other.prometheus_text());
+        let text = merged.prometheus_text();
+        assert!(text.contains("# TYPE resolution_latency_ms summary"));
+        assert!(text.contains("resolution_latency_ms_count{scenario=\"s\"} 300"));
+        assert!(text.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn prometheus_text_reports_drop_accounting() {
+        let t = Telemetry::with_trace_capacity(2);
+        let text = t.prometheus_text();
+        assert!(text.contains("trace_dropped_total 0"));
+        assert!(!text.contains("trace_dropped_events{"));
+        for i in 0..5 {
+            t.event(i, EventKind::Query, |_| {});
+        }
+        let text = t.prometheus_text();
+        assert!(text.contains("trace_dropped_total 3"));
+        assert!(text.contains("trace_dropped_events{kind=\"query\"} 3"));
+        // Exporting twice never double-counts.
+        assert_eq!(text, t.prometheus_text());
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct RunManifest {
     pub event_counts: Vec<(String, u64)>,
     /// Trace events dropped by the bounded ring.
     pub trace_dropped: u64,
+    /// Drop totals split by the kind of the evicted event (empty when
+    /// nothing was dropped).
+    pub trace_dropped_by_kind: Vec<(String, u64)>,
     /// Artifact files (CSVs, traces) written by the run.
     pub artifacts: Vec<String>,
     /// Extra experiment-specific fields, in insertion order.
@@ -114,6 +117,13 @@ impl RunManifest {
         }
         w.field_raw("event_counts", &events.finish());
         w.field("trace_dropped", &Value::U64(self.trace_dropped));
+        if !self.trace_dropped_by_kind.is_empty() {
+            let mut drops = ObjectWriter::new();
+            for (k, v) in &self.trace_dropped_by_kind {
+                drops.field(k, &Value::U64(*v));
+            }
+            w.field_raw("trace_dropped_by_kind", &drops.finish());
+        }
 
         w.field_str_array("artifacts", &self.artifacts);
 

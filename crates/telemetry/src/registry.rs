@@ -11,6 +11,13 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use crate::json::fmt_f64;
+use crate::sketch::QuantileSketch;
+
+/// The quantiles every sketch family exports, with their Prometheus
+/// label values. Shared by the text exposition, the dashboard, and the
+/// bench report so "p999" means the same thing everywhere.
+pub const SKETCH_QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
 
 /// FNV-1a over the byte stream `name, 0xFF, k₁, 0, v₁, 0, …` with the
 /// label pairs in sorted order — the interning key shared by the
@@ -415,6 +422,66 @@ pub struct Registry {
     counters: SeriesMap<u64>,
     gauges: SeriesMap<f64>,
     histograms: SeriesMap<Histogram>,
+    sketches: SeriesMap<QuantileSketch>,
+}
+
+/// Help text for the known metric families; unknown families get a
+/// generated fallback so every `# TYPE` in the exposition is preceded
+/// by a `# HELP`.
+fn help_for(name: &str) -> &'static str {
+    match name {
+        "resolver_client_queries" => "Client queries received by the recursive resolver",
+        "resolver_cache_hits" => "Client queries answered entirely from cache",
+        "resolver_cache_expiries" => "Cache entries found but past their TTL at lookup",
+        "resolver_cache_entries" => "Current number of cached RRsets",
+        "resolver_stale_answers" => "Answers served from expired entries (RFC 8767)",
+        "resolver_servfails" => "Resolutions that failed with SERVFAIL",
+        "resolver_failure_caches" => "Upstream failures negatively cached (RFC 2308)",
+        "resolver_prefetches" => "Near-expiry cache entries refreshed ahead of demand",
+        "resolver_validations" => "DNSSEC validations attempted",
+        "resolver_validation_failures" => "DNSSEC validations that failed",
+        "resolver_tcp_fallbacks" => "Truncated UDP responses retried over TCP",
+        "resolver_upstream_queries" => "Queries sent to authoritative servers",
+        "resolver_timeouts" => "Upstream exchanges that timed out",
+        "resolver_backoff_skips" => "Candidate servers skipped while in backoff",
+        "resolver_fault_flushes" => "Scripted cache flush faults applied",
+        "resolver_latency_ms" => "Client-observed resolution latency in milliseconds",
+        "resolver_latency_quantiles_ms" => {
+            "Resolution latency quantile sketch in milliseconds (1.6% relative error)"
+        }
+        "resolver_answer_ttl_s" => "TTLs of answers returned to clients, in seconds",
+        "resolution_latency_ms" => {
+            "Per-scenario resolution latency quantile sketch in milliseconds"
+        }
+        "resolution_latency_by_ttl_ms" => {
+            "Resolution latency quantile sketch bucketed by answer TTL band"
+        }
+        "atlas_measurements_valid" => "Atlas-style measurements accepted as valid",
+        "atlas_measurements_discarded" => "Atlas-style measurements discarded, by reason",
+        "auth_queries" => "Queries arriving at authoritative servers",
+        "auth_zone_transfers" => "Zone transfers applied to secondary servers",
+        "net_packets_sent" => "Packets injected into the simulated network",
+        "net_packets_lost" => "Packets dropped by the loss model",
+        "net_responses" => "Responses delivered by the simulated network",
+        "net_unknown_address" => "Packets sent to addresses with no server",
+        "net_server_offline" => "Packets dropped because the target was offline",
+        "net_fault_outage" => "Packets dropped by a scripted outage fault",
+        "net_fault_degraded_drop" => "Packets dropped by a scripted degradation fault",
+        "net_fault_blackout" => "Packets dropped by a scripted blackout fault",
+        "trace_dropped_events" => "Trace events evicted from the bounded ring, by kind",
+        "experiment_renumbers" => "Authoritative renumbering events scripted by experiments",
+        _ => "Simulator metric (see DESIGN.md)",
+    }
+}
+
+/// Writes the `# HELP`/`# TYPE` family header when `name` differs from
+/// the previously emitted family, tracking it in `last`.
+fn family_header(out: &mut String, last: &mut Option<String>, name: &str, mtype: &str) {
+    if last.as_deref() != Some(name) {
+        let _ = writeln!(out, "# HELP {} {}", name, help_for(name));
+        let _ = writeln!(out, "# TYPE {} {}", name, mtype);
+        *last = Some(name.to_string());
+    }
 }
 
 impl Registry {
@@ -494,6 +561,31 @@ impl Registry {
         self.histograms.get(id)
     }
 
+    /// Records an observation into a quantile sketch, creating it if
+    /// needed.
+    pub fn sketch_observe(&mut self, id: MetricId, value: u64) {
+        let slot = self.sketches.slot_of(id);
+        self.sketches.value_mut(slot).observe(value);
+    }
+
+    /// Records a sketch observation addressed by borrowed name/labels.
+    pub fn sketch_observe_fast(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let slot = self.sketches.slot_fast(name, labels);
+        self.sketches.value_mut(slot).observe(value);
+    }
+
+    /// Records an observation into the unlabelled sketch behind a
+    /// pre-hashed key.
+    pub fn sketch_observe_keyed(&mut self, key: &MetricKey, value: u64) {
+        let slot = self.sketches.slot_keyed(key);
+        self.sketches.value_mut(slot).observe(value);
+    }
+
+    /// Reads a quantile sketch, if it exists.
+    pub fn sketch(&self, id: &MetricId) -> Option<&QuantileSketch> {
+        self.sketches.get(id)
+    }
+
     /// Iterates counters in deterministic order.
     pub fn counters(&self) -> impl Iterator<Item = (&MetricId, u64)> {
         self.counters.iter().map(|(k, v)| (k, *v))
@@ -509,8 +601,16 @@ impl Registry {
         self.histograms.iter()
     }
 
-    /// Merges another registry into this one (summing counters and
-    /// histograms; `other`'s gauges win on key collisions).
+    /// Iterates quantile sketches in deterministic order.
+    pub fn sketches(&self) -> impl Iterator<Item = (&MetricId, &QuantileSketch)> {
+        self.sketches.iter()
+    }
+
+    /// Merges another registry into this one (summing counters,
+    /// histograms and sketches; `other`'s gauges win on key
+    /// collisions). Sketch merging adds bucket counts, so repeated
+    /// pairwise merges are associative — shard order cannot change the
+    /// merged quantiles.
     pub fn merge(&mut self, other: &Registry) {
         for (id, v) in other.counters.iter() {
             let slot = self.counters.slot_of(id.clone());
@@ -524,25 +624,36 @@ impl Registry {
             let slot = self.histograms.slot_of(id.clone());
             self.histograms.value_mut(slot).merge(h);
         }
+        for (id, s) in other.sketches.iter() {
+            let slot = self.sketches.slot_of(id.clone());
+            self.sketches.value_mut(slot).merge(s);
+        }
     }
 
     /// Renders the whole registry in the Prometheus text exposition
     /// format (counters and gauges as-is; histograms as cumulative
-    /// `_bucket{le=...}` series plus `_sum` and `_count`).
+    /// `_bucket{le=...}` series plus `_sum` and `_count`; quantile
+    /// sketches as summaries with `quantile` labels). Every metric
+    /// family gets exactly one `# HELP`/`# TYPE` header: series are
+    /// already sorted by name, so a header is emitted whenever the
+    /// family name changes.
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let mut last = None;
         for (id, v) in self.counters.iter() {
-            let _ = writeln!(out, "# TYPE {} counter", id.name);
+            family_header(&mut out, &mut last, &id.name, "counter");
             let _ = writeln!(out, "{} {}", id.render(), v);
         }
+        let mut last = None;
         for (id, v) in self.gauges.iter() {
-            let _ = writeln!(out, "# TYPE {} gauge", id.name);
+            family_header(&mut out, &mut last, &id.name, "gauge");
             let mut val = String::new();
             fmt_f64(&mut val, *v);
             let _ = writeln!(out, "{} {}", id.render(), val);
         }
+        let mut last = None;
         for (id, h) in self.histograms.iter() {
-            let _ = writeln!(out, "# TYPE {} histogram", id.name);
+            family_header(&mut out, &mut last, &id.name, "histogram");
             let mut cumulative = 0;
             for (i, &n) in h.buckets().iter().enumerate() {
                 if n == 0 {
@@ -568,6 +679,24 @@ impl Registry {
             let mut count_id = id.clone();
             count_id.name = format!("{}_count", id.name);
             let _ = writeln!(out, "{} {}", count_id.render(), h.count());
+        }
+        let mut last = None;
+        for (id, s) in self.sketches.iter() {
+            family_header(&mut out, &mut last, &id.name, "summary");
+            for (q, label) in SKETCH_QUANTILES {
+                let Some(v) = s.quantile(q) else { continue };
+                let mut with_q = id.clone();
+                with_q
+                    .labels
+                    .push(("quantile".to_string(), label.to_string()));
+                let _ = writeln!(out, "{} {}", with_q.render(), v);
+            }
+            let mut sum_id = id.clone();
+            sum_id.name = format!("{}_sum", id.name);
+            let _ = writeln!(out, "{} {}", sum_id.render(), s.sum());
+            let mut count_id = id.clone();
+            count_id.name = format!("{}_count", id.name);
+            let _ = writeln!(out, "{} {}", count_id.render(), s.count());
         }
         out
     }
@@ -624,6 +753,24 @@ impl Registry {
                 };
                 let _ = writeln!(out, "  {:>10} |{} {}", label, "#".repeat(bar_len), n);
             }
+        }
+        for (id, s) in self.sketches.iter() {
+            let _ = writeln!(out, "── {} (sketch)", id.render());
+            let (Some(min), Some(max)) = (s.min(), s.max()) else {
+                let _ = writeln!(out, "  (empty)");
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  n={} min={} p50={} p90={} p99={} p999={} max={}",
+                s.count(),
+                min,
+                s.quantile(0.5).unwrap_or(0),
+                s.quantile(0.9).unwrap_or(0),
+                s.quantile(0.99).unwrap_or(0),
+                s.quantile(0.999).unwrap_or(0),
+                max,
+            );
         }
         out
     }
@@ -691,5 +838,86 @@ mod tests {
         assert!(text.find("a_metric").unwrap() < text.find("b_metric").unwrap());
         assert!(text.contains("lat_bucket{le=\"8\"} 1"));
         assert!(text.contains("lat_sum 5"));
+    }
+
+    #[test]
+    fn exposition_has_one_help_and_type_header_per_family() {
+        let mut r = Registry::new();
+        // Two series of the same counter family, plus a gauge, a
+        // histogram and a sketch family.
+        r.counter_add(MetricId::new("q", &[("scenario", "a")]), 1);
+        r.counter_add(MetricId::new("q", &[("scenario", "b")]), 2);
+        r.gauge_set(MetricId::new("resolver_cache_entries", &[]), 7.0);
+        r.observe(MetricId::new("resolver_latency_ms", &[]), 12);
+        r.sketch_observe(MetricId::new("resolution_latency_ms", &[]), 40);
+        let text = r.to_prometheus_text();
+
+        // Every # TYPE is preceded by a matching # HELP, exactly once
+        // per family, with a valid exposition type.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let family = parts.next().unwrap();
+                let ty = parts.next().unwrap();
+                assert!(
+                    matches!(ty, "counter" | "gauge" | "histogram" | "summary"),
+                    "bad type line: {line}"
+                );
+                let help = lines[i - 1];
+                assert!(
+                    help.starts_with(&format!("# HELP {family} ")),
+                    "# TYPE {family} not preceded by its # HELP (got: {help})"
+                );
+            }
+        }
+        assert_eq!(text.matches("# TYPE q counter").count(), 1);
+        assert_eq!(text.matches("# HELP q ").count(), 1);
+
+        // Non-comment lines all belong to a declared family.
+        let declared: Vec<String> = lines
+            .iter()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|rest| rest.split(' ').next().unwrap().to_string())
+            .collect();
+        for line in lines.iter().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                declared.contains(&family.to_string()),
+                "series {name} has no # TYPE header"
+            );
+        }
+    }
+
+    #[test]
+    fn sketches_export_as_summaries_and_merge() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        for v in 0..500u64 {
+            a.sketch_observe(
+                MetricId::new("resolution_latency_ms", &[("scenario", "x")]),
+                v,
+            );
+            b.sketch_observe(
+                MetricId::new("resolution_latency_ms", &[("scenario", "x")]),
+                v + 500,
+            );
+        }
+        a.merge(&b);
+        let id = MetricId::new("resolution_latency_ms", &[("scenario", "x")]);
+        let s = a.sketch(&id).expect("merged sketch");
+        assert_eq!(s.count(), 1000);
+        let text = a.to_prometheus_text();
+        assert!(text.contains("# TYPE resolution_latency_ms summary"));
+        assert!(text.contains("resolution_latency_ms{scenario=\"x\",quantile=\"0.999\"}"));
+        assert!(text.contains("resolution_latency_ms_count{scenario=\"x\"} 1000"));
+        // p50 of 0..1000 is ~500, within the 1.6% bound.
+        let p50 = s.quantile(0.5).unwrap() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.02, "p50 {p50}");
     }
 }

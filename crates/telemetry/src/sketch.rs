@@ -1,0 +1,298 @@
+//! Deterministic mergeable quantile sketches.
+//!
+//! The paper's core results are latency *distributions* vs TTL, so the
+//! registry needs tail quantiles (p99/p999) that survive the sharded
+//! engine's merge without losing the determinism contract. This is a
+//! DDSketch-style relative-error sketch with one crucial difference:
+//! bucket indexing is pure integer log-linear arithmetic (the same
+//! HdrHistogram trick), never `f64::ln`, so a value maps to the same
+//! bucket on every platform and the merged sketch is byte-identical
+//! for any worker count.
+//!
+//! Layout: values below `2^SUB_BITS` are exact (one bucket per value);
+//! above that, each power-of-two range `[2^e, 2^(e+1))` splits into
+//! `2^SUB_BITS` equal sub-buckets addressed by the top `SUB_BITS`
+//! mantissa bits. A bucket's representative value is its midpoint, so
+//! the worst-case relative error is half a sub-bucket:
+//! `2^-(SUB_BITS+1)` ≈ 1.6 % for `SUB_BITS = 5`.
+//!
+//! Merging adds bucket counts — associative and commutative by
+//! construction — which is exactly what `Telemetry::absorb_shards`
+//! needs: shard sketches can arrive in any grouping and the result is
+//! identical.
+
+use std::collections::BTreeMap;
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BITS` linear sub-buckets.
+pub const SKETCH_SUB_BITS: u32 = 5;
+
+/// Worst-case relative error of a reported quantile: half a
+/// sub-bucket, `2^-(SKETCH_SUB_BITS+1)`.
+pub const SKETCH_RELATIVE_ERROR: f64 = 1.0 / (1 << (SKETCH_SUB_BITS + 1)) as f64;
+
+const SUB: u32 = SKETCH_SUB_BITS;
+
+/// A mergeable log-linear quantile sketch over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    /// Sparse bucket counts keyed by [`QuantileSketch::bucket_index`].
+    /// A `BTreeMap` keeps iteration in value order, which is what the
+    /// quantile walk needs, and keeps exports deterministic.
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `value` — pure integer arithmetic.
+    ///
+    /// Values below `2^SUB` map to themselves (exact). Otherwise, with
+    /// `e = floor(log2 value)`, the index is the sub-bucket count of
+    /// all smaller ranges plus the top `SUB` mantissa bits. The two
+    /// regions are continuous: for `value` in `[2^SUB, 2^(SUB+1))` the
+    /// formula yields `value` itself.
+    pub fn bucket_index(value: u64) -> u32 {
+        if value < (1 << SUB) {
+            return value as u32;
+        }
+        let e = 63 - value.leading_zeros();
+        let mantissa = ((value >> (e - SUB)) & ((1 << SUB) - 1)) as u32;
+        ((e - SUB + 1) << SUB) + mantissa
+    }
+
+    /// The midpoint of bucket `index` — the value a quantile in this
+    /// bucket reports.
+    pub fn representative(index: u32) -> u64 {
+        if index < (1 << SUB) {
+            return index as u64;
+        }
+        let e = (index >> SUB) + SUB - 1;
+        let mantissa = (index & ((1 << SUB) - 1)) as u64;
+        let width = 1u64 << (e - SUB);
+        let lo = (1u64 << e) + mantissa * width;
+        lo + (width - 1) / 2
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Quantile `q` in `0.0..=1.0`: the representative value of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to
+    /// the exact tracked `[min, max]`. Within the relative-error bound
+    /// of the true quantile; exact at q=0 and q=1.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (&idx, &n) in self.buckets.iter() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::representative(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every observation of `other` into `self`. Bucket counts
+    /// add, so merging is associative and commutative: any grouping of
+    /// shard sketches produces the identical merged sketch.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (&idx, &n) in other.buckets.iter() {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deterministic xorshift the netsim crate uses, inlined so the
+    /// property tests stay seeded without a cross-crate dev-dependency.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    #[test]
+    fn indexing_is_continuous_and_monotonic() {
+        // Exact region, boundary, and the first split range.
+        let mut last = None;
+        for v in 0..4096u64 {
+            let idx = QuantileSketch::bucket_index(v);
+            if let Some(prev) = last {
+                assert!(idx >= prev, "index not monotonic at {v}");
+            }
+            last = Some(idx);
+        }
+        // Values below 2^SUB are exact.
+        for v in 0..(1u64 << SUB) {
+            assert_eq!(QuantileSketch::bucket_index(v), v as u32);
+            assert_eq!(QuantileSketch::representative(v as u32), v);
+        }
+        // The boundary range [2^SUB, 2^(SUB+1)) is still exact.
+        for v in (1u64 << SUB)..(1u64 << (SUB + 1)) {
+            assert_eq!(QuantileSketch::bucket_index(v) as u64, v);
+        }
+        // No panic at the extremes.
+        QuantileSketch::bucket_index(u64::MAX);
+        QuantileSketch::representative(QuantileSketch::bucket_index(u64::MAX));
+    }
+
+    #[test]
+    fn representative_is_within_relative_error() {
+        let mut state = 0x5eed_cafe_u64 | 1;
+        for _ in 0..20_000 {
+            let v = xorshift(&mut state) >> (xorshift(&mut state) % 50);
+            let rep = QuantileSketch::representative(QuantileSketch::bucket_index(v));
+            let err = (rep as f64 - v as f64).abs() / (v as f64).max(1.0);
+            assert!(
+                err <= SKETCH_RELATIVE_ERROR + 1e-12,
+                "value {v}: representative {rep} off by {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_within_bound_of_exact() {
+        let mut state = 2024u64;
+        let mut s = QuantileSketch::new();
+        let mut values: Vec<u64> = Vec::new();
+        for _ in 0..5_000 {
+            let v = xorshift(&mut state) % 1_000_000;
+            s.observe(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact =
+                values[(((q * values.len() as f64).ceil() as usize) - 1).min(values.len() - 1)];
+            let approx = s.quantile(q).unwrap();
+            let err = (approx as f64 - exact as f64).abs() / (exact as f64).max(1.0);
+            // The rank itself is exact; only the value is bucketed.
+            assert!(
+                err <= SKETCH_RELATIVE_ERROR + 1e-12,
+                "q={q}: sketch {approx} vs exact {exact} (err {err})"
+            );
+        }
+        assert_eq!(s.quantile(0.0), Some(values[0]));
+        assert_eq!(s.quantile(1.0), Some(*values.last().unwrap()));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        // Seeded property test over random shard groupings: any order
+        // and any grouping of merges must produce the identical sketch
+        // (structural equality — same buckets, count, sum, min, max).
+        for seed in [3u64, 17, 2024] {
+            let mut state = seed | 1;
+            let shards: Vec<QuantileSketch> = (0..8)
+                .map(|_| {
+                    let mut s = QuantileSketch::new();
+                    for _ in 0..(xorshift(&mut state) % 200) {
+                        s.observe(xorshift(&mut state) % 100_000);
+                    }
+                    s
+                })
+                .collect();
+
+            // Left fold: ((a ⊕ b) ⊕ c) ⊕ …
+            let mut left = QuantileSketch::new();
+            for s in &shards {
+                left.merge(s);
+            }
+            // Right fold: a ⊕ (b ⊕ (c ⊕ …))
+            let mut right = QuantileSketch::new();
+            for s in shards.iter().rev() {
+                right.merge(s);
+            }
+            assert_eq!(left, right, "seed {seed}: merge not commutative");
+
+            // Random pairing: merge pairs first, then combine.
+            let mut paired = QuantileSketch::new();
+            for pair in shards.chunks(2) {
+                let mut p = QuantileSketch::new();
+                for s in pair {
+                    p.merge(s);
+                }
+                paired.merge(&p);
+            }
+            assert_eq!(left, paired, "seed {seed}: merge not associative");
+        }
+    }
+
+    #[test]
+    fn empty_sketch_reports_nothing() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        let mut merged = QuantileSketch::new();
+        merged.merge(&s);
+        assert_eq!(merged, QuantileSketch::new());
+    }
+}

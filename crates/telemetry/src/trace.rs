@@ -197,7 +197,7 @@ impl EventKind {
 }
 
 /// Identifies one span (one recursive resolution) within a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpanId(pub u64);
 
 /// One trace record. Field payloads live in the tracer's shared arena
@@ -213,6 +213,12 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// The span this event belongs to, if any.
     pub span: Option<SpanId>,
+    /// For a [`EventKind::SpanStart`]: the span that caused this one
+    /// (e.g. the client resolution that triggered a prefetch refresh or
+    /// an out-of-bailiwick NS address lookup). `None` for root spans
+    /// and for non-start events. Parent/child links make the flat
+    /// event stream a walkable causal tree.
+    pub parent: Option<SpanId>,
     /// Logical arena offset of this event's first field.
     fields_start: u64,
     /// Number of fields.
@@ -258,6 +264,10 @@ pub struct Tracer {
     /// record hot path is an array increment, not a map walk.
     per_kind: [u64; EventKind::COUNT],
     per_custom: std::collections::BTreeMap<&'static str, u64>,
+    /// Ring-eviction totals, split by the kind of the evicted event so
+    /// drop loss is attributable (mirrors `per_kind`/`per_custom`).
+    dropped_per_kind: [u64; EventKind::COUNT],
+    dropped_custom: std::collections::BTreeMap<&'static str, u64>,
 }
 
 impl Tracer {
@@ -273,6 +283,8 @@ impl Tracer {
             dropped: 0,
             per_kind: [0; EventKind::COUNT],
             per_custom: std::collections::BTreeMap::new(),
+            dropped_per_kind: [0; EventKind::COUNT],
+            dropped_custom: std::collections::BTreeMap::new(),
         }
     }
 
@@ -283,7 +295,8 @@ impl Tracer {
         id
     }
 
-    /// Drops the oldest event and reclaims its arena fields.
+    /// Drops the oldest event, reclaims its arena fields, and charges
+    /// the loss to the evicted event's kind.
     fn evict_oldest(&mut self) {
         if let Some(ev) = self.ring.pop_front() {
             for _ in 0..ev.fields_len {
@@ -291,6 +304,10 @@ impl Tracer {
             }
             self.fields_base += ev.fields_len as u64;
             self.dropped += 1;
+            match ev.kind.index() {
+                Some(i) => self.dropped_per_kind[i] += 1,
+                None => *self.dropped_custom.entry(ev.kind.as_str()).or_insert(0) += 1,
+            }
         }
     }
 
@@ -302,6 +319,19 @@ impl Tracer {
         t_ms: u64,
         kind: EventKind,
         span: Option<SpanId>,
+        fill: impl FnOnce(&mut FieldSink),
+    ) {
+        self.record_caused(t_ms, kind, span, None, fill);
+    }
+
+    /// [`Tracer::record`] with a causal parent: used for span-start
+    /// events of child resolutions so the flat stream carries the tree.
+    pub fn record_caused(
+        &mut self,
+        t_ms: u64,
+        kind: EventKind,
+        span: Option<SpanId>,
+        parent: Option<SpanId>,
         fill: impl FnOnce(&mut FieldSink),
     ) {
         let seq = self.next_seq;
@@ -325,6 +355,7 @@ impl Tracer {
             seq,
             kind,
             span,
+            parent,
             fields_start,
             fields_len,
         });
@@ -348,6 +379,9 @@ impl Tracer {
         w.field("event", &Value::Static(ev.kind.as_str()));
         if let Some(SpanId(id)) = ev.span {
             w.field("span", &Value::U64(id));
+        }
+        if let Some(SpanId(id)) = ev.parent {
+            w.field("parent", &Value::U64(id));
         }
         for (k, v) in self.fields_of(ev) {
             w.field(k, v);
@@ -373,6 +407,20 @@ impl Tracer {
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Eviction totals split by the kind of the evicted event, sorted
+    /// by kind name; only kinds that actually lost events appear.
+    pub fn dropped_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        let mut counts: Vec<(&'static str, u64)> = EventKind::INDEXED
+            .iter()
+            .zip(self.dropped_per_kind.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(kind, &n)| (kind.as_str(), n))
+            .chain(self.dropped_custom.iter().map(|(k, v)| (*k, *v)))
+            .collect();
+        counts.sort_unstable();
+        counts.into_iter()
     }
 
     /// Total events ever recorded (buffered + dropped).
@@ -414,6 +462,16 @@ impl Tracer {
                 *self.per_custom.entry(kind).or_insert(0) += count;
             }
             self.dropped += shard.dropped;
+            for (total, n) in self
+                .dropped_per_kind
+                .iter_mut()
+                .zip(shard.dropped_per_kind.iter())
+            {
+                *total += n;
+            }
+            for (kind, count) in shard.dropped_custom.iter() {
+                *self.dropped_custom.entry(kind).or_insert(0) += count;
+            }
         }
         // Shard-local span ids are dense (0..next_span), so the remap
         // table is a flat per-shard Vec instead of a keyed map — one
@@ -446,6 +504,20 @@ impl Tracer {
                     id
                 });
                 ev.span = Some(mapped);
+            }
+            // Parent links are remapped through the same table so the
+            // causal tree survives the merge. A parent always starts at
+            // or before its child, so its id is normally mapped already;
+            // the insert fallback covers a parent whose events were all
+            // evicted from the shard ring.
+            if let Some(SpanId(old)) = ev.parent {
+                let cell = &mut span_maps[shard_idx][old as usize];
+                let mapped = *cell.get_or_insert_with(|| {
+                    let id = SpanId(self.next_span);
+                    self.next_span += 1;
+                    id
+                });
+                ev.parent = Some(mapped);
             }
             ev.seq = self.next_seq;
             self.next_seq += 1;
@@ -557,6 +629,55 @@ mod tests {
         assert_eq!(a.dropped(), 4);
         assert_eq!(a.total_recorded(), 8);
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn drops_are_counted_per_kind() {
+        let mut t = Tracer::with_capacity(2);
+        t.record(0, EventKind::CacheHit, None, |_| {});
+        t.record(1, EventKind::Query, None, |_| {});
+        t.record(2, EventKind::Query, None, |_| {});
+        t.record(3, EventKind::Custom("weird"), None, |_| {});
+        // Evicted: the cache_hit at t=0, then the query at t=1.
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(
+            t.dropped_counts().collect::<Vec<_>>(),
+            vec![("cache_hit", 1), ("query", 1)]
+        );
+        // Absorb carries the split totals over.
+        let mut merged = Tracer::with_capacity(8);
+        merged.absorb(vec![t]);
+        assert_eq!(
+            merged.dropped_counts().collect::<Vec<_>>(),
+            vec![("cache_hit", 1), ("query", 1)]
+        );
+    }
+
+    #[test]
+    fn parent_links_survive_merge_remap() {
+        let mut shard = Tracer::with_capacity(8);
+        let root = shard.new_span();
+        let child = shard.new_span();
+        shard.record(10, EventKind::SpanStart, Some(root), |_| {});
+        shard.record_caused(12, EventKind::SpanStart, Some(child), Some(root), |_| {});
+        shard.record(14, EventKind::SpanEnd, Some(child), |_| {});
+        shard.record(20, EventKind::SpanEnd, Some(root), |_| {});
+
+        let mut merged = Tracer::with_capacity(16);
+        merged.absorb(vec![shard]);
+        let evs: Vec<(Option<SpanId>, Option<SpanId>)> =
+            merged.events().map(|e| (e.span, e.parent)).collect();
+        assert_eq!(
+            evs,
+            vec![
+                (Some(SpanId(0)), None),
+                (Some(SpanId(1)), Some(SpanId(0))),
+                (Some(SpanId(1)), None),
+                (Some(SpanId(0)), None),
+            ]
+        );
+        let child_start = merged.events().nth(1).unwrap();
+        assert!(merged.event_json(child_start).contains("\"parent\":0"));
     }
 
     #[test]
