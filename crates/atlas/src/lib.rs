@@ -27,6 +27,7 @@
 pub mod dataset;
 pub mod measurement;
 pub mod population;
+pub mod progress;
 pub mod shard;
 
 pub use dataset::{Dataset, MeasurementResult};
@@ -34,6 +35,7 @@ pub use measurement::{
     run_measurement, run_measurement_with_hooks, Hook, MeasurementSpec, QueryName,
 };
 pub use population::{Population, PopulationConfig, Probe, ResolverRef, VantagePoint};
+pub use progress::ProgressSink;
 pub use shard::{
     partition, partition_bases, run_cells, run_cells_profiled, ShardProfile, LOGICAL_SHARDS,
 };

@@ -1,0 +1,102 @@
+//! Live progress for long sharded campaigns.
+//!
+//! A [`ProgressSink`] is shared (`Arc`) between the coordinating
+//! thread and the cell closures running under
+//! [`run_cells_profiled`](crate::run_cells_profiled): each cell
+//! reports its sim-time frontier and event count as it completes, and
+//! the sink prints a heartbeat line to **stderr** at most once per
+//! configured interval (plus once at the end).
+//!
+//! Heartbeats are wall-clock-driven and therefore nondeterministic —
+//! which is fine, because they exist only on stderr and never enter
+//! any artifact. Everything deterministic (CSV, JSONL, manifests)
+//! stays byte-identical whether progress reporting is on or off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared progress accumulator with rate-limited stderr heartbeats.
+#[derive(Debug)]
+pub struct ProgressSink {
+    label: String,
+    workers: usize,
+    cells_total: usize,
+    interval_ms: u64,
+    started: Instant,
+    cells_done: AtomicU64,
+    events: AtomicU64,
+    frontier_ms: AtomicU64,
+    last_print_ms: AtomicU64,
+}
+
+impl ProgressSink {
+    /// A sink for a campaign of `cells_total` cells on `workers`
+    /// workers, printing at most one line per `interval_ms` of wall
+    /// clock.
+    pub fn new(label: &str, workers: usize, cells_total: usize, interval_ms: u64) -> ProgressSink {
+        ProgressSink {
+            label: label.to_string(),
+            workers: workers.max(1),
+            cells_total: cells_total.max(1),
+            interval_ms,
+            started: Instant::now(),
+            cells_done: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            frontier_ms: AtomicU64::new(0),
+            last_print_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Reports one completed cell: the furthest simulated time the
+    /// cell reached and how many events (queries, results) it
+    /// processed. Prints a heartbeat when one is due.
+    pub fn cell_finished(&self, frontier_ms: u64, events: u64) {
+        let done = self.cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total_events = self.events.fetch_add(events, Ordering::Relaxed) + events;
+        self.frontier_ms.fetch_max(frontier_ms, Ordering::Relaxed);
+        let elapsed_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        let finished = done as usize >= self.cells_total;
+        if !finished && elapsed_ms.saturating_sub(last) < self.interval_ms {
+            return;
+        }
+        // One printer per due interval: whoever wins the CAS prints.
+        if self
+            .last_print_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let per_worker =
+            total_events as f64 / (elapsed_ms.max(1) as f64 / 1000.0) / self.workers as f64;
+        eprintln!(
+            "[heartbeat {}] cells {}/{} · sim-frontier {}s · {:.0} events/s/worker ({} workers)",
+            self.label,
+            done,
+            self.cells_total,
+            self.frontier_ms.load(Ordering::Relaxed) / 1000,
+            per_worker,
+            self.workers,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_threads() {
+        let sink = std::sync::Arc::new(ProgressSink::new("test", 4, 8, u64::MAX));
+        std::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let sink = std::sync::Arc::clone(&sink);
+                scope.spawn(move || sink.cell_finished(i * 1_000, 10));
+            }
+        });
+        assert_eq!(sink.cells_done.load(Ordering::Relaxed), 8);
+        assert_eq!(sink.events.load(Ordering::Relaxed), 80);
+        assert_eq!(sink.frontier_ms.load(Ordering::Relaxed), 7_000);
+    }
+}

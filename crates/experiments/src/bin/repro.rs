@@ -17,15 +17,19 @@
 //! repro bench --out BENCH_report.json --baseline BENCH_report.json --check
 //! repro flame RUN_DIR_OR_TRACE     # collapsed stacks from sim-time spans
 //! repro doctor RUN_DIR             # audit manifests, traces, ledgers
+//! repro timeline RUN_DIR           # sim-time series → CSV + sparklines
+//! repro diff RUN_A RUN_B           # structured run comparison (JSON verdict)
 //! ```
 //!
 //! Every module run writes a provenance manifest
-//! (`<module>_manifest.json`) and a simulation-time trace
-//! (`<module>_trace.jsonl`) next to its CSVs, unless `--no-csv`.
+//! (`<module>_manifest.json`), a simulation-time trace
+//! (`<module>_trace.jsonl`), a sim-time series
+//! (`<module>_timeseries.jsonl`), and the final metrics
+//! (`<module>_metrics.prom`) next to its CSVs, unless `--no-csv`.
 
 use dnsttl_experiments::{
     bailiwick_exp, centricity, controlled, crawl_exp, extensions, flightdeck, insight, passive_nl,
-    resilience, table1, uy_latency, ExpConfig, Report,
+    resilience, rundiff, table1, timeline, uy_latency, ExpConfig, Report,
 };
 use dnsttl_telemetry::{RunManifest, Telemetry};
 
@@ -134,6 +138,17 @@ fn write_observability(module: &str, cfg: &ExpConfig, telemetry: &Telemetry, rep
     if let Err(e) = std::fs::write(dir.join(&trace_name), telemetry.trace_jsonl()) {
         eprintln!("cannot write {trace_name}: {e}");
     }
+    // The time-resolved twin of the metrics: counters per sim-time
+    // bucket, plus the final registry as Prometheus text so `repro
+    // diff` and the doctor's conservation check can compare them.
+    let ts_name = format!("{module}_timeseries.jsonl");
+    if let Err(e) = std::fs::write(dir.join(&ts_name), telemetry.timeseries_jsonl()) {
+        eprintln!("cannot write {ts_name}: {e}");
+    }
+    let prom_name = format!("{module}_metrics.prom");
+    if let Err(e) = std::fs::write(dir.join(&prom_name), telemetry.prometheus_text()) {
+        eprintln!("cannot write {prom_name}: {e}");
+    }
 
     let mut manifest = RunManifest::new(module, cfg.seed);
     manifest.sim_duration_ms =
@@ -146,6 +161,8 @@ fn write_observability(module: &str, cfg: &ExpConfig, telemetry: &Telemetry, rep
     manifest.policy("mix", "paper_population");
     telemetry.fill_manifest(&mut manifest);
     manifest.artifact(&trace_name);
+    manifest.artifact(&ts_name);
+    manifest.artifact(&prom_name);
     for report in reports {
         for artifact in &report.artifacts {
             manifest.artifact(artifact);
@@ -170,11 +187,12 @@ fn run_bench(args: &[String]) -> ! {
     let mut out: Option<std::path::PathBuf> = None;
     let mut baseline: Option<std::path::PathBuf> = None;
     let mut check = false;
+    let mut threshold = REGRESSION_THRESHOLD;
     let mut i = 0;
     let bad = |msg: &str| -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: repro bench [--quick] [--seed N] [--out FILE] [--baseline FILE] [--check]"
+            "usage: repro bench [--quick] [--seed N] [--out FILE] [--baseline FILE] [--check] [--tolerance PCT]"
         );
         std::process::exit(2);
     };
@@ -205,6 +223,21 @@ fn run_bench(args: &[String]) -> ! {
                 );
             }
             "--check" => check = true,
+            // Regression gate width as a percent (default the
+            // committed REGRESSION_THRESHOLD).
+            "--tolerance" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| bad("--tolerance needs a percent"));
+                let pct: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| bad(&format!("bad tolerance {v:?} (want a percent)")));
+                if !(0.0..=100.0).contains(&pct) {
+                    bad(&format!("tolerance {pct}% out of range 0..=100"));
+                }
+                threshold = pct / 100.0;
+            }
             other => bad(&format!("unknown bench flag {other:?}")),
         }
         i += 1;
@@ -240,11 +273,11 @@ fn run_bench(args: &[String]) -> ! {
             eprintln!("cannot parse baseline {}: {e}", path.display());
             std::process::exit(1);
         });
-        let failures = report.compare(&base, REGRESSION_THRESHOLD);
+        let failures = report.compare(&base, threshold);
         if failures.is_empty() {
             println!(
                 "bench check passed: no scenario regressed more than {:.0}% vs {}",
-                REGRESSION_THRESHOLD * 100.0,
+                threshold * 100.0,
                 path.display()
             );
         } else {
@@ -397,6 +430,81 @@ fn run_doctor(args: &[String]) -> ! {
     std::process::exit(i32::from(!report.failures.is_empty()));
 }
 
+/// `repro timeline`: render a run directory's sim-time series as
+/// `timeline.csv` plus ASCII sparklines on stdout.
+fn run_timeline(args: &[String]) -> ! {
+    let [dir] = args else {
+        eprintln!("usage: repro timeline RUN_DIR");
+        std::process::exit(2);
+    };
+    let dir = std::path::Path::new(dir);
+    match timeline::render_dir(dir) {
+        Ok(text) => {
+            print!("{text}");
+            eprintln!(
+                "(timeline CSV written to {})",
+                dir.join("timeline.csv").display()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("timeline: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro diff`: compare two run directories metric by metric. Prints
+/// a JSON verdict on stdout, a human summary on stderr, and exits
+/// nonzero when any metric drifts beyond tolerance.
+fn run_diff(args: &[String]) -> ! {
+    let bad = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: repro diff [--tolerance [METRIC=]PCT]… RUN_A RUN_B");
+        std::process::exit(2);
+    };
+    let mut cfg = rundiff::DiffConfig::default();
+    let mut dirs: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .unwrap_or_else(|| bad("--tolerance needs a value"));
+                let parse_pct = |v: &str| -> f64 {
+                    let pct: f64 = v
+                        .parse()
+                        .unwrap_or_else(|_| bad(&format!("bad tolerance {v:?} (want a percent)")));
+                    if !(0.0..=100.0).contains(&pct) {
+                        bad(&format!("tolerance {pct}% out of range 0..=100"));
+                    }
+                    pct / 100.0
+                };
+                match spec.split_once('=') {
+                    Some((metric, pct)) => cfg.per_metric.push((metric.to_owned(), parse_pct(pct))),
+                    None => cfg.default_tolerance = parse_pct(spec),
+                }
+            }
+            other if other.starts_with('-') => bad(&format!("unknown diff flag {other:?}")),
+            _ => dirs.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [a, b] = dirs[..] else {
+        bad("diff needs exactly two run directories");
+    };
+    let verdict = rundiff::diff_dirs(std::path::Path::new(a), std::path::Path::new(b), &cfg)
+        .unwrap_or_else(|e| {
+            eprintln!("diff: {e}");
+            std::process::exit(2);
+        });
+    println!("{}", verdict.to_json(a, b));
+    eprint!("{}", verdict.render_text());
+    std::process::exit(i32::from(!verdict.clean()));
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("bench") {
@@ -407,6 +515,12 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("doctor") {
         run_doctor(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("timeline") {
+        run_timeline(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("diff") {
+        run_diff(&argv[1..]);
     }
     if let Some(pos) = argv.iter().position(|a| a == "--diff") {
         if argv.first().map(String::as_str) != Some("cache-report") || argv.len() != pos + 3 {
@@ -471,6 +585,31 @@ fn main() {
                 cfg.shards = Some(n);
             }
             "--no-csv" => cfg.out_dir = None,
+            // Redirect artifacts (CSVs, manifests, traces, time series)
+            // to DIR; the CI self-diff stage uses this to lay two runs
+            // side by side.
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                });
+                cfg.out_dir = Some(v.into());
+            }
+            // Live campaign heartbeats on stderr (sharded engine only);
+            // wall clock never reaches the artifacts.
+            "--progress" => cfg.progress_ms = Some(2_000),
+            "--ts-bucket-ms" => {
+                let v = args.next().unwrap_or_default();
+                let ms: u64 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--ts-bucket-ms needs an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                if ms == 0 {
+                    eprintln!("--ts-bucket-ms needs at least 1 ms");
+                    std::process::exit(2);
+                }
+                cfg.ts_bucket_ms = ms;
+            }
             "--metrics" => show_metrics = true,
             "all" => wanted.extend(ARTIFACTS.iter().map(|(id, _)| id.to_string())),
             other if other.starts_with('-') => {
@@ -481,7 +620,7 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--paper-scale|--quick|--smoke] [--seed N] [--probes N] [--shards N] [--no-csv] [--metrics] <artifact…|all>");
+        eprintln!("usage: repro [--paper-scale|--quick|--smoke] [--seed N] [--probes N] [--shards N] [--out DIR|--no-csv] [--progress] [--ts-bucket-ms N] [--metrics] <artifact…|all>");
         eprintln!("       repro --list");
         std::process::exit(2);
     }
@@ -498,6 +637,7 @@ fn main() {
         // and metrics are per-experiment and same-seed reruns stay
         // byte-identical.
         let telemetry = Telemetry::new();
+        telemetry.configure_timeseries(cfg.ts_bucket_ms, cfg.ts_span_cap);
         let mut module_cfg = cfg.clone();
         module_cfg.telemetry = telemetry.clone();
         let started = std::time::Instant::now();

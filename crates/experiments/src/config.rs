@@ -1,6 +1,6 @@
 //! Experiment configuration.
 
-use dnsttl_telemetry::Telemetry;
+use dnsttl_telemetry::{Telemetry, DEFAULT_TS_BUCKET_MS, DEFAULT_TS_SPAN_CAP};
 use std::path::PathBuf;
 
 /// Shared knobs for all experiments.
@@ -34,6 +34,19 @@ pub struct ExpConfig {
     /// build. Disabled by default; `repro` swaps in an enabled handle
     /// per module to collect metrics, traces, and manifests.
     pub telemetry: Telemetry,
+    /// Initial sim-time series bucket width (milliseconds). Every
+    /// telemetry handle a run creates — the per-module handle and the
+    /// per-cell shard handles — is configured with this width so that
+    /// shard merges see nesting bucket boundaries.
+    pub ts_bucket_ms: u64,
+    /// Span cap for sim-time series: a series coarsens (bucket width
+    /// ×2) whenever its dense bucket span would exceed this.
+    pub ts_span_cap: usize,
+    /// Heartbeat interval for live campaign progress, in wall-clock
+    /// milliseconds. `None` (default) is silent; `Some(ms)` prints a
+    /// progress line to stderr as sharded campaigns complete cells.
+    /// Never enters any artifact, so determinism is untouched.
+    pub progress_ms: Option<u64>,
 }
 
 impl Default for ExpConfig {
@@ -47,6 +60,9 @@ impl Default for ExpConfig {
             out_dir: Some(PathBuf::from("target/experiments")),
             shards: None,
             telemetry: Telemetry::disabled(),
+            ts_bucket_ms: DEFAULT_TS_BUCKET_MS,
+            ts_span_cap: DEFAULT_TS_SPAN_CAP,
+            progress_ms: None,
         }
     }
 }

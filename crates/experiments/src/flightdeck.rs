@@ -433,7 +433,7 @@ pub fn collapsed_stacks(forest: &SpanForest) -> Vec<String> {
 /// scan — the manifest format is nested, which the strict flat parser
 /// rejects, and a doctor must not trust the writer it is auditing
 /// anyway.
-fn scan_u64_field(text: &str, key: &str) -> Option<u64> {
+pub(crate) fn scan_u64_field(text: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let at = text.find(&pat)? + pat.len();
     let digits: String = text[at..]
@@ -444,7 +444,7 @@ fn scan_u64_field(text: &str, key: &str) -> Option<u64> {
 }
 
 /// Extracts the string items of `"key":[ … ]`.
-fn scan_str_array(text: &str, key: &str) -> Vec<String> {
+pub(crate) fn scan_str_array(text: &str, key: &str) -> Vec<String> {
     let pat = format!("\"{key}\":[");
     let Some(start) = text.find(&pat).map(|i| i + pat.len()) else {
         return Vec::new();
@@ -611,6 +611,13 @@ pub fn doctor_dir(dir: &Path) -> DoctorReport {
         if trace_path.exists() {
             audit_trace(&module, &trace_path, dropped == Some(0), &mut report);
         }
+
+        // The paired sim-time series, when present.
+        let ts_path = dir.join(format!("{module}_timeseries.jsonl"));
+        if ts_path.exists() {
+            let prom_path = dir.join(format!("{module}_metrics.prom"));
+            audit_timeseries(&module, &ts_path, &prom_path, &mut report);
+        }
     }
 
     if let Some(((first_m, first_s), rest)) = seeds.split_first() {
@@ -667,6 +674,115 @@ pub fn doctor_dir(dir: &Path) -> DoctorReport {
     }
 
     report
+}
+
+/// Audits a `<module>_timeseries.jsonl`: per (series, kind) the bucket
+/// boundaries must be strictly increasing, gap-free (each bucket starts
+/// exactly one width after the previous), and constant-width; and every
+/// counter series must conserve — the sum of its per-bucket deltas
+/// equals the final registry value in `<module>_metrics.prom`.
+fn audit_timeseries(module: &str, path: &Path, prom_path: &Path, report: &mut DoctorReport) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            report.fail(format!("{module}: cannot read timeseries: {e}"));
+            return;
+        }
+    };
+    let lines = match crate::timeline::parse_timeseries_jsonl(&text) {
+        Ok(lines) => lines,
+        Err(e) => {
+            report.fail(format!("{module}: unparseable timeseries: {e}"));
+            return;
+        }
+    };
+    report.ok(format!(
+        "{module}: timeseries parses ({} buckets)",
+        lines.len()
+    ));
+
+    let mut groups: std::collections::BTreeMap<(&str, &str), Vec<&crate::timeline::TsLine>> =
+        std::collections::BTreeMap::new();
+    for line in &lines {
+        groups
+            .entry((line.series.as_str(), line.kind.as_str()))
+            .or_default()
+            .push(line);
+    }
+    let mut shape_issues = 0usize;
+    let mut counter_sums: Vec<(&str, u64)> = Vec::new();
+    for ((series, kind), group) in &groups {
+        let width = group[0].width_ms;
+        let constant_width = group.iter().all(|l| l.width_ms == width);
+        let gap_free = group.windows(2).all(|w| w[1].t_ms == w[0].t_ms + width);
+        if !constant_width || !gap_free || width == 0 {
+            report.fail(format!(
+                "{module}: timeseries {series} ({kind}) has gaps, unordered buckets, or varying width"
+            ));
+            shape_issues += 1;
+        }
+        if *kind == "counter" {
+            let sum: f64 = group.iter().map(|l| l.headline()).sum();
+            counter_sums.push((series, sum as u64));
+        }
+    }
+    if shape_issues == 0 {
+        report.ok(format!(
+            "{module}: {} series monotone, gap-free, constant-width",
+            groups.len()
+        ));
+    }
+
+    // Conservation against the final registry: the time series is the
+    // same counters resolved over sim time, so the bucket deltas must
+    // sum back to the number the registry reports at the end.
+    if counter_sums.is_empty() {
+        return;
+    }
+    let prom = match std::fs::read_to_string(prom_path) {
+        Ok(t) => t,
+        Err(e) => {
+            report.fail(format!(
+                "{module}: timeseries has counters but metrics.prom is unreadable: {e}"
+            ));
+            return;
+        }
+    };
+    let mut finals: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    for line in prom.lines() {
+        if line.starts_with('#') || line.contains('{') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                finals.insert(name, v);
+            }
+        }
+    }
+    let mut bad = 0usize;
+    for (series, sum) in &counter_sums {
+        match finals.get(series) {
+            Some(v) if (*v - *sum as f64).abs() < 0.5 => {}
+            Some(v) => {
+                report.fail(format!(
+                    "{module}: counter {series} bucket deltas sum to {sum} but the final registry says {v}"
+                ));
+                bad += 1;
+            }
+            None => {
+                report.fail(format!(
+                    "{module}: counter {series} has a time series but no final registry sample"
+                ));
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        report.ok(format!(
+            "{module}: {} counter series conserve (bucket sums match final registry)",
+            counter_sums.len()
+        ));
+    }
 }
 
 fn audit_trace(module: &str, path: &Path, drop_free: bool, report: &mut DoctorReport) {
@@ -814,6 +930,58 @@ mod tests {
         assert!(report.failures.iter().any(|f| f.contains("dropped 3")));
         assert!(report.failures.iter().any(|f| f.contains("gone.csv")));
         assert!(report.failures.iter().any(|f| f.contains("seed mismatch")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_checks_timeseries_shape_and_conservation() {
+        let dir = std::env::temp_dir().join(format!("dnsttl-doctor-ts-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("m_manifest.json"),
+            r#"{"experiment":"m","seed":42,"event_counts":{},"trace_dropped":0,"artifacts":[]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("m_timeseries.jsonl"),
+            concat!(
+                r#"{"series":"q","kind":"counter","t_ms":0,"width_ms":60000,"value":3}"#,
+                "\n",
+                r#"{"series":"q","kind":"counter","t_ms":60000,"width_ms":60000,"value":4}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(dir.join("m_metrics.prom"), "# TYPE q counter\nq 7\n").unwrap();
+        let report = doctor_dir(&dir);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report
+            .passed
+            .iter()
+            .any(|p| p.contains("counter series conserve")));
+
+        // A final registry value the buckets cannot reach is drift.
+        std::fs::write(dir.join("m_metrics.prom"), "# TYPE q counter\nq 9\n").unwrap();
+        let report = doctor_dir(&dir);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("bucket deltas sum to 7")));
+
+        // A gap in the bucket boundaries is a shape failure.
+        std::fs::write(
+            dir.join("m_timeseries.jsonl"),
+            concat!(
+                r#"{"series":"q","kind":"counter","t_ms":0,"width_ms":60000,"value":3}"#,
+                "\n",
+                r#"{"series":"q","kind":"counter","t_ms":180000,"width_ms":60000,"value":4}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(dir.join("m_metrics.prom"), "# TYPE q counter\nq 7\n").unwrap();
+        let report = doctor_dir(&dir);
+        assert!(report.failures.iter().any(|f| f.contains("has gaps")));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

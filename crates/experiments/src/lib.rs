@@ -36,8 +36,10 @@ pub mod insight;
 pub mod passive_nl;
 pub mod report;
 pub mod resilience;
+pub mod rundiff;
 pub mod sharded;
 pub mod table1;
+pub mod timeline;
 pub mod uy_latency;
 pub mod worlds;
 

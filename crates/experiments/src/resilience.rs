@@ -85,12 +85,22 @@ fn run_cell(cfg: &ExpConfig, ttl: Ttl, policy: ResolverPolicy, seed_tag: &str) -
         let sizes = dnsttl_atlas::partition(clients, dnsttl_atlas::LOGICAL_SHARDS);
         let bases = dnsttl_atlas::partition_bases(&sizes);
         let enabled = cfg.telemetry.is_enabled();
+        let (ts_bucket_ms, ts_span_cap) = (cfg.ts_bucket_ms, cfg.ts_span_cap);
+        let progress = cfg.progress_ms.map(|ms| {
+            std::sync::Arc::new(dnsttl_atlas::ProgressSink::new(
+                seed_tag,
+                workers.max(1),
+                dnsttl_atlas::LOGICAL_SHARDS,
+                ms,
+            ))
+        });
         let cells = dnsttl_atlas::run_cells(workers, dnsttl_atlas::LOGICAL_SHARDS, |cell| {
             let telemetry = if enabled {
                 dnsttl_telemetry::Telemetry::new()
             } else {
                 dnsttl_telemetry::Telemetry::disabled()
             };
+            telemetry.configure_timeseries(ts_bucket_ms, ts_span_cap);
             let result = simulate_clients(
                 &telemetry,
                 dnsttl_netsim::shard_seed(seed, cell as u64),
@@ -99,6 +109,14 @@ fn run_cell(cfg: &ExpConfig, ttl: Ttl, policy: ResolverPolicy, seed_tag: &str) -
                 ttl,
                 &policy,
             );
+            if let Some(sink) = &progress {
+                // The scripted outage ends the cell's clock; queries
+                // are the cell's event count.
+                sink.cell_finished(
+                    SimTime::from_secs(OUTAGE_START_S + OUTAGE_SECS).as_millis(),
+                    result.queries,
+                );
+            }
             (result, telemetry.take_parts())
         });
         let mut total = CellResult {

@@ -25,13 +25,14 @@ use crate::config::ExpConfig;
 use crate::worlds;
 use dnsttl_atlas::{
     partition, partition_bases, run_cells, run_measurement, Dataset, MeasurementSpec, Population,
-    PopulationConfig, LOGICAL_SHARDS,
+    PopulationConfig, ProgressSink, LOGICAL_SHARDS,
 };
 use dnsttl_netsim::{shard_seed, Network, SimRng};
 use dnsttl_resolver::RootHint;
-use dnsttl_telemetry::Telemetry;
+use dnsttl_telemetry::{Telemetry, TelemetryParts};
 use dnsttl_wire::Ttl;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// A recipe for building one experiment world.
 ///
@@ -104,7 +105,7 @@ struct CellOut {
     vps: usize,
     auth_queries: u64,
     auth_sources: usize,
-    parts: (dnsttl_telemetry::Registry, dnsttl_telemetry::Tracer),
+    parts: TelemetryParts,
 }
 
 /// Runs one measurement campaign sharded over [`LOGICAL_SHARDS`] cells
@@ -126,6 +127,12 @@ pub fn measurement_campaign(
     let bases = partition_bases(&sizes);
     let run_seed = cfg.seed_for(tag);
     let enabled = cfg.telemetry.is_enabled();
+    let (ts_bucket_ms, ts_span_cap) = (cfg.ts_bucket_ms, cfg.ts_span_cap);
+    // Live progress (off by default): heartbeats go to stderr only, so
+    // the deterministic artifacts never see the wall clock behind them.
+    let progress = cfg
+        .progress_ms
+        .map(|ms| Arc::new(ProgressSink::new(tag, workers.max(1), LOGICAL_SHARDS, ms)));
 
     let cells = run_cells(workers, LOGICAL_SHARDS, |cell| {
         let telemetry = if enabled {
@@ -133,6 +140,7 @@ pub fn measurement_campaign(
         } else {
             Telemetry::disabled()
         };
+        telemetry.configure_timeseries(ts_bucket_ms, ts_span_cap);
         let (mut net, roots, test_addr) = world.build();
         net.set_telemetry(telemetry.clone());
         let mut rng = SimRng::seed_from(shard_seed(run_seed, cell as u64));
@@ -141,6 +149,10 @@ pub fn measurement_campaign(
         let mut pop = Population::build(&pop_cfg, &roots, &mut rng);
         pop.set_telemetry(&telemetry);
         let dataset = run_measurement(spec, &mut pop, &mut net, &mut rng);
+        if let Some(sink) = &progress {
+            let frontier = dataset.results().iter().map(|r| r.at.as_millis()).max();
+            sink.cell_finished(frontier.unwrap_or(0), dataset.results().len() as u64);
+        }
         CellOut {
             dataset,
             probes: pop.probe_count(),

@@ -312,18 +312,22 @@ impl Network {
         transport: Transport,
     ) -> ExchangeOutcome {
         let timeout = self.query_timeout;
-        self.telemetry.count("net_packets_sent", 1);
+        self.telemetry
+            .count_at("net_packets_sent", 1, now.as_millis());
         let degradation = self.faults.degradation(server, now);
         let Some(ep) = self.endpoints.get_mut(&server) else {
-            self.telemetry.count("net_unknown_address", 1);
+            self.telemetry
+                .count_at("net_unknown_address", 1, now.as_millis());
             return ExchangeOutcome::Timeout { elapsed: timeout };
         };
         if !ep.online {
-            self.telemetry.count("net_server_offline", 1);
+            self.telemetry
+                .count_at("net_server_offline", 1, now.as_millis());
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
         if self.faults.outage_active(server, now) {
-            self.telemetry.count("net_fault_outage", 1);
+            self.telemetry
+                .count_at("net_fault_outage", 1, now.as_millis());
             self.telemetry
                 .event(now.as_millis(), EventKind::Fault, |f| {
                     f.push("fault", "outage");
@@ -332,7 +336,8 @@ impl Network {
             return ExchangeOutcome::Timeout { elapsed: timeout };
         }
         if self.latency.sample_loss(rng) {
-            self.telemetry.count("net_packets_lost", 1);
+            self.telemetry
+                .count_at("net_packets_lost", 1, now.as_millis());
             self.telemetry
                 .event(now.as_millis(), EventKind::PacketLoss, |f| {
                     f.push("server", server.to_string());
@@ -343,7 +348,8 @@ impl Network {
         // DDoS-style degradation: extra loss on top of the base model.
         if let Some(deg) = degradation {
             if deg.loss > 0.0 && rng.chance(deg.loss) {
-                self.telemetry.count("net_fault_degraded_drop", 1);
+                self.telemetry
+                    .count_at("net_fault_degraded_drop", 1, now.as_millis());
                 self.telemetry
                     .event(now.as_millis(), EventKind::Fault, |f| {
                         f.push("fault", "degrade");
@@ -366,7 +372,8 @@ impl Network {
                     .total_cmp(&self.latency.median_ms(client_region, b.region))
             });
         let Some(site) = site else {
-            self.telemetry.count("net_fault_blackout", 1);
+            self.telemetry
+                .count_at("net_fault_blackout", 1, now.as_millis());
             self.telemetry
                 .event(now.as_millis(), EventKind::Fault, |f| {
                     f.push("fault", "blackout");
@@ -418,7 +425,7 @@ impl Network {
             rtt = SimDuration::from_millis((rtt.as_millis() as f64 * deg.latency_factor) as u64);
         }
         if self.telemetry.is_enabled() {
-            self.telemetry.count("net_responses", 1);
+            self.telemetry.count_at("net_responses", 1, now.as_millis());
             self.telemetry.observe_with(
                 "net_rtt_ms",
                 &[("client_region", &client_region.to_string())],

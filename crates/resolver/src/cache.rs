@@ -11,12 +11,17 @@
 
 use dnsttl_core::{Centricity, ResolverPolicy};
 use dnsttl_netsim::{SimDuration, SimTime};
-use dnsttl_telemetry::{CacheOp, EventKind, Telemetry, Value};
+use dnsttl_telemetry::{CacheOp, EventKind, MetricKey, Telemetry, Value};
 use dnsttl_wire::{Name, RRset, Rcode, RecordType, Ttl};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 
 use crate::ledger::{rank_token, CacheStats, Ledger, Provenance, RecordOrigin, StoreContext};
+
+/// Pre-hashed key for the eviction counter/series: evictions happen
+/// under capacity pressure, which is exactly when per-event hashing
+/// would hurt most.
+const EVICTIONS_KEY: MetricKey = MetricKey::new("resolver_cache_evictions");
 
 /// Trustworthiness of cached data, descending (RFC 2181 §5.4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -201,6 +206,12 @@ impl Cache {
             if let Some(ledger) = meta.ledger.as_mut() {
                 ledger.record(now, op, rrset, rank, &prov, residency_ms, fingerprint);
             }
+        }
+        if op == CacheOp::Evict {
+            // Capacity-pressure evictions get a sim-time series so the
+            // timeline shows *when* churn happens, not just how much.
+            self.telemetry
+                .count_keyed_at(&EVICTIONS_KEY, 1, now.as_millis());
         }
         self.telemetry.event(now.as_millis(), event_kind(op), |f| {
             // Shared/Static/Hex64/Addr values straight into the trace

@@ -238,7 +238,8 @@ impl RecursiveResolver {
                 f.push("fault", Value::literal("flush"));
                 f.push("resolver", label);
             });
-        self.telemetry.count_keyed(&metrics::FAULT_FLUSHES, 1);
+        self.telemetry
+            .count_keyed_at(&metrics::FAULT_FLUSHES, 1, now.as_millis());
         self.cache.clear();
         self.sticky_server.clear();
         self.backoff.clear();
@@ -267,6 +268,7 @@ impl RecursiveResolver {
             &mut self.stats.client_queries,
             &self.telemetry,
             &metrics::CLIENT_QUERIES,
+            now.as_millis(),
         );
         let span = {
             let label = self.label.clone();
@@ -286,7 +288,8 @@ impl RecursiveResolver {
                         f.push("qtype", Value::literal(qtype.as_str()));
                         f.push("expired_for_ms", expired_for.as_millis());
                     });
-                self.telemetry.count_keyed(&metrics::CACHE_EXPIRIES, 1);
+                self.telemetry
+                    .count_keyed_at(&metrics::CACHE_EXPIRIES, 1, now.as_millis());
             }
         }
         let mut ctx = Ctx {
@@ -319,6 +322,7 @@ impl RecursiveResolver {
                     &mut self.stats.failure_caches,
                     &self.telemetry,
                     &metrics::FAILURE_CACHES,
+                    now.as_millis(),
                 );
             }
         }
@@ -337,6 +341,7 @@ impl RecursiveResolver {
                         &mut self.stats.stale_answers,
                         &self.telemetry,
                         &metrics::STALE_ANSWERS,
+                        now.as_millis(),
                     );
                     self.telemetry
                         .span_event(span, now.as_millis(), EventKind::CacheStale, |f| {
@@ -353,6 +358,7 @@ impl RecursiveResolver {
                     &mut self.stats.servfails,
                     &self.telemetry,
                     &metrics::SERVFAILS,
+                    now.as_millis(),
                 );
                 self.telemetry
                     .span_event(span, now.as_millis(), EventKind::ServFail, |f| {
@@ -366,6 +372,7 @@ impl RecursiveResolver {
                 &mut self.stats.cache_hits,
                 &self.telemetry,
                 &metrics::CACHE_HITS,
+                now.as_millis(),
             );
         }
         if self.telemetry.is_enabled() {
@@ -377,18 +384,31 @@ impl RecursiveResolver {
             // Same observation into the quantile sketch: the log2
             // histogram keeps its coarse buckets for dashboards, the
             // sketch reports p50/p90/p99/p999 at 1.6 % relative error.
-            self.telemetry
-                .sketch_keyed(&metrics::LATENCY_SKETCH_MS, ctx.elapsed.as_millis());
+            // Bucketed at query start time, so the timeline shows the
+            // latency distribution of the queries *issued* in a window.
+            self.telemetry.sketch_keyed_at(
+                &metrics::LATENCY_SKETCH_MS,
+                ctx.elapsed.as_millis(),
+                now.as_millis(),
+            );
             for r in &answer.answers {
                 self.telemetry
                     .observe_keyed(&metrics::ANSWER_TTL_S, r.ttl.as_secs() as u64);
             }
             if !cache_hit {
+                // The hit counter has a registry-and-series twin; a
+                // misses series makes the timeline hit-rate curve a
+                // pure per-bucket ratio without needing totals.
+                self.telemetry
+                    .count_keyed_at(&metrics::CACHE_MISSES, 1, now.as_millis());
                 // A warm hit cannot change the entry count (inserts,
                 // and therefore evictions, only happen on the upstream
                 // path), so the gauge only needs refreshing on misses.
-                self.telemetry
-                    .gauge_keyed(&metrics::CACHE_ENTRIES, self.cache.len() as f64);
+                self.telemetry.gauge_keyed_at(
+                    &metrics::CACHE_ENTRIES,
+                    self.cache.len() as f64,
+                    now.as_millis(),
+                );
             }
         }
         // Prefetch: a cache hit on a nearly-expired entry triggers a
@@ -409,6 +429,7 @@ impl RecursiveResolver {
                         &mut self.stats.prefetches,
                         &self.telemetry,
                         &metrics::PREFETCHES,
+                        now.as_millis(),
                     );
                     self.telemetry
                         .span_event(span, now.as_millis(), EventKind::Prefetch, |f| {
@@ -612,7 +633,7 @@ impl RecursiveResolver {
                     .collect();
                 if !direct.is_empty() {
                     if self.policy.validate_dnssec
-                        && !self.validate_answer(&current, qtype, &direct, &response)
+                        && !self.validate_answer(&current, qtype, &direct, &response, now)
                     {
                         self.telemetry.span_event(
                             ctx.span,
@@ -698,6 +719,7 @@ impl RecursiveResolver {
         qtype: RecordType,
         direct: &[Record],
         response: &Message,
+        now: SimTime,
     ) -> bool {
         let sig = response.answers.iter().find(|r| {
             r.name == *qname
@@ -712,6 +734,7 @@ impl RecursiveResolver {
                 &mut self.stats.validations,
                 &self.telemetry,
                 &metrics::VALIDATIONS,
+                now.as_millis(),
             );
             true
         } else {
@@ -719,6 +742,7 @@ impl RecursiveResolver {
                 &mut self.stats.validation_failures,
                 &self.telemetry,
                 &metrics::VALIDATION_FAILURES,
+                now.as_millis(),
             );
             false
         }
@@ -974,6 +998,7 @@ impl RecursiveResolver {
                             &mut self.stats.tcp_fallbacks,
                             &self.telemetry,
                             &metrics::TCP_FALLBACKS,
+                            now.as_millis(),
                         );
                         self.telemetry.span_event(
                             ctx.span,
@@ -986,6 +1011,7 @@ impl RecursiveResolver {
                             &mut self.stats.upstream_queries,
                             &self.telemetry,
                             &metrics::UPSTREAM_QUERIES,
+                            now.as_millis(),
                         );
                         let retry =
                             Message::iterative_query(self.next_msg_id(), qname.clone(), qtype);
@@ -1010,6 +1036,7 @@ impl RecursiveResolver {
                             &mut self.stats.upstream_queries,
                             &self.telemetry,
                             &metrics::UPSTREAM_QUERIES,
+                            now.as_millis(),
                         );
                         match message.header.rcode {
                             Rcode::NoError | Rcode::NxDomain => {
@@ -1027,6 +1054,7 @@ impl RecursiveResolver {
                             &mut self.stats.timeouts,
                             &self.telemetry,
                             &metrics::TIMEOUTS,
+                            now.as_millis(),
                         );
                         self.telemetry.span_event(
                             ctx.span,
@@ -1063,6 +1091,7 @@ impl RecursiveResolver {
             &mut self.stats.backoff_skips,
             &self.telemetry,
             &metrics::BACKOFF_SKIPS,
+            now.as_millis(),
         );
         self.telemetry
             .span_event(ctx.span, now.as_millis(), EventKind::Backoff, |f| {
@@ -1183,11 +1212,13 @@ impl RecursiveResolver {
 }
 
 /// Increments a [`ResolverStats`] cell and mirrors it onto the metrics
-/// registry: the struct stays the zero-cost compatibility view, the
-/// registry is the exported series.
-fn bump(field: &mut u64, telemetry: &Telemetry, metric: &MetricKey) {
+/// registry and the sim-time series (bucketed at `t_ms`): the struct
+/// stays the zero-cost compatibility view, the registry is the
+/// exported series, and the time series resolves the same counter over
+/// simulated time.
+fn bump(field: &mut u64, telemetry: &Telemetry, metric: &MetricKey, t_ms: u64) {
     *field += 1;
-    telemetry.count_keyed(metric, 1);
+    telemetry.count_keyed_at(metric, 1, t_ms);
 }
 
 /// Pre-hashed keys for every resolver metric series, so the per-query
@@ -1202,6 +1233,7 @@ mod metrics {
     pub const STALE_ANSWERS: MetricKey = MetricKey::new("resolver_stale_answers");
     pub const SERVFAILS: MetricKey = MetricKey::new("resolver_servfails");
     pub const CACHE_HITS: MetricKey = MetricKey::new("resolver_cache_hits");
+    pub const CACHE_MISSES: MetricKey = MetricKey::new("resolver_cache_misses");
     pub const LATENCY_MS: MetricKey = MetricKey::new("resolver_latency_ms");
     pub const LATENCY_SKETCH_MS: MetricKey = MetricKey::new("resolver_latency_quantiles_ms");
     pub const ANSWER_TTL_S: MetricKey = MetricKey::new("resolver_answer_ttl_s");

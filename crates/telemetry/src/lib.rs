@@ -34,6 +34,7 @@ mod ledger;
 mod manifest;
 mod registry;
 mod sketch;
+mod timeseries;
 mod trace;
 
 pub use json::{flat_get, parse_flat_object, JsonScalar, ObjectWriter, Value};
@@ -41,6 +42,7 @@ pub use ledger::{CacheOp, Journal, LedgerRecord, DEFAULT_JOURNAL_CAPACITY};
 pub use manifest::RunManifest;
 pub use registry::{Histogram, MetricId, MetricKey, Registry, HISTOGRAM_BUCKETS, SKETCH_QUANTILES};
 pub use sketch::{QuantileSketch, SKETCH_RELATIVE_ERROR, SKETCH_SUB_BITS};
+pub use timeseries::{GaugeBucket, TimeSeriesStore, DEFAULT_TS_BUCKET_MS, DEFAULT_TS_SPAN_CAP};
 pub use trace::{EventKind, FieldSink, SpanId, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::{Cell, RefCell};
@@ -50,6 +52,18 @@ struct Inner {
     enabled: Cell<bool>,
     registry: RefCell<Registry>,
     tracer: RefCell<Tracer>,
+    timeseries: RefCell<TimeSeriesStore>,
+}
+
+/// The plain-data halves of a [`Telemetry`] handle: what a shard
+/// worker hands back to the coordinating thread for a deterministic
+/// merge. All three parts are `Send` (the `Rc`-backed handle itself is
+/// not).
+#[derive(Debug)]
+pub struct TelemetryParts {
+    pub registry: Registry,
+    pub tracer: Tracer,
+    pub timeseries: TimeSeriesStore,
 }
 
 /// The cloneable observability handle threaded through the simulator.
@@ -75,6 +89,7 @@ impl Telemetry {
                 enabled: Cell::new(true),
                 registry: RefCell::new(Registry::new()),
                 tracer: RefCell::new(Tracer::with_capacity(capacity)),
+                timeseries: RefCell::new(TimeSeriesStore::new()),
             }),
         }
     }
@@ -221,6 +236,87 @@ impl Telemetry {
         }
     }
 
+    // ── sim-time series ─────────────────────────────────────────────
+
+    /// Sets the initial bucket width and span cap for the sim-time
+    /// series store. Call before recording: existing series keep the
+    /// width they started with. Every handle feeding one shard merge
+    /// must use the same width so bucket boundaries nest.
+    pub fn configure_timeseries(&self, width_ms: u64, span_cap: usize) {
+        self.inner
+            .timeseries
+            .borrow_mut()
+            .set_config(width_ms, span_cap);
+    }
+
+    /// [`Telemetry::count_keyed`] that also adds `delta` to the
+    /// counter's sim-time series in the bucket holding `t_ms`. Using
+    /// one call for both keeps them conserved by construction: the sum
+    /// of a counter's bucket deltas always equals the registry counter
+    /// (the `repro doctor` invariant).
+    pub fn count_keyed_at(&self, key: &MetricKey, delta: u64, t_ms: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .counter_add_keyed(key, delta);
+            self.inner
+                .timeseries
+                .borrow_mut()
+                .count(key.name(), delta, t_ms);
+        }
+    }
+
+    /// [`Telemetry::count`] that also feeds the counter's sim-time
+    /// series (see [`Telemetry::count_keyed_at`]).
+    pub fn count_at(&self, name: &str, delta: u64, t_ms: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .counter_add_fast(name, &[], delta);
+            self.inner.timeseries.borrow_mut().count(name, delta, t_ms);
+        }
+    }
+
+    /// [`Telemetry::gauge_keyed`] that also samples the gauge into its
+    /// sim-time series bucket at `t_ms`.
+    pub fn gauge_keyed_at(&self, key: &MetricKey, value: f64, t_ms: u64) {
+        if self.is_enabled() {
+            self.inner.registry.borrow_mut().gauge_set_keyed(key, value);
+            self.inner
+                .timeseries
+                .borrow_mut()
+                .gauge(key.name(), value, t_ms);
+        }
+    }
+
+    /// [`Telemetry::sketch_keyed`] that also records into the
+    /// per-bucket sketch for the bucket holding `t_ms`.
+    pub fn sketch_keyed_at(&self, key: &MetricKey, value: u64, t_ms: u64) {
+        if self.is_enabled() {
+            self.inner
+                .registry
+                .borrow_mut()
+                .sketch_observe_keyed(key, value);
+            self.inner
+                .timeseries
+                .borrow_mut()
+                .sketch(key.name(), value, t_ms);
+        }
+    }
+
+    /// The sim-time series store as dense JSON Lines (the
+    /// `<module>_timeseries.jsonl` artifact).
+    pub fn timeseries_jsonl(&self) -> String {
+        self.inner.timeseries.borrow().to_jsonl()
+    }
+
+    /// Runs `f` with read access to the sim-time series store.
+    pub fn with_timeseries<T>(&self, f: impl FnOnce(&TimeSeriesStore) -> T) -> T {
+        f(&self.inner.timeseries.borrow())
+    }
+
     /// Reads a counter's current value (zero when untouched/disabled).
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         self.inner
@@ -311,34 +407,47 @@ impl Telemetry {
 
     // ── sharded runs ────────────────────────────────────────────────
 
-    /// Drains this handle's registry and tracer, leaving both empty.
+    /// Drains this handle's registry, tracer, and sim-time series
+    /// store, leaving all three empty (the series store keeps its
+    /// width/cap configuration).
     ///
     /// Used by shard worker threads: a shard records into its own
-    /// `Telemetry`, then hands the plain-data parts (both are `Send`,
-    /// the handle itself is not) back to the coordinating thread for a
-    /// deterministic merge via [`Telemetry::absorb_shards`].
-    pub fn take_parts(&self) -> (Registry, Tracer) {
-        (
-            self.inner.registry.replace(Registry::new()),
-            self.inner.tracer.replace(Tracer::default()),
-        )
+    /// `Telemetry`, then hands the plain-data [`TelemetryParts`] (all
+    /// `Send`, the handle itself is not) back to the coordinating
+    /// thread for a deterministic merge via
+    /// [`Telemetry::absorb_shards`].
+    pub fn take_parts(&self) -> TelemetryParts {
+        let fresh_ts = {
+            let ts = self.inner.timeseries.borrow();
+            TimeSeriesStore::with_config(ts.width_hint_ms(), ts.span_cap())
+        };
+        TelemetryParts {
+            registry: self.inner.registry.replace(Registry::new()),
+            tracer: self.inner.tracer.replace(Tracer::default()),
+            timeseries: self.inner.timeseries.replace(fresh_ts),
+        }
     }
 
-    /// Merges per-shard registries and tracers into this handle.
+    /// Merges per-shard registries, tracers, and sim-time series into
+    /// this handle.
     ///
     /// `parts` must be in logical-shard order (shard 0 first) — the
     /// order is part of the determinism contract: registries merge
     /// sequentially (counters and histograms sum; a later shard's
     /// gauges win) and trace events interleave by
     /// `(t_ms, shard index, seq)`, so the merged exports are identical
-    /// for any worker-thread count.
-    pub fn absorb_shards(&self, parts: Vec<(Registry, Tracer)>) {
+    /// for any worker-thread count. The time-series merge is
+    /// associative and commutative (see [`TimeSeriesStore::merge`]),
+    /// so it is order-insensitive by construction.
+    pub fn absorb_shards(&self, parts: Vec<TelemetryParts>) {
         let mut tracers = Vec::with_capacity(parts.len());
         {
             let mut registry = self.inner.registry.borrow_mut();
-            for (shard_registry, shard_tracer) in parts {
-                registry.merge(&shard_registry);
-                tracers.push(shard_tracer);
+            let mut timeseries = self.inner.timeseries.borrow_mut();
+            for shard in parts {
+                registry.merge(&shard.registry);
+                timeseries.merge(&shard.timeseries);
+                tracers.push(shard.tracer);
             }
         }
         self.inner.tracer.borrow_mut().absorb(tracers);
@@ -491,11 +600,43 @@ mod tests {
         let t = Telemetry::new();
         t.count("q", 3);
         t.event(1, EventKind::Query, |_| {});
-        let (registry, tracer) = t.take_parts();
-        assert_eq!(registry.counter(&MetricId::new("q", &[])), 3);
-        assert_eq!(tracer.len(), 1);
+        const Q: MetricKey = MetricKey::new("q");
+        t.count_keyed_at(&Q, 5, 1_000);
+        let parts = t.take_parts();
+        assert_eq!(parts.registry.counter(&MetricId::new("q", &[])), 8);
+        assert_eq!(parts.tracer.len(), 1);
+        assert_eq!(parts.timeseries.counter_total("q"), 5);
         assert_eq!(t.counter_value("q", &[]), 0);
         assert!(t.trace_jsonl().is_empty());
+        assert!(t.timeseries_jsonl().is_empty());
+    }
+
+    #[test]
+    fn timeseries_merges_through_absorb_shards_and_conserves() {
+        const Q: MetricKey = MetricKey::new("q");
+        const LAT: MetricKey = MetricKey::new("lat_ms");
+        let shard_work = |shard: u64| {
+            let t = Telemetry::new();
+            t.configure_timeseries(1_000, 256);
+            for i in 0..20u64 {
+                t.count_keyed_at(&Q, 1, shard * 10_000 + i * 500);
+                t.sketch_keyed_at(&LAT, shard * 10 + i, i * 500);
+            }
+            t.gauge_keyed_at(&MetricKey::new("entries"), shard as f64, shard * 1_000);
+            t.take_parts()
+        };
+        let merged = Telemetry::new();
+        merged.configure_timeseries(1_000, 256);
+        merged.absorb_shards(vec![shard_work(0), shard_work(1), shard_work(2)]);
+        // Conservation: bucket deltas sum to the registry counter.
+        assert_eq!(merged.counter_value("q", &[]), 60);
+        assert_eq!(merged.with_timeseries(|ts| ts.counter_total("q")), 60);
+        // Byte-identical regardless of how shards ran.
+        let again = Telemetry::new();
+        again.configure_timeseries(1_000, 256);
+        again.absorb_shards(vec![shard_work(0), shard_work(1), shard_work(2)]);
+        assert_eq!(merged.timeseries_jsonl(), again.timeseries_jsonl());
+        assert!(merged.timeseries_jsonl().contains("\"kind\":\"sketch\""));
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! identical cells on `std::thread::scope` workers and merge the
 //! results deterministically. The contract (DESIGN.md §10) is that
 //! every exported byte — report renders, Prometheus text, trace JSONL,
-//! and CSV series — is identical for any worker count on the same
-//! seed, across every repro module that runs measurement campaigns.
+//! sim-time series JSONL, and CSV series — is identical for any worker
+//! count on the same seed, across every repro module that runs
+//! measurement campaigns.
 //!
 //! Function names end in `_worker_count_invariant` so CI can route
 //! this suite to its own matrix partition.
@@ -53,6 +54,10 @@ fn fingerprint(module: &str, run: RunFn, seed: u64, workers: usize) -> String {
     }
     fp.push_str(&telemetry.prometheus_text());
     fp.push_str(&telemetry.trace_jsonl());
+    // The sim-time series is merged across cells like the registry, so
+    // its bucket boundaries and per-bucket values are part of the
+    // byte-identity contract too.
+    fp.push_str(&telemetry.timeseries_jsonl());
 
     let mut files: Vec<PathBuf> = std::fs::read_dir(&out_dir)
         .expect("read temp out_dir")
