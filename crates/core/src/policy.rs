@@ -22,6 +22,23 @@ pub enum Centricity {
     ParentCentric,
 }
 
+/// Which cache engine a resolver runs behind its policy.
+///
+/// The paper's vantage points differ in topology as much as in policy:
+/// an ISP resolver fleet partitions clients across independent caches,
+/// while an open resolver (Google DNS, OpenDNS) funnels many client
+/// threads through one shared cache — the sharing is what drives its
+/// hit-rate and centricity effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheBackendChoice {
+    /// The single-threaded expiry-indexed cache (the proven oracle).
+    #[default]
+    Sequential,
+    /// The concurrent backend: sharded-lock segments, hash-routed on
+    /// the query name, safe to drive from many client threads.
+    Shared,
+}
+
 /// A complete description of one resolver implementation's caching
 /// behaviour — every behaviour the paper observes in the wild, as a
 /// configuration.
@@ -83,6 +100,17 @@ pub struct ResolverPolicy {
     /// with a caching side effect: intermediate NS sets get cached at
     /// answer rank.
     pub qname_minimization: bool,
+    /// Which cache engine backs this resolver: the single-threaded
+    /// oracle or the concurrent segment-locked backend.
+    pub cache_backend: CacheBackendChoice,
+    /// Lock segments for the shared backend (rounded up to a power of
+    /// two, clamped to `[1, 256]`). Ignored by the sequential engine.
+    pub cache_segments: usize,
+    /// SLRU-style admission on the shared backend: cache hits promote
+    /// entries into a protected tier that is only evicted once the
+    /// probation tier drains. Off by default — admission changes
+    /// victim choice, so the equivalence oracle runs without it.
+    pub slru_admission: bool,
 }
 
 impl Default for ResolverPolicy {
@@ -104,6 +132,9 @@ impl Default for ResolverPolicy {
             prefetch: false,
             cache_capacity: None,
             qname_minimization: false,
+            cache_backend: CacheBackendChoice::Sequential,
+            cache_segments: 8,
+            slru_admission: false,
         }
     }
 }
@@ -206,6 +237,17 @@ impl ResolverPolicy {
     pub fn minimizing() -> ResolverPolicy {
         ResolverPolicy {
             qname_minimization: true,
+            ..ResolverPolicy::default()
+        }
+    }
+
+    /// An open-resolver-style shared cache: one concurrent
+    /// segment-locked cache serving every client thread, with SLRU
+    /// admission shielding popular names from scan pressure.
+    pub fn shared_cache() -> ResolverPolicy {
+        ResolverPolicy {
+            cache_backend: CacheBackendChoice::Shared,
+            slru_admission: true,
             ..ResolverPolicy::default()
         }
     }

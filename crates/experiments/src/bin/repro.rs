@@ -29,7 +29,7 @@
 
 use dnsttl_experiments::{
     bailiwick_exp, centricity, controlled, crawl_exp, extensions, flightdeck, insight, passive_nl,
-    resilience, rundiff, table1, timeline, uy_latency, ExpConfig, Report,
+    resilience, rundiff, shared_cache, table1, timeline, uy_latency, ExpConfig, Report,
 };
 use dnsttl_telemetry::{RunManifest, Telemetry};
 
@@ -85,6 +85,10 @@ const ARTIFACTS: &[(&str, &str)] = &[
         "resilience",
         "failure rate vs TTL under a scripted 1 h outage (§6.2, chaos)",
     ),
+    (
+        "shared-cache",
+        "hit rate and latency vs TTL: shared concurrent cache vs partitioned caches",
+    ),
 ];
 
 /// Which experiment module regenerates an artifact. Artifacts sharing
@@ -102,6 +106,7 @@ fn module_of(id: &str) -> &'static str {
         | "ext-negttl" | "ext-secondary" => "extensions",
         "cache-report" => "insight",
         "resilience" => "resilience",
+        "shared-cache" => "shared_cache",
         other => {
             eprintln!("unknown artifact {other:?}; try --list");
             std::process::exit(2);
@@ -121,6 +126,7 @@ fn produce(module: &str, cfg: &ExpConfig) -> Vec<Report> {
         "extensions" => extensions::run(cfg),
         "insight" => insight::run(cfg),
         "resilience" => resilience::run(cfg),
+        "shared_cache" => shared_cache::run(cfg),
         _ => unreachable!("module_of only returns known modules"),
     }
 }

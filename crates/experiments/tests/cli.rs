@@ -228,6 +228,61 @@ fn repro_resilience_is_deterministic_and_writes_schema_csv() {
 }
 
 #[test]
+fn repro_shared_cache_is_deterministic_across_reruns_and_shard_counts() {
+    // Three runs: sequential twice (same-seed byte-identity) and
+    // `--shards 4` once (the sharded engine must reproduce the
+    // sequential oracle byte for byte — one matrix cell per shard
+    // cell). The stdout includes the contention arm, so agreement also
+    // pins that thread scheduling never leaks into the artifact.
+    let base = std::env::temp_dir().join(format!("dnsttl-shcache-{}", std::process::id()));
+    let mut captures = Vec::new();
+    for (run, shards) in [("r1", None), ("r2", None), ("w4", Some("4"))] {
+        let dir = base.join(run);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let mut args = vec!["--smoke", "--seed", "7"];
+        if let Some(n) = shards {
+            args.extend(["--shards", n]);
+        }
+        args.push("shared-cache");
+        let out = repro()
+            .args(&args)
+            .current_dir(&dir)
+            .output()
+            .expect("runs");
+        let stdout = stdout_of(out);
+        assert!(
+            stdout.contains("contention_stats_invariant = 1.0000"),
+            "contention arm must hold:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("ledger_conserved = 1.0000"),
+            "conservation must hold on every topology:\n{stdout}"
+        );
+
+        let csv = std::fs::read_to_string(dir.join("target/experiments/shared_cache_hit_rate.csv"))
+            .expect("shared-cache CSV written");
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("ttl_s,backend,clients,queries,hits,hit_rate,mean_latency_ms,upstream_queries"),
+            "CSV schema changed"
+        );
+        // 3 TTLs x {partitioned, shared}.
+        assert_eq!(lines.count(), 6, "one row per matrix cell:\n{csv}");
+        captures.push((stdout, csv));
+    }
+    assert_eq!(
+        captures[0], captures[1],
+        "same-seed shared-cache reruns must be byte-identical"
+    );
+    assert_eq!(
+        captures[0], captures[2],
+        "--shards 4 must reproduce the sequential shared-cache oracle"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn sdig_fault_plan_outage_causes_servfail() {
     let dir = std::env::temp_dir().join(format!("dnsttl-plan-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmp dir");

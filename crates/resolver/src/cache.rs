@@ -8,6 +8,21 @@
 //! question about this ranking: *child-centric* resolvers apply it as
 //! written; *parent-centric* resolvers in effect pin referral data above
 //! the child's authoritative answers.
+//!
+//! # Structure
+//!
+//! All replacement, expiry, and eviction logic lives in [`CacheCore`],
+//! a `Send`-able state machine with no interior mutability and no
+//! telemetry handle. Accounting side effects (stats, ledger records,
+//! trace events) go through the [`OpSink`] trait, so the same core
+//! drives two engines:
+//!
+//! * [`Cache`] — the single-threaded sequential oracle: one core plus a
+//!   `RefCell`-guarded stats/ledger pair and an `Rc`-based telemetry
+//!   handle, exactly the engine every equivalence test pins down;
+//! * [`crate::SharedCache`] — the concurrent backend: one core per
+//!   locked segment, journalling through a lock-free append instead of
+//!   a telemetry handle (which is `Rc`-based and cannot cross threads).
 
 use dnsttl_core::{Centricity, ResolverPolicy};
 use dnsttl_netsim::{SimDuration, SimTime};
@@ -46,6 +61,9 @@ pub(crate) struct Entry {
     /// True for entries a local-root (RFC 7706) resolver treats as a
     /// mirrored copy: served at full TTL, never expiring.
     pub(crate) pinned: bool,
+    /// SLRU tier: true once a hit promoted the entry out of probation.
+    /// Always false when admission control is off.
+    pub(crate) protected: bool,
     /// Where the entry came from (installing transaction, server,
     /// origin, bailiwick, published vs effective TTL).
     pub(crate) provenance: Provenance,
@@ -77,17 +95,745 @@ pub struct CachedAnswer {
     pub provenance: Provenance,
 }
 
+/// Where a cache engine routes the side effects of one transaction:
+/// the always-on [`CacheStats`] counters plus the optional
+/// ledger/telemetry record. The sequential engine borrows its
+/// `RefCell` meta; each concurrent segment borrows its own stats and
+/// appends to the shared lock-free op log.
+pub(crate) trait OpSink {
+    /// The always-on counters the caller updates in place.
+    fn stats(&mut self) -> &mut CacheStats;
+
+    /// Records one ledger transaction. The caller has already updated
+    /// [`CacheStats`].
+    #[allow(clippy::too_many_arguments)]
+    fn note(
+        &mut self,
+        now: SimTime,
+        op: CacheOp,
+        rrset: &RRset,
+        rank: Credibility,
+        prov: Provenance,
+        residency_ms: Option<u64>,
+        fingerprint: u64,
+    );
+}
+
+/// The cache state machine, engine-agnostic: entry table, negative
+/// table, and the expiry-ordered eviction indexes. `Send` by
+/// construction (no `Rc`, no `RefCell`), so one core backs the
+/// sequential [`Cache`] and one core sits behind each lock of the
+/// concurrent [`crate::SharedCache`].
+///
+/// Eviction order is deterministic and documented: the victim is the
+/// minimum of the probation index, then of the protected index —
+/// i.e. ordered by `(expires_at, canonical name order, type code)`,
+/// probation tier before protected tier. With SLRU admission off
+/// (the default, and always the case for the sequential engine) every
+/// entry is in probation and the order is exactly the pre-SLRU one.
+#[derive(Debug)]
+pub(crate) struct CacheCore {
+    pub(crate) entries: HashMap<(Name, RecordType), Entry>,
+    /// Expiry-ordered index over the *unpinned, unprotected* entries:
+    /// `(expires_at, name, rtype code)`. Kept in lockstep with every
+    /// insert/remove so eviction and expiry purges are ordered-set pops
+    /// instead of full-table scans, with the same deterministic
+    /// tie-break the scans used (canonical `Name` order, then type
+    /// code) — no per-candidate string formatting. Pinned entries never
+    /// expire and are never evicted, so they are not indexed.
+    probation: BTreeSet<(SimTime, Name, u16)>,
+    /// SLRU protected tier: entries promoted by a hit. Evicted only
+    /// when probation is empty; demoted (oldest-expiry first) when the
+    /// tier outgrows `protected_cap`. Empty when admission is off.
+    protected: BTreeSet<(SimTime, Name, u16)>,
+    negatives: HashMap<(Name, RecordType), NegEntry>,
+    /// Maximum positive entries; `None` = unbounded. Real caches are
+    /// bounded, and under pressure the *effective* TTL is the eviction
+    /// horizon, not the configured TTL (the paper's \[19\]).
+    capacity: Option<usize>,
+    /// Entries evicted due to capacity pressure.
+    evictions: u64,
+    /// SLRU-style admission: hits promote entries into the protected
+    /// tier, shielding popular names from scan-like churn.
+    slru: bool,
+    /// Maximum protected-tier size before promotion demotes the
+    /// protected entry closest to expiry back to probation.
+    protected_cap: usize,
+}
+
+impl Default for CacheCore {
+    fn default() -> CacheCore {
+        CacheCore::new(None, false)
+    }
+}
+
+impl CacheCore {
+    /// A core with the given capacity and admission mode.
+    pub(crate) fn new(capacity: Option<usize>, slru: bool) -> CacheCore {
+        let capacity = capacity.map(|c| c.max(1));
+        // The classic SLRU split: ~80% of a bounded cache may be
+        // protected; an unbounded cache never demotes.
+        let protected_cap = if slru {
+            capacity.map(|c| (c * 4 / 5).max(1)).unwrap_or(usize::MAX)
+        } else {
+            0
+        };
+        CacheCore {
+            entries: HashMap::new(),
+            probation: BTreeSet::new(),
+            protected: BTreeSet::new(),
+            negatives: HashMap::new(),
+            capacity,
+            evictions: 0,
+            slru,
+            protected_cap,
+        }
+    }
+
+    /// Entries evicted under capacity pressure so far.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Iterates the positive entries (snapshot builders).
+    pub(crate) fn iter_entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+
+    /// Removes `key` from whichever tier holds it.
+    fn index_remove(&mut self, key: &(SimTime, Name, u16), protected: bool) {
+        if protected {
+            self.protected.remove(key);
+        } else {
+            self.probation.remove(key);
+        }
+    }
+
+    /// Makes room for one more entry when at capacity.
+    fn evict_if_full<S: OpSink>(
+        &mut self,
+        incoming: &(Name, RecordType),
+        now: SimTime,
+        sink: &mut S,
+    ) {
+        let Some(cap) = self.capacity else { return };
+        if self.entries.len() < cap || self.entries.contains_key(incoming) {
+            return;
+        }
+        // The victim is the index minimum: the entry with the earliest
+        // expiry (already-expired entries sort first by construction),
+        // ties broken by canonical name order then type code — never by
+        // HashMap iteration order, so the ledger is identical across
+        // reruns. Probation is drained before the protected tier (the
+        // SLRU admission promise); with admission off the protected
+        // tier is empty and this is the pre-SLRU order exactly. Pinned
+        // entries are mirrored zone data, never indexed, never evicted.
+        let victim = self
+            .probation
+            .pop_first()
+            .or_else(|| self.protected.pop_first());
+        if let Some((_, name, code)) = victim {
+            let rtype = RecordType::from_code(code).expect("index holds valid type codes");
+            let e = self
+                .entries
+                .remove(&(name, rtype))
+                .expect("index entry has a backing cache entry");
+            self.evictions += 1;
+            sink.stats().evictions += 1;
+            sink.note(
+                now,
+                CacheOp::Evict,
+                &e.rrset,
+                e.rank,
+                e.provenance,
+                Some(now.since(e.stored_at).as_millis()),
+                e.fingerprint,
+            );
+        }
+    }
+
+    /// See [`Cache::store_with`]; the documented replacement rules live
+    /// there. This is the engine-agnostic implementation.
+    // Crate-internal plumbing shared by both engines; the public
+    // wrappers keep the ergonomic arity.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn store_with<S: OpSink>(
+        &mut self,
+        rrset: RRset,
+        rank: Credibility,
+        now: SimTime,
+        policy: &ResolverPolicy,
+        pinned: bool,
+        ctx: StoreContext,
+        sink: &mut S,
+    ) {
+        let key = (rrset.name.clone(), rrset.rtype);
+        self.negatives.remove(&key);
+        let original_ttl = rrset.ttl;
+        let ttl = policy.clamp_ttl(rrset.ttl);
+        if ttl.is_zero() {
+            sink.stats().rejected_stores += 1;
+            return;
+        }
+        // Removal cause for the entry currently under the key, if any.
+        let mut displaced: Option<(CacheOp, Entry)> = None;
+        let mut refresh = false;
+        // Index key + tier of the entry this store replaces (refreshes
+        // move an entry's expiry too, so the stale key must go either
+        // way).
+        let mut old_index: Option<((SimTime, Name, u16), bool)> = None;
+        // A fresh replacement inherits the old entry's SLRU tier; an
+        // expired entry re-enters through probation like any newcomer.
+        let mut keep_protected = false;
+        let fingerprint = rrset.fingerprint();
+        if let Some(existing) = self.entries.get(&key) {
+            let fresh = existing.pinned || existing.expires_at > now;
+            if fresh {
+                let rejected = existing.rank > rank // lower rank never displaces higher
+                    || (policy.centricity == Centricity::ParentCentric
+                        && existing.rank <= Credibility::ReferralAuthority
+                        && rank >= Credibility::AuthAuthority) // referral data wins
+                    || (!policy.link_inbailiwick_glue
+                        && existing.rank == Credibility::ReferralAdditional
+                        && rank == Credibility::ReferralAdditional); // keep cached glue
+                if rejected {
+                    sink.stats().rejected_stores += 1;
+                    return;
+                }
+                if existing.fingerprint == fingerprint {
+                    refresh = true;
+                } else {
+                    displaced = Some((CacheOp::Overwrite, existing.clone()));
+                }
+                keep_protected = existing.protected;
+            } else {
+                // Past its TTL: whatever replaces it, the old entry
+                // died of expiry.
+                displaced = Some((CacheOp::Expire, existing.clone()));
+            }
+            if !existing.pinned {
+                old_index = Some((
+                    (existing.expires_at, key.0.clone(), key.1.code()),
+                    existing.protected,
+                ));
+            }
+        }
+        let origin = if ctx.txn == 0 && ctx.server.is_none() {
+            RecordOrigin::Seed
+        } else {
+            RecordOrigin::from_rank(rank)
+        };
+        let prov = Provenance {
+            txn: ctx.txn,
+            server: ctx.server,
+            origin,
+            bailiwick: ctx.bailiwick,
+            original_ttl,
+            effective_ttl: ttl,
+        };
+        if let Some((cause, old)) = displaced {
+            match cause {
+                CacheOp::Overwrite => sink.stats().overwrites += 1,
+                _ => sink.stats().expiries += 1,
+            }
+            sink.note(
+                now,
+                cause,
+                &old.rrset,
+                old.rank,
+                old.provenance,
+                Some(now.since(old.stored_at).as_millis()),
+                old.fingerprint,
+            );
+        }
+        let mut rrset = rrset;
+        rrset.ttl = ttl;
+        if let Some((stale_key, was_protected)) = old_index {
+            self.index_remove(&stale_key, was_protected);
+        }
+        self.evict_if_full(&key, now, sink);
+        if refresh {
+            sink.stats().refreshes += 1;
+        } else {
+            sink.stats().inserts += 1;
+        }
+        sink.note(
+            now,
+            if refresh {
+                CacheOp::Refresh
+            } else {
+                CacheOp::Insert
+            },
+            &rrset,
+            rank,
+            prov,
+            None,
+            fingerprint,
+        );
+        let expires_at = now + ttl_span(ttl);
+        let protected = keep_protected && self.slru;
+        if !pinned {
+            let index_key = (expires_at, key.0.clone(), key.1.code());
+            if protected {
+                self.protected.insert(index_key);
+            } else {
+                self.probation.insert(index_key);
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                expires_at,
+                stored_at: now,
+                rrset,
+                rank,
+                pinned,
+                protected,
+                provenance: prov,
+                fingerprint,
+            },
+        );
+    }
+
+    /// See [`Cache::invalidate`].
+    pub(crate) fn invalidate<S: OpSink>(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        sink: &mut S,
+    ) -> bool {
+        match self.entries.remove(&(name.clone(), rtype)) {
+            Some(e) => {
+                if !e.pinned {
+                    self.index_remove(&(e.expires_at, name.clone(), rtype.code()), e.protected);
+                }
+                sink.stats().invalidations += 1;
+                sink.note(
+                    now,
+                    CacheOp::Invalidate,
+                    &e.rrset,
+                    e.rank,
+                    e.provenance,
+                    Some(now.since(e.stored_at).as_millis()),
+                    e.fingerprint,
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// See [`Cache::invalidate_zone`].
+    pub(crate) fn invalidate_zone<S: OpSink>(
+        &mut self,
+        apex: &Name,
+        now: SimTime,
+        sink: &mut S,
+    ) -> usize {
+        let mut victims: Vec<(Name, RecordType)> = self
+            .entries
+            .keys()
+            .filter(|(n, _)| n.is_subdomain_of(apex))
+            .cloned()
+            .collect();
+        // Deterministic ledger order regardless of HashMap layout —
+        // canonical name order directly, no string formatting.
+        victims.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.code().cmp(&b.1.code())));
+        for (name, rtype) in &victims {
+            self.invalidate(name, *rtype, now, sink);
+        }
+        victims.len()
+    }
+
+    /// See [`Cache::get`]. Read-only on the core: SLRU promotion is a
+    /// separate, explicit [`CacheCore::touch`] so the sequential engine
+    /// can keep its `&self` read path.
+    pub(crate) fn get<S: OpSink>(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        sink: &mut S,
+    ) -> Option<CachedAnswer> {
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if !e.pinned && e.expires_at <= now {
+            return None;
+        }
+        sink.stats().hits += 1;
+        sink.note(
+            now,
+            CacheOp::Serve,
+            &e.rrset,
+            e.rank,
+            e.provenance,
+            Some(now.since(e.stored_at).as_millis()),
+            e.fingerprint,
+        );
+        let mut rrset = e.rrset.clone();
+        if !e.pinned {
+            let age = now.secs_since(e.stored_at) as u32;
+            rrset.ttl = rrset.ttl.saturating_sub_secs(age);
+        }
+        Some(CachedAnswer {
+            rrset,
+            rank: e.rank,
+            stale: false,
+            provenance: e.provenance,
+        })
+    }
+
+    /// SLRU promotion after a hit: moves the entry from probation into
+    /// the protected tier, demoting the protected entry closest to
+    /// expiry when the tier is full. No-op when admission is off, for
+    /// pinned entries, and for entries already protected — so the
+    /// sequential engine (which never calls this) and an
+    /// admission-off shared segment have identical index states.
+    pub(crate) fn touch(&mut self, name: &Name, rtype: RecordType) {
+        if !self.slru {
+            return;
+        }
+        let Some(e) = self.entries.get_mut(&(name.clone(), rtype)) else {
+            return;
+        };
+        if e.pinned || e.protected {
+            return;
+        }
+        let key = (e.expires_at, name.clone(), rtype.code());
+        if !self.probation.remove(&key) {
+            return;
+        }
+        e.protected = true;
+        self.protected.insert(key);
+        if self.protected.len() > self.protected_cap {
+            if let Some(demoted) = self.protected.pop_first() {
+                let rt = RecordType::from_code(demoted.2).expect("index holds valid type codes");
+                if let Some(d) = self.entries.get_mut(&(demoted.1.clone(), rt)) {
+                    d.protected = false;
+                }
+                self.probation.insert(demoted);
+            }
+        }
+    }
+
+    /// See [`Cache::expired_since`].
+    pub(crate) fn expired_since(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+    ) -> Option<SimDuration> {
+        // The expiry indexes are ordered and cover every unpinned
+        // entry, so their minima answer "is anything expired at all?"
+        // without touching the entry table. Resolvers probe this on
+        // *every* query; in the common all-fresh cache the probe ends
+        // here.
+        let earliest = match (self.probation.first(), self.protected.first()) {
+            (Some(a), Some(b)) => a.0.min(b.0),
+            (Some(a), None) => a.0,
+            (None, Some(b)) => b.0,
+            (None, None) => return None,
+        };
+        if earliest > now {
+            return None;
+        }
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if e.pinned || e.expires_at > now {
+            return None;
+        }
+        Some(now.since(e.expires_at))
+    }
+
+    /// See [`Cache::freshness`].
+    pub(crate) fn freshness(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<f64> {
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if e.pinned {
+            return Some(1.0);
+        }
+        if e.expires_at <= now {
+            return None;
+        }
+        let total = e.rrset.ttl.as_secs() as f64;
+        if total == 0.0 {
+            return None;
+        }
+        let remaining = e.expires_at.since(now).as_secs_f64();
+        Some((remaining / total).clamp(0.0, 1.0))
+    }
+
+    /// See [`Cache::get_stale`].
+    pub(crate) fn get_stale<S: OpSink>(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        max_stale: Ttl,
+        sink: &mut S,
+    ) -> Option<CachedAnswer> {
+        let e = self.entries.get(&(name.clone(), rtype))?;
+        if e.expires_at > now || e.pinned {
+            return self.get(name, rtype, now, sink);
+        }
+        let staleness = now.secs_since(e.expires_at);
+        if staleness > max_stale.as_secs() as u64 {
+            return None;
+        }
+        sink.stats().stale_hits += 1;
+        sink.note(
+            now,
+            CacheOp::StaleServe,
+            &e.rrset,
+            e.rank,
+            e.provenance,
+            Some(now.since(e.stored_at).as_millis()),
+            e.fingerprint,
+        );
+        let mut rrset = e.rrset.clone();
+        rrset.ttl = Ttl::from_secs(30);
+        Some(CachedAnswer {
+            rrset,
+            rank: e.rank,
+            stale: true,
+            provenance: e.provenance,
+        })
+    }
+
+    /// See [`Cache::store_negative`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn store_negative(
+        &mut self,
+        name: Name,
+        rtype: RecordType,
+        rcode: Rcode,
+        soa_minimum: Ttl,
+        soa_ttl: Ttl,
+        now: SimTime,
+        policy: &ResolverPolicy,
+    ) {
+        let ttl = policy.clamp_ttl(soa_minimum.min(soa_ttl));
+        if ttl.is_zero() {
+            return;
+        }
+        self.negatives.insert(
+            (name, rtype),
+            NegEntry {
+                rcode,
+                expires_at: now + ttl_span(ttl),
+            },
+        );
+    }
+
+    /// See [`Cache::store_failure`].
+    pub(crate) fn store_failure<S: OpSink>(
+        &mut self,
+        name: Name,
+        rtype: RecordType,
+        ttl: Ttl,
+        now: SimTime,
+        sink: &mut S,
+    ) {
+        if ttl.is_zero() {
+            return;
+        }
+        // RFC 2308 §7: failures must not be cached for longer than
+        // five minutes.
+        let ttl = ttl.min(Ttl::from_secs(300));
+        let shell = RRset {
+            name: name.clone(),
+            rtype,
+            ttl,
+            rdatas: vec![],
+        };
+        sink.note(
+            now,
+            CacheOp::NegCache,
+            &shell,
+            Credibility::AuthAuthority,
+            Provenance {
+                original_ttl: ttl,
+                effective_ttl: ttl,
+                ..Provenance::default()
+            },
+            None,
+            0,
+        );
+        self.negatives.insert(
+            (name, rtype),
+            NegEntry {
+                rcode: Rcode::ServFail,
+                expires_at: now + ttl_span(ttl),
+            },
+        );
+    }
+
+    /// See [`Cache::get_negative`].
+    pub(crate) fn get_negative(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+    ) -> Option<Rcode> {
+        let e = self.negatives.get(&(name.clone(), rtype))?;
+        (e.expires_at > now).then_some(e.rcode)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// See [`Cache::purge_expired`]. Expired entries are the merged
+    /// prefixes of both tier indexes up to `now`, drained in global
+    /// `(expires_at, name, type code)` order — the same ledger order as
+    /// the single-index engine, regardless of which tier held an entry.
+    pub(crate) fn purge_expired<S: OpSink>(&mut self, now: SimTime, sink: &mut S) {
+        loop {
+            let p = self.probation.first().filter(|k| k.0 <= now);
+            let q = self.protected.first().filter(|k| k.0 <= now);
+            let from_probation = match (p, q) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(b)) => a <= b,
+            };
+            let (_, name, code) = if from_probation {
+                self.probation.pop_first().expect("first just seen")
+            } else {
+                self.protected.pop_first().expect("first just seen")
+            };
+            let rtype = RecordType::from_code(code).expect("index holds valid type codes");
+            let e = self
+                .entries
+                .remove(&(name, rtype))
+                .expect("index entry has a backing cache entry");
+            sink.stats().expiries += 1;
+            sink.note(
+                now,
+                CacheOp::Expire,
+                &e.rrset,
+                e.rank,
+                e.provenance,
+                Some(now.since(e.stored_at).as_millis()),
+                e.fingerprint,
+            );
+        }
+        self.negatives.retain(|_, e| e.expires_at > now);
+    }
+
+    /// See [`Cache::clear`].
+    pub(crate) fn clear<S: OpSink>(&mut self, sink: &mut S) {
+        sink.stats().clears += self.entries.len() as u64;
+        self.entries.clear();
+        self.probation.clear();
+        self.protected.clear();
+        self.negatives.clear();
+    }
+}
+
 /// Always-on accounting plus the opt-in provenance ledger, behind a
 /// `RefCell` so the `&self` read path ([`Cache::get`]) can record
-/// serves. The simulator is single-threaded; the borrow is never
-/// contended.
+/// serves. The sequential engine is single-threaded; the borrow is
+/// never contended.
 #[derive(Debug, Default)]
 struct CacheMeta {
     stats: CacheStats,
     ledger: Option<Box<Ledger>>,
 }
 
-/// The cache proper.
+/// The sequential engine's [`OpSink`]: stats + ledger behind the
+/// `RefCell`, trace events into the `Rc`-based telemetry handle.
+struct SeqSink<'a> {
+    meta: std::cell::RefMut<'a, CacheMeta>,
+    telemetry: &'a Telemetry,
+}
+
+impl OpSink for SeqSink<'_> {
+    fn stats(&mut self) -> &mut CacheStats {
+        &mut self.meta.stats
+    }
+
+    fn note(
+        &mut self,
+        now: SimTime,
+        op: CacheOp,
+        rrset: &RRset,
+        rank: Credibility,
+        prov: Provenance,
+        residency_ms: Option<u64>,
+        fingerprint: u64,
+    ) {
+        if let Some(ledger) = self.meta.ledger.as_mut() {
+            ledger.record(now, op, rrset, rank, &prov, residency_ms, fingerprint);
+        }
+        note_telemetry(
+            self.telemetry,
+            now,
+            op,
+            rrset,
+            rank,
+            &prov,
+            residency_ms,
+            fingerprint,
+        );
+    }
+}
+
+/// Emits the typed trace event (and the eviction time series) for one
+/// cache transaction.
+#[allow(clippy::too_many_arguments)]
+fn note_telemetry(
+    telemetry: &Telemetry,
+    now: SimTime,
+    op: CacheOp,
+    rrset: &RRset,
+    rank: Credibility,
+    prov: &Provenance,
+    residency_ms: Option<u64>,
+    fingerprint: u64,
+) {
+    if op == CacheOp::Evict {
+        // Capacity-pressure evictions get a sim-time series so the
+        // timeline shows *when* churn happens, not just how much.
+        telemetry.count_keyed_at(&EVICTIONS_KEY, 1, now.as_millis());
+    }
+    telemetry.event(now.as_millis(), event_kind(op), |f| {
+        // Shared/Static/Hex64/Addr values straight into the trace
+        // arena: recording a cache transaction allocates nothing —
+        // hex and address rendering are deferred to export time.
+        f.push("qname", rrset.name.shared_str());
+        f.push("qtype", Value::literal(rrset.rtype.as_str()));
+        f.push("fp", Value::Hex64(fingerprint));
+        if op == CacheOp::Serve {
+            // Serve is the hot path: a warm hit fires one of these
+            // per client query. The full provenance (rank, origin,
+            // bailiwick, server, ttl, txn) was already traced on
+            // insert under the same fingerprint and is recorded on
+            // every ledger line, so the trace carries just enough
+            // to join against those.
+            if let Some(res) = residency_ms {
+                f.push("residency_ms", res);
+            }
+            return;
+        }
+        f.push("rank", Value::literal(rank_token(rank)));
+        f.push("origin", Value::literal(prov.origin.as_str()));
+        f.push("bailiwick", Value::literal(prov.bailiwick.as_str()));
+        f.push("ttl", prov.effective_ttl.as_secs() as u64);
+        f.push("txn", prov.txn);
+        if let Some(server) = prov.server {
+            f.push("server", server);
+        }
+        if let Some(res) = residency_ms {
+            f.push("residency_ms", res);
+        }
+    });
+}
+
+/// The cache proper — the sequential engine, and the oracle every
+/// differential suite measures other engines against.
 ///
 /// ```
 /// use dnsttl_resolver::{Cache, Credibility};
@@ -113,23 +859,7 @@ struct CacheMeta {
 /// ```
 #[derive(Debug, Default)]
 pub struct Cache {
-    pub(crate) entries: HashMap<(Name, RecordType), Entry>,
-    /// Expiry-ordered index over the *unpinned* entries of `entries`:
-    /// `(expires_at, name, rtype code)`. Kept in lockstep with every
-    /// insert/remove so eviction and expiry purges are ordered-set pops
-    /// instead of full-table scans, with the same deterministic
-    /// tie-break the scans used (canonical `Name` order, then type
-    /// code) — no per-candidate string formatting. Pinned entries never
-    /// expire and are never evicted, so they are not indexed.
-    expiry: BTreeSet<(SimTime, Name, u16)>,
-    negatives: HashMap<(Name, RecordType), NegEntry>,
-    /// Maximum positive entries; `None` = unbounded. Real caches are
-    /// bounded, and under pressure the *effective* TTL is the eviction
-    /// horizon, not the configured TTL (the paper's \[19\] studies
-    /// exactly this).
-    capacity: Option<usize>,
-    /// Entries evicted due to capacity pressure.
-    evictions: u64,
+    pub(crate) core: CacheCore,
     /// Stats (always) + provenance ledger (opt-in).
     meta: RefCell<CacheMeta>,
     /// Typed cache-transaction events land here when enabled.
@@ -147,14 +877,14 @@ impl Cache {
     /// value), pinned entries last.
     pub fn with_capacity(capacity: usize) -> Cache {
         Cache {
-            capacity: Some(capacity.max(1)),
+            core: CacheCore::new(Some(capacity), false),
             ..Cache::default()
         }
     }
 
     /// Entries evicted under capacity pressure so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.core.evictions()
     }
 
     /// Routes the cache's typed transaction events into `telemetry`.
@@ -187,95 +917,11 @@ impl Cache {
         self.meta.borrow().stats
     }
 
-    /// Records one ledger transaction: journal + cell (when the ledger
-    /// is on) and a typed trace event (when telemetry is on). The
-    /// caller has already updated [`CacheStats`].
-    #[allow(clippy::too_many_arguments)]
-    fn note(
-        &self,
-        now: SimTime,
-        op: CacheOp,
-        rrset: &RRset,
-        rank: Credibility,
-        prov: Provenance,
-        residency_ms: Option<u64>,
-        fingerprint: u64,
-    ) {
-        {
-            let mut meta = self.meta.borrow_mut();
-            if let Some(ledger) = meta.ledger.as_mut() {
-                ledger.record(now, op, rrset, rank, &prov, residency_ms, fingerprint);
-            }
-        }
-        if op == CacheOp::Evict {
-            // Capacity-pressure evictions get a sim-time series so the
-            // timeline shows *when* churn happens, not just how much.
-            self.telemetry
-                .count_keyed_at(&EVICTIONS_KEY, 1, now.as_millis());
-        }
-        self.telemetry.event(now.as_millis(), event_kind(op), |f| {
-            // Shared/Static/Hex64/Addr values straight into the trace
-            // arena: recording a cache transaction allocates nothing —
-            // hex and address rendering are deferred to export time.
-            f.push("qname", rrset.name.shared_str());
-            f.push("qtype", Value::literal(rrset.rtype.as_str()));
-            f.push("fp", Value::Hex64(fingerprint));
-            if op == CacheOp::Serve {
-                // Serve is the hot path: a warm hit fires one of these
-                // per client query. The full provenance (rank, origin,
-                // bailiwick, server, ttl, txn) was already traced on
-                // insert under the same fingerprint and is recorded on
-                // every ledger line, so the trace carries just enough
-                // to join against those.
-                if let Some(res) = residency_ms {
-                    f.push("residency_ms", res);
-                }
-                return;
-            }
-            f.push("rank", Value::literal(rank_token(rank)));
-            f.push("origin", Value::literal(prov.origin.as_str()));
-            f.push("bailiwick", Value::literal(prov.bailiwick.as_str()));
-            f.push("ttl", prov.effective_ttl.as_secs() as u64);
-            f.push("txn", prov.txn);
-            if let Some(server) = prov.server {
-                f.push("server", server);
-            }
-            if let Some(res) = residency_ms {
-                f.push("residency_ms", res);
-            }
-        });
-    }
-
-    /// Makes room for one more entry when at capacity.
-    fn evict_if_full(&mut self, incoming: &(Name, RecordType), now: SimTime) {
-        let Some(cap) = self.capacity else { return };
-        if self.entries.len() < cap || self.entries.contains_key(incoming) {
-            return;
-        }
-        // The victim is the index minimum: the entry with the earliest
-        // expiry (already-expired entries sort first by construction),
-        // ties broken by canonical name order then type code — never by
-        // HashMap iteration order, so the ledger is identical across
-        // reruns. Pinned entries are mirrored zone data, never indexed,
-        // never evicted. One ordered-set pop replaces the old
-        // O(n)-scan-with-string-formatting victim search.
-        if let Some((_, name, code)) = self.expiry.pop_first() {
-            let rtype = RecordType::from_code(code).expect("index holds valid type codes");
-            let e = self
-                .entries
-                .remove(&(name, rtype))
-                .expect("index entry has a backing cache entry");
-            self.evictions += 1;
-            self.meta.borrow_mut().stats.evictions += 1;
-            self.note(
-                now,
-                CacheOp::Evict,
-                &e.rrset,
-                e.rank,
-                e.provenance,
-                Some(now.since(e.stored_at).as_millis()),
-                e.fingerprint,
-            );
+    /// The per-call [`OpSink`] borrowing this cache's meta + telemetry.
+    fn sink(&self) -> SeqSink<'_> {
+        SeqSink {
+            meta: self.meta.borrow_mut(),
+            telemetry: &self.telemetry,
         }
     }
 
@@ -326,192 +972,40 @@ impl Cache {
         pinned: bool,
         ctx: StoreContext,
     ) {
-        let key = (rrset.name.clone(), rrset.rtype);
-        self.negatives.remove(&key);
-        let original_ttl = rrset.ttl;
-        let ttl = policy.clamp_ttl(rrset.ttl);
-        if ttl.is_zero() {
-            self.meta.borrow_mut().stats.rejected_stores += 1;
-            return;
-        }
-        // Removal cause for the entry currently under the key, if any.
-        let mut displaced: Option<(CacheOp, Entry)> = None;
-        let mut refresh = false;
-        // Index key of the entry this store replaces (refreshes move an
-        // entry's expiry too, so the stale key must go either way).
-        let mut old_index: Option<(SimTime, Name, u16)> = None;
-        let fingerprint = rrset.fingerprint();
-        if let Some(existing) = self.entries.get(&key) {
-            let fresh = existing.pinned || existing.expires_at > now;
-            if fresh {
-                let rejected = existing.rank > rank // lower rank never displaces higher
-                    || (policy.centricity == Centricity::ParentCentric
-                        && existing.rank <= Credibility::ReferralAuthority
-                        && rank >= Credibility::AuthAuthority) // referral data wins
-                    || (!policy.link_inbailiwick_glue
-                        && existing.rank == Credibility::ReferralAdditional
-                        && rank == Credibility::ReferralAdditional); // keep cached glue
-                if rejected {
-                    self.meta.borrow_mut().stats.rejected_stores += 1;
-                    return;
-                }
-                if existing.fingerprint == fingerprint {
-                    refresh = true;
-                } else {
-                    displaced = Some((CacheOp::Overwrite, existing.clone()));
-                }
-            } else {
-                // Past its TTL: whatever replaces it, the old entry
-                // died of expiry.
-                displaced = Some((CacheOp::Expire, existing.clone()));
-            }
-            if !existing.pinned {
-                old_index = Some((existing.expires_at, key.0.clone(), key.1.code()));
-            }
-        }
-        let origin = if ctx.txn == 0 && ctx.server.is_none() {
-            RecordOrigin::Seed
-        } else {
-            RecordOrigin::from_rank(rank)
+        let mut sink = SeqSink {
+            meta: self.meta.borrow_mut(),
+            telemetry: &self.telemetry,
         };
-        let prov = Provenance {
-            txn: ctx.txn,
-            server: ctx.server,
-            origin,
-            bailiwick: ctx.bailiwick,
-            original_ttl,
-            effective_ttl: ttl,
-        };
-        if let Some((cause, old)) = displaced {
-            match cause {
-                CacheOp::Overwrite => self.meta.borrow_mut().stats.overwrites += 1,
-                _ => self.meta.borrow_mut().stats.expiries += 1,
-            }
-            self.note(
-                now,
-                cause,
-                &old.rrset,
-                old.rank,
-                old.provenance,
-                Some(now.since(old.stored_at).as_millis()),
-                old.fingerprint,
-            );
-        }
-        let mut rrset = rrset;
-        rrset.ttl = ttl;
-        if let Some(stale_key) = old_index {
-            self.expiry.remove(&stale_key);
-        }
-        self.evict_if_full(&key, now);
-        if refresh {
-            self.meta.borrow_mut().stats.refreshes += 1;
-        } else {
-            self.meta.borrow_mut().stats.inserts += 1;
-        }
-        self.note(
-            now,
-            if refresh {
-                CacheOp::Refresh
-            } else {
-                CacheOp::Insert
-            },
-            &rrset,
-            rank,
-            prov,
-            None,
-            fingerprint,
-        );
-        let expires_at = now + ttl_span(ttl);
-        if !pinned {
-            self.expiry
-                .insert((expires_at, key.0.clone(), key.1.code()));
-        }
-        self.entries.insert(
-            key,
-            Entry {
-                expires_at,
-                stored_at: now,
-                rrset,
-                rank,
-                pinned,
-                provenance: prov,
-                fingerprint,
-            },
-        );
+        self.core
+            .store_with(rrset, rank, now, policy, pinned, ctx, &mut sink);
     }
 
     /// Removes the entry under `(name, rtype)`, attributing the
     /// removal to an explicit invalidation — what an operator's cache
     /// flush after a renumbering does. Returns true if present.
     pub fn invalidate(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> bool {
-        match self.entries.remove(&(name.clone(), rtype)) {
-            Some(e) => {
-                if !e.pinned {
-                    self.expiry
-                        .remove(&(e.expires_at, name.clone(), rtype.code()));
-                }
-                self.meta.borrow_mut().stats.invalidations += 1;
-                self.note(
-                    now,
-                    CacheOp::Invalidate,
-                    &e.rrset,
-                    e.rank,
-                    e.provenance,
-                    Some(now.since(e.stored_at).as_millis()),
-                    e.fingerprint,
-                );
-                true
-            }
-            None => false,
-        }
+        let mut sink = SeqSink {
+            meta: self.meta.borrow_mut(),
+            telemetry: &self.telemetry,
+        };
+        self.core.invalidate(name, rtype, now, &mut sink)
     }
 
     /// Invalidates every positive entry at or below `apex` (the
     /// `rndc flushtree` analogue). Returns how many entries died.
     pub fn invalidate_zone(&mut self, apex: &Name, now: SimTime) -> usize {
-        let mut victims: Vec<(Name, RecordType)> = self
-            .entries
-            .keys()
-            .filter(|(n, _)| n.is_subdomain_of(apex))
-            .cloned()
-            .collect();
-        // Deterministic ledger order regardless of HashMap layout —
-        // canonical name order directly, no string formatting.
-        victims.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.code().cmp(&b.1.code())));
-        for (name, rtype) in &victims {
-            self.invalidate(name, *rtype, now);
-        }
-        victims.len()
+        let mut sink = SeqSink {
+            meta: self.meta.borrow_mut(),
+            telemetry: &self.telemetry,
+        };
+        self.core.invalidate_zone(apex, now, &mut sink)
     }
 
     /// Fetches a fresh entry, decrementing TTLs by age. Pinned entries
     /// are served at full TTL (an RFC 7706 mirror is always fresh).
     pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<CachedAnswer> {
-        let e = self.entries.get(&(name.clone(), rtype))?;
-        if !e.pinned && e.expires_at <= now {
-            return None;
-        }
-        self.meta.borrow_mut().stats.hits += 1;
-        self.note(
-            now,
-            CacheOp::Serve,
-            &e.rrset,
-            e.rank,
-            e.provenance,
-            Some(now.since(e.stored_at).as_millis()),
-            e.fingerprint,
-        );
-        let mut rrset = e.rrset.clone();
-        if !e.pinned {
-            let age = now.secs_since(e.stored_at) as u32;
-            rrset.ttl = rrset.ttl.saturating_sub_secs(age);
-        }
-        Some(CachedAnswer {
-            rrset,
-            rank: e.rank,
-            stale: false,
-            provenance: e.provenance,
-        })
+        let mut sink = self.sink();
+        self.core.get(name, rtype, now, &mut sink)
     }
 
     /// If an entry exists for `(name, rtype)` but is past its TTL (and
@@ -525,19 +1019,7 @@ impl Cache {
         rtype: RecordType,
         now: SimTime,
     ) -> Option<SimDuration> {
-        // The expiry index is ordered and covers every unpinned entry,
-        // so its minimum answers "is anything expired at all?" without
-        // touching the entry table. Resolvers probe this on *every*
-        // query; in the common all-fresh cache the probe ends here.
-        match self.expiry.first() {
-            Some((earliest, _, _)) if *earliest <= now => {}
-            _ => return None,
-        }
-        let e = self.entries.get(&(name.clone(), rtype))?;
-        if e.pinned || e.expires_at > now {
-            return None;
-        }
-        Some(now.since(e.expires_at))
+        self.core.expired_since(name, rtype, now)
     }
 
     /// Remaining lifetime of a fresh entry as a fraction of its
@@ -545,19 +1027,7 @@ impl Cache {
     /// Pinned entries are always 1.0; absent/expired entries are None.
     /// Prefetching resolvers use this to decide when to refresh ahead.
     pub fn freshness(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<f64> {
-        let e = self.entries.get(&(name.clone(), rtype))?;
-        if e.pinned {
-            return Some(1.0);
-        }
-        if e.expires_at <= now {
-            return None;
-        }
-        let total = e.rrset.ttl.as_secs() as f64;
-        if total == 0.0 {
-            return None;
-        }
-        let remaining = e.expires_at.since(now).as_secs_f64();
-        Some((remaining / total).clamp(0.0, 1.0))
+        self.core.freshness(name, rtype, now)
     }
 
     /// Fetches an entry even if expired, for serve-stale: the entry must
@@ -570,32 +1040,8 @@ impl Cache {
         now: SimTime,
         max_stale: Ttl,
     ) -> Option<CachedAnswer> {
-        let e = self.entries.get(&(name.clone(), rtype))?;
-        if e.expires_at > now || e.pinned {
-            return self.get(name, rtype, now);
-        }
-        let staleness = now.secs_since(e.expires_at);
-        if staleness > max_stale.as_secs() as u64 {
-            return None;
-        }
-        self.meta.borrow_mut().stats.stale_hits += 1;
-        self.note(
-            now,
-            CacheOp::StaleServe,
-            &e.rrset,
-            e.rank,
-            e.provenance,
-            Some(now.since(e.stored_at).as_millis()),
-            e.fingerprint,
-        );
-        let mut rrset = e.rrset.clone();
-        rrset.ttl = Ttl::from_secs(30);
-        Some(CachedAnswer {
-            rrset,
-            rank: e.rank,
-            stale: true,
-            provenance: e.provenance,
-        })
+        let mut sink = self.sink();
+        self.core.get_stale(name, rtype, now, max_stale, &mut sink)
     }
 
     /// Stores a negative answer (NXDOMAIN or NODATA) bounded by the SOA
@@ -611,17 +1057,8 @@ impl Cache {
         now: SimTime,
         policy: &ResolverPolicy,
     ) {
-        let ttl = policy.clamp_ttl(soa_minimum.min(soa_ttl));
-        if ttl.is_zero() {
-            return;
-        }
-        self.negatives.insert(
-            (name, rtype),
-            NegEntry {
-                rcode,
-                expires_at: now + ttl_span(ttl),
-            },
-        );
+        self.core
+            .store_negative(name, rtype, rcode, soa_minimum, soa_ttl, now, policy);
     }
 
     /// Caches an *upstream failure* (SERVFAIL / every server dead) for
@@ -631,101 +1068,54 @@ impl Cache {
     /// [`CacheOp::NegCache`] transaction so provenance forensics see
     /// the outage response, even though no RRset is held.
     pub fn store_failure(&mut self, name: Name, rtype: RecordType, ttl: Ttl, now: SimTime) {
-        if ttl.is_zero() {
-            return;
-        }
-        // RFC 2308 §7: failures must not be cached for longer than
-        // five minutes.
-        let ttl = ttl.min(Ttl::from_secs(300));
-        let shell = RRset {
-            name: name.clone(),
-            rtype,
-            ttl,
-            rdatas: vec![],
+        let mut sink = SeqSink {
+            meta: self.meta.borrow_mut(),
+            telemetry: &self.telemetry,
         };
-        self.note(
-            now,
-            CacheOp::NegCache,
-            &shell,
-            Credibility::AuthAuthority,
-            Provenance {
-                original_ttl: ttl,
-                effective_ttl: ttl,
-                ..Provenance::default()
-            },
-            None,
-            0,
-        );
-        self.negatives.insert(
-            (name, rtype),
-            NegEntry {
-                rcode: Rcode::ServFail,
-                expires_at: now + ttl_span(ttl),
-            },
-        );
+        self.core.store_failure(name, rtype, ttl, now, &mut sink);
     }
 
     /// Fresh negative entry for the key, if any.
     pub fn get_negative(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Rcode> {
-        let e = self.negatives.get(&(name.clone(), rtype))?;
-        (e.expires_at > now).then_some(e.rcode)
+        self.core.get_negative(name, rtype, now)
     }
 
     /// Number of positive entries (fresh and expired).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.core.len()
     }
 
     /// True if the cache holds no positive entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.core.is_empty()
     }
 
     /// Drops expired, unpinned entries. Not required for correctness
     /// (reads check freshness) but keeps long simulations lean. Each
-    /// drop is a ledger `expire` transaction.
+    /// drop is a ledger `expire` transaction in deterministic
+    /// `(expires_at, name, type code)` order.
     pub fn purge_expired(&mut self, now: SimTime) {
-        // Expired entries are exactly the index prefix up to `now`:
-        // ordered-set pops replace the old full scan + string sort.
-        // Ledger order is (expires_at, name, type code) — deterministic
-        // regardless of HashMap layout.
-        while let Some((expires_at, _, _)) = self.expiry.first() {
-            if *expires_at > now {
-                break;
-            }
-            let (_, name, code) = self.expiry.pop_first().expect("first just seen");
-            let rtype = RecordType::from_code(code).expect("index holds valid type codes");
-            let e = self
-                .entries
-                .remove(&(name, rtype))
-                .expect("index entry has a backing cache entry");
-            self.meta.borrow_mut().stats.expiries += 1;
-            self.note(
-                now,
-                CacheOp::Expire,
-                &e.rrset,
-                e.rank,
-                e.provenance,
-                Some(now.since(e.stored_at).as_millis()),
-                e.fingerprint,
-            );
-        }
-        self.negatives.retain(|_, e| e.expires_at > now);
+        let mut sink = SeqSink {
+            meta: self.meta.borrow_mut(),
+            telemetry: &self.telemetry,
+        };
+        self.core.purge_expired(now, &mut sink);
     }
 
     /// Removes every entry (used between experiment phases). Counted
     /// as `clears` in the stats; no per-entry ledger records — a phase
     /// boundary is not a cache event the paper cares about.
     pub fn clear(&mut self) {
-        self.meta.borrow_mut().stats.clears += self.entries.len() as u64;
-        self.entries.clear();
-        self.expiry.clear();
-        self.negatives.clear();
+        let mut sink = SeqSink {
+            meta: self.meta.borrow_mut(),
+            telemetry: &self.telemetry,
+        };
+        self.core.clear(&mut sink);
     }
 }
 
 /// The trace-event kind for a ledger op.
-fn event_kind(op: CacheOp) -> EventKind {
+pub(crate) fn event_kind(op: CacheOp) -> EventKind {
     match op {
         CacheOp::Insert => EventKind::CacheInsert,
         CacheOp::Refresh => EventKind::CacheRefresh,
@@ -1359,5 +1749,219 @@ mod tests {
             .with_ledger(|l| l.cells().map(|(_, cell)| cell.neg_caches).sum::<u64>())
             .unwrap();
         assert_eq!(neg_caches, 1);
+    }
+
+    /// A throwaway sink for driving [`CacheCore`] directly in SLRU
+    /// tests: counts into a plain [`CacheStats`], drops every record.
+    #[derive(Default)]
+    struct TestSink {
+        stats: CacheStats,
+    }
+
+    impl OpSink for TestSink {
+        fn stats(&mut self) -> &mut CacheStats {
+            &mut self.stats
+        }
+
+        fn note(
+            &mut self,
+            _now: SimTime,
+            _op: CacheOp,
+            _rrset: &RRset,
+            _rank: Credibility,
+            _prov: Provenance,
+            _residency_ms: Option<u64>,
+            _fingerprint: u64,
+        ) {
+        }
+    }
+
+    #[test]
+    fn slru_touch_shields_promoted_entry_from_eviction() {
+        let mut core = CacheCore::new(Some(2), true);
+        let mut sink = TestSink::default();
+        let p = policy();
+        core.store_with(
+            a_rrset("hot.example", 60, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &p,
+            false,
+            StoreContext::default(),
+            &mut sink,
+        );
+        core.store_with(
+            a_rrset("cold.example", 3_600, 2),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &p,
+            false,
+            StoreContext::default(),
+            &mut sink,
+        );
+        // A hit promotes hot.example out of probation even though it
+        // expires first…
+        assert!(core
+            .get(
+                &n("hot.example"),
+                RecordType::A,
+                SimTime::from_secs(1),
+                &mut sink
+            )
+            .is_some());
+        core.touch(&n("hot.example"), RecordType::A);
+        // …so capacity pressure evicts the probation entry instead of
+        // the soonest-to-expire one.
+        core.store_with(
+            a_rrset("new.example", 600, 3),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(2),
+            &p,
+            false,
+            StoreContext::default(),
+            &mut sink,
+        );
+        assert!(core
+            .get(
+                &n("hot.example"),
+                RecordType::A,
+                SimTime::from_secs(3),
+                &mut sink
+            )
+            .is_some());
+        assert!(core
+            .get(
+                &n("cold.example"),
+                RecordType::A,
+                SimTime::from_secs(3),
+                &mut sink
+            )
+            .is_none());
+        assert_eq!(core.evictions(), 1);
+        // Conservation holds through promotion and eviction.
+        assert_eq!(
+            sink.stats.inserts,
+            sink.stats.removals() + core.len() as u64
+        );
+    }
+
+    #[test]
+    fn slru_overfull_protected_tier_demotes_oldest_expiry() {
+        // Capacity 2 → protected_cap 1: promoting a second entry must
+        // demote the protected one closest to expiry back to probation.
+        let mut core = CacheCore::new(Some(2), true);
+        let mut sink = TestSink::default();
+        let p = policy();
+        for (name, ttl, last) in [("a.example", 60u32, 1u8), ("b.example", 3_600, 2)] {
+            core.store_with(
+                a_rrset(name, ttl, last),
+                Credibility::AuthAnswer,
+                SimTime::ZERO,
+                &p,
+                false,
+                StoreContext::default(),
+                &mut sink,
+            );
+        }
+        core.touch(&n("a.example"), RecordType::A);
+        core.touch(&n("b.example"), RecordType::A);
+        // a.example (earliest expiry) was demoted, so it is the next
+        // eviction victim again.
+        core.store_with(
+            a_rrset("c.example", 600, 3),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(1),
+            &p,
+            false,
+            StoreContext::default(),
+            &mut sink,
+        );
+        assert!(core
+            .get(
+                &n("a.example"),
+                RecordType::A,
+                SimTime::from_secs(2),
+                &mut sink
+            )
+            .is_none());
+        assert!(core
+            .get(
+                &n("b.example"),
+                RecordType::A,
+                SimTime::from_secs(2),
+                &mut sink
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn slru_purge_merges_tiers_in_expiry_order() {
+        let mut core = CacheCore::new(Some(8), true);
+        let mut sink = TestSink::default();
+        let p = policy();
+        for (name, ttl, last) in [
+            ("a.example", 60u32, 1u8),
+            ("b.example", 120, 2),
+            ("c.example", 240, 3),
+        ] {
+            core.store_with(
+                a_rrset(name, ttl, last),
+                Credibility::AuthAnswer,
+                SimTime::ZERO,
+                &p,
+                false,
+                StoreContext::default(),
+                &mut sink,
+            );
+        }
+        // b.example is protected; a and c stay in probation.
+        core.touch(&n("b.example"), RecordType::A);
+        core.purge_expired(SimTime::from_secs(150), &mut sink);
+        // Both expired entries died exactly once, whichever tier held
+        // them — the double-count audit in miniature.
+        assert_eq!(sink.stats.expiries, 2);
+        assert_eq!(core.len(), 1);
+        assert_eq!(
+            sink.stats.inserts,
+            sink.stats.removals() + core.len() as u64
+        );
+    }
+
+    #[test]
+    fn sequential_engine_never_uses_the_protected_tier() {
+        // The oracle's Cache::get path must not promote: with SLRU off,
+        // eviction order is the pre-SLRU expiry order even for entries
+        // that were hit many times.
+        let mut c = Cache::with_capacity(2);
+        c.store(
+            a_rrset("hot.example", 60, 1),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        c.store(
+            a_rrset("cold.example", 3_600, 2),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy(),
+            false,
+        );
+        for _ in 0..10 {
+            assert!(c
+                .get(&n("hot.example"), RecordType::A, SimTime::from_secs(1))
+                .is_some());
+        }
+        c.store(
+            a_rrset("new.example", 600, 3),
+            Credibility::AuthAnswer,
+            SimTime::from_secs(2),
+            &policy(),
+            false,
+        );
+        // Despite the hits, hot.example (soonest expiry) is evicted.
+        assert!(c
+            .get(&n("hot.example"), RecordType::A, SimTime::from_secs(3))
+            .is_none());
     }
 }

@@ -28,17 +28,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod ledger;
 pub mod resolver;
+pub mod shared;
 pub mod snapshot;
 pub mod stub;
 
+pub use backend::{CacheBackend, CacheEngine};
 pub use cache::{Cache, CachedAnswer, Credibility};
 pub use ledger::{
     parse_rank_token, rank_token, BailiwickClass, CacheStats, Ledger, LedgerCell, LedgerKey,
     Provenance, RecordOrigin, StoreContext,
 };
 pub use resolver::{RecursiveResolver, ResolutionOutcome, ResolverStats, RootHint};
+pub use shared::SharedCache;
 pub use snapshot::{CacheSnapshot, SnapshotDiff, SnapshotEntry};
 pub use stub::{HostLookup, StubConfig, StubError, StubResolver};

@@ -8,8 +8,10 @@
 //! addresses with sub-queries, retrying and failing over between
 //! servers, and accounting the RTT of every exchange.
 
-use crate::cache::{Cache, Credibility};
+use crate::backend::CacheEngine;
+use crate::cache::Credibility;
 use crate::ledger::{BailiwickClass, StoreContext};
+use crate::shared::SharedCache;
 use dnsttl_core::{Centricity, ResolverPolicy};
 use dnsttl_netsim::{ExchangeOutcome, Network, Region, SimDuration, SimRng, SimTime, Transport};
 use dnsttl_telemetry::{EventKind, MetricKey, SpanId, Telemetry, Value};
@@ -126,7 +128,7 @@ pub struct RecursiveResolver {
     policy: ResolverPolicy,
     region: Region,
     tag: u64,
-    cache: Cache,
+    cache: CacheEngine,
     roots: Vec<RootHint>,
     rng: SimRng,
     /// Zone apex → server address that answered for it last
@@ -156,10 +158,7 @@ impl RecursiveResolver {
         roots: Vec<RootHint>,
         rng: SimRng,
     ) -> RecursiveResolver {
-        let cache = match policy.cache_capacity {
-            Some(cap) => Cache::with_capacity(cap),
-            None => Cache::new(),
-        };
+        let cache = CacheEngine::from_policy(&policy);
         RecursiveResolver {
             label: label.into().into(),
             policy,
@@ -204,19 +203,27 @@ impl RecursiveResolver {
         self.tag
     }
 
-    /// Read access to the cache (tests and analyses).
-    pub fn cache(&self) -> &Cache {
+    /// Read access to the cache engine (tests and analyses).
+    pub fn cache(&self) -> &CacheEngine {
         &self.cache
     }
 
-    /// Write access to the cache (forensics harnesses: snapshots,
-    /// explicit invalidations, ledger control).
-    pub fn cache_mut(&mut self) -> &mut Cache {
+    /// Write access to the cache engine (forensics harnesses:
+    /// snapshots, explicit invalidations, ledger control).
+    pub fn cache_mut(&mut self) -> &mut CacheEngine {
         &mut self.cache
     }
 
+    /// A cloneable handle to the concurrent backend, when the policy
+    /// selected it (`cache_backend: Shared`) — client threads clone
+    /// this to hit the same cache the resolver serves from. `None`
+    /// under the sequential engine.
+    pub fn shared_cache(&self) -> Option<std::sync::Arc<SharedCache>> {
+        self.cache.shared()
+    }
+
     /// Turns on the cache's provenance ledger (see
-    /// [`Cache::enable_ledger`]).
+    /// [`crate::Cache::enable_ledger`]).
     pub fn enable_cache_ledger(&mut self) {
         self.cache.enable_ledger();
     }

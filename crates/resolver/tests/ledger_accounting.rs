@@ -10,7 +10,7 @@
 
 use dnsttl_core::ResolverPolicy;
 use dnsttl_netsim::{SimRng, SimTime};
-use dnsttl_resolver::{BailiwickClass, Cache, CacheStats, Credibility, StoreContext};
+use dnsttl_resolver::{BailiwickClass, Cache, CacheStats, Credibility, SharedCache, StoreContext};
 use dnsttl_telemetry::CacheOp;
 use dnsttl_wire::{Name, RData, RRset, RecordType, Ttl};
 
@@ -252,6 +252,128 @@ fn merged_multi_shard_ledger_conserves_entries() {
         reversed.absorb(s);
     }
     assert_eq!(reversed, merged);
+}
+
+/// The concurrent backend's accounting claim, extended to the ops the
+/// other suites don't race: serve-stale reads (`StaleServe`) and
+/// failure caching (`NegCache`). Eight free-running threads hammer one
+/// shared cache with overlapping keys — stores with short TTLs, stale
+/// reads far past expiry, failure stores, invalidations, and global
+/// purge sweeps — then the summed per-segment stats must conserve, the
+/// lock-free op journal must agree with every counter, and both
+/// stale serves and failure caches must actually have happened.
+#[test]
+fn concurrent_backend_conserves_under_raced_stale_and_negative_ops() {
+    let policy = ResolverPolicy {
+        serve_stale: Some(Ttl::DAY),
+        ..ResolverPolicy::default()
+    };
+    let shared = SharedCache::with_capacity(8, 48);
+    shared.enable_ledger();
+
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let shared = &shared;
+            let policy = &policy;
+            scope.spawn(move || {
+                let mut rng = SimRng::seed_from(0x57A1E ^ (t << 40));
+                let mut now = SimTime::ZERO;
+                for step in 0..4_000u64 {
+                    now += dnsttl_netsim::SimDuration::from_secs(rng.below(40));
+                    let host = rng.below(96);
+                    let name = Name::parse(&format!("h{host}.workload.example")).unwrap();
+                    match rng.below(100) {
+                        // Stores with short TTLs so entries expire fast
+                        // and stale reads find expired residents.
+                        0..=39 => {
+                            let ctx = StoreContext {
+                                txn: step + 1,
+                                server: Some("198.51.100.7".parse().unwrap()),
+                                bailiwick: BailiwickClass::In,
+                            };
+                            shared.store_with(
+                                rrset(host, 1 + rng.below(30) as u32, 1),
+                                Credibility::AuthAnswer,
+                                now,
+                                policy,
+                                false,
+                                ctx,
+                            );
+                        }
+                        // Serve-stale reads: probe far enough past the
+                        // store times that expired entries are common.
+                        40..=64 => {
+                            let _ = shared.get_stale(
+                                &name,
+                                RecordType::A,
+                                now + dnsttl_netsim::SimDuration::from_secs(45),
+                                Ttl::DAY,
+                            );
+                        }
+                        // Fresh reads.
+                        65..=79 => {
+                            let _ = shared.get(&name, RecordType::A, now);
+                        }
+                        // Failure caching (RFC 2308 §7): NegCache ops.
+                        80..=89 => {
+                            shared.store_failure(
+                                name.clone(),
+                                RecordType::A,
+                                Ttl::from_secs(30),
+                                now,
+                            );
+                            let _ = shared.get_negative(&name, RecordType::A, now);
+                        }
+                        // Expiry sweeps racing everything above.
+                        90..=94 => shared.purge_expired(now),
+                        _ => {
+                            shared.invalidate(&name, RecordType::A, now);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(shared.ledger_dropped(), 0, "op log wrapped; grow it");
+    let stats = shared.stats();
+    check_conservation(&stats, shared.len(), "raced shared backend");
+    assert!(stats.inserts > 1_000, "workload too small: {stats:?}");
+    assert!(stats.stale_hits > 0, "no stale serves raced: {stats:?}");
+    assert!(stats.expiries > 0 && stats.evictions > 0, "{stats:?}");
+    assert!(stats.invalidations > 0, "{stats:?}");
+
+    // Journal/stats agreement for every cause the journal records,
+    // including the raced StaleServe ops. NegCache has no scalar
+    // counter (failure caching holds no positive entry), so the
+    // journal itself is the witness that the ops raced through.
+    shared
+        .with_ledger(|ledger| {
+            let mut by_op = std::collections::BTreeMap::new();
+            for rec in ledger.journal().records() {
+                *by_op.entry(rec.op).or_insert(0u64) += 1;
+            }
+            for (op, want) in [
+                (CacheOp::Insert, stats.inserts),
+                (CacheOp::Refresh, stats.refreshes),
+                (CacheOp::Overwrite, stats.overwrites),
+                (CacheOp::Expire, stats.expiries),
+                (CacheOp::Evict, stats.evictions),
+                (CacheOp::Invalidate, stats.invalidations),
+                (CacheOp::StaleServe, stats.stale_hits),
+            ] {
+                assert_eq!(
+                    by_op.get(&op).copied().unwrap_or(0),
+                    want,
+                    "journal {op:?} count disagrees with summed stats"
+                );
+            }
+            assert!(
+                by_op.get(&CacheOp::NegCache).copied().unwrap_or(0) > 0,
+                "no NegCache ops journalled"
+            );
+        })
+        .expect("ledger enabled");
 }
 
 #[test]

@@ -1,0 +1,298 @@
+//! Chaos matrix scenarios against the concurrent shared-cache backend,
+//! under contention.
+//!
+//! `chaos_matrix.rs` proves the outage / DDoS-degradation / flush
+//! invariants on the sequential engine. This suite re-runs the same
+//! scripted fault windows with the resolver's policy selecting the
+//! shared backend, while noise threads free-run against the *same*
+//! cache (via [`RecursiveResolver::shared_cache`]) on a disjoint name
+//! set. The claims:
+//!
+//! * the resolver's per-query outcomes — rcode, answer presence,
+//!   staleness — are identical with and without the noise threads: on
+//!   an unbounded cache, contention on other keys must never change
+//!   what a query is answered with;
+//! * the RFC 8767 staleness bound holds under contention exactly as it
+//!   does sequentially;
+//! * after the noise threads join, the combined stats (resolver ops +
+//!   noise ops + flush clears) still obey `inserts == removals + live`.
+
+use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};
+use dnsttl_core::{CacheBackendChoice, ResolverPolicy};
+use dnsttl_netsim::{
+    FaultPlan, LatencyModel, Network, Region, ServiceHandle, SimDuration, SimRng, SimTime,
+};
+use dnsttl_resolver::{RecursiveResolver, RootHint};
+use dnsttl_wire::{Name, RData, RRset, Rcode, RecordType, Ttl};
+use std::cell::RefCell;
+use std::net::IpAddr;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const ROOT_ADDR: &str = "198.41.0.4";
+const CHILD_ADDR: &str = "192.0.2.53";
+const FAULT_FROM_S: u64 = 2_700;
+const FAULT_UNTIL_S: u64 = 6_300;
+const QUERY_GAP_S: u64 = 60;
+const HORIZON_S: u64 = 7_800;
+const MAX_STALE: Ttl = Ttl::from_secs(7_200);
+const NOISE_THREADS: usize = 4;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Scenario {
+    Outage,
+    Ddos,
+    Flush,
+}
+
+impl Scenario {
+    fn plan(self) -> FaultPlan {
+        let child: IpAddr = CHILD_ADDR.parse().unwrap();
+        let from = SimTime::from_secs(FAULT_FROM_S);
+        let until = SimTime::from_secs(FAULT_UNTIL_S);
+        match self {
+            Scenario::Outage => FaultPlan::new().outage(child, from, until),
+            Scenario::Ddos => FaultPlan::new().degrade(Some(child), from, until, 0.9, 4.0),
+            Scenario::Flush => FaultPlan::new()
+                .flush_at(SimTime::from_secs(1_000))
+                .flush_at(SimTime::from_secs(3_000))
+                .flush_at(SimTime::from_secs(5_000)),
+        }
+    }
+}
+
+fn world(ttl: Ttl) -> (Network, Vec<RootHint>) {
+    let root_addr: IpAddr = ROOT_ADDR.parse().unwrap();
+    let child_addr: IpAddr = CHILD_ADDR.parse().unwrap();
+    let root = AuthoritativeServer::new("root").with_zone(
+        ZoneBuilder::new(".")
+            .ns("example", "ns.example", Ttl::TWO_DAYS)
+            .a("ns.example", CHILD_ADDR, Ttl::TWO_DAYS)
+            .build(),
+    );
+    let child = AuthoritativeServer::new("ns.example").with_zone(
+        ZoneBuilder::new("example")
+            .ns("example", "ns.example", ttl)
+            .a("ns.example", CHILD_ADDR, ttl)
+            .a("www.example", "203.0.113.1", ttl)
+            .build(),
+    );
+    let mut net = Network::new(LatencyModel::constant(5.0));
+    let root: ServiceHandle = Rc::new(RefCell::new(root));
+    let child: ServiceHandle = Rc::new(RefCell::new(child));
+    net.register(root_addr, Region::Eu, root);
+    net.register(child_addr, Region::Eu, child);
+    let hints = vec![RootHint {
+        ns_name: Name::parse("root").unwrap(),
+        addr: root_addr,
+    }];
+    (net, hints)
+}
+
+fn shared_policy(serve_stale: bool) -> ResolverPolicy {
+    let base = if serve_stale {
+        ResolverPolicy {
+            serve_stale: Some(MAX_STALE),
+            ..ResolverPolicy::hardened()
+        }
+    } else {
+        ResolverPolicy::default()
+    };
+    ResolverPolicy {
+        cache_backend: CacheBackendChoice::Shared,
+        cache_segments: 8,
+        ..base
+    }
+}
+
+/// One resolver query's observable outcome, for exact comparison
+/// between the quiet and contended runs.
+type QueryTrace = Vec<(bool, bool)>; // (answered ok, served stale)
+
+struct CellOutcome {
+    trace: QueryTrace,
+    in_window_failures: u64,
+}
+
+/// Runs one chaos cell on the shared backend. With `noise: true`,
+/// NOISE_THREADS free-running threads hammer the resolver's own cache
+/// on `*.noise.example` names (stores, stale reads, failure caching,
+/// invalidations) for the whole scenario.
+fn run_cell(
+    scenario: Scenario,
+    ttl: Ttl,
+    serve_stale: bool,
+    seed: u64,
+    noise: bool,
+) -> CellOutcome {
+    let (mut net, hints) = world(ttl);
+    net.set_faults(scenario.plan());
+    let mut resolver = RecursiveResolver::new(
+        "shared-chaos",
+        shared_policy(serve_stale),
+        Region::Eu,
+        7,
+        hints,
+        SimRng::seed_from(seed),
+    );
+    resolver.enable_cache_ledger();
+    let cache = resolver
+        .shared_cache()
+        .expect("policy selected the shared backend");
+    let qname = Name::parse("www.example").unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let trace = std::thread::scope(|scope| {
+        if noise {
+            for t in 0..NOISE_THREADS as u64 {
+                let cache = Arc::clone(&cache);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut rng = SimRng::seed_from(0x4015E ^ t);
+                    let policy = ResolverPolicy::default();
+                    let mut now = SimTime::ZERO;
+                    while !stop.load(Ordering::Relaxed) {
+                        now += SimDuration::from_secs(rng.below(30));
+                        let host = rng.below(64);
+                        let name = Name::parse(&format!("n{host}.noise.example")).unwrap();
+                        match rng.below(10) {
+                            0..=4 => {
+                                let rr = RRset {
+                                    name,
+                                    rtype: RecordType::A,
+                                    ttl: Ttl::from_secs(1 + rng.below(120) as u32),
+                                    rdatas: vec![RData::A(std::net::Ipv4Addr::new(
+                                        203, 0, 113, host as u8,
+                                    ))],
+                                };
+                                cache.store(
+                                    rr,
+                                    dnsttl_resolver::Credibility::AuthAnswer,
+                                    now,
+                                    &policy,
+                                    false,
+                                );
+                            }
+                            5..=6 => {
+                                let _ = cache.get(&name, RecordType::A, now);
+                            }
+                            7 => {
+                                let _ = cache.get_stale(&name, RecordType::A, now, Ttl::DAY);
+                            }
+                            8 => {
+                                cache.store_failure(name, RecordType::A, Ttl::from_secs(30), now);
+                            }
+                            _ => {
+                                cache.invalidate(&name, RecordType::A, now);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
+        // The scripted scenario runs on this thread, exactly as the
+        // sequential chaos matrix does.
+        let mut trace = CellOutcome {
+            trace: Vec::new(),
+            in_window_failures: 0,
+        };
+        let mut last_fresh: Option<SimTime> = None;
+        let mut flushed_upto = SimTime::ZERO;
+        let mut t = 0u64;
+        while t < HORIZON_S {
+            let now = SimTime::from_secs(t);
+            if net.fault_plan().flushes_between(flushed_upto, now) > 0 {
+                resolver.apply_flush(now);
+            }
+            flushed_upto = now;
+            let out = resolver.resolve(&qname, RecordType::A, now, &mut net);
+            let ok = out.answer.header.rcode == Rcode::NoError && !out.answer.answers.is_empty();
+            if out.served_stale {
+                let anchor = last_fresh.expect("stale answers need a prior fresh one");
+                let age = now.secs_since(anchor);
+                assert!(
+                    age <= ttl.as_secs() as u64 + MAX_STALE.as_secs() as u64,
+                    "{scenario:?} ttl={} noise={noise}: stale answer at +{age}s \
+                     exceeds ttl+max-stale",
+                    ttl.as_secs(),
+                );
+            } else if ok {
+                last_fresh = Some(now);
+            }
+            trace.trace.push((ok, out.served_stale));
+            if (FAULT_FROM_S..FAULT_UNTIL_S).contains(&t) {
+                trace.in_window_failures += (!ok) as u64;
+            }
+            t += QUERY_GAP_S;
+        }
+        stop.store(true, Ordering::Relaxed);
+        trace
+    });
+
+    // Conservation over the *combined* op stream: resolver queries,
+    // flush clears, and every noise thread's stores/invalidations.
+    let stats = cache.stats();
+    let live = cache.len() as u64;
+    assert_eq!(
+        stats.inserts,
+        stats.removals() + live,
+        "{scenario:?} ttl={} noise={noise}: conservation violated \
+         (inserts={} removals={} live={live})",
+        ttl.as_secs(),
+        stats.inserts,
+        stats.removals(),
+    );
+
+    trace
+}
+
+const TTLS: [u32; 3] = [60, 3_600, 86_400];
+
+/// Contention must be outcome-invisible: every scenario × TTL ×
+/// serve-stale cell answers each of its 130 queries identically with
+/// and without 4 noise threads on the same cache.
+#[test]
+fn noise_threads_never_change_scenario_outcomes() {
+    for scenario in [Scenario::Outage, Scenario::Ddos, Scenario::Flush] {
+        for serve_stale in [false, true] {
+            for ttl in TTLS {
+                let seed = 0x5C40_0000 + ttl as u64;
+                let quiet = run_cell(scenario, Ttl::from_secs(ttl), serve_stale, seed, false);
+                let noisy = run_cell(scenario, Ttl::from_secs(ttl), serve_stale, seed, true);
+                assert_eq!(
+                    quiet.trace, noisy.trace,
+                    "{scenario:?} ttl={ttl} stale={serve_stale}: noise threads \
+                     changed a query outcome"
+                );
+            }
+        }
+    }
+}
+
+/// The TTL-resilience finding survives the backend swap: during an
+/// outage window, failures strictly decrease with TTL on the shared
+/// backend under contention, and serve-stale erases them.
+#[test]
+fn outage_ttl_monotonicity_holds_on_shared_backend_under_contention() {
+    let seed = 0x5C40_1111u64;
+    let rates: Vec<u64> = TTLS
+        .iter()
+        .map(|&ttl| {
+            run_cell(Scenario::Outage, Ttl::from_secs(ttl), false, seed, true).in_window_failures
+        })
+        .collect();
+    assert!(
+        rates[0] > rates[1] && rates[1] > rates[2],
+        "failures must strictly decrease with TTL, got {rates:?}"
+    );
+    assert_eq!(rates[2], 0, "a 1-day TTL rides out a 1-hour outage");
+    for &ttl in &TTLS {
+        let stale = run_cell(Scenario::Outage, Ttl::from_secs(ttl), true, seed, true);
+        assert_eq!(
+            stale.in_window_failures, 0,
+            "serve-stale should erase outage failures at ttl={ttl}"
+        );
+    }
+}

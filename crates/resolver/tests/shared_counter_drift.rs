@@ -1,0 +1,164 @@
+//! Regression pins for removal-cause accounting when `invalidate_zone`
+//! and expiry interact — the double-count audit for the concurrent
+//! backend.
+//!
+//! The rule both engines implement: **every resident entry leaving the
+//! cache is attributed to exactly one cause.** `invalidate_zone`
+//! counts any entry it removes as an *invalidation*, even when the
+//! entry's TTL has already run out (an expired-but-resident entry is
+//! still resident — only `purge_expired`, or replacement of the
+//! expired key, turns it into an *expiry*). When a purge sweep and a
+//! zone invalidation race on the shared backend, the per-segment lock
+//! decides each entry's winner: whoever removes it first counts it,
+//! the loser no longer sees it, and the total removals equal the entry
+//! count exactly — no drift, no double count.
+
+use dnsttl_core::ResolverPolicy;
+use dnsttl_netsim::SimTime;
+use dnsttl_resolver::{Cache, CacheStats, Credibility, SharedCache};
+use dnsttl_telemetry::CacheOp;
+use dnsttl_wire::{Name, RData, RRset, RecordType, Ttl};
+
+const N: usize = 64;
+const APEX: &str = "drift.example";
+
+fn rrset(i: usize, ttl: u32) -> RRset {
+    RRset {
+        name: Name::parse(&format!("h{i:02}.{APEX}")).unwrap(),
+        rtype: RecordType::A,
+        ttl: Ttl::from_secs(ttl),
+        rdatas: vec![RData::A(std::net::Ipv4Addr::new(192, 0, 2, i as u8))],
+    }
+}
+
+fn fill_expired(shared: &SharedCache, seq: &mut Cache) {
+    let policy = ResolverPolicy::default();
+    for i in 0..N {
+        let rr = rrset(i, 60);
+        shared.store(
+            rr.clone(),
+            Credibility::AuthAnswer,
+            SimTime::ZERO,
+            &policy,
+            false,
+        );
+        seq.store(rr, Credibility::AuthAnswer, SimTime::ZERO, &policy, false);
+    }
+}
+
+fn assert_conserved(stats: &CacheStats, live: usize, ctx: &str) {
+    assert_eq!(
+        stats.inserts,
+        stats.removals() + live as u64,
+        "{ctx}: inserts={} removals={} live={live}",
+        stats.inserts,
+        stats.removals(),
+    );
+}
+
+/// Pin: zone invalidation of expired-but-resident entries counts
+/// *invalidations*, never expiries — identically on both backends.
+#[test]
+fn invalidate_zone_on_expired_residents_counts_invalidations() {
+    let shared = SharedCache::new(8);
+    let mut seq = Cache::new();
+    fill_expired(&shared, &mut seq);
+    let apex = Name::parse(APEX).unwrap();
+    let later = SimTime::from_secs(600); // all 64 TTLs have run out
+
+    assert_eq!(shared.invalidate_zone(&apex, later), N);
+    assert_eq!(seq.invalidate_zone(&apex, later), N);
+
+    for (stats, len, ctx) in [
+        (shared.stats(), shared.len(), "shared"),
+        (seq.stats(), seq.len(), "sequential"),
+    ] {
+        assert_eq!(stats.invalidations, N as u64, "{ctx}");
+        assert_eq!(stats.expiries, 0, "{ctx}: expiry drift");
+        assert_eq!(len, 0, "{ctx}");
+        assert_conserved(&stats, len, ctx);
+    }
+    assert_eq!(shared.stats(), seq.stats());
+}
+
+/// Pin: a purge sweep first claims every expired entry as an *expiry*,
+/// and the zone invalidation that follows finds nothing — on both
+/// backends.
+#[test]
+fn purge_before_invalidate_zone_counts_expiries() {
+    let shared = SharedCache::new(8);
+    let mut seq = Cache::new();
+    fill_expired(&shared, &mut seq);
+    let apex = Name::parse(APEX).unwrap();
+    let later = SimTime::from_secs(600);
+
+    shared.purge_expired(later);
+    seq.purge_expired(later);
+    assert_eq!(shared.invalidate_zone(&apex, later), 0);
+    assert_eq!(seq.invalidate_zone(&apex, later), 0);
+
+    for (stats, len, ctx) in [
+        (shared.stats(), shared.len(), "shared"),
+        (seq.stats(), seq.len(), "sequential"),
+    ] {
+        assert_eq!(stats.expiries, N as u64, "{ctx}");
+        assert_eq!(stats.invalidations, 0, "{ctx}: invalidation drift");
+        assert_conserved(&stats, len, ctx);
+    }
+    assert_eq!(shared.stats(), seq.stats());
+}
+
+/// The race itself: one thread purges, one invalidates the zone, over
+/// the same 64 expired entries, 32 rounds. Every round, each entry
+/// must be counted exactly once — `expiries + invalidations == 64`,
+/// zero survivors, conservation intact, and the op journal carries
+/// exactly one removal record per entry (no double count, no escape).
+#[test]
+fn racing_purge_and_invalidate_zone_count_each_entry_exactly_once() {
+    let apex = Name::parse(APEX).unwrap();
+    let later = SimTime::from_secs(600);
+
+    for round in 0..32 {
+        let shared = SharedCache::new(8);
+        shared.enable_ledger();
+        let mut seq_scratch = Cache::new(); // unused sink for fill
+        fill_expired(&shared, &mut seq_scratch);
+        let before = shared.stats();
+        assert_eq!(before.inserts, N as u64);
+
+        std::thread::scope(|scope| {
+            let purge = scope.spawn(|| shared.purge_expired(later));
+            let invalidate = scope.spawn(|| shared.invalidate_zone(&apex, later));
+            purge.join().unwrap();
+            invalidate.join().unwrap();
+        });
+
+        let stats = shared.stats();
+        assert_eq!(shared.len(), 0, "round {round}: survivors");
+        assert_eq!(
+            stats.expiries + stats.invalidations,
+            N as u64,
+            "round {round}: removal causes drifted \
+             (expiries={} invalidations={})",
+            stats.expiries,
+            stats.invalidations,
+        );
+        assert_conserved(&stats, 0, &format!("round {round}"));
+
+        assert_eq!(shared.ledger_dropped(), 0);
+        shared
+            .with_ledger(|l| {
+                let mut removed = std::collections::BTreeMap::new();
+                for rec in l.journal().records() {
+                    if matches!(rec.op, CacheOp::Expire | CacheOp::Invalidate) {
+                        *removed.entry(rec.name.to_string()).or_insert(0u32) += 1;
+                    }
+                }
+                assert_eq!(removed.len(), N, "round {round}: an entry escaped removal");
+                for (name, count) in removed {
+                    assert_eq!(count, 1, "round {round}: {name} was removed {count} times");
+                }
+            })
+            .expect("ledger enabled");
+    }
+}

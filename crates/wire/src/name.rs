@@ -184,6 +184,14 @@ impl Name {
         Arc::clone(&self.repr)
     }
 
+    /// The precomputed case-folded FNV-1a hash of this name — the same
+    /// value `Hash` writes. Segmented caches use it to pick a shard
+    /// without rescanning the buffer; equal names (case-insensitively)
+    /// always land in the same segment.
+    pub fn folded_hash(&self) -> u64 {
+        self.hash
+    }
+
     /// The labels of this name, most-specific first, as borrowed slices.
     pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> {
         let body = &self.repr[..self.repr.len() - 1];
