@@ -314,6 +314,51 @@ mod tests {
     }
 
     #[test]
+    fn merge_shards_is_cell_count_agnostic() {
+        // Regression for the tunable-cell-count audit: the merge is
+        // parameterized purely by the parts vector, so a 64-cell
+        // layout — empty cells included — must behave exactly like the
+        // classic 16. Each occupied cell emits two results; times are
+        // chosen so cells tie pairwise and the merged order must fall
+        // back to part order.
+        let at = |ms| SimTime::from_millis(ms);
+        let mut parts = Vec::new();
+        let mut resolver_base = 0;
+        for cell in 0..64usize {
+            let mut ds = Dataset::new();
+            if cell % 4 != 3 {
+                // Two results per occupied cell; ties across cells at
+                // t = (cell / 2) ms.
+                for k in 0..2u64 {
+                    let mut r = result(cell as u32, true, Some(cell as u64), 1);
+                    r.at = at((cell as u64 / 2) + 100 * k);
+                    r.probe_idx = 0;
+                    r.resolver_idx = 0;
+                    ds.push(r);
+                }
+            }
+            parts.push((ds, cell * 3, resolver_base));
+            resolver_base += 2;
+        }
+        let merged = Dataset::merge_shards(parts);
+        assert_eq!(merged.len(), 96, "48 occupied cells x 2 results");
+        // Global order: non-decreasing time, part order on ties.
+        let mut last = (SimTime::ZERO, 0usize);
+        for r in merged.results() {
+            let key = (r.at, r.probe_idx);
+            assert!(key >= last, "order violated at probe_idx {}", r.probe_idx);
+            last = key;
+        }
+        // Rebase: every result carries its cell's probe base, so all
+        // probe indices are distinct multiples of 3.
+        let mut idx: Vec<usize> = merged.results().iter().map(|r| r.probe_idx).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 48);
+        assert!(idx.iter().all(|i| i % 3 == 0));
+    }
+
+    #[test]
     fn by_vp_groups_results() {
         let mut ds = Dataset::new();
         ds.push(result(1, true, Some(1), 1));

@@ -28,14 +28,21 @@ pub mod dataset;
 pub mod measurement;
 pub mod population;
 pub mod progress;
+pub mod scale;
 pub mod shard;
 
 pub use dataset::{Dataset, MeasurementResult};
 pub use measurement::{
     run_measurement, run_measurement_with_hooks, Hook, MeasurementSpec, QueryName,
 };
-pub use population::{Population, PopulationConfig, Probe, ResolverRef, VantagePoint};
+pub use population::{
+    DiurnalCurve, Population, PopulationConfig, Probe, ResolverRef, VantagePoint, ZipfSampler,
+};
 pub use progress::ProgressSink;
+pub use scale::{
+    run_zipf_campaign, run_zipf_campaign_profiled, run_zipf_cell, ProbeFrame, ZipfCampaignConfig,
+    ZipfCellOut, ZipfDataset, ZipfEngine, ZipfOutcome, ZipfRow, ZipfRunOpts,
+};
 pub use shard::{
     partition, partition_bases, run_cells, run_cells_profiled, ShardProfile, LOGICAL_SHARDS,
 };

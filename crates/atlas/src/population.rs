@@ -14,6 +14,153 @@ use dnsttl_core::PolicyMix;
 use dnsttl_netsim::{Region, SimRng};
 use dnsttl_resolver::{RecursiveResolver, RootHint};
 
+/// An exact seeded Zipf sampler over ranks `0..n`.
+///
+/// *Modeling and Predicting DNS Server Load* calibrates realistic
+/// query populations with Zipf-distributed name popularity; the scale
+/// campaigns here draw each probe's target rank from this sampler so
+/// hit-rate-vs-TTL curves reflect skewed, cache-sharing traffic rather
+/// than uniform-traffic artifacts.
+///
+/// Unlike [`SimRng::zipf`] (a fast continuous approximation, documented
+/// as unfit for exact statistics), this sampler materialises the exact
+/// normalised CDF of `P(rank = k) ∝ 1 / (k+1)^s` and inverts it by
+/// binary search: the empirical rank-frequency slope converges on the
+/// configured exponent, which `tests/zipf_invariants.rs` asserts.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cdf[k]` = P(rank ≤ k); the last entry is exactly 1.0.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Builds the CDF table for `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero — an empty popularity universe cannot be
+    /// sampled.
+    pub fn new(n: usize, exponent: f64) -> ZipfSampler {
+        assert!(n > 0, "Zipf universe must be non-empty");
+        let exponent = exponent.max(0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf, exponent }
+    }
+
+    /// Number of ranks in the universe.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the universe is empty (never — construction forbids
+    /// it — but clippy wants `len` paired with `is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Exact probability mass of one rank.
+    pub fn mass(&self, rank: usize) -> f64 {
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+
+    /// Exact probability mass of the `k` most popular ranks.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        self.cdf[k.min(self.cdf.len()) - 1]
+    }
+}
+
+/// A diurnal load curve: a clamped sinusoid that scales each probe's
+/// query rate over the simulated day, peaking at `peak_hour`.
+///
+/// `rate_at` returns the instantaneous rate multiplier
+/// `1 + amplitude · cos(2π · (hour − peak_hour) / 24)`, so a probe
+/// whose base inter-query interval is `base_ms` fires every
+/// `base_ms / rate` during the day. The amplitude is clamped below 1.0
+/// so the rate never reaches zero, and the warped interval is clamped
+/// to [`DiurnalCurve::min_interval_ms`] — the window width the SoA
+/// sweep relies on (a rescheduled probe can never re-fire inside the
+/// window that scheduled it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalCurve {
+    /// Peak-to-mean rate excess in `0.0..=0.95` (0 = flat load).
+    pub amplitude: f64,
+    /// Hour of the simulated day (0..24) when load peaks.
+    pub peak_hour: f64,
+}
+
+impl DiurnalCurve {
+    /// A flat curve: every interval is exactly the base interval.
+    pub fn flat() -> DiurnalCurve {
+        DiurnalCurve {
+            amplitude: 0.0,
+            peak_hour: 0.0,
+        }
+    }
+
+    /// A curve with the given amplitude (clamped to `0.0..=0.95`) and
+    /// peak hour (wrapped into `0..24`).
+    pub fn new(amplitude: f64, peak_hour: f64) -> DiurnalCurve {
+        DiurnalCurve {
+            amplitude: amplitude.clamp(0.0, 0.95),
+            peak_hour: peak_hour.rem_euclid(24.0),
+        }
+    }
+
+    /// Instantaneous rate multiplier at a simulation instant.
+    pub fn rate_at(&self, at_ms: u64) -> f64 {
+        let hour = (at_ms as f64 / 3_600_000.0) % 24.0;
+        let phase = (hour - self.peak_hour) * std::f64::consts::TAU / 24.0;
+        1.0 + self.amplitude * phase.cos()
+    }
+
+    /// The peak rate multiplier (`1 + amplitude`).
+    pub fn max_rate(&self) -> f64 {
+        1.0 + self.amplitude
+    }
+
+    /// Lower bound on any warped interval: `base_ms / max_rate`,
+    /// floored, never below 1 ms. This is the SoA sweep's window width.
+    pub fn min_interval_ms(&self, base_ms: u64) -> u64 {
+        ((base_ms as f64 / self.max_rate()).floor() as u64).max(1)
+    }
+
+    /// The next inter-query interval for a probe firing at `at_ms` with
+    /// base interval `base_ms`: the base warped by the instantaneous
+    /// rate, clamped to `min_interval_ms`.
+    pub fn interval_ms(&self, base_ms: u64, at_ms: u64) -> u64 {
+        let warped = (base_ms as f64 / self.rate_at(at_ms)).round() as u64;
+        warped.max(self.min_interval_ms(base_ms))
+    }
+}
+
 /// What a probe's resolver slot points at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResolverRef {

@@ -1,0 +1,825 @@
+//! The population scale path: Zipf/diurnal campaigns over
+//! struct-of-arrays probe state.
+//!
+//! The classic measurement engine ([`crate::run_measurement`]) keeps
+//! per-probe state in heap-allocated `Probe` structs and drives the
+//! schedule through a binary event queue — fine at the paper's ~9k
+//! probes, but at 10^5–10^6 probes the pointer chasing and per-event
+//! heap traffic dominate. This module flattens the hot per-probe state
+//! (next-fire time, popularity rank, resolver binding, per-probe
+//! counters) into cell-local [`ProbeFrame`] arrays and replaces the
+//! event queue with a **windowed linear sweep**:
+//!
+//! * fires execute in canonical `(fire_time_ms, probe_idx)` order;
+//! * the sweep window is [`DiurnalCurve::min_interval_ms`] wide — no
+//!   warped interval is ever shorter, so a probe rescheduled inside a
+//!   window always lands in a *later* window and one linear pass per
+//!   window finds exactly the fires that belong to it;
+//! * within a window the (few) due fires are sorted, so the execution
+//!   order is a pure function of probe state, independent of memory
+//!   layout.
+//!
+//! That last point is what the differential harness leans on: a
+//! retained pointer-based oracle ([`ZipfEngine::Oracle`]) drives the
+//! *same* per-fire routine through a `BinaryHeap` keyed by the same
+//! `(fire_time_ms, probe_idx)` tuple, and `tests/soa_equivalence.rs`
+//! proves the two engines produce bit-identical datasets, per-probe
+//! counters, cache statistics, and telemetry.
+//!
+//! Campaigns fan out over the logical-cell harness
+//! ([`crate::run_cells`]): each cell builds its own world and RNG from
+//! `shard_seed(run_seed, cell_id)`, so any power-of-two cell count is
+//! valid and the worker count never touches the output. The **cell
+//! count, unlike the worker count, is part of the experiment's
+//! identity** — changing it repartitions probes and reseeds cells.
+
+use crate::population::{DiurnalCurve, ZipfSampler};
+use crate::progress::ProgressSink;
+use crate::shard::{partition, partition_bases, run_cells_profiled, ShardProfile};
+use dnsttl_netsim::{shard_seed, LatencyModel, Network, Region, SimDuration, SimRng};
+use dnsttl_resolver::{CacheStats, RecursiveResolver, RootHint};
+use dnsttl_telemetry::{MetricKey, Telemetry, TelemetryParts};
+use dnsttl_wire::{Name, Rcode, RecordType, Ttl};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Campaign-level counters, keyed once so the hot loop never hashes
+/// metric names.
+const ZIPF_QUERIES: MetricKey = MetricKey::new("zipf_queries_total");
+const ZIPF_HITS: MetricKey = MetricKey::new("zipf_cache_hits_total");
+
+/// Configuration for one Zipf/diurnal population campaign.
+#[derive(Debug, Clone)]
+pub struct ZipfCampaignConfig {
+    /// Total probes across all cells (the scale knob: 10^5–10^6).
+    pub probes: usize,
+    /// Size of the queried-name universe (`r0.zipf` … `rN-1.zipf`).
+    pub names: usize,
+    /// Zipf exponent of name popularity (≈1.0 for web-like traffic).
+    pub exponent: f64,
+    /// Recursive resolver caches per cell; probes bind to one at build.
+    pub resolvers_per_cell: usize,
+    /// Base inter-query interval (the paper's measurement frequency).
+    pub frequency: SimDuration,
+    /// Campaign duration in simulated time.
+    pub duration: SimDuration,
+    /// Diurnal load curve warping each probe's interval.
+    pub diurnal: DiurnalCurve,
+    /// TTL of the authoritative `A` records being measured.
+    pub record_ttl: Ttl,
+    /// Logical cell count — **must be a power of two** (validated by
+    /// [`run_zipf_campaign`]). Part of the experiment's identity.
+    pub cells: usize,
+}
+
+impl ZipfCampaignConfig {
+    /// A small campaign for tests: `probes` probes over a short day.
+    pub fn small(probes: usize) -> ZipfCampaignConfig {
+        ZipfCampaignConfig {
+            probes,
+            names: (probes / 4).clamp(64, 2_048),
+            exponent: 1.0,
+            resolvers_per_cell: 4,
+            frequency: SimDuration::from_secs(600),
+            duration: SimDuration::from_hours(6),
+            diurnal: DiurnalCurve::new(0.6, 14.0),
+            // The paper's modal A-record TTL: longer than any warped
+            // polling interval, so repeat queries hit even in sparse
+            // test populations.
+            record_ttl: Ttl::HOUR,
+            cells: crate::shard::LOGICAL_SHARDS,
+        }
+    }
+
+    /// The large-scale configuration the bench trajectory runs: enough
+    /// cells (64) to saturate an 8-worker fan-out with headroom.
+    pub fn large(probes: usize) -> ZipfCampaignConfig {
+        ZipfCampaignConfig {
+            probes,
+            names: 2_048,
+            exponent: 1.1,
+            resolvers_per_cell: 4,
+            frequency: SimDuration::from_secs(600),
+            duration: SimDuration::from_hours(2),
+            diurnal: DiurnalCurve::new(0.6, 14.0),
+            record_ttl: Ttl::from_secs(300),
+            cells: 64,
+        }
+    }
+
+    /// Errors unless the cell count is a nonzero power of two. The
+    /// partition arithmetic works for any count, but restricting the
+    /// knob keeps the space of experiment identities enumerable (16,
+    /// 64, 256, …) instead of continuous.
+    pub fn validate_cells(&self) -> Result<(), String> {
+        if self.cells == 0 || !self.cells.is_power_of_two() {
+            return Err(format!(
+                "cell count must be a power of two, got {}",
+                self.cells
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which inner-loop engine drives a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfEngine {
+    /// The production path: flattened struct-of-arrays probe state,
+    /// windowed linear sweep.
+    Soa,
+    /// The differential oracle: one boxed struct per probe behind a
+    /// binary heap — the layout the SoA path replaced, retained so the
+    /// equivalence claim stays executable.
+    Oracle,
+}
+
+/// One query result row, compact enough to hold millions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfRow {
+    /// Fire time in simulated milliseconds.
+    pub at_ms: u64,
+    /// Global probe index (cell-local index + the cell's probe base).
+    pub probe: u32,
+    /// Popularity rank of the queried name.
+    pub rank: u32,
+    /// Global resolver index (rebased at merge).
+    pub resolver: u32,
+    /// Client-observed RTT: probe→resolver link plus resolver work.
+    pub rtt_ms: u32,
+    /// True when the resolver answered from cache.
+    pub cache_hit: bool,
+    /// True when the response was a usable NOERROR answer.
+    pub ok: bool,
+}
+
+/// A campaign dataset: rows in canonical `(at_ms, …)` merge order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZipfDataset {
+    rows: Vec<ZipfRow>,
+}
+
+impl ZipfDataset {
+    /// All rows.
+    pub fn rows(&self) -> &[ZipfRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no queries fired.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fraction of queries answered from cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().filter(|r| r.cache_hit).count() as f64 / self.rows.len() as f64
+    }
+
+    /// FNV-1a over every row in order: a cheap order-sensitive
+    /// fingerprint. Digest equality across worker counts (or engines)
+    /// certifies the identical row sequence.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+        };
+        for r in &self.rows {
+            mix(r.at_ms);
+            mix(r.probe as u64);
+            mix(r.rank as u64);
+            mix(r.resolver as u64);
+            mix(r.rtt_ms as u64);
+            mix(u64::from(r.cache_hit) << 1 | u64::from(r.ok));
+        }
+        h
+    }
+
+    /// Merges per-cell datasets into one, parameterized by however
+    /// many parts the caller produced — there is no fixed cell count
+    /// anywhere in the re-sequencing key. Each part's rows are already
+    /// sorted by fire time (the engines emit them that way); the merge
+    /// is a heap-based k-way merge on `(at_ms, part_idx)`, so
+    /// simultaneous fires in different cells land in cell order — the
+    /// same total order a single-cell run of the concatenated
+    /// population would produce. Resolver indices are rebased by each
+    /// part's `resolver_base`; probe indices are already global.
+    pub fn merge_cells(parts: Vec<(ZipfDataset, u32)>) -> ZipfDataset {
+        let total: usize = parts.iter().map(|(d, _)| d.len()).sum();
+        let mut rows = Vec::with_capacity(total);
+        let mut iters: Vec<_> = parts
+            .into_iter()
+            .map(|(d, base)| (d.rows.into_iter(), base))
+            .collect();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut heads: Vec<Option<ZipfRow>> = Vec::with_capacity(iters.len());
+        for (idx, (it, _)) in iters.iter_mut().enumerate() {
+            let head = it.next();
+            if let Some(r) = &head {
+                heap.push(Reverse((r.at_ms, idx)));
+            }
+            heads.push(head);
+        }
+        while let Some(Reverse((_, idx))) = heap.pop() {
+            let mut row = heads[idx].take().expect("head present while queued");
+            row.resolver += iters[idx].1;
+            rows.push(row);
+            if let Some(next) = iters[idx].0.next() {
+                heap.push(Reverse((next.at_ms, idx)));
+                heads[idx] = Some(next);
+            }
+        }
+        ZipfDataset { rows }
+    }
+}
+
+/// Cell-local probe state, flattened into struct-of-arrays buffers:
+/// the per-cell inner loop reads each array linearly instead of
+/// chasing one heap allocation per probe.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeFrame {
+    /// Next scheduled fire time per probe, in simulated ms.
+    pub next_fire_ms: Vec<u64>,
+    /// Popularity rank per probe (index into the name universe).
+    pub rank: Vec<u32>,
+    /// Cell-local resolver binding per probe (fixed at build).
+    pub resolver: Vec<u32>,
+    /// Probe→resolver link RTT per probe, in ms.
+    pub link_rtt_ms: Vec<u32>,
+    /// Queries issued per probe.
+    pub queries: Vec<u32>,
+    /// Cache hits observed per probe.
+    pub hits: Vec<u32>,
+}
+
+impl ProbeFrame {
+    /// Draws `probes` probes' static state and initial phases from
+    /// `rng`. Both engines share this routine, so their RNG
+    /// consumption is identical by construction.
+    pub fn build(
+        cfg: &ZipfCampaignConfig,
+        sampler: &ZipfSampler,
+        probes: usize,
+        rng: &mut SimRng,
+    ) -> ProbeFrame {
+        let base_ms = cfg.frequency.as_millis().max(1);
+        let resolvers = cfg.resolvers_per_cell.max(1) as u64;
+        let mut frame = ProbeFrame {
+            next_fire_ms: Vec::with_capacity(probes),
+            rank: Vec::with_capacity(probes),
+            resolver: Vec::with_capacity(probes),
+            link_rtt_ms: Vec::with_capacity(probes),
+            queries: vec![0; probes],
+            hits: vec![0; probes],
+        };
+        for _ in 0..probes {
+            frame.rank.push(sampler.sample(rng) as u32);
+            frame.resolver.push(rng.below(resolvers) as u32);
+            // LAN/ISP link: 1–8 ms, same band as Population::build.
+            frame.link_rtt_ms.push(1 + rng.below(8) as u32);
+            frame.next_fire_ms.push(rng.below(base_ms));
+        }
+        frame
+    }
+
+    /// Number of probes in the frame.
+    pub fn len(&self) -> usize {
+        self.next_fire_ms.len()
+    }
+
+    /// True when the frame holds no probes.
+    pub fn is_empty(&self) -> bool {
+        self.next_fire_ms.is_empty()
+    }
+}
+
+/// What one cell returns to the coordinator: plain data only (the
+/// world's `Rc`-backed handles never cross the thread boundary).
+#[derive(Debug, Default)]
+pub struct ZipfCellOut {
+    /// Rows in fire order; probe indices global, resolver indices
+    /// cell-local until [`ZipfDataset::merge_cells`] rebases them.
+    pub dataset: ZipfDataset,
+    /// Queries issued per cell-local probe.
+    pub queries: Vec<u32>,
+    /// Cache hits per cell-local probe.
+    pub hits: Vec<u32>,
+    /// Summed cache statistics over the cell's resolvers.
+    pub cache: CacheStats,
+    /// Resolver caches the cell instantiated.
+    pub resolvers: usize,
+}
+
+/// The merged campaign outcome.
+#[derive(Debug, Default)]
+pub struct ZipfOutcome {
+    /// All rows, merged in canonical order with global indices.
+    pub dataset: ZipfDataset,
+    /// Queries per probe, global probe order.
+    pub queries_per_probe: Vec<u32>,
+    /// Cache hits per probe, global probe order.
+    pub hits_per_probe: Vec<u32>,
+    /// Summed cache statistics across every cell's resolvers.
+    pub cache: CacheStats,
+    /// Total resolver caches across cells.
+    pub resolvers: usize,
+    /// Drained per-cell telemetry, in cell order, ready for
+    /// `Telemetry::absorb_shards` (empty when telemetry was off).
+    pub parts: Vec<TelemetryParts>,
+}
+
+/// Runtime options orthogonal to the experiment's identity: none of
+/// these may change a single output byte (`tests/shard_equivalence.rs`
+/// holds the worker knob to that; telemetry only adds observability
+/// artifacts).
+#[derive(Debug, Clone)]
+pub struct ZipfRunOpts {
+    /// Worker threads for the cell fan-out (throughput only).
+    pub workers: usize,
+    /// Inner-loop engine (the oracle exists for differential tests).
+    pub engine: ZipfEngine,
+    /// Collect telemetry parts (counters + sim-time series) per cell.
+    pub telemetry: bool,
+    /// Sim-time series bucket width, when telemetry is on.
+    pub ts_bucket_ms: u64,
+    /// Sim-time series span cap, when telemetry is on.
+    pub ts_span_cap: usize,
+    /// Optional heartbeat sink for long campaigns.
+    pub progress: Option<Arc<ProgressSink>>,
+}
+
+impl Default for ZipfRunOpts {
+    fn default() -> ZipfRunOpts {
+        ZipfRunOpts {
+            workers: 1,
+            engine: ZipfEngine::Soa,
+            telemetry: false,
+            ts_bucket_ms: dnsttl_telemetry::DEFAULT_TS_BUCKET_MS,
+            ts_span_cap: dnsttl_telemetry::DEFAULT_TS_SPAN_CAP,
+            progress: None,
+        }
+    }
+}
+
+/// Builds one cell's authoritative world: a root delegating `zipf` to
+/// a child zone holding one `A` record per universe name.
+fn zipf_world(names: usize, record_ttl: Ttl) -> (Network, Vec<RootHint>) {
+    use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};
+    use std::cell::RefCell;
+    use std::net::IpAddr;
+    use std::rc::Rc;
+
+    let root_addr: IpAddr = "198.41.0.4".parse().expect("static");
+    let child_addr: IpAddr = "192.0.2.53".parse().expect("static");
+    let root = AuthoritativeServer::new("root").with_zone(
+        ZoneBuilder::new(".")
+            .ns("zipf", "ns.zipf", Ttl::TWO_DAYS)
+            .a("ns.zipf", "192.0.2.53", Ttl::TWO_DAYS)
+            .build(),
+    );
+    let mut child_zone = ZoneBuilder::new("zipf").ns("zipf", "ns.zipf", Ttl::HOUR).a(
+        "ns.zipf",
+        "192.0.2.53",
+        Ttl::HOUR,
+    );
+    for k in 0..names {
+        let addr = format!("10.{}.{}.{}", (k >> 16) & 255, (k >> 8) & 255, k & 255);
+        child_zone = child_zone.a(&format!("r{k}.zipf"), &addr, record_ttl);
+    }
+    let child = AuthoritativeServer::new("ns.zipf").with_zone(child_zone.build());
+    let mut net = Network::new(LatencyModel::constant(5.0));
+    net.register(root_addr, Region::Eu, Rc::new(RefCell::new(root)));
+    net.register(child_addr, Region::Eu, Rc::new(RefCell::new(child)));
+    let roots = vec![RootHint {
+        ns_name: Name::parse("root").expect("static"),
+        addr: root_addr,
+    }];
+    (net, roots)
+}
+
+/// Executes one fire: resolve the probe's name, record the row, bump
+/// campaign counters. Both engines call this with identical arguments
+/// in identical order, so per-query behaviour is engine-invariant by
+/// construction. Returns whether the resolver answered from cache.
+#[allow(clippy::too_many_arguments)]
+fn fire_one(
+    t_ms: u64,
+    global_probe: u32,
+    rank: u32,
+    resolver_local: u32,
+    link_rtt_ms: u32,
+    names: &[Name],
+    resolvers: &mut [RecursiveResolver],
+    net: &mut Network,
+    telemetry: &Telemetry,
+    out: &mut ZipfDataset,
+) -> bool {
+    let qname = &names[rank as usize];
+    let now = dnsttl_netsim::SimTime::from_millis(t_ms);
+    let outcome = resolvers[resolver_local as usize].resolve(qname, RecordType::A, now, net);
+    let ok = outcome.answer.header.rcode == Rcode::NoError && !outcome.answer.answers.is_empty();
+    let row = ZipfRow {
+        at_ms: t_ms,
+        probe: global_probe,
+        rank,
+        resolver: resolver_local,
+        rtt_ms: link_rtt_ms + outcome.elapsed.as_millis() as u32,
+        cache_hit: outcome.cache_hit,
+        ok,
+    };
+    out.rows.push(row);
+    telemetry.count_keyed_at(&ZIPF_QUERIES, 1, t_ms);
+    if outcome.cache_hit {
+        telemetry.count_keyed_at(&ZIPF_HITS, 1, t_ms);
+    }
+    outcome.cache_hit
+}
+
+/// Runs one cell end to end with the chosen engine.
+///
+/// The RNG stream is `shard_seed`-derived by the caller; world
+/// construction, resolver forks, and frame build consume it in a fixed
+/// order shared by both engines.
+#[allow(clippy::too_many_arguments)]
+pub fn run_zipf_cell(
+    cfg: &ZipfCampaignConfig,
+    sampler: &ZipfSampler,
+    names: &[Name],
+    cell_probes: usize,
+    probe_base: u32,
+    seed: u64,
+    engine: ZipfEngine,
+    telemetry: &Telemetry,
+) -> ZipfCellOut {
+    if cell_probes == 0 {
+        // Nothing to simulate: skip world construction entirely so an
+        // oversized cell count doesn't pay for empty worlds. Zero
+        // resolvers keeps the merge rebase exact.
+        return ZipfCellOut::default();
+    }
+    let (mut net, roots) = zipf_world(names.len(), cfg.record_ttl);
+    let mut rng = SimRng::seed_from(seed);
+    let mut resolvers: Vec<RecursiveResolver> = (0..cfg.resolvers_per_cell.max(1))
+        .map(|i| {
+            RecursiveResolver::new(
+                format!("zipf-{probe_base}-{i}"),
+                dnsttl_core::ResolverPolicy::default(),
+                Region::Eu,
+                i as u64,
+                roots.clone(),
+                rng.fork(1_000_000 + i as u64),
+            )
+        })
+        .collect();
+    let mut frame = ProbeFrame::build(cfg, sampler, cell_probes, &mut rng);
+
+    let mut dataset = ZipfDataset::default();
+    let base_ms = cfg.frequency.as_millis().max(1);
+    let end_ms = cfg.duration.as_millis();
+    match engine {
+        ZipfEngine::Soa => {
+            run_soa_sweep(
+                cfg,
+                &mut frame,
+                probe_base,
+                names,
+                &mut resolvers,
+                &mut net,
+                telemetry,
+                &mut dataset,
+                base_ms,
+                end_ms,
+            );
+        }
+        ZipfEngine::Oracle => {
+            run_oracle(
+                cfg,
+                &mut frame,
+                probe_base,
+                names,
+                &mut resolvers,
+                &mut net,
+                telemetry,
+                &mut dataset,
+                base_ms,
+                end_ms,
+            );
+        }
+    }
+
+    let mut cache = CacheStats::default();
+    for r in &resolvers {
+        cache.absorb(&r.cache().stats());
+    }
+    ZipfCellOut {
+        dataset,
+        queries: frame.queries,
+        hits: frame.hits,
+        cache,
+        resolvers: resolvers.len(),
+    }
+}
+
+/// The production inner loop: windowed linear sweep over the SoA
+/// frame. Each pass scans `next_fire_ms` linearly, collects the fires
+/// due inside the window, sorts that (small) batch into canonical
+/// `(t, probe)` order, and executes it. Because every warped interval
+/// is at least the window width, a rescheduled probe always lands in a
+/// later window — each probe fires at most once per pass.
+#[allow(clippy::too_many_arguments)]
+fn run_soa_sweep(
+    cfg: &ZipfCampaignConfig,
+    frame: &mut ProbeFrame,
+    probe_base: u32,
+    names: &[Name],
+    resolvers: &mut [RecursiveResolver],
+    net: &mut Network,
+    telemetry: &Telemetry,
+    dataset: &mut ZipfDataset,
+    base_ms: u64,
+    end_ms: u64,
+) {
+    let window = cfg.diurnal.min_interval_ms(base_ms);
+    let mut batch: Vec<(u64, u32)> = Vec::new();
+    let mut window_start = 0u64;
+    while window_start < end_ms {
+        let window_end = window_start.saturating_add(window).min(end_ms);
+        batch.clear();
+        for (i, &t) in frame.next_fire_ms.iter().enumerate() {
+            if t < window_end {
+                debug_assert!(t >= window_start, "fire escaped an earlier window");
+                batch.push((t, i as u32));
+            }
+        }
+        batch.sort_unstable();
+        for &(t, i) in &batch {
+            let idx = i as usize;
+            let hit = fire_one(
+                t,
+                probe_base + i,
+                frame.rank[idx],
+                frame.resolver[idx],
+                frame.link_rtt_ms[idx],
+                names,
+                resolvers,
+                net,
+                telemetry,
+                dataset,
+            );
+            frame.queries[idx] += 1;
+            frame.hits[idx] += u32::from(hit);
+            let next = t + cfg.diurnal.interval_ms(base_ms, t);
+            debug_assert!(next >= window_end || window_end == end_ms);
+            frame.next_fire_ms[idx] = next;
+        }
+        window_start = window_end;
+    }
+}
+
+/// The pointer-based oracle: one boxed struct per probe (the layout
+/// the SoA frame replaced) behind a binary heap keyed by the canonical
+/// `(fire_time_ms, probe_idx)` tuple. Deliberately *not* the netsim
+/// `EventQueue`, whose ties break by insertion order — rescheduling
+/// would then diverge from the canonical order the sweep sorts into.
+#[allow(clippy::too_many_arguments)]
+fn run_oracle(
+    cfg: &ZipfCampaignConfig,
+    frame: &mut ProbeFrame,
+    probe_base: u32,
+    names: &[Name],
+    resolvers: &mut [RecursiveResolver],
+    net: &mut Network,
+    telemetry: &Telemetry,
+    dataset: &mut ZipfDataset,
+    base_ms: u64,
+    end_ms: u64,
+) {
+    struct OracleProbe {
+        rank: u32,
+        resolver: u32,
+        link_rtt_ms: u32,
+        queries: u32,
+        hits: u32,
+    }
+    let mut probes: Vec<Box<OracleProbe>> = (0..frame.len())
+        .map(|i| {
+            Box::new(OracleProbe {
+                rank: frame.rank[i],
+                resolver: frame.resolver[i],
+                link_rtt_ms: frame.link_rtt_ms[i],
+                queries: 0,
+                hits: 0,
+            })
+        })
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = frame
+        .next_fire_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Reverse((t, i as u32)))
+        .collect();
+    while let Some(Reverse((t, i))) = heap.pop() {
+        if t >= end_ms {
+            continue; // past the horizon: drop without rescheduling
+        }
+        let p = &mut probes[i as usize];
+        let hit = fire_one(
+            t,
+            probe_base + i,
+            p.rank,
+            p.resolver,
+            p.link_rtt_ms,
+            names,
+            resolvers,
+            net,
+            telemetry,
+            dataset,
+        );
+        p.queries += 1;
+        p.hits += u32::from(hit);
+        heap.push(Reverse((t + cfg.diurnal.interval_ms(base_ms, t), i)));
+    }
+    for (i, p) in probes.iter().enumerate() {
+        frame.queries[i] = p.queries;
+        frame.hits[i] = p.hits;
+    }
+}
+
+/// Runs a full campaign: partitions probes over `cfg.cells` logical
+/// cells, executes them on `opts.workers` threads, and merges every
+/// output in fixed cell order. Byte-identical for any worker count.
+///
+/// # Panics
+/// Panics when `cfg.cells` is not a power of two — CLI layers validate
+/// first ([`ZipfCampaignConfig::validate_cells`]).
+pub fn run_zipf_campaign(
+    cfg: &ZipfCampaignConfig,
+    run_seed: u64,
+    opts: &ZipfRunOpts,
+) -> ZipfOutcome {
+    run_zipf_campaign_profiled(cfg, run_seed, opts).0
+}
+
+/// [`run_zipf_campaign`] plus the wall-clock [`ShardProfile`] of the
+/// fan-out (bench attribution; never enters deterministic artifacts).
+pub fn run_zipf_campaign_profiled(
+    cfg: &ZipfCampaignConfig,
+    run_seed: u64,
+    opts: &ZipfRunOpts,
+) -> (ZipfOutcome, ShardProfile) {
+    cfg.validate_cells().expect("validated by CLI layers");
+    let sampler = ZipfSampler::new(cfg.names.max(1), cfg.exponent);
+    let names: Vec<Name> = (0..cfg.names.max(1))
+        .map(|k| Name::parse(&format!("r{k}.zipf")).expect("static name shape"))
+        .collect();
+    let sizes = partition(cfg.probes, cfg.cells);
+    let bases = partition_bases(&sizes);
+
+    let (cell_outs, profile) = run_cells_profiled(opts.workers, cfg.cells, |cell| {
+        let telemetry = if opts.telemetry {
+            let t = Telemetry::new();
+            t.configure_timeseries(opts.ts_bucket_ms, opts.ts_span_cap);
+            t
+        } else {
+            Telemetry::disabled()
+        };
+        let out = run_zipf_cell(
+            cfg,
+            &sampler,
+            &names,
+            sizes[cell],
+            bases[cell] as u32,
+            shard_seed(run_seed, cell as u64),
+            opts.engine,
+            &telemetry,
+        );
+        if let Some(sink) = &opts.progress {
+            sink.cell_finished(cfg.duration.as_millis(), out.dataset.len() as u64);
+        }
+        (out, telemetry.take_parts())
+    });
+
+    let mut outcome = ZipfOutcome::default();
+    let mut ds_parts = Vec::with_capacity(cell_outs.len());
+    let mut resolver_base = 0u32;
+    for (out, parts) in cell_outs {
+        ds_parts.push((out.dataset, resolver_base));
+        resolver_base += out.resolvers as u32;
+        outcome.resolvers += out.resolvers;
+        outcome.queries_per_probe.extend_from_slice(&out.queries);
+        outcome.hits_per_probe.extend_from_slice(&out.hits);
+        outcome.cache.absorb(&out.cache);
+        outcome.parts.push(parts);
+    }
+    if !opts.telemetry {
+        outcome.parts.clear();
+    }
+    outcome.dataset = ZipfDataset::merge_cells(ds_parts);
+    (outcome, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ZipfCampaignConfig {
+        let mut cfg = ZipfCampaignConfig::small(96);
+        cfg.cells = 4;
+        cfg.duration = SimDuration::from_hours(1);
+        cfg
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_merges_all_probes() {
+        let cfg = tiny_cfg();
+        let a = run_zipf_campaign(&cfg, 7, &ZipfRunOpts::default());
+        let b = run_zipf_campaign(&cfg, 7, &ZipfRunOpts::default());
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.queries_per_probe.len(), cfg.probes);
+        assert_eq!(a.dataset.digest(), b.dataset.digest());
+        assert!(!a.dataset.is_empty());
+        let total: u64 = a.queries_per_probe.iter().map(|&q| q as u64).sum();
+        assert_eq!(total, a.dataset.len() as u64);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let cfg = tiny_cfg();
+        let seq = run_zipf_campaign(&cfg, 11, &ZipfRunOpts::default());
+        for workers in [2, 4, 8] {
+            let par = run_zipf_campaign(
+                &cfg,
+                11,
+                &ZipfRunOpts {
+                    workers,
+                    ..ZipfRunOpts::default()
+                },
+            );
+            assert_eq!(seq.dataset, par.dataset, "workers={workers}");
+            assert_eq!(seq.queries_per_probe, par.queries_per_probe);
+            assert_eq!(seq.cache, par.cache);
+        }
+    }
+
+    #[test]
+    fn cell_count_is_part_of_identity() {
+        let cfg16 = tiny_cfg();
+        let mut cfg8 = tiny_cfg();
+        cfg8.cells = 8;
+        let a = run_zipf_campaign(&cfg16, 5, &ZipfRunOpts::default());
+        let b = run_zipf_campaign(&cfg8, 5, &ZipfRunOpts::default());
+        assert_ne!(
+            a.dataset.digest(),
+            b.dataset.digest(),
+            "repartitioning must reseed cells"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_cells_rejected() {
+        let mut cfg = tiny_cfg();
+        cfg.cells = 12;
+        assert!(cfg.validate_cells().is_err());
+        cfg.cells = 64;
+        assert!(cfg.validate_cells().is_ok());
+    }
+
+    #[test]
+    fn merge_handles_empty_and_unbalanced_parts() {
+        let row = |at_ms: u64, probe: u32, resolver: u32| ZipfRow {
+            at_ms,
+            probe,
+            rank: 0,
+            resolver,
+            rtt_ms: 1,
+            cache_hit: false,
+            ok: true,
+        };
+        let a = ZipfDataset {
+            rows: vec![row(5, 0, 0), row(9, 1, 1)],
+        };
+        let b = ZipfDataset::default();
+        let c = ZipfDataset {
+            rows: vec![row(5, 2, 0)],
+        };
+        let merged = ZipfDataset::merge_cells(vec![(a, 0), (b, 4), (c, 6)]);
+        let got: Vec<(u64, u32, u32)> = merged
+            .rows()
+            .iter()
+            .map(|r| (r.at_ms, r.probe, r.resolver))
+            .collect();
+        // Tie at t=5 lands in part (cell) order; resolvers rebased.
+        assert_eq!(got, vec![(5, 0, 0), (5, 2, 6), (9, 1, 1)]);
+    }
+}

@@ -88,12 +88,19 @@ impl ShardProfile {
     }
 }
 
-/// Number of logical shards a sharded run is partitioned into.
+/// Default number of logical cells a sharded run is partitioned into.
 ///
-/// Fixed and independent of the worker-thread count (`--shards N` picks
-/// workers, not cells): results depend only on the cell partition, so a
-/// laptop run with one worker and a 16-core run with eight workers
-/// replay the exact same cells and merge to the same bytes.
+/// Independent of the worker-thread count (`--shards N` picks workers,
+/// not cells): results depend only on the cell partition, so a laptop
+/// run with one worker and a 16-core run with eight workers replay the
+/// exact same cells and merge to the same bytes.
+///
+/// The count is a *tunable* power of two (`--cells` /
+/// `ExpConfig::cells`), but tunable means **identity-changing**:
+/// repartitioning moves probes between cells and reseeds their RNG
+/// streams, so outputs are only comparable at a fixed cell count. This
+/// default is deliberately host-independent — scale campaigns that want
+/// to saturate wider machines opt into 64 or 256 cells explicitly.
 pub const LOGICAL_SHARDS: usize = 16;
 
 /// Splits `total` items into `cells` contiguous partition sizes.

@@ -1,0 +1,115 @@
+//! Differential harness for the two Zipf campaign engines.
+//!
+//! The struct-of-arrays sweep (`ZipfEngine::Soa`) is the fast path; the
+//! pointer-based heap engine (`ZipfEngine::Oracle`) is the retained
+//! reference implementation. Both must produce **bit-identical**
+//! output — datasets row for row, per-probe counters, merged cache
+//! statistics, and the telemetry artifacts (sim-time series and
+//! Prometheus text) — for any seed, worker count, and cell count.
+//! Shared `ProbeFrame::build` and `fire_one` make that true by
+//! construction; this suite is what keeps it true.
+
+use dnsttl_atlas::{ZipfCampaignConfig, ZipfEngine, ZipfOutcome, ZipfRunOpts};
+use dnsttl_telemetry::Telemetry;
+
+fn campaign(cells: usize) -> ZipfCampaignConfig {
+    let mut cfg = ZipfCampaignConfig::small(240);
+    cfg.cells = cells;
+    cfg
+}
+
+fn run(cfg: &ZipfCampaignConfig, seed: u64, engine: ZipfEngine, workers: usize) -> ZipfOutcome {
+    let opts = ZipfRunOpts {
+        workers,
+        engine,
+        telemetry: true,
+        ..ZipfRunOpts::default()
+    };
+    dnsttl_atlas::run_zipf_campaign(cfg, seed, &opts)
+}
+
+/// Folds an outcome's drained per-cell telemetry into a fresh handle
+/// and renders the two deterministic artifacts.
+fn telemetry_artifacts(outcome: ZipfOutcome) -> (String, String) {
+    let telemetry = Telemetry::new();
+    telemetry.absorb_shards(outcome.parts);
+    (telemetry.timeseries_jsonl(), telemetry.prometheus_text())
+}
+
+fn assert_bit_identical(cfg: &ZipfCampaignConfig, seed: u64, label: &str) {
+    let soa = run(cfg, seed, ZipfEngine::Soa, 1);
+    let oracle = run(cfg, seed, ZipfEngine::Oracle, 1);
+
+    // Row-level equality first (the digest alone would hide where a
+    // divergence starts); then the digest, which the bench gate uses.
+    assert_eq!(
+        soa.dataset.rows().len(),
+        oracle.dataset.rows().len(),
+        "{label}: row counts"
+    );
+    for (i, (a, b)) in soa
+        .dataset
+        .rows()
+        .iter()
+        .zip(oracle.dataset.rows())
+        .enumerate()
+    {
+        assert_eq!(a, b, "{label}: first divergent row at index {i}");
+    }
+    assert_eq!(soa.dataset.digest(), oracle.dataset.digest(), "{label}");
+
+    // Per-probe accounting and the summed cache ledger.
+    assert_eq!(soa.queries_per_probe, oracle.queries_per_probe, "{label}");
+    assert_eq!(soa.hits_per_probe, oracle.hits_per_probe, "{label}");
+    assert_eq!(soa.cache, oracle.cache, "{label}: cache stats");
+    assert_eq!(soa.resolvers, oracle.resolvers, "{label}");
+
+    // Telemetry: both engines must emit the same counters at the same
+    // simulated instants, so the rendered artifacts match byte for
+    // byte.
+    let (soa_ts, soa_prom) = telemetry_artifacts(soa);
+    let (oracle_ts, oracle_prom) = telemetry_artifacts(oracle);
+    assert_eq!(soa_ts, oracle_ts, "{label}: timeseries bytes");
+    assert_eq!(soa_prom, oracle_prom, "{label}: prometheus bytes");
+    assert!(
+        soa_ts.contains("zipf_queries_total"),
+        "{label}: the comparison must not pass on empty telemetry"
+    );
+}
+
+#[test]
+fn engines_agree_bit_for_bit_across_seeds() {
+    let cfg = campaign(16);
+    for seed in [42, 0xDEAD_BEEF] {
+        assert_bit_identical(&cfg, seed, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn engines_agree_at_nondefault_cell_counts() {
+    for cells in [4, 64] {
+        let cfg = campaign(cells);
+        assert_bit_identical(&cfg, 7, &format!("cells {cells}"));
+    }
+}
+
+#[test]
+fn engines_agree_with_a_flat_curve_and_heavy_skew() {
+    // Degenerate corners: no diurnal warping (window == base interval)
+    // and a near-single-name universe (maximum cache sharing).
+    let mut cfg = campaign(8);
+    cfg.diurnal = dnsttl_atlas::DiurnalCurve::flat();
+    cfg.exponent = 2.5;
+    assert_bit_identical(&cfg, 99, "flat+skew");
+}
+
+#[test]
+fn oracle_is_worker_count_invariant_too() {
+    // The differential suite leans on the 1-worker oracle; make sure
+    // the oracle itself is scheduling-independent before trusting it.
+    let cfg = campaign(16);
+    let one = run(&cfg, 42, ZipfEngine::Oracle, 1);
+    let eight = run(&cfg, 42, ZipfEngine::Oracle, 8);
+    assert_eq!(one.dataset.digest(), eight.dataset.digest());
+    assert_eq!(one.cache, eight.cache);
+}

@@ -1,0 +1,158 @@
+//! Property tests for the scale campaign's statistical machinery:
+//! the exact Zipf sampler and the diurnal load curve.
+//!
+//! The claims are analytic, so the tests compare empirical draws
+//! against closed-form expectations — rank-frequency slope against the
+//! configured exponent, head/tail mass against the CDF, and the
+//! curve's clamping and window bounds the SoA sweep depends on.
+
+use dnsttl_atlas::{DiurnalCurve, ZipfSampler};
+use dnsttl_netsim::SimRng;
+
+/// Draws `n` samples and returns per-rank counts.
+fn histogram(sampler: &ZipfSampler, seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut counts = vec![0u64; sampler.len()];
+    for _ in 0..n {
+        counts[sampler.sample(&mut rng)] += 1;
+    }
+    counts
+}
+
+#[test]
+fn rank_frequency_slope_matches_the_exponent() {
+    // On a log-log plot, Zipf(s) rank frequencies fall on a line of
+    // slope −s. Fit the head (well-populated ranks) by least squares
+    // and require the recovered exponent within 5% of the configured
+    // one, for two different exponents.
+    for exponent in [0.8, 1.2] {
+        let sampler = ZipfSampler::new(500, exponent);
+        let counts = histogram(&sampler, 42, 400_000);
+        let pts: Vec<(f64, f64)> = counts
+            .iter()
+            .enumerate()
+            .take(30)
+            .map(|(rank, &c)| (((rank + 1) as f64).ln(), (c.max(1) as f64).ln()))
+            .collect();
+        let n = pts.len() as f64;
+        let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+        let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!(
+            (-slope - exponent).abs() < 0.05 * exponent,
+            "fitted slope {slope:.3} for exponent {exponent}"
+        );
+    }
+}
+
+#[test]
+fn head_and_tail_mass_match_the_analytic_cdf() {
+    let sampler = ZipfSampler::new(1_000, 1.0);
+    let draws = 500_000usize;
+    let counts = histogram(&sampler, 7, draws);
+    for k in [1, 10, 100] {
+        let empirical = counts.iter().take(k).sum::<u64>() as f64 / draws as f64;
+        let analytic = sampler.head_mass(k);
+        assert!(
+            (empirical - analytic).abs() < 0.01,
+            "head({k}): empirical {empirical:.4}, analytic {analytic:.4}"
+        );
+    }
+    // The tail complement follows from the same CDF.
+    let tail = counts.iter().skip(100).sum::<u64>() as f64 / draws as f64;
+    assert!((tail - (1.0 - sampler.head_mass(100))).abs() < 0.01);
+    // Per-rank masses sum to one and decrease monotonically.
+    let total: f64 = (0..sampler.len()).map(|r| sampler.mass(r)).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    for r in 1..sampler.len() {
+        assert!(sampler.mass(r) <= sampler.mass(r - 1) + 1e-12, "rank {r}");
+    }
+}
+
+#[test]
+fn sampling_is_exactly_deterministic() {
+    let sampler = ZipfSampler::new(128, 1.1);
+    let draw = |seed: u64| -> Vec<usize> {
+        let mut rng = SimRng::seed_from(seed);
+        (0..2_000).map(|_| sampler.sample(&mut rng)).collect()
+    };
+    assert_eq!(draw(1234), draw(1234), "same seed, same sequence");
+    assert_ne!(draw(1234), draw(1235), "different seed, different draws");
+    // A rebuilt sampler is bit-identical: the CDF depends only on
+    // (n, exponent), never on iteration order or host state.
+    let rebuilt = ZipfSampler::new(128, 1.1);
+    let mut a = SimRng::seed_from(9);
+    let mut b = SimRng::seed_from(9);
+    for _ in 0..2_000 {
+        assert_eq!(sampler.sample(&mut a), rebuilt.sample(&mut b));
+    }
+}
+
+#[test]
+fn extreme_exponents_stay_well_formed() {
+    // s = 0 is the uniform distribution.
+    let uniform = ZipfSampler::new(10, 0.0);
+    for r in 0..10 {
+        assert!((uniform.mass(r) - 0.1).abs() < 1e-12, "rank {r}");
+    }
+    // A negative exponent clamps to uniform rather than inverting the
+    // popularity order.
+    assert_eq!(ZipfSampler::new(10, -3.0).exponent(), 0.0);
+    // A strongly skewed universe still covers every rank in the CDF.
+    let skewed = ZipfSampler::new(50, 3.0);
+    assert!(skewed.head_mass(1) > 0.8);
+    assert!((skewed.head_mass(50) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn flat_curve_never_warps_the_interval() {
+    let flat = DiurnalCurve::flat();
+    for hour in 0..48 {
+        let at_ms = hour * 3_600_000;
+        assert_eq!(flat.interval_ms(600_000, at_ms), 600_000);
+        assert!((flat.rate_at(at_ms) - 1.0).abs() < 1e-12);
+    }
+    assert_eq!(flat.min_interval_ms(600_000), 600_000);
+}
+
+#[test]
+fn diurnal_peak_is_faster_than_the_trough() {
+    let curve = DiurnalCurve::new(0.6, 14.0);
+    let at = |hour: f64| (hour * 3_600_000.0) as u64;
+    // Rate peaks at the configured hour and bottoms out 12 h away.
+    assert!(curve.rate_at(at(14.0)) > curve.rate_at(at(2.0)));
+    assert!((curve.rate_at(at(14.0)) - 1.6).abs() < 1e-9);
+    assert!((curve.rate_at(at(2.0)) - 0.4).abs() < 1e-9);
+    // Faster rate, shorter interval.
+    assert!(curve.interval_ms(600_000, at(14.0)) < curve.interval_ms(600_000, at(2.0)));
+    // The curve is 24h-periodic.
+    assert_eq!(
+        curve.interval_ms(600_000, at(14.0)),
+        curve.interval_ms(600_000, at(38.0))
+    );
+}
+
+#[test]
+fn warped_intervals_respect_the_soa_window_bound() {
+    // The SoA sweep's correctness hinges on this: every warped interval
+    // is at least `min_interval_ms`, so a probe rescheduled inside a
+    // window can never land back inside the same window.
+    for (amplitude, peak) in [(0.0, 0.0), (0.3, 6.0), (0.95, 23.5), (2.0, -5.0)] {
+        let curve = DiurnalCurve::new(amplitude, peak);
+        let window = curve.min_interval_ms(600_000);
+        assert!(window >= 1);
+        for step in 0..24 * 4 {
+            let at_ms = step * 900_000; // every 15 simulated minutes
+            let interval = curve.interval_ms(600_000, at_ms);
+            assert!(
+                interval >= window,
+                "amplitude {amplitude}, t {at_ms}: interval {interval} < window {window}"
+            );
+        }
+    }
+    // Clamps: amplitude never reaches 1.0, peak hour wraps into 0..24.
+    let clamped = DiurnalCurve::new(2.0, -5.0);
+    assert!(clamped.amplitude <= 0.95);
+    assert!((0.0..24.0).contains(&clamped.peak_hour));
+}

@@ -8,6 +8,7 @@
 //! repro --smoke resilience   # tiny populations, CSVs kept
 //! repro --seed 7 fig10       # different random world
 //! repro --shards 4 fig1      # sharded engine on 4 worker threads
+//! repro --cells 64 zipf-population   # tunable cell layout (identity-changing)
 //! repro --metrics fig6       # + metrics dashboard and Prometheus text
 //! repro --list               # show available artifact ids
 //!
@@ -29,7 +30,7 @@
 
 use dnsttl_experiments::{
     bailiwick_exp, centricity, controlled, crawl_exp, extensions, flightdeck, insight, passive_nl,
-    resilience, rundiff, shared_cache, table1, timeline, uy_latency, ExpConfig, Report,
+    resilience, rundiff, shared_cache, table1, timeline, uy_latency, zipf, ExpConfig, Report,
 };
 use dnsttl_telemetry::{RunManifest, Telemetry};
 
@@ -89,6 +90,10 @@ const ARTIFACTS: &[(&str, &str)] = &[
         "shared-cache",
         "hit rate and latency vs TTL: shared concurrent cache vs partitioned caches",
     ),
+    (
+        "zipf-population",
+        "Zipf/diurnal population campaign at scale (§5–6 calibration)",
+    ),
 ];
 
 /// Which experiment module regenerates an artifact. Artifacts sharing
@@ -107,6 +112,7 @@ fn module_of(id: &str) -> &'static str {
         "cache-report" => "insight",
         "resilience" => "resilience",
         "shared-cache" => "shared_cache",
+        "zipf-population" => "zipf",
         other => {
             eprintln!("unknown artifact {other:?}; try --list");
             std::process::exit(2);
@@ -127,6 +133,7 @@ fn produce(module: &str, cfg: &ExpConfig) -> Vec<Report> {
         "insight" => insight::run(cfg),
         "resilience" => resilience::run(cfg),
         "shared_cache" => shared_cache::run(cfg),
+        "zipf" => zipf::run(cfg),
         _ => unreachable!("module_of only returns known modules"),
     }
 }
@@ -304,6 +311,18 @@ fn run_bench(args: &[String]) -> ! {
         } else {
             eprintln!("fanout check failed:");
             for f in &fanout {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        // The scale campaign must show *actual* parallel speedup,
+        // scaled to the cores of the host that produced the report.
+        let speedup = report.speedup_failures(FANOUT_TOLERANCE);
+        if speedup.is_empty() {
+            println!("speedup check passed: zipf_population_w8 meets the host-scaled target");
+        } else {
+            eprintln!("speedup check failed:");
+            for f in &speedup {
                 eprintln!("  {f}");
             }
             std::process::exit(1);
@@ -590,6 +609,23 @@ fn main() {
                 }
                 cfg.shards = Some(n);
             }
+            // Logical cell count for sharded campaigns. Unlike
+            // `--shards`, this IS part of the experiment's identity:
+            // a different partition means different per-cell RNG
+            // streams. Restricted to powers of two so the space of
+            // comparable identities stays enumerable (16, 64, 256, …).
+            "--cells" => {
+                let v = args.next().unwrap_or_default();
+                let n: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--cells needs an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                if n == 0 || !n.is_power_of_two() {
+                    eprintln!("--cells must be a power of two (16, 64, 256, …), got {n}");
+                    std::process::exit(2);
+                }
+                cfg.cells = Some(n);
+            }
             "--no-csv" => cfg.out_dir = None,
             // Redirect artifacts (CSVs, manifests, traces, time series)
             // to DIR; the CI self-diff stage uses this to lay two runs
@@ -626,7 +662,7 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--paper-scale|--quick|--smoke] [--seed N] [--probes N] [--shards N] [--out DIR|--no-csv] [--progress] [--ts-bucket-ms N] [--metrics] <artifact…|all>");
+        eprintln!("usage: repro [--paper-scale|--quick|--smoke] [--seed N] [--probes N] [--shards N] [--cells N] [--out DIR|--no-csv] [--progress] [--ts-bucket-ms N] [--metrics] <artifact…|all>");
         eprintln!("       repro --list");
         std::process::exit(2);
     }

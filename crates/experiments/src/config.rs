@@ -30,6 +30,16 @@ pub struct ExpConfig {
     /// campaigns into fixed logical shards executed on `n` workers —
     /// output is byte-identical for every `n` (see DESIGN.md §10).
     pub shards: Option<usize>,
+    /// Logical cell count for sharded campaigns — a power of two
+    /// (`--cells`). Unlike `shards` (a pure throughput knob), the cell
+    /// count **is part of the experiment's identity**: it fixes the
+    /// probe partition and the per-cell RNG streams, so outputs are
+    /// only comparable at a fixed cell count. `None` keeps each
+    /// module's default — the classic 16-cell layout for the paper
+    /// experiments, 64 for the scale campaigns (enough cells to
+    /// saturate an 8-worker fan-out with headroom). Both defaults are
+    /// host-independent, so a default run is reproducible anywhere.
+    pub cells: Option<usize>,
     /// Observability handle experiments attach to the worlds they
     /// build. Disabled by default; `repro` swaps in an enabled handle
     /// per module to collect metrics, traces, and manifests.
@@ -59,6 +69,7 @@ impl Default for ExpConfig {
             nl_hours: 48,
             out_dir: Some(PathBuf::from("target/experiments")),
             shards: None,
+            cells: None,
             telemetry: Telemetry::disabled(),
             ts_bucket_ms: DEFAULT_TS_BUCKET_MS,
             ts_span_cap: DEFAULT_TS_SPAN_CAP,
@@ -114,6 +125,12 @@ mod tests {
             ..ExpConfig::default()
         };
         assert_ne!(cfg.seed_for("fig1"), other.seed_for("fig1"));
+    }
+
+    #[test]
+    fn default_cells_defer_to_module_defaults() {
+        assert_eq!(ExpConfig::default().cells, None);
+        assert_eq!(ExpConfig::quick().cells, None);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod table1;
 pub mod timeline;
 pub mod uy_latency;
 pub mod worlds;
+pub mod zipf;
 
 pub use config::ExpConfig;
 pub use report::Report;

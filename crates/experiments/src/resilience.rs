@@ -78,11 +78,12 @@ fn run_cell(cfg: &ExpConfig, ttl: Ttl, policy: ResolverPolicy, seed_tag: &str) -
     let clients = (cfg.probes / 20).max(20);
     let seed = cfg.seed_for(seed_tag) ^ ttl.as_secs() as u64;
     if let Some(workers) = cfg.shards {
-        // Sharded: split the client population into fixed logical
-        // cells, each with its own network + outage script + RNG
-        // stream, and sum the outage accounting. The fault plan is
+        // Sharded: split the client population into `cfg.cells`
+        // logical cells, each with its own network + outage script +
+        // RNG stream, and sum the outage accounting. The fault plan is
         // plain data, so every cell evaluates an identical script.
-        let sizes = dnsttl_atlas::partition(clients, dnsttl_atlas::LOGICAL_SHARDS);
+        let cell_count = cfg.cells.unwrap_or(dnsttl_atlas::LOGICAL_SHARDS).max(1);
+        let sizes = dnsttl_atlas::partition(clients, cell_count);
         let bases = dnsttl_atlas::partition_bases(&sizes);
         let enabled = cfg.telemetry.is_enabled();
         let (ts_bucket_ms, ts_span_cap) = (cfg.ts_bucket_ms, cfg.ts_span_cap);
@@ -90,11 +91,11 @@ fn run_cell(cfg: &ExpConfig, ttl: Ttl, policy: ResolverPolicy, seed_tag: &str) -
             std::sync::Arc::new(dnsttl_atlas::ProgressSink::new(
                 seed_tag,
                 workers.max(1),
-                dnsttl_atlas::LOGICAL_SHARDS,
+                cell_count,
                 ms,
             ))
         });
-        let cells = dnsttl_atlas::run_cells(workers, dnsttl_atlas::LOGICAL_SHARDS, |cell| {
+        let cells = dnsttl_atlas::run_cells(workers, cell_count, |cell| {
             let telemetry = if enabled {
                 dnsttl_telemetry::Telemetry::new()
             } else {

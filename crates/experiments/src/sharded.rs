@@ -2,7 +2,8 @@
 //!
 //! The legacy engine builds one global population and drives one event
 //! queue — simple, but single-threaded. This module partitions a
-//! campaign into [`LOGICAL_SHARDS`] fixed logical cells, runs each cell
+//! campaign into `cfg.cells` logical cells (default: the classic 16,
+//! tunable as a power of two via `--cells`), runs each cell
 //! as a self-contained simulation (its own world, population, resolver
 //! caches, and RNG stream derived via [`shard_seed`]), and merges the
 //! per-cell datasets and telemetry back together in fixed cell order.
@@ -25,7 +26,7 @@ use crate::config::ExpConfig;
 use crate::worlds;
 use dnsttl_atlas::{
     partition, partition_bases, run_cells, run_measurement, Dataset, MeasurementSpec, Population,
-    PopulationConfig, ProgressSink, LOGICAL_SHARDS,
+    PopulationConfig, ProgressSink,
 };
 use dnsttl_netsim::{shard_seed, Network, SimRng};
 use dnsttl_resolver::RootHint;
@@ -108,14 +109,17 @@ struct CellOut {
     parts: TelemetryParts,
 }
 
-/// Runs one measurement campaign sharded over [`LOGICAL_SHARDS`] cells
-/// on `workers` threads and merges the results.
+/// Runs one measurement campaign sharded over `cfg.cells` logical
+/// cells on `workers` threads and merges the results.
 ///
 /// The campaign seed is `cfg.seed_for(tag)`, exactly as in the legacy
 /// engine; each cell then derives its own stream with [`shard_seed`].
 /// Per-cell telemetry is drained with [`Telemetry::take_parts`] and
 /// folded into `cfg.telemetry` in cell order, so metrics, traces, and
-/// manifests are worker-count-invariant too.
+/// manifests are worker-count-invariant too. The cell count defaults
+/// to the classic 16 and, unlike the worker count, is part of the
+/// experiment's identity (different partitions, different per-cell
+/// seeds).
 pub fn measurement_campaign(
     cfg: &ExpConfig,
     tag: &str,
@@ -123,7 +127,8 @@ pub fn measurement_campaign(
     spec: &MeasurementSpec,
     workers: usize,
 ) -> ShardedOutcome {
-    let sizes = partition(cfg.probes, LOGICAL_SHARDS);
+    let cell_count = cfg.cells.unwrap_or(dnsttl_atlas::LOGICAL_SHARDS).max(1);
+    let sizes = partition(cfg.probes, cell_count);
     let bases = partition_bases(&sizes);
     let run_seed = cfg.seed_for(tag);
     let enabled = cfg.telemetry.is_enabled();
@@ -132,9 +137,9 @@ pub fn measurement_campaign(
     // the deterministic artifacts never see the wall clock behind them.
     let progress = cfg
         .progress_ms
-        .map(|ms| Arc::new(ProgressSink::new(tag, workers.max(1), LOGICAL_SHARDS, ms)));
+        .map(|ms| Arc::new(ProgressSink::new(tag, workers.max(1), cell_count, ms)));
 
-    let cells = run_cells(workers, LOGICAL_SHARDS, |cell| {
+    let cells = run_cells(workers, cell_count, |cell| {
         let telemetry = if enabled {
             Telemetry::new()
         } else {
@@ -209,10 +214,15 @@ mod tests {
     }
 
     fn run_with(workers: usize, seed: u64) -> ShardedOutcome {
+        run_with_cells(workers, seed, None)
+    }
+
+    fn run_with_cells(workers: usize, seed: u64, cells: Option<usize>) -> ShardedOutcome {
         let cfg = ExpConfig {
             seed,
             probes: 160,
             shards: Some(workers),
+            cells,
             ..ExpConfig::quick()
         };
         let world = WorldSpec::Uy {
@@ -251,6 +261,23 @@ mod tests {
             assert_eq!(one.probes, many.probes);
             assert_eq!(one.vps, many.vps);
         }
+    }
+
+    #[test]
+    fn outcome_is_worker_count_invariant_at_a_nondefault_cell_count() {
+        // Satellite regression for the merge/absorb audit: nothing in
+        // `Dataset::merge_shards` or `Telemetry::absorb_shards` may
+        // assume the classic 16-cell layout. 64 cells over 160 probes
+        // also exercises the uneven-partition path (cells of 3 and 2).
+        let one = run_with_cells(1, 42, Some(64));
+        for workers in [4, 8] {
+            let many = run_with_cells(workers, 42, Some(64));
+            assert_eq!(fingerprint(&one), fingerprint(&many), "workers={workers}");
+            assert_eq!(one.probes, many.probes);
+        }
+        // And the cell count itself is identity-changing.
+        let classic = run_with(1, 42);
+        assert_ne!(fingerprint(&one), fingerprint(&classic));
     }
 
     #[test]

@@ -8,12 +8,17 @@
 
 /// Derives the seed for one logical shard of a sharded run.
 ///
-/// The sharded engine partitions a population into a fixed number of
-/// logical shards and gives each its own RNG stream. The derivation
-/// mixes `run_seed` and `shard_id` through two splitmix64 rounds, so
-/// shard streams are independent of each other, of the worker-thread
-/// count, and of scheduling order: shard 3 draws the same numbers
-/// whether it runs first on one thread or last on eight.
+/// The sharded engine partitions a population into logical shards and
+/// gives each its own RNG stream. The derivation mixes `run_seed` and
+/// `shard_id` through two splitmix64 rounds, so shard streams are
+/// independent of each other, of the worker-thread count, and of
+/// scheduling order: shard 3 draws the same numbers whether it runs
+/// first on one thread or last on eight. Nothing in the derivation
+/// depends on the total shard count — the contract extends unchanged
+/// from the classic fixed 16-cell layout to any tunable cell count
+/// (the scale campaigns run 64 or 256 cells), with the corollary that
+/// the cell count *is* part of an experiment's identity: cell 3 of a
+/// 64-cell run owns a different probe slice than cell 3 of 16.
 ///
 /// ```
 /// use dnsttl_netsim::rng::shard_seed;

@@ -596,6 +596,35 @@ mod tests {
     }
 
     #[test]
+    fn absorb_shards_is_cell_count_agnostic() {
+        // Regression for the tunable-cell-count audit: nothing in the
+        // merge may assume the classic 16-cell layout. 64 parts —
+        // including empty ones from cells that held no probes — must
+        // fold exactly like any other count.
+        const Q: MetricKey = MetricKey::new("q");
+        let shard_work = |shard: u64| {
+            let t = Telemetry::new();
+            t.configure_timeseries(1_000, 256);
+            if !shard.is_multiple_of(3) {
+                t.count_keyed_at(&Q, shard, shard * 500);
+            }
+            t.take_parts()
+        };
+        let merged = Telemetry::new();
+        merged.configure_timeseries(1_000, 256);
+        merged.absorb_shards((0..64).map(shard_work).collect());
+        let expected: u64 = (0..64u64).filter(|s| s % 3 != 0).sum();
+        assert_eq!(merged.counter_value("q", &[]), expected);
+        assert_eq!(merged.with_timeseries(|ts| ts.counter_total("q")), expected);
+        // Byte-identical on a second identical merge.
+        let again = Telemetry::new();
+        again.configure_timeseries(1_000, 256);
+        again.absorb_shards((0..64).map(shard_work).collect());
+        assert_eq!(merged.timeseries_jsonl(), again.timeseries_jsonl());
+        assert_eq!(merged.prometheus_text(), again.prometheus_text());
+    }
+
+    #[test]
     fn take_parts_leaves_the_handle_empty() {
         let t = Telemetry::new();
         t.count("q", 3);

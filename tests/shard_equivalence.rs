@@ -12,7 +12,9 @@
 //! Function names end in `_worker_count_invariant` so CI can route
 //! this suite to its own matrix partition.
 
-use dnsttl::experiments::{centricity, controlled, resilience, uy_latency, ExpConfig, Report};
+use dnsttl::experiments::{
+    centricity, controlled, resilience, uy_latency, zipf, ExpConfig, Report,
+};
 use dnsttl_telemetry::Telemetry;
 use std::path::PathBuf;
 
@@ -106,6 +108,77 @@ fn controlled_output_is_worker_count_invariant() {
 #[test]
 fn resilience_output_is_worker_count_invariant() {
     assert_worker_count_invariant("resilience", resilience::run);
+}
+
+/// The zipf scale campaign's variant of [`fingerprint`]: same artifact
+/// concatenation, but the cell count is pinned explicitly because it is
+/// part of the experiment's identity (the matrix below compares worker
+/// counts only *within* a cell count, never across).
+fn zipf_fingerprint(seed: u64, workers: usize, cells: usize) -> String {
+    let out_dir = temp_out_dir(&format!("zipf-{cells}"), seed, workers);
+    std::fs::create_dir_all(&out_dir).expect("create temp out_dir");
+    let telemetry = Telemetry::new();
+    let cfg = ExpConfig {
+        seed,
+        probes: 192,
+        out_dir: Some(out_dir.clone()),
+        shards: Some(workers),
+        cells: Some(cells),
+        telemetry: telemetry.clone(),
+        ..ExpConfig::quick()
+    };
+    let reports = zipf::run(&cfg);
+    assert!(!reports.is_empty(), "zipf: no reports produced");
+
+    let mut fp = String::new();
+    for r in &reports {
+        fp.push_str(&r.render());
+        fp.push('\n');
+    }
+    fp.push_str(&telemetry.prometheus_text());
+    fp.push_str(&telemetry.timeseries_jsonl());
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&out_dir)
+        .expect("read temp out_dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    files.sort();
+    for f in &files {
+        fp.push_str(&f.file_name().expect("file name").to_string_lossy());
+        fp.push('\n');
+        fp.push_str(&std::fs::read_to_string(f).expect("read CSV"));
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+    fp
+}
+
+#[test]
+fn zipf_population_output_is_worker_count_invariant() {
+    // The full scale matrix: every tunable cell count (the classic 16,
+    // the saturating 64, and 256 — wide enough that some cells hold a
+    // single probe or none) must be worker-count-invariant on its own.
+    // 192 probes over 256 cells exercises the empty-cell merge path.
+    for seed in [3, 2024] {
+        for cells in [16, 64, 256] {
+            let oracle = zipf_fingerprint(seed, 1, cells);
+            for workers in [4, 8] {
+                let parallel = zipf_fingerprint(seed, workers, cells);
+                assert_eq!(
+                    oracle, parallel,
+                    "zipf: seed {seed} cells {cells} diverged between 1 and {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zipf_population_cell_count_changes_identity_worker_count_invariant() {
+    // Complement of the invariance matrix: repartitioning IS a
+    // different experiment — the per-cell RNG streams move, so the
+    // fingerprints must differ across cell counts at the same seed.
+    let sixteen = zipf_fingerprint(3, 1, 16);
+    let sixty_four = zipf_fingerprint(3, 1, 64);
+    assert_ne!(sixteen, sixty_four);
 }
 
 #[test]

@@ -167,6 +167,9 @@ fn bench_report_schema_round_trips_through_the_facade() {
     let report = dnsttl::bench::runner::run(dnsttl::bench::BenchConfig {
         seed: 3,
         quick: true,
+        // Schema round-trip only — shrink the zipf population so the
+        // suite stays debug-runnable.
+        pop_scale: 0.02,
     });
     let text = report.render();
     assert!(text.starts_with("{\"schema\":\"dnsttl-bench-report/1\""));
