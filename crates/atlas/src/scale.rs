@@ -8,23 +8,27 @@
 //! heap traffic dominate. This module flattens the hot per-probe state
 //! (next-fire time, popularity rank, resolver binding, per-probe
 //! counters) into cell-local [`ProbeFrame`] arrays and replaces the
-//! event queue with a **windowed linear sweep**:
+//! event queue with a **hierarchical timing-wheel sweep**:
 //!
-//! * fires execute in canonical `(fire_time_ms, probe_idx)` order;
-//! * the sweep window is [`DiurnalCurve::min_interval_ms`] wide — no
-//!   warped interval is ever shorter, so a probe rescheduled inside a
-//!   window always lands in a *later* window and one linear pass per
-//!   window finds exactly the fires that belong to it;
-//! * within a window the (few) due fires are sorted, so the execution
-//!   order is a pure function of probe state, independent of memory
-//!   layout.
+//! * fires execute in canonical `(fire_time_ms, probe_idx)` order —
+//!   the wheel drains each slot bucket by full-key minimum, so the
+//!   execution order is a pure function of probe state, independent of
+//!   memory layout;
+//! * schedules and reschedules are O(1) bucket pushes instead of
+//!   O(log n) heap sifts, and the wheel's slot buckets are reused for
+//!   the whole sweep — steady-state advancement allocates nothing
+//!   (the windowed linear sweep this replaced rescanned every probe
+//!   per window);
+//! * probes rescheduled past the campaign horizon drop out exactly as
+//!   they did under the heap.
 //!
-//! That last point is what the differential harness leans on: a
+//! That first point is what the differential harness leans on: a
 //! retained pointer-based oracle ([`ZipfEngine::Oracle`]) drives the
-//! *same* per-fire routine through a `BinaryHeap` keyed by the same
-//! `(fire_time_ms, probe_idx)` tuple, and `tests/soa_equivalence.rs`
-//! proves the two engines produce bit-identical datasets, per-probe
-//! counters, cache statistics, and telemetry.
+//! *same* per-fire routine through a shared `OracleHeap` (a plain
+//! `BinaryHeap`) keyed by the same `(fire_time_ms, probe_idx)` tuple, and
+//! `tests/soa_equivalence.rs` proves the two engines produce
+//! bit-identical datasets, per-probe counters, cache statistics, and
+//! telemetry.
 //!
 //! Campaigns fan out over the logical-cell harness
 //! ([`crate::run_cells`]): each cell builds its own world and RNG from
@@ -36,7 +40,7 @@
 use crate::population::{DiurnalCurve, ZipfSampler};
 use crate::progress::ProgressSink;
 use crate::shard::{partition, partition_bases, run_cells_profiled, ShardProfile};
-use dnsttl_netsim::{shard_seed, LatencyModel, Network, Region, SimDuration, SimRng};
+use dnsttl_netsim::{shard_seed, LatencyModel, Network, Region, SimDuration, SimRng, TimingWheel};
 use dnsttl_resolver::{CacheStats, RecursiveResolver, RootHint};
 use dnsttl_telemetry::{MetricKey, Telemetry, TelemetryParts};
 use dnsttl_wire::{Name, Rcode, RecordType, Ttl};
@@ -48,6 +52,45 @@ use std::sync::Arc;
 /// metric names.
 const ZIPF_QUERIES: MetricKey = MetricKey::new("zipf_queries_total");
 const ZIPF_HITS: MetricKey = MetricKey::new("zipf_cache_hits_total");
+
+/// The retained ordered scheduler every oracle path shares: a min-heap
+/// over a canonical `(time, index)` key, drained in exact key order.
+///
+/// Both the k-way dataset merge ([`ZipfDataset::merge_cells`]) and the
+/// pointer-based campaign oracle ([`run_oracle`]) pull from this one
+/// helper, so the timing-wheel production sweep has a single
+/// heap-ordered comparison point — deliberately *not* the netsim
+/// `EventQueue` (whose ties break by insertion order, which would
+/// diverge from the canonical order on reschedules) and deliberately
+/// not the wheel itself (an oracle must not share the implementation it
+/// checks).
+struct OracleHeap<K: Ord> {
+    heap: BinaryHeap<Reverse<K>>,
+}
+
+impl<K: Ord> OracleHeap<K> {
+    fn new() -> OracleHeap<K> {
+        OracleHeap {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn push(&mut self, key: K) {
+        self.heap.push(Reverse(key));
+    }
+
+    fn pop(&mut self) -> Option<K> {
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+}
+
+impl<K: Ord> FromIterator<K> for OracleHeap<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> OracleHeap<K> {
+        OracleHeap {
+            heap: iter.into_iter().map(Reverse).collect(),
+        }
+    }
+}
 
 /// Configuration for one Zipf/diurnal population campaign.
 #[derive(Debug, Clone)]
@@ -222,21 +265,21 @@ impl ZipfDataset {
             .into_iter()
             .map(|(d, base)| (d.rows.into_iter(), base))
             .collect();
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut heap: OracleHeap<(u64, usize)> = OracleHeap::new();
         let mut heads: Vec<Option<ZipfRow>> = Vec::with_capacity(iters.len());
         for (idx, (it, _)) in iters.iter_mut().enumerate() {
             let head = it.next();
             if let Some(r) = &head {
-                heap.push(Reverse((r.at_ms, idx)));
+                heap.push((r.at_ms, idx));
             }
             heads.push(head);
         }
-        while let Some(Reverse((_, idx))) = heap.pop() {
+        while let Some((_, idx)) = heap.pop() {
             let mut row = heads[idx].take().expect("head present while queued");
             row.resolver += iters[idx].1;
             rows.push(row);
             if let Some(next) = iters[idx].0.next() {
-                heap.push(Reverse((next.at_ms, idx)));
+                heap.push((next.at_ms, idx));
                 heads[idx] = Some(next);
             }
         }
@@ -531,12 +574,27 @@ pub fn run_zipf_cell(
     }
 }
 
-/// The production inner loop: windowed linear sweep over the SoA
-/// frame. Each pass scans `next_fire_ms` linearly, collects the fires
-/// due inside the window, sorts that (small) batch into canonical
-/// `(t, probe)` order, and executes it. Because every warped interval
-/// is at least the window width, a rescheduled probe always lands in a
-/// later window — each probe fires at most once per pass.
+/// Below this frame size the SoA sweep skips the timing wheel and
+/// linearly min-scans the fire-time column instead: for a handful of
+/// probes the scan touches a couple of cache lines, while the wheel
+/// pays struct construction plus per-pop occupancy-bitmap walks.
+/// Sharded cells (~20 probes quick, ~100 full) sit squarely under it;
+/// full zipf campaigns (thousands of probes per cell) stay on the
+/// wheel. Both paths drain in identical `(fire_time, probe_idx)`
+/// order, so the choice is invisible to the oracle suites.
+const SMALL_SWEEP_MAX: usize = 128;
+
+/// The production inner loop: a hierarchical timing wheel over the SoA
+/// frame. The frame's initial fire times seed the wheel once; every pop
+/// yields the globally earliest `(fire_time_ms, probe_idx)` pair — the
+/// exact order the oracle's heap produces, because the wheel drains
+/// each bucket by full-key minimum — and each fire reschedules itself
+/// with one O(1) bucket push. Probes whose next fire crosses the
+/// campaign horizon pop once more and drop without rescheduling,
+/// mirroring the oracle. The wheel's slot buckets persist across the
+/// whole sweep, so steady-state advancement allocates nothing (the
+/// windowed linear sweep this replaced rebuilt a batch vector and
+/// rescanned every probe per window).
 #[allow(clippy::too_many_arguments)]
 fn run_soa_sweep(
     cfg: &ZipfCampaignConfig,
@@ -550,20 +608,26 @@ fn run_soa_sweep(
     base_ms: u64,
     end_ms: u64,
 ) {
-    let window = cfg.diurnal.min_interval_ms(base_ms);
-    let mut batch: Vec<(u64, u32)> = Vec::new();
-    let mut window_start = 0u64;
-    while window_start < end_ms {
-        let window_end = window_start.saturating_add(window).min(end_ms);
-        batch.clear();
-        for (i, &t) in frame.next_fire_ms.iter().enumerate() {
-            if t < window_end {
-                debug_assert!(t >= window_start, "fire escaped an earlier window");
-                batch.push((t, i as u32));
+    if frame.next_fire_ms.len() <= SMALL_SWEEP_MAX {
+        // Tiny frames (sharded cells hold ~20–100 probes): a linear
+        // min-scan over the contiguous fire-time column beats the
+        // wheel's per-pop bookkeeping, and picking the minimum
+        // `(fire_time, probe_idx)` key reproduces the wheel's (and the
+        // oracle heap's) drain order exactly. A probe whose next fire
+        // crosses the horizon is simply never the sub-horizon minimum
+        // again, which matches the wheel's pop-and-drop.
+        loop {
+            let mut best: Option<(u64, u32)> = None;
+            for (i, &t) in frame.next_fire_ms.iter().enumerate() {
+                let key = (t, i as u32);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
             }
-        }
-        batch.sort_unstable();
-        for &(t, i) in &batch {
+            let Some((t, i)) = best else { break };
+            if t >= end_ms {
+                break; // the minimum crossed the horizon: all remaining did
+            }
             let idx = i as usize;
             let hit = fire_one(
                 t,
@@ -580,18 +644,45 @@ fn run_soa_sweep(
             frame.queries[idx] += 1;
             frame.hits[idx] += u32::from(hit);
             let next = t + cfg.diurnal.interval_ms(base_ms, t);
-            debug_assert!(next >= window_end || window_end == end_ms);
+            debug_assert!(next > t, "warped intervals are always positive");
             frame.next_fire_ms[idx] = next;
         }
-        window_start = window_end;
+        return;
+    }
+    let mut wheel: TimingWheel<u32> = TimingWheel::new();
+    for (i, &t) in frame.next_fire_ms.iter().enumerate() {
+        wheel.insert(t, i as u32);
+    }
+    while let Some((t, i)) = wheel.pop_first() {
+        if t >= end_ms {
+            continue; // past the horizon: drop without rescheduling
+        }
+        let idx = i as usize;
+        let hit = fire_one(
+            t,
+            probe_base + i,
+            frame.rank[idx],
+            frame.resolver[idx],
+            frame.link_rtt_ms[idx],
+            names,
+            resolvers,
+            net,
+            telemetry,
+            dataset,
+        );
+        frame.queries[idx] += 1;
+        frame.hits[idx] += u32::from(hit);
+        let next = t + cfg.diurnal.interval_ms(base_ms, t);
+        debug_assert!(next > t, "warped intervals are always positive");
+        frame.next_fire_ms[idx] = next;
+        wheel.insert(next, i);
     }
 }
 
 /// The pointer-based oracle: one boxed struct per probe (the layout
-/// the SoA frame replaced) behind a binary heap keyed by the canonical
-/// `(fire_time_ms, probe_idx)` tuple. Deliberately *not* the netsim
-/// `EventQueue`, whose ties break by insertion order — rescheduling
-/// would then diverge from the canonical order the sweep sorts into.
+/// the SoA frame replaced) behind the shared [`OracleHeap`], keyed by
+/// the canonical `(fire_time_ms, probe_idx)` tuple the wheel sweep
+/// must reproduce.
 #[allow(clippy::too_many_arguments)]
 fn run_oracle(
     cfg: &ZipfCampaignConfig,
@@ -623,13 +714,13 @@ fn run_oracle(
             })
         })
         .collect();
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = frame
+    let mut heap: OracleHeap<(u64, u32)> = frame
         .next_fire_ms
         .iter()
         .enumerate()
-        .map(|(i, &t)| Reverse((t, i as u32)))
+        .map(|(i, &t)| (t, i as u32))
         .collect();
-    while let Some(Reverse((t, i))) = heap.pop() {
+    while let Some((t, i)) = heap.pop() {
         if t >= end_ms {
             continue; // past the horizon: drop without rescheduling
         }
@@ -648,7 +739,7 @@ fn run_oracle(
         );
         p.queries += 1;
         p.hits += u32::from(hit);
-        heap.push(Reverse((t + cfg.diurnal.interval_ms(base_ms, t), i)));
+        heap.push((t + cfg.diurnal.interval_ms(base_ms, t), i));
     }
     for (i, p) in probes.iter().enumerate() {
         frame.queries[i] = p.queries;

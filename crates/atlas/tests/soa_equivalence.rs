@@ -104,6 +104,17 @@ fn engines_agree_with_a_flat_curve_and_heavy_skew() {
 }
 
 #[test]
+fn engines_agree_above_the_linear_sweep_cutoff() {
+    // Small frames take a linear min-scan; frames past the cutoff run
+    // the hierarchical timing wheel. 600 probes over 4 cells puts 150
+    // probes in each cell — comfortably past the 128-probe cutoff — so
+    // this case pins the wheel path itself against the oracle.
+    let mut cfg = ZipfCampaignConfig::small(600);
+    cfg.cells = 4;
+    assert_bit_identical(&cfg, 23, "wheel-sized cells");
+}
+
+#[test]
 fn oracle_is_worker_count_invariant_too() {
     // The differential suite leans on the 1-worker oracle; make sure
     // the oracle itself is scheduling-independent before trusting it.

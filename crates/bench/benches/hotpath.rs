@@ -9,13 +9,21 @@
 //! `cache_evict` stores a rolling working set twice the cache capacity,
 //! so every store past warm-up evicts — the worst case the expiry index
 //! turns from an O(n) scan into an O(log n) pop.
+//!
+//! The `wheel_*`/`expiry_pop` benches isolate the timing wheel itself
+//! against the `BTreeSet` it replaced, at the same entry counts as
+//! `cache_evict`: `wheel_insert` is one steady-state schedule+cancel
+//! pair, `expiry_pop` a pop-and-reschedule cycle over TTL-shaped
+//! near-term times, and `wheel_cascade` the same cycle over times
+//! spread so wide that nearly every pop re-bins a coarse slot.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dnsttl_core::ResolverPolicy;
-use dnsttl_netsim::SimTime;
+use dnsttl_netsim::{SimRng, SimTime, TimingWheel};
 use dnsttl_resolver::{Cache, Credibility};
 use dnsttl_wire::{Name, RData, RRset, RecordType, Ttl};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 use std::hint::black_box;
 
@@ -108,5 +116,91 @@ fn cache_evict(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, name_ops, cache_evict);
+/// Timing-wheel primitives vs the `BTreeSet` index they replaced, at
+/// the same sizes `cache_evict` runs. Ties are unique indices so the
+/// set baseline holds exactly the same entries as the wheel.
+fn wheel_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    for n in [512usize, 4_096, 32_768] {
+        let mut rng = SimRng::seed_from(0x57EE1 + n as u64);
+        // TTL-shaped near-term expiries: 1 ms – 300 s, the cache_churn
+        // band, landing in wheel levels 0–2.
+        let near: Vec<u64> = (0..n).map(|_| 1 + rng.below(300_000)).collect();
+        // Wide spread over ~4.6 h so steady-state pops keep crossing
+        // coarse-slot boundaries and re-binning (the cascade worst
+        // case).
+        let far: Vec<u64> = (0..n).map(|_| rng.below(1 << 24)).collect();
+
+        // One O(1) schedule+cancel pair against a full index.
+        let mut wheel: TimingWheel<u32> = TimingWheel::new();
+        for (i, &t) in near.iter().enumerate() {
+            wheel.insert(t, i as u32);
+        }
+        let mut k = 0usize;
+        group.bench_function(BenchmarkId::new("wheel_insert", n), |b| {
+            b.iter(|| {
+                k = (k + 1) % n;
+                wheel.insert(near[k], u32::MAX);
+                black_box(wheel.cancel(near[k], &u32::MAX))
+            })
+        });
+        let mut btree: BTreeSet<(u64, u32)> =
+            near.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        group.bench_function(BenchmarkId::new("btree_insert", n), |b| {
+            b.iter(|| {
+                k = (k + 1) % n;
+                btree.insert((near[k], u32::MAX));
+                black_box(btree.remove(&(near[k], u32::MAX)))
+            })
+        });
+
+        // Steady-state expiry: pop the minimum, reschedule one TTL out.
+        let mut wheel: TimingWheel<u32> = TimingWheel::new();
+        for (i, &t) in near.iter().enumerate() {
+            wheel.insert(t, i as u32);
+        }
+        group.bench_function(BenchmarkId::new("expiry_pop", n), |b| {
+            b.iter(|| {
+                let (t, i) = wheel.pop_first().expect("pop cycle keeps size fixed");
+                wheel.insert(t + 300_000, i);
+                black_box(t)
+            })
+        });
+        let mut btree: BTreeSet<(u64, u32)> =
+            near.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        group.bench_function(BenchmarkId::new("btree_expiry_pop", n), |b| {
+            b.iter(|| {
+                let (t, i) = btree.pop_first().expect("pop cycle keeps size fixed");
+                btree.insert((t + 300_000, i));
+                black_box(t)
+            })
+        });
+
+        // Cascade-heavy pops: sparse far-future times re-bin coarse
+        // slots on nearly every base advance.
+        let mut wheel: TimingWheel<u32> = TimingWheel::new();
+        for (i, &t) in far.iter().enumerate() {
+            wheel.insert(t, i as u32);
+        }
+        group.bench_function(BenchmarkId::new("wheel_cascade", n), |b| {
+            b.iter(|| {
+                let (t, i) = wheel.pop_first().expect("pop cycle keeps size fixed");
+                wheel.insert(t + (1 << 24), i);
+                black_box(t)
+            })
+        });
+        let mut btree: BTreeSet<(u64, u32)> =
+            far.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        group.bench_function(BenchmarkId::new("btree_cascade", n), |b| {
+            b.iter(|| {
+                let (t, i) = btree.pop_first().expect("pop cycle keeps size fixed");
+                btree.insert((t + (1 << 24), i));
+                black_box(t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, name_ops, cache_evict, wheel_ops);
 criterion_main!(benches);

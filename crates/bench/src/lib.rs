@@ -21,7 +21,7 @@ pub mod runner;
 
 pub use runner::{
     BenchConfig, BenchReport, Counter, Timing, BENCH_SCHEMA, FANOUT_TOLERANCE,
-    REGRESSION_THRESHOLD, TIMINGS_MARKER,
+    REGRESSION_THRESHOLD, TIMINGS_MARKER, WHEEL_IMPROVEMENT_FACTOR,
 };
 
 use dnsttl_auth::{AuthoritativeServer, ZoneBuilder};

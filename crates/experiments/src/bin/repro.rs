@@ -193,7 +193,9 @@ fn write_observability(module: &str, cfg: &ExpConfig, telemetry: &Telemetry, rep
 /// schema-versioned report, and optionally gate on a committed
 /// baseline.
 fn run_bench(args: &[String]) -> ! {
-    use dnsttl_bench::{BenchConfig, BenchReport, FANOUT_TOLERANCE, REGRESSION_THRESHOLD};
+    use dnsttl_bench::{
+        BenchConfig, BenchReport, FANOUT_TOLERANCE, REGRESSION_THRESHOLD, WHEEL_IMPROVEMENT_FACTOR,
+    };
 
     let mut seed = 42u64;
     let mut quick = false;
@@ -323,6 +325,23 @@ fn run_bench(args: &[String]) -> ! {
         } else {
             eprintln!("speedup check failed:");
             for f in &speedup {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        // The timing-wheel swap must keep paying for itself: the
+        // wheel_churn replay has to beat its in-report BTreeSet
+        // reference by the committed factor, on whatever host ran the
+        // suite.
+        let improvement = report.improvement_failures(WHEEL_IMPROVEMENT_FACTOR, FANOUT_TOLERANCE);
+        if improvement.is_empty() {
+            println!(
+                "improvement check passed: wheel_churn at least {WHEEL_IMPROVEMENT_FACTOR:.0}x \
+                 faster than its BTreeSet reference"
+            );
+        } else {
+            eprintln!("improvement check failed:");
+            for f in &improvement {
                 eprintln!("  {f}");
             }
             std::process::exit(1);

@@ -9,6 +9,10 @@
 //!   clock (no wall-clock reads anywhere in the workspace);
 //! * [`EventQueue`] — a stable discrete-event queue (ties break in
 //!   insertion order, so runs are bit-for-bit reproducible);
+//! * [`TimingWheel`] — the hierarchical timing wheel backing the event
+//!   queue, the cache expiry indexes, and the campaign schedulers:
+//!   O(1) insert/cancel, amortized-O(1) pops, deterministic
+//!   `(time, tie)` drain order;
 //! * [`SimRng`] — a seedable xoshiro256** generator with the
 //!   distribution helpers the latency model needs (uniform, normal,
 //!   log-normal, Zipf);
@@ -35,6 +39,7 @@ pub mod latency;
 pub mod network;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use event::EventQueue;
 pub use fault::{parse_region, Degradation, Fault, FaultKind, FaultPlan};
@@ -45,3 +50,4 @@ pub use network::{
 };
 pub use rng::{shard_seed, SimRng};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimingWheel;

@@ -1,0 +1,565 @@
+//! Deterministic hierarchical timing wheel.
+//!
+//! Every hot path in this workspace is time-keyed — TTL expiry indexes,
+//! the discrete-event queue, probe fire schedules — and all of them were
+//! paying O(log n) comparator costs on `BTreeSet`/`BinaryHeap`. This
+//! module replaces those ordered collections with a hashed hierarchical
+//! timing wheel in the style of Varghese & Lauck: timers are bucketed
+//! into power-of-two slot arrays whose granularity coarsens by level, so
+//! insert and cancel are O(1) bucket placement and expiry pops are
+//! amortized O(1) cascades.
+//!
+//! # Layout
+//!
+//! Four levels of 256 slots each cover `SimTime` milliseconds:
+//!
+//! | level | slot width | level span |
+//! |-------|------------|------------|
+//! | 0     | 1 ms       | 256 ms     |
+//! | 1     | 256 ms     | ~65.5 s    |
+//! | 2     | ~65.5 s    | ~4.66 h    |
+//! | 3     | ~4.66 h    | ~49.7 days |
+//!
+//! Timers beyond the combined 2³² ms span — including `u64::MAX`
+//! sentinels — park in an overflow bucket and are re-distributed when the
+//! wheel's base advances far enough, so the full `u64` range is legal.
+//!
+//! # Determinism
+//!
+//! The wheel is *not* allowed to change anything observable: the cache
+//! eviction oracle, the concurrent-equivalence harness, and the campaign
+//! oracles all diff against retained `BTreeSet`/`BinaryHeap`
+//! implementations. Slot vectors are deliberately unsorted (pushes are
+//! O(1)); every peek/pop selects the minimum `(time, tie)` entry of the
+//! earliest occupied bucket by a full lexicographic scan, which
+//! reproduces the exact `(SimTime, Name, u16)` / `(fire_time_ms,
+//! probe_idx)` drain order of the ordered structures it replaces.
+//! Bucket ranges are disjoint and monotone across levels (lower level ⇒
+//! earlier window), so "earliest occupied bucket" is well-defined, and
+//! entries whose time is already behind the wheel's base clamp into the
+//! front bucket while keeping their true key for comparisons.
+
+use std::fmt;
+use std::mem;
+
+/// Log₂ of the number of slots per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level (power of two so placement is shift-and-mask).
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of cascading levels.
+const LEVELS: usize = 4;
+/// Bits of millisecond range the in-level slots cover (beyond: overflow).
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+/// u64 words per occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// Coarse buckets at or below this size are popped in place instead of
+/// cascaded. Draining a k-entry bucket by repeated min-scans costs
+/// ~k²/2 comparisons while a cascade moves every entry once but pays a
+/// re-bin (placement + push + occupancy update) per entry plus the base
+/// advance — the crossover sits around a dozen entries. Below it,
+/// scanning wins *and* the wheel skips the cascade's bucket traffic
+/// entirely, which matters because sparse simulation schedules
+/// otherwise cascade once per pop just to move one or two timers.
+const CASCADE_THRESHOLD: usize = 16;
+
+/// One wheel level: an occupancy bitmap plus unsorted slot buckets.
+struct Level<T> {
+    /// Bit `s` set ⇔ `slots[s]` is non-empty.
+    occupied: [u64; WORDS],
+    /// Pending entries, `(true_fire_ms, tie)`, unsorted within a slot.
+    slots: Box<[Vec<(u64, T)>]>,
+}
+
+impl<T> Level<T> {
+    fn new() -> Level<T> {
+        Level {
+            occupied: [0; WORDS],
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Index of the earliest occupied slot, if any.
+    fn first_slot(&self) -> Option<usize> {
+        self.occupied
+            .iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| i * 64 + w.trailing_zeros() as usize)
+    }
+
+    fn set(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn unset(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+    }
+}
+
+/// Where an entry with a given fire time lives relative to the base.
+enum Placement {
+    /// `(level, slot)` within the wheel.
+    Slot(usize, usize),
+    /// Beyond the wheel span: overflow bucket.
+    Overflow,
+}
+
+/// A deterministic hierarchical timing wheel over millisecond timestamps.
+///
+/// Entries are `(fire_at_ms, tie)` pairs; `tie: Ord` breaks same-instant
+/// ties, and pops drain in exact `(fire_at_ms, tie)` lexicographic order
+/// — bit-identical to a `BTreeSet<(u64, T)>`, which is how the oracle
+/// suite in `tests/wheel_oracle.rs` verifies it.
+///
+/// ```
+/// use dnsttl_netsim::TimingWheel;
+/// let mut w = TimingWheel::new();
+/// w.insert(10_000, "b");
+/// w.insert(5_000, "a");
+/// w.insert(10_000, "c");
+/// assert_eq!(w.pop_first(), Some((5_000, "a")));
+/// assert_eq!(w.pop_first(), Some((10_000, "b")));
+/// assert_eq!(w.pop_first(), Some((10_000, "c")));
+/// assert_eq!(w.pop_first(), None);
+/// ```
+pub struct TimingWheel<T> {
+    /// Slot levels, allocated on the first in-span insert. A fresh
+    /// wheel is a handful of machine words, so wheels that never see a
+    /// timer — an SLRU tier with no promotions, a queue built per cell
+    /// "just in case" — cost nothing to construct: the ~25 KiB of slot
+    /// headers is only paid by wheels that actually hold entries.
+    levels: Option<Box<[Level<T>; LEVELS]>>,
+    /// Entries further than the wheel span from `base`.
+    overflow: Vec<(u64, T)>,
+    /// Wheel anchor: no stored entry's *effective* time precedes it.
+    /// Advances only during cascades, never backwards.
+    base: u64,
+    /// Total entries across levels and overflow.
+    len: usize,
+    /// Exact earliest pending fire time, maintained across every
+    /// mutation so `&self` callers (cache fast paths, `peek_time`) get
+    /// an O(1) answer instead of an O(bucket) scan.
+    earliest: Option<u64>,
+    /// Slots re-binned by cascades since construction (telemetry).
+    cascades: u64,
+    /// Reusable cascade drain buffer, so re-binning a bucket moves
+    /// entries without allocator traffic.
+    scratch: Vec<(u64, T)>,
+}
+
+impl<T: Ord> TimingWheel<T> {
+    /// An empty wheel anchored at t = 0.
+    pub fn new() -> TimingWheel<T> {
+        TimingWheel {
+            levels: None,
+            overflow: Vec::new(),
+            base: 0,
+            len: 0,
+            earliest: None,
+            cascades: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slot re-distributions performed so far.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    /// Fire time of the earliest pending entry. O(1): this is what the
+    /// cache's per-resolve "anything expired?" probe reads.
+    pub fn earliest_ms(&self) -> Option<u64> {
+        self.earliest
+    }
+
+    /// Bucket placement for an effective time (`when >= self.base`).
+    fn placement(&self, when: u64) -> Placement {
+        let masked = (self.base ^ when) | (SLOTS as u64 - 1);
+        let significant = 63 - masked.leading_zeros();
+        if significant >= WHEEL_BITS {
+            return Placement::Overflow;
+        }
+        let level = (significant / SLOT_BITS) as usize;
+        let slot = (when >> (level as u32 * SLOT_BITS)) as usize & (SLOTS - 1);
+        Placement::Slot(level, slot)
+    }
+
+    /// Schedules `tie` to fire at `at_ms`. O(1).
+    ///
+    /// Times already behind the wheel base (possible after an eviction
+    /// pop advanced it) clamp into the front bucket but keep their true
+    /// `at_ms` for ordering, so they still drain first.
+    pub fn insert(&mut self, at_ms: u64, tie: T) {
+        let when = at_ms.max(self.base);
+        match self.placement(when) {
+            Placement::Slot(level, slot) => {
+                let levels = self.levels.get_or_insert_with(new_levels);
+                levels[level].slots[slot].push((at_ms, tie));
+                levels[level].set(slot);
+            }
+            Placement::Overflow => self.overflow.push((at_ms, tie)),
+        }
+        self.len += 1;
+        if self.earliest.is_none_or(|e| at_ms < e) {
+            self.earliest = Some(at_ms);
+        }
+    }
+
+    /// Removes the entry `(at_ms, tie)` if present. O(bucket size).
+    pub fn cancel(&mut self, at_ms: u64, tie: &T) -> bool {
+        self.cancel_by(at_ms, |k| k == tie)
+    }
+
+    /// Removes the first entry at `at_ms` whose tie satisfies
+    /// `matches`, if any. O(bucket size). Lets callers cancel by parts
+    /// of a composite tie without building one.
+    pub fn cancel_by(&mut self, at_ms: u64, matches: impl Fn(&T) -> bool) -> bool {
+        let when = at_ms.max(self.base);
+        let bucket: &mut Vec<(u64, T)> = match self.placement(when) {
+            Placement::Slot(level, slot) => match self.levels.as_deref_mut() {
+                Some(levels) => &mut levels[level].slots[slot],
+                None => return false,
+            },
+            Placement::Overflow => &mut self.overflow,
+        };
+        let Some(pos) = bucket.iter().position(|(t, k)| *t == at_ms && matches(k)) else {
+            return false;
+        };
+        bucket.swap_remove(pos);
+        self.len -= 1;
+        if bucket.is_empty() {
+            // Re-borrow to clear the occupancy bit (overflow has none).
+            if let Placement::Slot(level, slot) = self.placement(when) {
+                if let Some(levels) = self.levels.as_deref_mut() {
+                    levels[level].unset(slot);
+                }
+            }
+        }
+        if self.earliest == Some(at_ms) {
+            self.earliest = self.peek().map(|(t, _)| t);
+        }
+        true
+    }
+
+    /// The earliest entry without cascading. O(front bucket size).
+    ///
+    /// Correct regardless of wheel state — used where only `&self` is
+    /// available. Prefer [`TimingWheel::first`] on hot paths: cascading
+    /// keeps the front bucket at 1 ms granularity.
+    pub fn peek(&self) -> Option<(u64, &T)> {
+        if let Some(levels) = self.levels.as_deref() {
+            for level in levels.iter() {
+                if let Some(slot) = level.first_slot() {
+                    return bucket_min(&level.slots[slot]);
+                }
+            }
+        }
+        bucket_min(&self.overflow)
+    }
+
+    /// The earliest entry, cascading first so the answer comes from a
+    /// finest-granularity bucket. Amortized O(1).
+    pub fn first(&mut self) -> Option<(u64, &T)> {
+        self.cascade();
+        self.peek()
+    }
+
+    /// Removes and returns the earliest entry. Amortized O(1).
+    pub fn pop_first(&mut self) -> Option<(u64, T)> {
+        self.cascade();
+        let entry = self.pop_front_bucket_min()?;
+        self.len -= 1;
+        Some(entry)
+    }
+
+    /// Removes the minimum entry of the earliest occupied bucket and
+    /// refreshes `earliest` (callers fix `len`). One pass tracks both
+    /// the minimum and the runner-up fire time: because bucket ranges
+    /// are disjoint and monotone, the runner-up of the front bucket IS
+    /// the new global earliest, so the common case needs no second
+    /// scan.
+    fn pop_front_bucket_min(&mut self) -> Option<(u64, T)> {
+        for level in self.levels.as_deref_mut().into_iter().flatten() {
+            let Some(slot) = level.first_slot() else {
+                continue;
+            };
+            let bucket = &mut level.slots[slot];
+            let (pos, runner_up) = bucket_min_pos_and_next(bucket)?;
+            let entry = bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                level.unset(slot);
+            }
+            self.earliest = runner_up;
+            if runner_up.is_none() {
+                self.earliest = self.peek().map(|(t, _)| t);
+            }
+            return Some(entry);
+        }
+        let (pos, runner_up) = bucket_min_pos_and_next(&self.overflow)?;
+        self.earliest = runner_up;
+        Some(self.overflow.swap_remove(pos))
+    }
+
+    /// Drops every entry and re-anchors at t = 0. Keeps allocations.
+    pub fn clear(&mut self) {
+        for level in self.levels.as_deref_mut().into_iter().flatten() {
+            for word in 0..WORDS {
+                let mut w = mem::take(&mut level.occupied[word]);
+                while w != 0 {
+                    let slot = word * 64 + w.trailing_zeros() as usize;
+                    level.slots[slot].clear();
+                    w &= w - 1;
+                }
+            }
+        }
+        self.overflow.clear();
+        self.base = 0;
+        self.len = 0;
+        self.earliest = None;
+    }
+
+    /// Re-bins the front of the wheel until the earliest occupied
+    /// bucket is cheap to scan: level 0, or any coarse bucket holding
+    /// at most [`CASCADE_THRESHOLD`] entries (popped in place).
+    ///
+    /// Each re-binned entry lands at a strictly lower level, so the
+    /// total cascade work is amortized O(1) per entry over its lifetime.
+    /// The base only ever moves to the nominal start of the *first*
+    /// occupied bucket, which keeps `placement` consistent for every
+    /// entry that stays put (their differing-bit level is unchanged),
+    /// and never moves while level 0 is occupied — so clamped
+    /// behind-base entries keep their front-slot placement too.
+    fn cascade(&mut self) {
+        loop {
+            if self.len == 0 {
+                return;
+            }
+            let front = self.levels.as_deref().and_then(|levels| {
+                levels
+                    .iter()
+                    .enumerate()
+                    .find_map(|(l, lev)| lev.first_slot().map(|s| (l, s)))
+            });
+            if let Some((level, slot)) = front {
+                let levels = self.levels.as_deref_mut().expect("front came from levels");
+                if level == 0 || levels[level].slots[slot].len() <= CASCADE_THRESHOLD {
+                    return;
+                }
+                let shift = level as u32 * SLOT_BITS;
+                let span_mask = (1u64 << (shift + SLOT_BITS)) - 1;
+                let slot_start = (self.base & !span_mask) | ((slot as u64) << shift);
+                debug_assert!(slot_start >= self.base);
+                self.base = slot_start;
+                // Drain through the reusable scratch buffer: the slot
+                // keeps its allocation for future inserts and the
+                // cascade itself never touches the allocator.
+                let mut scratch = mem::take(&mut self.scratch);
+                scratch.append(&mut levels[level].slots[slot]);
+                levels[level].unset(slot);
+                self.len -= scratch.len();
+                self.cascades += 1;
+                for (t, tie) in scratch.drain(..) {
+                    self.insert(t, tie);
+                }
+                self.scratch = scratch;
+            } else {
+                // Only the overflow bucket is occupied: re-anchor at its
+                // earliest time and re-distribute. Entries still beyond
+                // the span go straight back to overflow, so each entry
+                // is re-scanned at most once per ~49-day base advance.
+                let min_t = self
+                    .overflow
+                    .iter()
+                    .map(|(t, _)| *t)
+                    .min()
+                    .expect("len > 0 with empty levels implies overflow entries");
+                self.base = min_t.max(self.base);
+                let mut scratch = mem::take(&mut self.scratch);
+                scratch.append(&mut self.overflow);
+                self.len -= scratch.len();
+                self.cascades += 1;
+                for (t, tie) in scratch.drain(..) {
+                    self.insert(t, tie);
+                }
+                self.scratch = scratch;
+                // The minimum is now inside the wheel levels; loop once
+                // more in case its bucket still needs splitting.
+            }
+        }
+    }
+}
+
+impl<T: Ord> Default for TimingWheel<T> {
+    fn default() -> Self {
+        TimingWheel::new()
+    }
+}
+
+impl<T> fmt::Debug for TimingWheel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimingWheel")
+            .field("len", &self.len)
+            .field("base", &self.base)
+            .field("earliest", &self.earliest)
+            .field("cascades", &self.cascades)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A full set of empty levels ([`TimingWheel::levels`] allocates these
+/// lazily).
+fn new_levels<T>() -> Box<[Level<T>; LEVELS]> {
+    Box::new([Level::new(), Level::new(), Level::new(), Level::new()])
+}
+
+/// Minimum entry of an unsorted bucket by full `(time, tie)` order.
+fn bucket_min<T: Ord>(bucket: &[(u64, T)]) -> Option<(u64, &T)> {
+    bucket.iter().min_by(|a, b| a.cmp(b)).map(|(t, k)| (*t, k))
+}
+
+/// Position of the minimum entry of an unsorted bucket, plus the fire
+/// time of the runner-up (`None` for a single-entry bucket).
+fn bucket_min_pos_and_next<T: Ord>(bucket: &[(u64, T)]) -> Option<(usize, Option<u64>)> {
+    let mut iter = bucket.iter().enumerate();
+    let (mut pos, first) = iter.next()?;
+    let mut min = first;
+    let mut next: Option<u64> = None;
+    for (i, e) in iter {
+        if e < min {
+            next = Some(min.0);
+            min = e;
+            pos = i;
+        } else if next.is_none_or(|n| e.0 < n) {
+            next = Some(e.0);
+        }
+    }
+    Some((pos, next))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_tie_order() {
+        let mut w = TimingWheel::new();
+        w.insert(50, 2u32);
+        w.insert(50, 1);
+        w.insert(7, 9);
+        w.insert(1_000_000, 0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.pop_first(), Some((7, 9)));
+        assert_eq!(w.pop_first(), Some((50, 1)));
+        assert_eq!(w.pop_first(), Some((50, 2)));
+        assert_eq!(w.pop_first(), Some((1_000_000, 0)));
+        assert_eq!(w.pop_first(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one_entry() {
+        let mut w = TimingWheel::new();
+        w.insert(100, "a");
+        w.insert(100, "b");
+        assert!(w.cancel(100, &"a"));
+        assert!(!w.cancel(100, &"a"));
+        assert!(!w.cancel(101, &"b"));
+        assert_eq!(w.pop_first(), Some((100, "b")));
+    }
+
+    #[test]
+    fn peek_matches_first_without_mutating_order() {
+        let mut w = TimingWheel::new();
+        for t in [900_000u64, 3, 70_000, 3] {
+            w.insert(t, t as u32);
+        }
+        assert_eq!(w.peek(), Some((3, &3u32)));
+        assert_eq!(w.first(), Some((3, &3u32)));
+        let mut order = Vec::new();
+        while let Some(e) = w.pop_first() {
+            order.push(e);
+        }
+        assert_eq!(order, [(3, 3), (3, 3), (70_000, 70_000), (900_000, 900_000)]);
+    }
+
+    #[test]
+    fn far_future_and_max_times_round_trip_through_overflow() {
+        let mut w = TimingWheel::new();
+        w.insert(u64::MAX, 1u8);
+        w.insert(u64::MAX - 1, 2);
+        w.insert((1 << 40) + 17, 3);
+        w.insert(5, 4);
+        assert_eq!(w.pop_first(), Some((5, 4)));
+        assert_eq!(w.pop_first(), Some(((1 << 40) + 17, 3)));
+        assert_eq!(w.pop_first(), Some((u64::MAX - 1, 2)));
+        assert_eq!(w.pop_first(), Some((u64::MAX, 1)));
+        assert_eq!(w.pop_first(), None);
+    }
+
+    #[test]
+    fn inserts_behind_the_base_still_drain_first() {
+        let mut w = TimingWheel::new();
+        w.insert(500_000, 1u32);
+        // Popping a far entry advances the base past 500k ms.
+        w.insert(400_000, 0);
+        assert_eq!(w.pop_first(), Some((400_000, 0)));
+        // A "late" insert behind the base clamps but keeps its true key.
+        w.insert(10, 7);
+        w.insert(10, 6);
+        assert_eq!(w.first(), Some((10, &6u32)));
+        assert!(w.cancel(10, &6));
+        assert_eq!(w.pop_first(), Some((10, 7)));
+        assert_eq!(w.pop_first(), Some((500_000, 1)));
+    }
+
+    #[test]
+    fn clear_resets_and_reuses() {
+        let mut w = TimingWheel::new();
+        for t in 0..1_000u64 {
+            w.insert(t * 37, t as u32);
+        }
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.peek(), None);
+        w.insert(1, 1u32);
+        assert_eq!(w.pop_first(), Some((1, 1)));
+    }
+
+    #[test]
+    fn earliest_ms_tracks_every_mutation() {
+        let mut w = TimingWheel::new();
+        assert_eq!(w.earliest_ms(), None);
+        w.insert(300, 1u32);
+        w.insert(200, 2);
+        w.insert(900_000, 3);
+        assert_eq!(w.earliest_ms(), Some(200));
+        assert!(w.cancel(200, &2));
+        assert_eq!(w.earliest_ms(), Some(300));
+        assert_eq!(w.pop_first(), Some((300, 1)));
+        assert_eq!(w.earliest_ms(), Some(900_000));
+        w.clear();
+        assert_eq!(w.earliest_ms(), None);
+    }
+
+    #[test]
+    fn zero_delay_timers_fire_in_tie_order() {
+        let mut w = TimingWheel::new();
+        for i in 0..100u32 {
+            w.insert(0, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(w.pop_first(), Some((0, i)));
+        }
+    }
+}

@@ -25,11 +25,11 @@
 //!   a telemetry handle (which is `Rc`-based and cannot cross threads).
 
 use dnsttl_core::{Centricity, ResolverPolicy};
-use dnsttl_netsim::{SimDuration, SimTime};
+use dnsttl_netsim::{SimDuration, SimTime, TimingWheel};
 use dnsttl_telemetry::{CacheOp, EventKind, MetricKey, Telemetry, Value};
 use dnsttl_wire::{Name, RRset, Rcode, RecordType, Ttl};
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use crate::ledger::{rank_token, CacheStats, Ledger, Provenance, RecordOrigin, StoreContext};
 
@@ -134,18 +134,20 @@ pub(crate) trait OpSink {
 #[derive(Debug)]
 pub(crate) struct CacheCore {
     pub(crate) entries: HashMap<(Name, RecordType), Entry>,
-    /// Expiry-ordered index over the *unpinned, unprotected* entries:
-    /// `(expires_at, name, rtype code)`. Kept in lockstep with every
-    /// insert/remove so eviction and expiry purges are ordered-set pops
-    /// instead of full-table scans, with the same deterministic
-    /// tie-break the scans used (canonical `Name` order, then type
-    /// code) — no per-candidate string formatting. Pinned entries never
-    /// expire and are never evicted, so they are not indexed.
-    probation: BTreeSet<(SimTime, Name, u16)>,
+    /// Expiry index over the *unpinned, unprotected* entries — a
+    /// hierarchical timing wheel bucketing `(name, rtype code)` ties by
+    /// `expires_at` milliseconds. Kept in lockstep with every
+    /// insert/remove so eviction and expiry purges are amortized-O(1)
+    /// wheel pops instead of O(log n) ordered-set operations, while
+    /// every pop drains in the exact `(expires_at, canonical name
+    /// order, type code)` order the previous `BTreeSet` index used (the
+    /// eviction-oracle differential suite pins this). Pinned entries
+    /// never expire and are never evicted, so they are not indexed.
+    probation: TimingWheel<(Name, u16)>,
     /// SLRU protected tier: entries promoted by a hit. Evicted only
     /// when probation is empty; demoted (oldest-expiry first) when the
     /// tier outgrows `protected_cap`. Empty when admission is off.
-    protected: BTreeSet<(SimTime, Name, u16)>,
+    protected: TimingWheel<(Name, u16)>,
     negatives: HashMap<(Name, RecordType), NegEntry>,
     /// Maximum positive entries; `None` = unbounded. Real caches are
     /// bounded, and under pressure the *effective* TTL is the eviction
@@ -180,8 +182,8 @@ impl CacheCore {
         };
         CacheCore {
             entries: HashMap::new(),
-            probation: BTreeSet::new(),
-            protected: BTreeSet::new(),
+            probation: TimingWheel::new(),
+            protected: TimingWheel::new(),
             negatives: HashMap::new(),
             capacity,
             evictions: 0,
@@ -202,11 +204,13 @@ impl CacheCore {
 
     /// Removes `key` from whichever tier holds it.
     fn index_remove(&mut self, key: &(SimTime, Name, u16), protected: bool) {
-        if protected {
-            self.protected.remove(key);
+        let (expires_at, name, code) = key;
+        let tier = if protected {
+            &mut self.protected
         } else {
-            self.probation.remove(key);
-        }
+            &mut self.probation
+        };
+        tier.cancel_by(expires_at.as_millis(), |(n, c)| c == code && n == name);
     }
 
     /// Makes room for one more entry when at capacity.
@@ -232,7 +236,7 @@ impl CacheCore {
             .probation
             .pop_first()
             .or_else(|| self.protected.pop_first());
-        if let Some((_, name, code)) = victim {
+        if let Some((_, (name, code))) = victim {
             let rtype = RecordType::from_code(code).expect("index holds valid type codes");
             let e = self
                 .entries
@@ -373,12 +377,12 @@ impl CacheCore {
         let expires_at = now + ttl_span(ttl);
         let protected = keep_protected && self.slru;
         if !pinned {
-            let index_key = (expires_at, key.0.clone(), key.1.code());
-            if protected {
-                self.protected.insert(index_key);
+            let tier = if protected {
+                &mut self.protected
             } else {
-                self.probation.insert(index_key);
-            }
+                &mut self.probation
+            };
+            tier.insert(expires_at.as_millis(), (key.0.clone(), key.1.code()));
         }
         self.entries.insert(
             key,
@@ -499,19 +503,23 @@ impl CacheCore {
         if e.pinned || e.protected {
             return;
         }
-        let key = (e.expires_at, name.clone(), rtype.code());
-        if !self.probation.remove(&key) {
+        let expires_ms = e.expires_at.as_millis();
+        let code = rtype.code();
+        if !self
+            .probation
+            .cancel_by(expires_ms, |(n, c)| *c == code && n == name)
+        {
             return;
         }
         e.protected = true;
-        self.protected.insert(key);
+        self.protected.insert(expires_ms, (name.clone(), code));
         if self.protected.len() > self.protected_cap {
-            if let Some(demoted) = self.protected.pop_first() {
-                let rt = RecordType::from_code(demoted.2).expect("index holds valid type codes");
-                if let Some(d) = self.entries.get_mut(&(demoted.1.clone(), rt)) {
+            if let Some((demoted_ms, (dname, dcode))) = self.protected.pop_first() {
+                let rt = RecordType::from_code(dcode).expect("index holds valid type codes");
+                if let Some(d) = self.entries.get_mut(&(dname.clone(), rt)) {
                     d.protected = false;
                 }
-                self.probation.insert(demoted);
+                self.probation.insert(demoted_ms, (dname, dcode));
             }
         }
     }
@@ -523,18 +531,18 @@ impl CacheCore {
         rtype: RecordType,
         now: SimTime,
     ) -> Option<SimDuration> {
-        // The expiry indexes are ordered and cover every unpinned
-        // entry, so their minima answer "is anything expired at all?"
-        // without touching the entry table. Resolvers probe this on
-        // *every* query; in the common all-fresh cache the probe ends
-        // here.
-        let earliest = match (self.probation.first(), self.protected.first()) {
-            (Some(a), Some(b)) => a.0.min(b.0),
-            (Some(a), None) => a.0,
-            (None, Some(b)) => b.0,
+        // The expiry indexes cover every unpinned entry and cache their
+        // minimum fire time, so they answer "is anything expired at
+        // all?" in O(1) without touching the entry table. Resolvers
+        // probe this on *every* query; in the common all-fresh cache
+        // the probe ends here.
+        let earliest = match (self.probation.earliest_ms(), self.protected.earliest_ms()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
             (None, None) => return None,
         };
-        if earliest > now {
+        if earliest > now.as_millis() {
             return None;
         }
         let e = self.entries.get(&(name.clone(), rtype))?;
@@ -690,16 +698,29 @@ impl CacheCore {
     /// `(expires_at, name, type code)` order — the same ledger order as
     /// the single-index engine, regardless of which tier held an entry.
     pub(crate) fn purge_expired<S: OpSink>(&mut self, now: SimTime, sink: &mut S) {
+        let now_ms = now.as_millis();
         loop {
-            let p = self.probation.first().filter(|k| k.0 <= now);
-            let q = self.protected.first().filter(|k| k.0 <= now);
+            // The exact O(1) earliest-time cache answers "anything due,
+            // and in which tier?" without a bucket scan; only a
+            // same-instant collision across tiers needs the full
+            // `(expires_at, name, code)` comparison to keep the global
+            // single-index drain order, and `first` cascades there so
+            // the peek is over a fine bucket.
+            let p = self.probation.earliest_ms().filter(|t| *t <= now_ms);
+            let q = self.protected.earliest_ms().filter(|t| *t <= now_ms);
             let from_probation = match (p, q) {
                 (None, None) => break,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
-                (Some(a), Some(b)) => a <= b,
+                (Some(a), Some(b)) if a != b => a < b,
+                // Same expiry millisecond in both tiers: time first,
+                // then the tie key, exactly as one merged index would.
+                (Some(_), Some(_)) => {
+                    let pk = self.probation.first().map(|(t, k)| (t, k.clone()));
+                    pk <= self.protected.first().map(|(t, k)| (t, k.clone()))
+                }
             };
-            let (_, name, code) = if from_probation {
+            let (_, (name, code)) = if from_probation {
                 self.probation.pop_first().expect("first just seen")
             } else {
                 self.protected.pop_first().expect("first just seen")
